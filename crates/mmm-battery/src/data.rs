@@ -1,0 +1,222 @@
+//! Training-data synthesis for battery cell models.
+//!
+//! Mirrors the paper's data pipeline (§4.1): run the ECM over a driving
+//! cycle, record the inputs the FFNN sees — current, temperature, charge
+//! and state of charge — and the voltage response as the target; perturb
+//! cell parameters per cycle, decrement SoH per update cycle to create
+//! aging trends, corrupt with measurement noise, and normalize features
+//! to an equal scale.
+
+use crate::cycles::{generate_driving_cycle, CycleConfig};
+use crate::ecm::{CellParams, EcmCell};
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// Number of input features per sample:
+/// `(current, temperature, discharged charge, SoC)`.
+pub const FEATURES: usize = 4;
+
+/// Flat sample storage: `features` is row-major `[n, FEATURES]`,
+/// `targets` is `[n]` voltages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawSamples {
+    /// Row-major feature matrix, `n * FEATURES` values, normalized.
+    pub features: Vec<f32>,
+    /// Voltage targets, `n` values, normalized.
+    pub targets: Vec<f32>,
+}
+
+impl RawSamples {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Append another batch of samples.
+    pub fn extend(&mut self, other: &RawSamples) {
+        self.features.extend_from_slice(&other.features);
+        self.targets.extend_from_slice(&other.targets);
+    }
+}
+
+/// Configuration of per-cell data generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellDataConfig {
+    /// Driving cycle shape.
+    pub cycle: CycleConfig,
+    /// How many discharge cycles to simulate.
+    pub n_cycles: usize,
+    /// Keep every k-th simulation step as a training sample (the paper's
+    /// 342 M raw samples are downsampled the same way in spirit: we never
+    /// need every 1 Hz step to fit a 5k-parameter model).
+    pub sample_every: usize,
+    /// SoH lost per update cycle ("different aging trends from the
+    /// initial SoH until the battery's end-of-life").
+    pub soh_decrement: f32,
+    /// Standard deviation of additive measurement noise on the voltage
+    /// target (volts), "to prevent models from training with equal data".
+    pub noise_v: f32,
+    /// Relative magnitude of the per-cycle cell-parameter perturbation.
+    pub param_jitter: f32,
+}
+
+impl Default for CellDataConfig {
+    fn default() -> Self {
+        CellDataConfig {
+            cycle: CycleConfig::default(),
+            n_cycles: 2,
+            sample_every: 5,
+            soh_decrement: 0.02,
+            noise_v: 0.005,
+            param_jitter: 0.03,
+        }
+    }
+}
+
+/// Feature normalization constants (fixed, so every model of the fleet
+/// sees the same scale — "we normalize the data to provide an equal
+/// feature scale").
+mod norm {
+    /// (offset, scale) per feature: x' = (x - offset) / scale.
+    pub const CURRENT: (f32, f32) = (2.0, 4.0);
+    pub const TEMPERATURE: (f32, f32) = (25.0, 10.0);
+    pub const CHARGE: (f32, f32) = (1.5, 1.5);
+    pub const SOC: (f32, f32) = (0.5, 0.5);
+    pub const VOLTAGE: (f32, f32) = (3.7, 0.6);
+}
+
+/// Normalize one feature row in place order: current, temp, charge, SoC.
+fn push_sample(out: &mut RawSamples, current: f32, temp: f32, charge: f32, soc: f32, voltage: f32) {
+    out.features.push((current - norm::CURRENT.0) / norm::CURRENT.1);
+    out.features.push((temp - norm::TEMPERATURE.0) / norm::TEMPERATURE.1);
+    out.features.push((charge - norm::CHARGE.0) / norm::CHARGE.1);
+    out.features.push((soc - norm::SOC.0) / norm::SOC.1);
+    out.targets.push((voltage - norm::VOLTAGE.0) / norm::VOLTAGE.1);
+}
+
+/// Denormalize a model output back to volts (for reporting/metrics).
+pub fn denormalize_voltage(v_norm: f32) -> f32 {
+    v_norm * norm::VOLTAGE.1 + norm::VOLTAGE.0
+}
+
+/// Generate training samples for one cell at one update cycle.
+///
+/// * `cell_id` individualizes the cell (parameter perturbation, noise).
+/// * `update_cycle` selects the aging state: the cell's SoH is
+///   `1 - update_cycle * soh_decrement`, so data drifts between update
+///   cycles exactly like the paper's aging trends.
+///
+/// Deterministic in `(cfg, cell_id, update_cycle, seed)`.
+pub fn generate_cell_data(cfg: &CellDataConfig, cell_id: u64, update_cycle: u64, seed: u64) -> RawSamples {
+    assert!(cfg.sample_every > 0, "sample_every must be positive");
+    let mut out = RawSamples { features: Vec::new(), targets: Vec::new() };
+
+    for cycle_idx in 0..cfg.n_cycles {
+        // Per-cell, per-cycle generators.
+        let mix = SplitMix64::derive(seed, "cell-data", cell_id ^ (update_cycle << 32) ^ ((cycle_idx as u64) << 48));
+        let mut jitter_rng = Xoshiro256pp::new(SplitMix64::derive(mix, "param-jitter", 0));
+        let mut noise_rng = Xoshiro256pp::new(SplitMix64::derive(mix, "noise", 0));
+
+        let jitter = cfg.param_jitter;
+        let mut draws = [0f32; 6];
+        for d in draws.iter_mut() {
+            *d = jitter * jitter_rng.normal();
+        }
+        let params = CellParams::default().perturbed(|i| draws[i]);
+        let mut cell = EcmCell::new(params);
+        // Apply the aging state for this update cycle.
+        cell.age(cfg.soh_decrement * update_cycle as f32);
+        cell.reset_full();
+
+        let cycle = generate_driving_cycle(&cfg.cycle, mix);
+        for (t, &current) in cycle.iter().enumerate() {
+            let v = cell.step(current, 1.0);
+            if t % cfg.sample_every == 0 {
+                let s = cell.state();
+                let v_noisy = v + cfg.noise_v * noise_rng.normal();
+                push_sample(&mut out, current, s.temperature_c, s.discharged_ah, s.soc, v_noisy);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CellDataConfig {
+        CellDataConfig {
+            cycle: CycleConfig { duration_s: 300, load_scale: 1.0 },
+            n_cycles: 1,
+            sample_every: 3,
+            ..CellDataConfig::default()
+        }
+    }
+
+    #[test]
+    fn sample_counts_match_config() {
+        let cfg = small_cfg();
+        let d = generate_cell_data(&cfg, 0, 0, 1);
+        assert_eq!(d.len(), 100); // 300 steps / every 3
+        assert_eq!(d.features.len(), d.len() * FEATURES);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_cfg();
+        assert_eq!(generate_cell_data(&cfg, 5, 1, 9), generate_cell_data(&cfg, 5, 1, 9));
+    }
+
+    #[test]
+    fn cells_see_different_data() {
+        let cfg = small_cfg();
+        let a = generate_cell_data(&cfg, 1, 0, 9);
+        let b = generate_cell_data(&cfg, 2, 0, 9);
+        assert_ne!(a, b, "per-cell perturbation and noise must differ");
+    }
+
+    #[test]
+    fn update_cycles_shift_the_distribution() {
+        let cfg = small_cfg();
+        let young = generate_cell_data(&cfg, 1, 0, 9);
+        let old = generate_cell_data(&cfg, 1, 10, 9);
+        assert_ne!(young, old, "aging must change the data");
+        // Older cell has lower average voltage under the same load model.
+        let mean = |d: &RawSamples| d.targets.iter().sum::<f32>() / d.len() as f32;
+        assert!(mean(&old) < mean(&young) + 0.05);
+    }
+
+    #[test]
+    fn features_are_normalized_to_sane_range() {
+        let cfg = small_cfg();
+        let d = generate_cell_data(&cfg, 3, 2, 4);
+        for &f in &d.features {
+            assert!(f.abs() < 10.0, "normalized feature out of range: {f}");
+        }
+        for &t in &d.targets {
+            assert!(t.abs() < 10.0, "normalized target out of range: {t}");
+        }
+    }
+
+    #[test]
+    fn denormalize_inverts_target_scale() {
+        // A normalized value of 0 maps back to the nominal 3.7 V.
+        assert!((denormalize_voltage(0.0) - 3.7).abs() < 1e-6);
+        assert!((denormalize_voltage(1.0) - 4.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let cfg = small_cfg();
+        let mut a = generate_cell_data(&cfg, 1, 0, 9);
+        let b = generate_cell_data(&cfg, 2, 0, 9);
+        let n = a.len();
+        a.extend(&b);
+        assert_eq!(a.len(), n + b.len());
+    }
+}

@@ -1,0 +1,496 @@
+//! Second-order (2-RC) equivalent circuit model of an 18650 Li-ion cell.
+//!
+//! The model follows the standard formulation used by the work the paper
+//! cites (Neupert & Kowal 2018): a series resistance `R0`, two RC pairs
+//! `(R1, C1)` and `(R2, C2)` capturing fast and slow polarization, an
+//! open-circuit-voltage curve `OCV(SoC)`, coulomb-counting charge
+//! integration, a lumped thermal node heated by ohmic losses, and SoH
+//! aging that shrinks capacity and grows resistance.
+//!
+//! Sign convention: **positive current = discharge** (amperes).
+
+/// Electrical and thermal parameters of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Nominal capacity in ampere-hours.
+    pub capacity_ah: f32,
+    /// Series resistance in ohms.
+    pub r0: f32,
+    /// Fast polarization resistance (ohms) and capacitance (farads).
+    pub r1: f32,
+    /// Fast polarization capacitance (farads).
+    pub c1: f32,
+    /// Slow polarization resistance (ohms).
+    pub r2: f32,
+    /// Slow polarization capacitance (farads).
+    pub c2: f32,
+    /// Thermal mass times specific heat, J/K.
+    pub heat_capacity: f32,
+    /// Thermal coupling to ambient, W/K.
+    pub thermal_conductance: f32,
+    /// Ambient temperature, °C.
+    pub ambient_c: f32,
+    /// Resistance growth factor per unit SoH loss
+    /// (`r = r_nominal * (1 + k * (1 - soh))`).
+    pub aging_resistance_factor: f32,
+    /// Arrhenius-style temperature sensitivity of the series resistance:
+    /// `r(T) = r · exp(k_T · (T_ref − T))` with `T_ref = 25 °C`. Cold
+    /// cells have markedly higher internal resistance; ~0.02/K is a
+    /// typical Li-ion value.
+    pub temp_resistance_factor: f32,
+    /// OCV hysteresis half-width (volts): the open-circuit voltage relaxes
+    /// toward `ocv(soc) + h` after charging and `ocv(soc) − h` after
+    /// discharging. Set 0 to disable.
+    pub hysteresis_v: f32,
+}
+
+impl Default for CellParams {
+    /// Typical values for a 3.0 Ah 18650 NMC cell.
+    fn default() -> Self {
+        CellParams {
+            capacity_ah: 3.0,
+            r0: 0.030,
+            r1: 0.015,
+            c1: 2_000.0,
+            r2: 0.025,
+            c2: 60_000.0,
+            heat_capacity: 45.0,
+            thermal_conductance: 0.08,
+            ambient_c: 23.0,
+            aging_resistance_factor: 1.5,
+            temp_resistance_factor: 0.02,
+            hysteresis_v: 0.008,
+        }
+    }
+}
+
+impl CellParams {
+    /// Perturb electrical parameters by the given relative fractions (the
+    /// paper "generates each cycle with slightly altered model
+    /// parameters" to diversify the data).
+    pub fn perturbed(mut self, rel: impl Fn(usize) -> f32) -> Self {
+        self.capacity_ah *= 1.0 + rel(0);
+        self.r0 *= 1.0 + rel(1);
+        self.r1 *= 1.0 + rel(2);
+        self.c1 *= 1.0 + rel(3);
+        self.r2 *= 1.0 + rel(4);
+        self.c2 *= 1.0 + rel(5);
+        self
+    }
+}
+
+/// Dynamic state of a simulated cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellState {
+    /// State of charge in `[0, 1]`.
+    pub soc: f32,
+    /// Voltage across the fast RC pair (V).
+    pub v1: f32,
+    /// Voltage across the slow RC pair (V).
+    pub v2: f32,
+    /// Cell temperature (°C).
+    pub temperature_c: f32,
+    /// Cumulative discharged charge (Ah) since reset.
+    pub discharged_ah: f32,
+    /// Hysteresis state in `[-1, 1]`: −1 after sustained discharge, +1
+    /// after sustained charge (scales the configured hysteresis width).
+    pub hysteresis: f32,
+}
+
+/// Open-circuit voltage of an NMC 18650 cell as a piecewise-linear curve
+/// over SoC (typical datasheet shape, 3.0 V at empty to 4.2 V at full).
+pub fn ocv(soc: f32) -> f32 {
+    const POINTS: [(f32, f32); 9] = [
+        (0.00, 3.00),
+        (0.05, 3.30),
+        (0.10, 3.45),
+        (0.25, 3.55),
+        (0.50, 3.68),
+        (0.75, 3.85),
+        (0.90, 4.00),
+        (0.95, 4.08),
+        (1.00, 4.20),
+    ];
+    let s = soc.clamp(0.0, 1.0);
+    for w in POINTS.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if s <= x1 {
+            return y0 + (y1 - y0) * (s - x0) / (x1 - x0);
+        }
+    }
+    POINTS[POINTS.len() - 1].1
+}
+
+/// A simulated cell: parameters + aging + dynamic state.
+#[derive(Debug, Clone)]
+pub struct EcmCell {
+    params: CellParams,
+    /// State of health in `(0, 1]`; scales capacity, grows resistance.
+    soh: f32,
+    state: CellState,
+}
+
+impl EcmCell {
+    /// A fresh, fully charged cell at ambient temperature.
+    pub fn new(params: CellParams) -> Self {
+        EcmCell {
+            state: CellState {
+                soc: 1.0,
+                v1: 0.0,
+                v2: 0.0,
+                temperature_c: params.ambient_c,
+                discharged_ah: 0.0,
+                hysteresis: 0.0,
+            },
+            soh: 1.0,
+            params,
+        }
+    }
+
+    /// Current dynamic state.
+    pub fn state(&self) -> &CellState {
+        &self.state
+    }
+
+    /// Current state of health.
+    pub fn soh(&self) -> f32 {
+        self.soh
+    }
+
+    /// Parameters (nominal, before aging effects).
+    pub fn params(&self) -> &CellParams {
+        &self.params
+    }
+
+    /// Effective capacity after aging (Ah).
+    pub fn effective_capacity_ah(&self) -> f32 {
+        self.params.capacity_ah * self.soh
+    }
+
+    /// Effective series resistance after aging (ohms), at 25 °C.
+    pub fn effective_r0(&self) -> f32 {
+        self.params.r0 * (1.0 + self.params.aging_resistance_factor * (1.0 - self.soh))
+    }
+
+    /// Series resistance including the temperature effect at the cell's
+    /// current temperature (cold cells resist more).
+    pub fn effective_r0_at_temp(&self) -> f32 {
+        self.effective_r0() * (self.params.temp_resistance_factor * (25.0 - self.state.temperature_c)).exp()
+    }
+
+    /// Age the cell by reducing its SoH (clamped to `[0.05, 1]`) —
+    /// the paper "decrements the state of health of the batteries every
+    /// update cycle".
+    pub fn age(&mut self, soh_decrement: f32) {
+        self.soh = (self.soh - soh_decrement).clamp(0.05, 1.0);
+    }
+
+    /// Reset dynamic state to fully charged at ambient (start of a cycle).
+    pub fn reset_full(&mut self) {
+        self.state = CellState {
+            soc: 1.0,
+            v1: 0.0,
+            v2: 0.0,
+            temperature_c: self.params.ambient_c,
+            discharged_ah: 0.0,
+            hysteresis: 0.0,
+        };
+    }
+
+    /// Advance the cell by `dt` seconds under `current` amperes
+    /// (positive = discharge) and return the terminal voltage.
+    pub fn step(&mut self, current: f32, dt: f32) -> f32 {
+        assert!(dt > 0.0, "dt must be positive");
+        let p = &self.params;
+        // Temperature-dependent series resistance (Arrhenius-style).
+        let r0 = self.effective_r0_at_temp();
+        let cap_as = self.effective_capacity_ah() * 3600.0; // ampere-seconds
+
+        // Coulomb counting.
+        let s = &mut self.state;
+        s.soc = (s.soc - current * dt / cap_as).clamp(0.0, 1.0);
+        s.discharged_ah += current.max(0.0) * dt / 3600.0;
+
+        // RC pairs: forward-Euler, stable for dt << R*C.
+        s.v1 += dt * (current / p.c1 - s.v1 / (p.r1 * p.c1));
+        s.v2 += dt * (current / p.c2 - s.v2 / (p.r2 * p.c2));
+
+        // OCV hysteresis: the state relaxes toward −sign(I) at a rate
+        // proportional to the charge throughput (Plett-style one-state
+        // hysteresis model).
+        if p.hysteresis_v > 0.0 && current != 0.0 {
+            let target = if current > 0.0 { -1.0 } else { 1.0 };
+            let rate = (current.abs() * dt / (0.05 * cap_as)).min(1.0);
+            s.hysteresis += rate * (target - s.hysteresis);
+        }
+
+        // Lumped thermal node: ohmic heating minus convection.
+        let heat_w = current * current * (r0 + p.r1 + p.r2);
+        s.temperature_c += dt
+            * (heat_w - p.thermal_conductance * (s.temperature_c - p.ambient_c))
+            / p.heat_capacity;
+
+        ocv(s.soc) + p.hysteresis_v * s.hysteresis - current * r0 - s.v1 - s.v2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ocv_is_monotone_and_bounded() {
+        let mut prev = ocv(0.0);
+        assert!((prev - 3.0).abs() < 1e-6);
+        for i in 1..=100 {
+            let v = ocv(i as f32 / 100.0);
+            assert!(v >= prev, "OCV must be non-decreasing in SoC");
+            prev = v;
+        }
+        assert!((ocv(1.0) - 4.2).abs() < 1e-6);
+        // Out-of-range SoC clamps.
+        assert_eq!(ocv(-0.5), ocv(0.0));
+        assert_eq!(ocv(1.5), ocv(1.0));
+    }
+
+    #[test]
+    fn discharge_lowers_soc_and_voltage() {
+        let mut cell = EcmCell::new(CellParams::default());
+        let v_start = cell.step(1.0, 1.0);
+        // Discharge at 1C for ~15 minutes.
+        let mut v_end = v_start;
+        for _ in 0..900 {
+            v_end = cell.step(3.0, 1.0);
+        }
+        assert!(cell.state().soc < 0.8, "soc {}", cell.state().soc);
+        assert!(v_end < v_start, "{v_end} < {v_start}");
+        assert!(cell.state().discharged_ah > 0.7);
+    }
+
+    #[test]
+    fn rest_relaxes_polarization() {
+        let mut cell = EcmCell::new(CellParams::default());
+        for _ in 0..300 {
+            cell.step(5.0, 1.0);
+        }
+        let v1_loaded = cell.state().v1;
+        assert!(v1_loaded > 0.0);
+        for _ in 0..3600 {
+            cell.step(0.0, 1.0);
+        }
+        assert!(
+            cell.state().v1 < v1_loaded * 0.05,
+            "RC voltage should decay at rest: {} -> {}",
+            v1_loaded,
+            cell.state().v1
+        );
+    }
+
+    #[test]
+    fn heavy_load_heats_the_cell() {
+        let mut cell = EcmCell::new(CellParams::default());
+        for _ in 0..600 {
+            cell.step(9.0, 1.0); // 3C
+        }
+        assert!(
+            cell.state().temperature_c > cell.params().ambient_c + 1.0,
+            "temperature {}",
+            cell.state().temperature_c
+        );
+    }
+
+    #[test]
+    fn temperature_returns_toward_ambient_at_rest() {
+        let mut cell = EcmCell::new(CellParams::default());
+        for _ in 0..600 {
+            cell.step(9.0, 1.0);
+        }
+        let hot = cell.state().temperature_c;
+        for _ in 0..7200 {
+            cell.step(0.0, 1.0);
+        }
+        assert!(cell.state().temperature_c < hot);
+        assert!((cell.state().temperature_c - cell.params().ambient_c).abs() < 2.0);
+    }
+
+    #[test]
+    fn aging_reduces_capacity_and_raises_resistance() {
+        let mut cell = EcmCell::new(CellParams::default());
+        let cap0 = cell.effective_capacity_ah();
+        let r0_0 = cell.effective_r0();
+        cell.age(0.1);
+        assert!(cell.effective_capacity_ah() < cap0);
+        assert!(cell.effective_r0() > r0_0);
+        assert!((cell.soh() - 0.9).abs() < 1e-6);
+        // SoH never collapses below the floor.
+        for _ in 0..100 {
+            cell.age(0.1);
+        }
+        assert!(cell.soh() >= 0.05);
+    }
+
+    #[test]
+    fn aged_cell_sags_more_under_load() {
+        let params = CellParams::default();
+        let mut fresh = EcmCell::new(params);
+        let mut aged = EcmCell::new(params);
+        aged.age(0.3);
+        let vf = fresh.step(6.0, 1.0);
+        let va = aged.step(6.0, 1.0);
+        assert!(va < vf, "aged cell must show larger IR drop: {va} vs {vf}");
+    }
+
+    #[test]
+    fn charge_current_raises_soc() {
+        let mut cell = EcmCell::new(CellParams::default());
+        // Discharge some first.
+        for _ in 0..1800 {
+            cell.step(3.0, 1.0);
+        }
+        let soc = cell.state().soc;
+        for _ in 0..600 {
+            cell.step(-2.0, 1.0); // regen / charging
+        }
+        assert!(cell.state().soc > soc);
+    }
+
+    #[test]
+    fn soc_clamps_at_empty() {
+        let mut cell = EcmCell::new(CellParams::default());
+        for _ in 0..36_000 {
+            cell.step(10.0, 1.0);
+        }
+        assert_eq!(cell.state().soc, 0.0);
+    }
+
+    #[test]
+    fn cold_cell_has_higher_resistance() {
+        let params = CellParams { ambient_c: -10.0, ..CellParams::default() };
+        let cold = EcmCell::new(params);
+        let warm = EcmCell::new(CellParams::default());
+        assert!(
+            cold.effective_r0_at_temp() > warm.effective_r0_at_temp() * 1.5,
+            "cold {} vs warm {}",
+            cold.effective_r0_at_temp(),
+            warm.effective_r0_at_temp()
+        );
+        // Which shows up as deeper voltage sag under the same load.
+        let mut cold = cold;
+        let mut warm = warm;
+        assert!(cold.step(6.0, 1.0) < warm.step(6.0, 1.0));
+    }
+
+    #[test]
+    fn hysteresis_shifts_rest_voltage_by_direction() {
+        // Discharge to ~50% SoC, rest, note voltage; then reach the same
+        // SoC by overshooting and charging back up — rest voltage must be
+        // higher on the charge branch.
+        let params = CellParams::default();
+        let mut discharge_branch = EcmCell::new(params);
+        while discharge_branch.state().soc > 0.5 {
+            discharge_branch.step(3.0, 1.0);
+        }
+        let mut charge_branch = EcmCell::new(params);
+        while charge_branch.state().soc > 0.4 {
+            charge_branch.step(3.0, 1.0);
+        }
+        while charge_branch.state().soc < 0.5 {
+            charge_branch.step(-3.0, 1.0);
+        }
+        // Long rest to let polarization die out; hysteresis persists.
+        let mut vd = 0.0;
+        let mut vc = 0.0;
+        for _ in 0..7200 {
+            vd = discharge_branch.step(0.0, 1.0);
+            vc = charge_branch.step(0.0, 1.0);
+        }
+        assert!(
+            vc > vd + 0.005,
+            "charge-branch rest voltage {vc} should exceed discharge-branch {vd}"
+        );
+    }
+
+    #[test]
+    fn perturbed_changes_parameters() {
+        let p = CellParams::default();
+        let q = p.perturbed(|i| if i == 1 { 0.1 } else { 0.0 });
+        assert!((q.r0 - p.r0 * 1.1).abs() < 1e-9);
+        assert_eq!(q.c1, p.c1);
+    }
+
+    mod properties {
+        use super::*;
+        use mmm_util::{Rng, Xoshiro256pp};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Under any bounded current profile the simulation stays
+            /// physical: finite voltage in a plausible window, SoC in
+            /// [0,1], temperature bounded, hysteresis state in [-1,1].
+            #[test]
+            fn simulation_stays_physical(seed in 0u64..10_000, steps in 1usize..2_000) {
+                let mut rng = Xoshiro256pp::new(seed);
+                let mut cell = EcmCell::new(CellParams::default());
+                for _ in 0..steps {
+                    let current = rng.uniform(-6.0, 9.0);
+                    let v = cell.step(current, 1.0);
+                    prop_assert!(v.is_finite());
+                    prop_assert!((1.5..5.5).contains(&v), "voltage {v} out of window");
+                    let s = cell.state();
+                    prop_assert!((0.0..=1.0).contains(&s.soc));
+                    prop_assert!((-1.0..=1.0).contains(&s.hysteresis));
+                    prop_assert!((-40.0..150.0).contains(&s.temperature_c));
+                }
+            }
+
+            /// Pure discharge never raises SoC; pure charge never lowers it.
+            #[test]
+            fn soc_is_monotone_in_current_sign(seed in 0u64..10_000) {
+                let mut rng = Xoshiro256pp::new(seed);
+                let mut cell = EcmCell::new(CellParams::default());
+                let mut prev = cell.state().soc;
+                for _ in 0..300 {
+                    let i = rng.uniform(0.1, 8.0);
+                    cell.step(i, 1.0);
+                    prop_assert!(cell.state().soc <= prev);
+                    prev = cell.state().soc;
+                }
+                for _ in 0..300 {
+                    let i = rng.uniform(0.1, 5.0);
+                    cell.step(-i, 1.0);
+                    prop_assert!(cell.state().soc >= prev);
+                    prev = cell.state().soc;
+                }
+            }
+
+            /// The step function is deterministic for any input sequence.
+            #[test]
+            fn step_is_deterministic(seed in 0u64..10_000) {
+                let mut rng = Xoshiro256pp::new(seed);
+                let currents: Vec<f32> = (0..200).map(|_| rng.uniform(-5.0, 8.0)).collect();
+                let run = |currents: &[f32]| {
+                    let mut cell = EcmCell::new(CellParams::default());
+                    currents.iter().map(|&i| cell.step(i, 1.0)).collect::<Vec<f32>>()
+                };
+                prop_assert_eq!(run(&currents), run(&currents));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_full_restores_initial_state() {
+        let mut cell = EcmCell::new(CellParams::default());
+        for _ in 0..100 {
+            cell.step(5.0, 1.0);
+        }
+        cell.age(0.05);
+        cell.reset_full();
+        assert_eq!(cell.state().soc, 1.0);
+        assert_eq!(cell.state().v1, 0.0);
+        assert_eq!(cell.state().discharged_ah, 0.0);
+        assert!((cell.soh() - 0.95).abs() < 1e-6, "aging survives reset");
+    }
+}

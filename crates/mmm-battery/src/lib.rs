@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Battery-cell simulation substrate for the paper's running example.
+//!
+//! The paper (§4.1) generates its training data with "a second-order
+//! equivalent circuit model of a 18650 battery cell, which maps an input
+//! current to the voltage response, cell temperature, and cell charge",
+//! driven by "records of real-world driving discharge cycles". Neither the
+//! authors' ECM implementation nor the real driving records are available,
+//! so this crate provides faithful synthetic equivalents:
+//!
+//! * [`ecm`] — a full second-order (2-RC) equivalent circuit model with an
+//!   OCV(SoC) curve, coulomb-counting charge integration, a lumped thermal
+//!   node, and state-of-health (SoH) aging that scales capacity and
+//!   internal resistance.
+//! * [`cycles`] — a synthetic driving-current generator with WLTP-like
+//!   phase structure (idle / urban / rural / highway / regenerative
+//!   braking) and seeded stochastic micro-transients.
+//! * [`data`] — turns (cycle, cell) pairs into normalized training samples
+//!   `(current, temperature, charge, SoC) → voltage`, including the
+//!   paper's per-cell parameter perturbation, per-update-cycle SoH
+//!   decrement, and measurement noise.
+
+pub mod cycles;
+pub mod data;
+pub mod ecm;
+pub mod pack;
+
+pub use cycles::{generate_driving_cycle, CycleConfig};
+pub use data::{generate_cell_data, CellDataConfig, RawSamples, FEATURES};
+pub use ecm::{CellParams, CellState, EcmCell};
+pub use pack::{Pack, PackConfig};

@@ -1,0 +1,208 @@
+//! Battery-pack simulation with cell inhomogeneities.
+//!
+//! The paper's motivation (§1) is that "electric car batteries can
+//! consist of thousands of individual cells, each possibly being
+//! associated with its own DL model", because per-cell models "provide a
+//! spatial resolution regarding, for instance, temperature evolution,
+//! cell aging, or current distribution". Its data-generation cites
+//! Neupert & Kowal, *Inhomogeneities in Battery Packs* — exactly what
+//! this module reproduces: a series string of 2-RC cells with
+//! manufacturing parameter spread, a position-dependent thermal
+//! environment (center cells run hotter), and per-cell aging rates, so
+//! each cell genuinely needs its own model.
+
+use crate::ecm::{CellParams, CellState, EcmCell};
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// Configuration of a simulated pack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackConfig {
+    /// Number of series-connected cells.
+    pub n_cells: usize,
+    /// Relative σ of the manufacturing parameter spread (capacity and
+    /// resistances), e.g. 0.02 = 2 %.
+    pub param_spread: f32,
+    /// Extra ambient temperature at the pack center relative to the
+    /// edges (°C); real packs cool worst in the middle.
+    pub center_temp_rise_c: f32,
+    /// Relative σ of per-cell aging-rate variation.
+    pub aging_spread: f32,
+}
+
+impl Default for PackConfig {
+    fn default() -> Self {
+        PackConfig {
+            n_cells: 96, // a typical series string
+            param_spread: 0.02,
+            center_temp_rise_c: 6.0,
+            aging_spread: 0.25,
+        }
+    }
+}
+
+/// A series string of inhomogeneous cells sharing one current.
+#[derive(Debug, Clone)]
+pub struct Pack {
+    cells: Vec<EcmCell>,
+    aging_rates: Vec<f32>,
+}
+
+impl Pack {
+    /// Build a pack with seed-derived inhomogeneities.
+    pub fn new(cfg: &PackConfig, seed: u64) -> Self {
+        assert!(cfg.n_cells > 0, "a pack needs at least one cell");
+        let mut cells = Vec::with_capacity(cfg.n_cells);
+        let mut aging_rates = Vec::with_capacity(cfg.n_cells);
+        for i in 0..cfg.n_cells {
+            let mut rng = Xoshiro256pp::new(SplitMix64::derive(seed, "pack-cell", i as u64));
+            let mut draws = [0f32; 6];
+            for d in draws.iter_mut() {
+                *d = cfg.param_spread * rng.normal();
+            }
+            let mut params = CellParams::default().perturbed(|j| draws[j]);
+            // Position-dependent ambient: a parabola peaking mid-string.
+            let x = if cfg.n_cells == 1 {
+                0.0
+            } else {
+                i as f32 / (cfg.n_cells - 1) as f32
+            };
+            params.ambient_c += cfg.center_temp_rise_c * (1.0 - (2.0 * x - 1.0).powi(2));
+            cells.push(EcmCell::new(params));
+            // Aging rate multiplier: hotter + weaker cells age faster.
+            aging_rates.push((1.0 + cfg.aging_spread * rng.normal()).max(0.2));
+        }
+        Pack { cells, aging_rates }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the pack has no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Immutable access to one cell.
+    pub fn cell(&self, i: usize) -> &EcmCell {
+        &self.cells[i]
+    }
+
+    /// Step the whole string by `dt` seconds under the shared `current`;
+    /// returns each cell's terminal voltage.
+    pub fn step(&mut self, current: f32, dt: f32) -> Vec<f32> {
+        self.cells.iter_mut().map(|c| c.step(current, dt)).collect()
+    }
+
+    /// Pack terminal voltage: sum over the series string.
+    pub fn pack_voltage(&mut self, current: f32, dt: f32) -> f32 {
+        self.step(current, dt).iter().sum()
+    }
+
+    /// Age every cell by `base_decrement` scaled by its individual
+    /// aging rate (one update cycle of calendar+cycle aging).
+    pub fn age_cycle(&mut self, base_decrement: f32) {
+        for (cell, &rate) in self.cells.iter_mut().zip(&self.aging_rates) {
+            cell.age(base_decrement * rate);
+        }
+    }
+
+    /// Reset all cells to fully charged (keeps aging state).
+    pub fn reset_full(&mut self) {
+        for c in &mut self.cells {
+            c.reset_full();
+        }
+    }
+
+    /// Spread of state-of-health across the pack: `(min, max)`.
+    pub fn soh_range(&self) -> (f32, f32) {
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        for c in &self.cells {
+            lo = lo.min(c.soh());
+            hi = hi.max(c.soh());
+        }
+        (lo, hi)
+    }
+
+    /// Per-cell dynamic states (for spatial-resolution analyses).
+    pub fn states(&self) -> Vec<&CellState> {
+        self.cells.iter().map(|c| c.state()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let cfg = PackConfig { n_cells: 8, ..PackConfig::default() };
+        let mut a = Pack::new(&cfg, 5);
+        let mut b = Pack::new(&cfg, 5);
+        let va = a.step(3.0, 1.0);
+        let vb = b.step(3.0, 1.0);
+        assert_eq!(va, vb);
+        let mut c = Pack::new(&cfg, 6);
+        assert_ne!(va, c.step(3.0, 1.0));
+    }
+
+    #[test]
+    fn cells_are_inhomogeneous() {
+        let cfg = PackConfig { n_cells: 12, ..PackConfig::default() };
+        let mut pack = Pack::new(&cfg, 1);
+        let v = pack.step(5.0, 1.0);
+        let (min, max) = v.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        assert!(max - min > 1e-4, "parameter spread must show in the voltages");
+    }
+
+    #[test]
+    fn center_cells_run_hotter() {
+        let cfg = PackConfig { n_cells: 11, param_spread: 0.0, ..PackConfig::default() };
+        let mut pack = Pack::new(&cfg, 2);
+        // Heavy load for 10 minutes.
+        for _ in 0..600 {
+            pack.step(9.0, 1.0);
+        }
+        let states = pack.states();
+        let edge = states[0].temperature_c;
+        let center = states[5].temperature_c;
+        assert!(
+            center > edge + 2.0,
+            "center {center} °C should exceed edge {edge} °C"
+        );
+    }
+
+    #[test]
+    fn pack_voltage_is_sum_of_cells() {
+        let cfg = PackConfig { n_cells: 4, ..PackConfig::default() };
+        let mut a = Pack::new(&cfg, 3);
+        let mut b = Pack::new(&cfg, 3);
+        let sum: f32 = a.step(2.0, 1.0).iter().sum();
+        assert!((b.pack_voltage(2.0, 1.0) - sum).abs() < 1e-5);
+        // Roughly 4 × one cell's ~4.2 V at full charge.
+        assert!((14.0..18.0).contains(&sum), "pack voltage {sum}");
+    }
+
+    #[test]
+    fn aging_diverges_across_cells() {
+        let cfg = PackConfig { n_cells: 16, ..PackConfig::default() };
+        let mut pack = Pack::new(&cfg, 4);
+        for _ in 0..10 {
+            pack.age_cycle(0.01);
+        }
+        let (lo, hi) = pack.soh_range();
+        assert!(hi > lo, "aging spread must open a SoH gap");
+        assert!(hi <= 1.0 && lo >= 0.05);
+    }
+
+    #[test]
+    fn single_cell_pack_is_valid() {
+        let cfg = PackConfig { n_cells: 1, ..PackConfig::default() };
+        let mut pack = Pack::new(&cfg, 9);
+        assert_eq!(pack.len(), 1);
+        let v = pack.pack_voltage(1.0, 1.0);
+        assert!((3.0..4.5).contains(&v));
+    }
+}

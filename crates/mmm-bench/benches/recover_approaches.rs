@@ -1,0 +1,156 @@
+//! Criterion bench behind **Figure 5** (time-to-recover per approach and
+//! chain depth). The staircase behaviour of Update/Provenance appears as
+//! recovery cost growing with depth; Baseline stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmm_core::approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, UpdateSaver};
+use mmm_core::env::ManagementEnv;
+use mmm_core::model_set::{Derivation, ModelSetId};
+use mmm_dnn::{Architectures, TrainConfig};
+use mmm_store::LatencyProfile;
+use mmm_util::TempDir;
+use mmm_workload::{Fleet, FleetConfig};
+
+const N_MODELS: usize = 200;
+
+struct Fixture {
+    _dir: TempDir,
+    env: ManagementEnv,
+    baseline_id: ModelSetId,
+    mmlib_id: ModelSetId,
+    /// Update-approach ids by chain depth (0 = full snapshot).
+    update_ids: Vec<ModelSetId>,
+}
+
+/// Save a chain of sets once; benches only measure recovery.
+fn fixture(depths: usize) -> Fixture {
+    let dir = TempDir::new("bench-recover").unwrap();
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+    let fleet = Fleet::initial(FleetConfig {
+        n_models: N_MODELS,
+        seed: 3,
+        arch: Architectures::ffnn48(),
+    });
+    let mut set = fleet.to_model_set();
+
+    let baseline_id = BaselineSaver::new().save_initial(&env, &set).unwrap();
+    let mmlib_id = MmlibBaseSaver::new().save_initial(&env, &set).unwrap();
+
+    let mut update = UpdateSaver::new();
+    let mut update_ids = vec![update.save_initial(&env, &set).unwrap()];
+    for d in 0..depths {
+        // Perturb ~10% of models.
+        for i in (d % 10..N_MODELS).step_by(10) {
+            for v in &mut set.models[i].layers[1].data {
+                *v += 0.01;
+            }
+        }
+        let deriv = Derivation {
+            base: update_ids.last().unwrap().clone(),
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        };
+        update_ids.push(update.save_set(&env, &set, Some(&deriv)).unwrap());
+    }
+    Fixture { _dir: dir, env, baseline_id, mmlib_id, update_ids }
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let fx = fixture(3);
+    let mut group = c.benchmark_group("recover");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        let saver = BaselineSaver::new();
+        b.iter(|| saver.recover_set(&fx.env, &fx.baseline_id).unwrap());
+    });
+    group.bench_function("mmlib-base", |b| {
+        let saver = MmlibBaseSaver::new();
+        b.iter(|| saver.recover_set(&fx.env, &fx.mmlib_id).unwrap());
+    });
+    for (depth, id) in fx.update_ids.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("update-depth", depth), id, |b, id| {
+            let saver = UpdateSaver::new();
+            b.iter(|| saver.recover_set(&fx.env, id).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// The snapshot-interval extension: recovery cost with and without
+/// intermediate full snapshots.
+fn bench_snapshot_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recover_snapshot_interval");
+    group.sample_size(10);
+
+    for (label, saver_factory) in [
+        ("plain", UpdateSaver::new as fn() -> UpdateSaver),
+        ("snap2", || UpdateSaver::with_full_snapshot_every(2)),
+    ] {
+        let dir = TempDir::new("bench-snap").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let fleet = Fleet::initial(FleetConfig {
+            n_models: N_MODELS,
+            seed: 4,
+            arch: Architectures::ffnn48(),
+        });
+        let mut set = fleet.to_model_set();
+        let mut saver = saver_factory();
+        let mut last = saver.save_initial(&env, &set).unwrap();
+        for d in 0..6 {
+            for i in (d % 10..N_MODELS).step_by(10) {
+                for v in &mut set.models[i].layers[0].data {
+                    *v += 0.01;
+                }
+            }
+            let deriv = Derivation {
+                base: last.clone(),
+                train: TrainConfig::regression_default(0),
+                updates: vec![],
+            };
+            last = saver.save_set(&env, &set, Some(&deriv)).unwrap();
+        }
+        group.bench_function(label, |b| {
+            let s = UpdateSaver::new();
+            b.iter(|| s.recover_set(&env, &last).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Provenance recovery is retraining-bound; bench it at two chain
+/// depths to expose the staircase.
+fn bench_provenance_recover(c: &mut Criterion) {
+    use mmm_core::approach::ProvenanceSaver;
+    use mmm_workload::{DataSource, UpdatePolicy};
+
+    let dir = TempDir::new("bench-prov").unwrap();
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+    let mut fleet = Fleet::initial(FleetConfig {
+        n_models: 50,
+        seed: 6,
+        arch: Architectures::ffnn48(),
+    });
+    let policy = UpdatePolicy::paper_default(DataSource::battery_small()).with_update_rate(0.2);
+    let mut saver = ProvenanceSaver::new();
+    let mut ids = vec![saver.save_initial(&env, &fleet.to_model_set()).unwrap()];
+    for _ in 0..2 {
+        let record = fleet.run_update_cycle(env.registry(), &policy).unwrap();
+        let deriv = record.derivation(ids.last().unwrap().clone());
+        ids.push(saver.save_set(&env, &fleet.to_model_set(), Some(&deriv)).unwrap());
+    }
+
+    let mut group = c.benchmark_group("recover_provenance");
+    group.sample_size(10);
+    for (depth, id) in ids.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("depth", depth), id, |b, id| {
+            let s = ProvenanceSaver::new();
+            b.iter(|| s.recover_set(&env, id).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recover, bench_snapshot_interval, bench_provenance_recover);
+criterion_main!(benches);

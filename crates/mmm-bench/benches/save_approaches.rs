@@ -1,0 +1,135 @@
+//! Criterion bench behind **Figure 4** (time-to-save per approach and
+//! use case). Runs at a reduced fleet size so criterion can iterate; the
+//! full-scale numbers come from `repro fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmm_core::approach::{
+    BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver,
+};
+use mmm_core::env::ManagementEnv;
+use mmm_core::model_set::ModelSet;
+use mmm_dnn::Architectures;
+use mmm_store::LatencyProfile;
+use mmm_util::TempDir;
+use mmm_workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
+
+const N_MODELS: usize = 200;
+
+fn fleet() -> Fleet {
+    Fleet::initial(FleetConfig {
+        n_models: N_MODELS,
+        seed: 7,
+        arch: Architectures::ffnn48(),
+    })
+}
+
+/// U1: save an initial set (one fresh environment per iteration).
+fn bench_save_initial(c: &mut Criterion) {
+    let set = fleet().to_model_set();
+    let mut group = c.benchmark_group("save_initial_u1");
+    group.sample_size(10);
+
+    type SaverFactory = Box<dyn Fn() -> Box<dyn ModelSetSaver>>;
+    let savers: Vec<(&str, SaverFactory)> = vec![
+        ("mmlib-base", Box::new(|| Box::new(MmlibBaseSaver::new()))),
+        ("baseline", Box::new(|| Box::new(BaselineSaver::new()))),
+        ("update", Box::new(|| Box::new(UpdateSaver::new()))),
+        ("provenance", Box::new(|| Box::new(ProvenanceSaver::new()))),
+    ];
+    for (name, make) in &savers {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let dir = TempDir::new("bench-save").unwrap();
+                    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+                    (dir, env, make(), set.clone())
+                },
+                |(_dir, env, mut saver, set)| saver.save_initial(&env, &set).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// U3: save a derived set (base already saved in setup).
+fn bench_save_derived(c: &mut Criterion) {
+    // Prepare a fleet with one update cycle applied and the record.
+    let dir = TempDir::new("bench-derived-data").unwrap();
+    let registry = mmm_data::DatasetRegistry::open(dir.path().join("reg")).unwrap();
+    let mut f = fleet();
+    let base_set = f.to_model_set();
+    let policy = UpdatePolicy::paper_default(DataSource::battery_small());
+    let record = f.run_update_cycle(&registry, &policy).unwrap();
+    let derived_set = f.to_model_set();
+
+    let mut group = c.benchmark_group("save_derived_u3");
+    group.sample_size(10);
+
+    for name in ["baseline", "update", "provenance"] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let dir = TempDir::new("bench-save").unwrap();
+                    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+                    // Re-register datasets in this env's registry.
+                    for u in &record.updates {
+                        let ds = policy.source.dataset(u.model_idx, 1, 7);
+                        env.registry().put(&ds).unwrap();
+                    }
+                    let mut saver: Box<dyn ModelSetSaver> = match name {
+                        "baseline" => Box::new(BaselineSaver::new()),
+                        "update" => Box::new(UpdateSaver::new()),
+                        _ => Box::new(ProvenanceSaver::new()),
+                    };
+                    let base_id = saver.save_initial(&env, &base_set).unwrap();
+                    (dir, env, saver, derived_set.clone(), record.derivation(base_id))
+                },
+                |(_dir, env, mut saver, set, deriv)| {
+                    saver.save_set(&env, &set, Some(&deriv)).unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// MMlib-base's linear write cost vs Baseline's constant ops, as a
+/// scaling series over fleet size.
+fn bench_save_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("save_scaling");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let arch = Architectures::ffnn48();
+        let models = (0..n).map(|i| arch.build(i as u64).export_param_dict()).collect();
+        let set = ModelSet::new(arch, models);
+        group.bench_with_input(BenchmarkId::new("baseline", n), &set, |b, set| {
+            b.iter_batched(
+                || {
+                    let dir = TempDir::new("bench-scale").unwrap();
+                    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+                    (dir, env)
+                },
+                |(_dir, env)| BaselineSaver::new().save_initial(&env, set).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("mmlib-base", n), &set, |b, set| {
+            b.iter_batched(
+                || {
+                    let dir = TempDir::new("bench-scale").unwrap();
+                    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+                    (dir, env)
+                },
+                |(_dir, env)| MmlibBaseSaver::new().save_initial(&env, set).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_save_initial, bench_save_derived, bench_save_scaling);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench for the binary codecs behind **Figure 3**: the
+//! concatenated set format (Baseline), the verbose per-model dict
+//! (MMlib-base), the hash table and diff file (Update), and the
+//! delta-compression extension (§4.5).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mmm_core::delta::{compress_delta, decompress_delta};
+use mmm_core::param_codec::{
+    decode_concat, decode_diff, encode_concat, encode_diff, encode_hashes, encode_verbose_dict,
+    DiffEntry,
+};
+use mmm_dnn::{Architectures, ParamDict};
+
+fn models(n: usize) -> Vec<ParamDict> {
+    let arch = Architectures::ffnn48();
+    (0..n).map(|i| arch.build(i as u64).export_param_dict()).collect()
+}
+
+fn bench_concat(c: &mut Criterion) {
+    let set = models(100);
+    let bytes = encode_concat(&set);
+    let arch = Architectures::ffnn48();
+    let names = arch.parametric_layer_names();
+    let sizes = arch.parametric_layer_sizes();
+
+    let mut group = c.benchmark_group("codec_concat");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_100_models", |b| b.iter(|| encode_concat(&set)));
+    group.bench_function("decode_100_models", |b| {
+        b.iter(|| decode_concat(&bytes, 100, &names, &sizes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_verbose(c: &mut Criterion) {
+    let set = models(1);
+    c.bench_function("codec_verbose_dict_encode", |b| {
+        b.iter(|| encode_verbose_dict(&set[0]))
+    });
+}
+
+fn bench_hashes_and_diff(c: &mut Criterion) {
+    let set = models(100);
+    let hashes: Vec<Vec<u64>> = set.iter().map(|m| m.layer_hashes()).collect();
+    let entries: Vec<DiffEntry> = set[..10]
+        .iter()
+        .enumerate()
+        .map(|(i, m)| DiffEntry {
+            model_idx: i as u32,
+            layer_idx: 1,
+            data: m.layers[1].data.clone(),
+        })
+        .collect();
+    let diff_bytes = encode_diff(&entries);
+
+    let mut group = c.benchmark_group("codec_update");
+    group.bench_function("layer_hashes_100_models", |b| {
+        b.iter(|| set.iter().map(|m| m.layer_hashes()).collect::<Vec<_>>())
+    });
+    group.bench_function("encode_hashes", |b| b.iter(|| encode_hashes(&hashes)));
+    group.bench_function("encode_diff_10_layers", |b| b.iter(|| encode_diff(&entries)));
+    group.bench_function("decode_diff_10_layers", |b| {
+        b.iter(|| decode_diff(&diff_bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let arch = Architectures::ffnn48();
+    let base: Vec<f32> = arch.build(0).export_params();
+    // Sparse change: 5% of parameters move.
+    let mut sparse = base.clone();
+    for i in (0..sparse.len()).step_by(20) {
+        sparse[i] += 0.5;
+    }
+    let blob = compress_delta(&base, &sparse);
+
+    let mut group = c.benchmark_group("codec_delta");
+    group.throughput(Throughput::Bytes((4 * base.len()) as u64));
+    group.bench_function("compress_sparse", |b| b.iter(|| compress_delta(&base, &sparse)));
+    group.bench_function("decompress_sparse", |b| {
+        b.iter(|| decompress_delta(&base, &blob).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concat, bench_verbose, bench_hashes_and_diff, bench_delta);
+criterion_main!(benches);

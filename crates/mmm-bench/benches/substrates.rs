@@ -1,0 +1,117 @@
+//! Criterion bench of the substrates everything else stands on: tensor
+//! kernels, model forward/backward, the battery ECM, xxhash64, and the
+//! two stores. Useful when tuning the simulated pipeline, and a
+//! regression guard for the numeric kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mmm_battery::{CellParams, EcmCell};
+use mmm_dnn::Architectures;
+use mmm_store::{DocumentStore, FileStore, LatencyProfile, StoreStats};
+use mmm_tensor::{conv2d, conv2d_im2col, matmul, Tensor};
+use mmm_util::{hash::hash_f32s, TempDir, VirtualClock, Xoshiro256pp};
+use serde_json::json;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::new(1);
+    let a = Tensor::rand_normal([64, 64], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal([64, 64], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("tensor");
+    group.bench_function("matmul_64x64", |bch| bch.iter(|| matmul(&a, &b)));
+
+    // Direct vs im2col convolution on the CIFAR model's first layer.
+    let input = Tensor::rand_normal([1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let weight = Tensor::rand_normal([6, 3, 5, 5], 0.0, 0.5, &mut rng);
+    let bias = Tensor::zeros([6]);
+    group.bench_function("conv2d_direct_cifar_l1", |bch| {
+        bch.iter(|| conv2d(&input, &weight, &bias, 1, 0))
+    });
+    group.bench_function("conv2d_im2col_cifar_l1", |bch| {
+        bch.iter(|| conv2d_im2col(&input, &weight, &bias, 1, 0))
+    });
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut model = Architectures::ffnn48().build(1);
+    let mut rng = Xoshiro256pp::new(2);
+    let x = Tensor::rand_normal([32, 4], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("model");
+    group.bench_function("ffnn48_forward_batch32", |b| {
+        b.iter(|| model.forward(&x, false))
+    });
+    group.bench_function("ffnn48_forward_backward_batch32", |b| {
+        b.iter(|| {
+            let y = model.forward(&x, true);
+            model.backward(&Tensor::full(y.shape().to_vec(), 1.0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ecm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("battery");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("ecm_1000_steps", |b| {
+        b.iter(|| {
+            let mut cell = EcmCell::new(CellParams::default());
+            let mut v = 0.0;
+            for i in 0..1000 {
+                v = cell.step(2.0 + (i % 7) as f32 * 0.3, 1.0);
+            }
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let params: Vec<f32> = (0..4993).map(|i| (i as f32).sin()).collect();
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Bytes((4 * params.len()) as u64));
+    group.bench_function("xxhash64_ffnn48_params", |b| b.iter(|| hash_f32s(&params, 0)));
+    group.finish();
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let dir = TempDir::new("bench-store").unwrap();
+    let blobs = FileStore::open(
+        dir.path().join("blobs"),
+        LatencyProfile::zero(),
+        VirtualClock::new(),
+        StoreStats::new(),
+    )
+    .unwrap();
+    let docs = DocumentStore::open(
+        dir.path().join("docs"),
+        LatencyProfile::zero(),
+        VirtualClock::new(),
+        StoreStats::new(),
+    )
+    .unwrap();
+    let payload = vec![0u8; 20_000]; // one FFNN-48 model's parameters
+
+    let mut group = c.benchmark_group("stores");
+    group.sample_size(20);
+    let mut i = 0u64;
+    group.bench_function("blob_put_20kb", |b| {
+        b.iter(|| {
+            i += 1;
+            blobs.put(&format!("bench/{i}"), &payload).unwrap()
+        })
+    });
+    group.bench_function("doc_insert", |b| {
+        b.iter(|| docs.insert("bench", json!({"arch": "FFNN-48", "idx": 1})).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_model,
+    bench_ecm,
+    bench_hash,
+    bench_stores
+);
+criterion_main!(benches);

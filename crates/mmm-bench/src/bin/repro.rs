@@ -1,0 +1,551 @@
+//! Reproduce every figure and in-text experiment of the paper.
+//!
+//! ```text
+//! repro <experiment> [--models N] [--cycles K] [--trials T]
+//!                    [--setup m1|server|zero] [--out DIR]
+//!
+//! experiments:
+//!   fig3       storage consumption per use case        (Figure 3)
+//!   fig4       median time-to-save per use case        (Figure 4a/4b)
+//!   fig5       median time-to-recover per use case     (Figure 5a/5b)
+//!   rates      storage at 10/20/30 % update rates      (§4.2 in-text)
+//!   modelsize  FFNN-48 vs FFNN-69 storage scaling      (§4.2 in-text)
+//!   cifar      CIFAR CNN variation                     (§4.2 in-text)
+//!   provttr    provenance TTR staircase + full-training
+//!              extrapolation                           (§4.4 in-text)
+//!   compress   delta-encoding ablation                 (§4.5 discussion)
+//!   snapshots  intermediate-full-snapshot ablation     (§2.2 remark)
+//!   scaling    storage/TTS vs fleet size               (extension)
+//!   selective  recover k of n models (§1's accident    (extension)
+//!              scenario), per approach
+//!   all        everything above with default settings
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mmm_bench::experiment::{run_scenario, ExperimentConfig, ScenarioResult};
+use mmm_bench::report;
+use mmm_core::delta::DeltaStats;
+use mmm_dnn::Architectures;
+use mmm_store::LatencyProfile;
+use mmm_util::TempDir;
+use mmm_workload::DataSource;
+
+struct Args {
+    experiment: String,
+    models: Option<usize>,
+    cycles: usize,
+    trials: usize,
+    setup: Option<String>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: String::new(),
+        models: None,
+        cycles: 3,
+        trials: 3,
+        setup: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--models" => args.models = Some(expect_num(&mut it, "--models")),
+            "--cycles" => args.cycles = expect_num(&mut it, "--cycles"),
+            "--trials" => args.trials = expect_num(&mut it, "--trials"),
+            "--setup" => args.setup = Some(it.next().unwrap_or_else(|| usage("missing value for --setup"))),
+            "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --out")))),
+            "--help" | "-h" => usage(""),
+            other if args.experiment.is_empty() && !other.starts_with('-') => {
+                args.experiment = other.to_string();
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.experiment.is_empty() {
+        usage("no experiment given");
+    }
+    args
+}
+
+fn expect_num(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|all> \
+         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--out DIR]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn profile(name: &str) -> LatencyProfile {
+    LatencyProfile::by_name(name).unwrap_or_else(|| usage(&format!("unknown setup {name:?}")))
+}
+
+/// Run `trials` scenario repetitions and return the element-wise median.
+fn run_trials(cfg: &ExperimentConfig, trials: usize) -> ScenarioResult {
+    let mut runs = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let dir = TempDir::new("mmm-repro").expect("create temp dir");
+        let start = Instant::now();
+        let r = run_scenario(cfg, dir.path()).expect("scenario run failed");
+        eprintln!(
+            "  [trial {}/{}] {} models, {} cycles, setup {} — {:.1}s wall",
+            t + 1,
+            trials,
+            cfg.n_models,
+            cfg.n_cycles,
+            cfg.profile.name,
+            start.elapsed().as_secs_f64()
+        );
+        runs.push(r);
+    }
+    ScenarioResult::median(&runs)
+}
+
+fn write_csv(out: &Option<PathBuf>, name: &str, csv: &str) {
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, csv).expect("write csv");
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+fn base_config(args: &Args, prof: LatencyProfile) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(prof);
+    cfg.n_cycles = args.cycles;
+    if let Some(n) = args.models {
+        cfg.n_models = n;
+    }
+    cfg
+}
+
+fn fig3(args: &Args) {
+    println!("=== Figure 3: storage consumption per use case (MB) ===");
+    println!("paper (5000 x FFNN-48, 10% rate): MMlib-base ~140.3 flat; Baseline ~99.9 flat;");
+    println!("Update ~100.1 at U1 then ~8-14 per U3; Provenance ~99.9 at U1 then ~0.16 per U3\n");
+    // Storage is independent of the latency profile; one trial suffices
+    // (the paper: "the storage consumption is constant").
+    let cfg = base_config(args, LatencyProfile::zero());
+    let r = run_trials(&cfg, 1);
+    println!("{}", report::storage_table(&r));
+    summarize_reductions(&r);
+    write_csv(&args.out, "fig3_storage", &report::to_csv(&r, "any"));
+}
+
+fn summarize_reductions(r: &ScenarioResult) {
+    let u1 = |a: &str| r.row(a)[0].storage_bytes as f64;
+    println!(
+        "U1: Baseline saves {:.1}% less than MMlib-base (paper: 29%)",
+        100.0 * (1.0 - u1("baseline") / u1("mmlib-base"))
+    );
+    if r.use_cases.len() > 1 {
+        let u3 = |a: &str| r.row(a)[1].storage_bytes as f64;
+        println!(
+            "U3: Update saves {:.1}% vs Baseline (paper: 86%), {:.1}% vs MMlib-base (paper: 90%)",
+            100.0 * (1.0 - u3("update") / u3("baseline")),
+            100.0 * (1.0 - u3("update") / u3("mmlib-base"))
+        );
+        println!(
+            "U3: Provenance saves {:.2}% vs Baseline (paper: 99.84%), {:.2}% vs MMlib-base (paper: 99.89%)",
+            100.0 * (1.0 - u3("provenance") / u3("baseline")),
+            100.0 * (1.0 - u3("provenance") / u3("mmlib-base"))
+        );
+    }
+}
+
+fn fig_time(args: &Args, which: &str) {
+    let (fig, title) = if which == "tts" {
+        ("fig4", "Figure 4: median time-to-save per use case (s)")
+    } else {
+        ("fig5", "Figure 5: median time-to-recover per use case (s)")
+    };
+    let setups: Vec<String> = match &args.setup {
+        Some(s) => vec![s.clone()],
+        None => vec!["m1".into(), "server".into()],
+    };
+    println!("=== {title} ===");
+    for setup in setups {
+        let cfg = base_config(args, profile(&setup));
+        let r = run_trials(&cfg, args.trials);
+        println!("\n--- {setup} setup ---");
+        let table = if which == "tts" { report::tts_table(&r) } else { report::ttr_table(&r) };
+        println!("{table}");
+        write_csv(&args.out, &format!("{fig}_{setup}"), &report::to_csv(&r, &setup));
+    }
+}
+
+fn rates(args: &Args) {
+    println!("=== 4.2 in-text: storage vs update rate (MB per U3 iteration) ===");
+    println!("paper: only Update's storage correlates with the rate;");
+    println!("MMlib-base/Baseline flat; Provenance grows only by 500/1000 extra references\n");
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}",
+        "approach", "10% rate", "20% rate", "30% rate"
+    );
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for rate in [0.10, 0.20, 0.30] {
+        let mut cfg = base_config(args, LatencyProfile::zero());
+        cfg.update_rate = rate;
+        cfg.n_cycles = 1;
+        let r = run_trials(&cfg, 1);
+        for (i, a) in mmm_bench::experiment::APPROACHES.iter().enumerate() {
+            rows[i].push(r.row(a)[1].storage_bytes as f64 / 1e6);
+        }
+    }
+    for (i, a) in ["MMlib-base", "Baseline", "Update", "Provenance"].iter().enumerate() {
+        println!(
+            "{:<12}{:>14.3}{:>14.3}{:>14.3}",
+            a, rows[i][0], rows[i][1], rows[i][2]
+        );
+    }
+}
+
+fn modelsize(args: &Args) {
+    println!("=== 4.2 in-text: FFNN-48 vs FFNN-69 storage scaling ===");
+    println!("paper: MMlib-base x1.7, Baseline/Update x2.0, Provenance unaffected\n");
+    let mut results = Vec::new();
+    for arch in [Architectures::ffnn48(), Architectures::ffnn69()] {
+        let mut cfg = base_config(args, LatencyProfile::zero());
+        cfg.n_cycles = 1;
+        cfg.arch = arch;
+        results.push(run_trials(&cfg, 1));
+    }
+    println!(
+        "{:<12}{:>14}{:>14}{:>10}",
+        "approach", "FFNN-48 (MB)", "FFNN-69 (MB)", "factor"
+    );
+    for a in mmm_bench::experiment::APPROACHES {
+        // U1 for the snapshot approaches; U3 for provenance (its U1 is
+        // baseline logic and would trivially scale).
+        let uc = if a == "provenance" { 1 } else { 0 };
+        let s48 = results[0].row(a)[uc].storage_bytes as f64 / 1e6;
+        let s69 = results[1].row(a)[uc].storage_bytes as f64 / 1e6;
+        println!("{a:<12}{s48:>14.3}{s69:>14.3}{:>10.2}", s69 / s48);
+    }
+}
+
+fn cifar(args: &Args) {
+    println!("=== 4.2 in-text: CIFAR CNN variation ===");
+    println!("paper: same trends as FFNN-48 scaled by the parameter-count difference (6882/4993)\n");
+    let mut cfg = base_config(args, LatencyProfile::zero());
+    // CNN training is much heavier per model; the paper's trends are
+    // parameter-count driven, so a smaller fleet preserves them.
+    cfg.n_models = args.models.unwrap_or(500);
+    cfg.arch = Architectures::cifar_cnn();
+    cfg.source = DataSource::Cifar { n_samples: 64 };
+    cfg.n_cycles = args.cycles.min(2);
+    let r = run_trials(&cfg, 1);
+    println!("{}", report::storage_table(&r));
+    summarize_reductions(&r);
+    write_csv(&args.out, "cifar_storage", &report::to_csv(&r, "any"));
+}
+
+fn provttr(args: &Args) {
+    let setup = args.setup.clone().unwrap_or_else(|| "server".into());
+    println!("=== 4.4 in-text: Provenance TTR staircase ({setup} setup) ===");
+    println!("paper: reduced-training runs show the staircase; an extensive training");
+    println!("(90k samples, 10 epochs) measured ~6h / 12h / 18h for U3-1/2/3\n");
+    let mut cfg = base_config(args, profile(&setup));
+    cfg.prov_reduced = true;
+    let r = run_trials(&cfg, args.trials);
+    println!("{}", report::ttr_table(&r));
+
+    // Extrapolate the paper's "extensive training" numbers: measure the
+    // per-(sample·epoch) training cost of one model, scale to 90 000
+    // samples x 10 epochs x (10% of the fleet retrained per level).
+    let arch = Architectures::ffnn48();
+    let src = DataSource::battery_default();
+    let ds = src.dataset(0, 1, cfg.seed);
+    let train = mmm_dnn::TrainConfig { epochs: 2, ..mmm_dnn::TrainConfig::regression_default(1) };
+    let mut model = arch.build(1);
+    let t0 = Instant::now();
+    let targets = match &ds.targets {
+        mmm_data::Targets::Regression(t) => mmm_dnn::train::TrainTargets::Regression(t.clone()),
+        mmm_data::Targets::Labels(l) => mmm_dnn::train::TrainTargets::Classification(l.clone()),
+    };
+    mmm_dnn::train_model(&mut model, &ds.inputs, &targets, &train);
+    let per_sample_epoch = t0.elapsed().as_secs_f64() / (ds.len() as f64 * train.epochs as f64);
+    let per_model_extensive = per_sample_epoch * 90_000.0 * 10.0;
+    let updated = (cfg.n_models as f64 * cfg.update_rate).round();
+    println!(
+        "\nextensive-training extrapolation: {:.3} ms/(sample*epoch) -> {:.0} s/model ->",
+        per_sample_epoch * 1e3,
+        per_model_extensive
+    );
+    for level in 1..=cfg.n_cycles {
+        println!(
+            "  U3-{level}: ~{:.1} h  (paper measured ~{} h on its non-optimized pipeline)",
+            level as f64 * updated * per_model_extensive / 3600.0,
+            6 * level
+        );
+    }
+}
+
+fn compress(args: &Args) {
+    println!("=== 4.5 discussion: delta-encoding ablation on Update ===");
+    println!("paper (future work): related work shows delta encoding reduces storage further\n");
+    let mut cfg = base_config(args, LatencyProfile::zero());
+    cfg.n_models = args.models.unwrap_or(500);
+    cfg.n_cycles = 1;
+
+    // Drive one update cycle manually so we hold both versions of every
+    // changed layer.
+    let dir = TempDir::new("mmm-compress").expect("temp dir");
+    let registry = mmm_data::DatasetRegistry::open(dir.path()).expect("registry");
+    let mut fleet = mmm_workload::Fleet::initial(mmm_workload::FleetConfig {
+        n_models: cfg.n_models,
+        seed: cfg.seed,
+        arch: cfg.arch.clone(),
+    });
+    let before = fleet.to_model_set();
+    let policy = mmm_workload::UpdatePolicy::paper_default(cfg.source.clone())
+        .with_update_rate(cfg.update_rate);
+    let record = fleet.run_update_cycle(&registry, &policy).expect("update cycle");
+    let after = fleet.to_model_set();
+
+    let mut raw = 0usize;
+    let mut encoded = 0usize;
+    let mut layers = 0usize;
+    for u in &record.updates {
+        let (b, a) = (&before.models[u.model_idx], &after.models[u.model_idx]);
+        for (lb, la) in b.layers.iter().zip(&a.layers) {
+            if lb.data != la.data {
+                let stats = DeltaStats::measure(&lb.data, &la.data);
+                raw += stats.raw_bytes;
+                encoded += stats.encoded_bytes;
+                layers += 1;
+            }
+        }
+    }
+    println!("{layers} changed layers across {} updated models", record.updates.len());
+    println!("raw diff payload:     {raw:>12} bytes");
+    println!("delta-encoded:        {encoded:>12} bytes");
+    println!("compression ratio:    {:>12.3}", encoded as f64 / raw.max(1) as f64);
+
+    // End-to-end: the integrated saver with and without compression.
+    use mmm_core::approach::{ModelSetSaver, UpdateSaver};
+    use mmm_core::env::ManagementEnv;
+    for (label, mut saver) in [
+        ("UpdateSaver (plain)", UpdateSaver::new()),
+        ("UpdateSaver (delta)", UpdateSaver::new().with_delta_compression()),
+    ] {
+        let d = TempDir::new("mmm-compress-env").expect("temp dir");
+        let env = ManagementEnv::open(d.path(), mmm_store::LatencyProfile::zero()).expect("env");
+        let id0 = saver.save_initial(&env, &before).expect("save U1");
+        let deriv = record.derivation(id0);
+        let (id1, m) = env.measure(|| saver.save_set(&env, &after, Some(&deriv)).expect("save U3"));
+        let recovered = saver.recover_set(&env, &id1).expect("recover");
+        assert_eq!(recovered, after, "compressed roundtrip must be bit-exact");
+        println!(
+            "{label}: derived save = {:.3} MB in {:.3}s (bit-exact recovery: true)",
+            m.bytes_written() as f64 / 1e6,
+            m.duration.as_secs_f64()
+        );
+    }
+    println!("\n(XOR deltas of retrained layers are near-random, so the win is small for");
+    println!("fully retrained layers -- consistent with the paper treating this as future work.)");
+}
+
+fn snapshots(args: &Args) {
+    println!("=== 2.2 remark: intermediate full snapshots for the Update approach ===");
+    println!("paper: recursively increasing recovery times \"can be prevented by saving");
+    println!("intermediate model snapshots using the baseline approach\"\n");
+
+    use mmm_core::approach::{ModelSetSaver, UpdateSaver};
+    use mmm_core::env::ManagementEnv;
+    use mmm_core::model_set::Derivation;
+    use mmm_dnn::TrainConfig;
+    use mmm_workload::{Fleet, FleetConfig, UpdatePolicy};
+
+    let n_models = args.models.unwrap_or(1000);
+    // 7 cycles: with interval 4 the final set sits at depth 3, showing
+    // the bounded-but-nonzero chain rather than landing on a snapshot.
+    let cycles = 7usize;
+    println!(
+        "{:<12}{:>16}{:>16}{:>14}",
+        "interval", "total MB", "TTR last (s)", "chain depth"
+    );
+    for interval in [0usize, 4, 2] {
+        let dir = TempDir::new("mmm-snap").expect("temp dir");
+        let env = ManagementEnv::open(dir.path(), profile("m1")).expect("env");
+        let mut fleet = Fleet::initial(FleetConfig {
+            n_models,
+            seed: 7,
+            arch: Architectures::ffnn48(),
+        });
+        let policy = UpdatePolicy::paper_default(DataSource::battery_small());
+        let mut saver = if interval == 0 {
+            UpdateSaver::new()
+        } else {
+            UpdateSaver::with_full_snapshot_every(interval)
+        };
+        let before = env.stats();
+        let mut last = saver
+            .save_initial(&env, &fleet.to_model_set())
+            .expect("save U1");
+        for _ in 0..cycles {
+            let record = fleet.run_update_cycle(env.registry(), &policy).expect("cycle");
+            let deriv: Derivation = record.derivation(last.clone());
+            let _ = TrainConfig::regression_default(0);
+            last = saver
+                .save_set(&env, &fleet.to_model_set(), Some(&deriv))
+                .expect("save U3");
+        }
+        let total_bytes = (env.stats() - before).bytes_written;
+        let depth = mmm_core::lineage::recovery_depth(&env, &last).expect("lineage");
+        let (_, m) = env.measure(|| saver.recover_set(&env, &last).expect("recover"));
+        let label = if interval == 0 { "none".to_string() } else { format!("every {interval}") };
+        println!(
+            "{label:<12}{:>16.2}{:>16.3}{:>14}",
+            total_bytes as f64 / 1e6,
+            m.duration.as_secs_f64(),
+            depth
+        );
+    }
+    println!("\n(smaller intervals trade extra full-snapshot storage for a bounded TTR)");
+}
+
+fn scaling(args: &Args) {
+    println!("=== extension: storage and TTS scaling with fleet size (server profile) ===");
+    println!("the paper's scenario assumes n >> 1000; this sweep shows every approach's");
+    println!("save cost is linear in n while the set-oriented op counts stay constant\n");
+    println!(
+        "{:<10}{:>14}{:>14}{:>16}{:>16}{:>14}",
+        "n", "mmlib MB", "baseline MB", "mmlib TTS (s)", "baseline TTS", "baseline ops"
+    );
+    for n in [500usize, 1000, 2000, 4000] {
+        let mut cfg = base_config(args, profile("server"));
+        cfg.n_models = n;
+        cfg.n_cycles = 0;
+        let dir = TempDir::new("mmm-scaling").expect("temp dir");
+        let r = run_scenario(&cfg, dir.path()).expect("scenario");
+        let mm = r.row("mmlib-base")[0];
+        let bl = r.row("baseline")[0];
+        println!(
+            "{n:<10}{:>14.2}{:>14.2}{:>16.3}{:>16.3}{:>14}",
+            mm.storage_bytes as f64 / 1e6,
+            bl.storage_bytes as f64 / 1e6,
+            mm.tts.as_secs_f64(),
+            bl.tts.as_secs_f64(),
+            2, // one metadata doc + one blob, by construction
+        );
+    }
+}
+
+fn selective(args: &Args) {
+    println!("=== extension: selective recovery (the paper's accident scenario) ===");
+    println!("recover k of n models at U3-2; full-set TTR shown for contrast (m1 profile)\n");
+
+    use mmm_core::approach::{
+        BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver,
+    };
+    use mmm_core::env::ManagementEnv;
+    use mmm_core::model_set::ModelSetId;
+    use mmm_workload::{Fleet, FleetConfig, UpdatePolicy};
+
+    let n = args.models.unwrap_or(2000);
+    let k = 10usize;
+    let dir = TempDir::new("mmm-selective").expect("temp dir");
+    let env = ManagementEnv::open(dir.path(), profile("m1")).expect("env");
+    let mut fleet = Fleet::initial(FleetConfig { n_models: n, seed: 7, arch: Architectures::ffnn48() });
+    let policy = UpdatePolicy::paper_default(DataSource::battery_small());
+
+    let mut savers: Vec<Box<dyn ModelSetSaver>> = vec![
+        Box::new(MmlibBaseSaver::new()),
+        Box::new(BaselineSaver::new()),
+        Box::new(UpdateSaver::new()),
+        Box::new(ProvenanceSaver::new()),
+    ];
+    let mut ids: Vec<Vec<ModelSetId>> = vec![Vec::new(); savers.len()];
+    let initial = fleet.to_model_set();
+    for (s, saver) in savers.iter_mut().enumerate() {
+        ids[s].push(saver.save_initial(&env, &initial).expect("save U1"));
+    }
+    for _ in 0..2 {
+        let record = fleet.run_update_cycle(env.registry(), &policy).expect("cycle");
+        let set = fleet.to_model_set();
+        for (s, saver) in savers.iter_mut().enumerate() {
+            let deriv = record.derivation(ids[s].last().unwrap().clone());
+            ids[s].push(saver.save_set(&env, &set, Some(&deriv)).expect("save U3"));
+        }
+    }
+
+    let picked: Vec<usize> = (0..k).map(|i| i * (n / k)).collect();
+    println!(
+        "{:<12}{:>18}{:>18}{:>14}",
+        "approach",
+        format!("recover {k} (s)"),
+        "recover all (s)",
+        "MB read (k)"
+    );
+    for (s, saver) in savers.iter().enumerate() {
+        let last = ids[s].last().unwrap();
+        let (_, mp) = env.measure(|| saver.recover_models(&env, last, &picked).expect("partial"));
+        let (_, mf) = env.measure(|| saver.recover_set(&env, last).expect("full"));
+        println!(
+            "{:<12}{:>18.3}{:>18.3}{:>14.3}",
+            saver.name(),
+            mp.duration.as_secs_f64(),
+            mf.duration.as_secs_f64(),
+            mp.stats.bytes_read as f64 / 1e6
+        );
+    }
+    println!("\n(selective recovery flips the picture: per-model storage — MMlib-base's");
+    println!("weakness at set scale — is competitive when only k models are needed,");
+    println!("while Baseline/Update win via ranged reads of the concatenated blob.)");
+}
+
+fn main() {
+    let args = parse_args();
+    let start = Instant::now();
+    match args.experiment.as_str() {
+        "fig3" => fig3(&args),
+        "fig4" => fig_time(&args, "tts"),
+        "fig5" => fig_time(&args, "ttr"),
+        "rates" => rates(&args),
+        "modelsize" => modelsize(&args),
+        "cifar" => cifar(&args),
+        "provttr" => provttr(&args),
+        "compress" => compress(&args),
+        "snapshots" => snapshots(&args),
+        "scaling" => scaling(&args),
+        "selective" => selective(&args),
+        "all" => {
+            fig3(&args);
+            println!();
+            fig_time(&args, "tts");
+            println!();
+            fig_time(&args, "ttr");
+            println!();
+            rates(&args);
+            println!();
+            modelsize(&args);
+            println!();
+            cifar(&args);
+            println!();
+            provttr(&args);
+            println!();
+            compress(&args);
+            println!();
+            snapshots(&args);
+            println!();
+            scaling(&args);
+            println!();
+            selective(&args);
+        }
+        other => usage(&format!("unknown experiment {other:?}")),
+    }
+    eprintln!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,129 @@
+//! Rendering of scenario results as paper-style tables.
+
+use crate::experiment::{ScenarioResult, APPROACHES};
+use std::fmt::Write as _;
+
+/// Pretty approach labels in the paper's legend order.
+fn label(approach: &str) -> &'static str {
+    match approach {
+        "mmlib-base" => "MMlib-base",
+        "baseline" => "Baseline",
+        "update" => "Update",
+        "provenance" => "Provenance",
+        _ => "?",
+    }
+}
+
+/// Render storage consumption per use case in MB (Figure 3).
+pub fn storage_table(r: &ScenarioResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}", "approach");
+    for uc in &r.use_cases {
+        let _ = write!(out, "{uc:>12}");
+    }
+    out.push('\n');
+    for a in APPROACHES {
+        let _ = write!(out, "{:<12}", label(a));
+        for c in r.row(a) {
+            let _ = write!(out, "{:>12.3}", c.storage_bytes as f64 / 1e6);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render median TTS per use case in seconds (Figure 4).
+pub fn tts_table(r: &ScenarioResult) -> String {
+    time_table(r, true)
+}
+
+/// Render median TTR per use case in seconds (Figure 5).
+pub fn ttr_table(r: &ScenarioResult) -> String {
+    time_table(r, false)
+}
+
+fn time_table(r: &ScenarioResult, tts: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}", "approach");
+    for uc in &r.use_cases {
+        let _ = write!(out, "{uc:>12}");
+    }
+    out.push('\n');
+    for a in APPROACHES {
+        let _ = write!(out, "{:<12}", label(a));
+        for c in r.row(a) {
+            let d = if tts { c.tts } else { c.ttr };
+            let _ = write!(out, "{:>12.3}", d.as_secs_f64());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a CSV with every cell (for EXPERIMENTS.md and offline plots).
+pub fn to_csv(r: &ScenarioResult, setup: &str) -> String {
+    let mut out = String::from("setup,approach,use_case,storage_mb,tts_s,ttr_s\n");
+    for a in APPROACHES {
+        for (uc, c) in r.use_cases.iter().zip(r.row(a)) {
+            let _ = writeln!(
+                out,
+                "{setup},{a},{uc},{:.4},{:.4},{:.4}",
+                c.storage_bytes as f64 / 1e6,
+                c.tts.as_secs_f64(),
+                c.ttr.as_secs_f64()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::UseCaseCell;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    fn fake() -> ScenarioResult {
+        let cells: BTreeMap<String, Vec<UseCaseCell>> = APPROACHES
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                (
+                    a.to_string(),
+                    vec![UseCaseCell {
+                        storage_bytes: (i as u64 + 1) * 1_000_000,
+                        tts: Duration::from_millis(100 * (i as u64 + 1)),
+                        ttr: Duration::from_millis(10 * (i as u64 + 1)),
+                    }],
+                )
+            })
+            .collect();
+        ScenarioResult { use_cases: vec!["U1".into()], cells }
+    }
+
+    #[test]
+    fn tables_contain_all_approaches() {
+        let r = fake();
+        for table in [storage_table(&r), tts_table(&r), ttr_table(&r)] {
+            for a in ["MMlib-base", "Baseline", "Update", "Provenance"] {
+                assert!(table.contains(a), "{table}");
+            }
+            assert!(table.contains("U1"));
+        }
+    }
+
+    #[test]
+    fn storage_is_in_mb() {
+        let t = storage_table(&fake());
+        assert!(t.contains("1.000"), "{t}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&fake(), "m1");
+        assert!(csv.starts_with("setup,approach,use_case"));
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.contains("m1,baseline,U1"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Heuristic approach selection (paper §4.5, future work).
+//!
+//! "Currently, this is a manual choice, but as part of future work, we
+//! plan to develop heuristic-based approaches that dynamically choose the
+//! most suitable strategy for a given scenario." This module implements
+//! that heuristic: it builds first-order cost models of each approach
+//! from the scenario's parameters, then minimizes a weighted sum of
+//! normalized storage, TTS and TTR costs. The cost models encode the
+//! paper's measured behaviour (Figures 3–5): flat storage for the
+//! baselines, update-rate-proportional storage for Update, near-zero
+//! storage but retraining-bound recovery for Provenance.
+
+use serde::{Deserialize, Serialize};
+
+/// The managed scenario, in the units the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of models in the set (`n >> 1000` in the paper).
+    pub n_models: usize,
+    /// Parameters per model.
+    pub params_per_model: usize,
+    /// Fraction of models updated per cycle (paper default 0.10).
+    pub update_rate: f64,
+    /// Fraction of an updated model's parameters that actually change
+    /// (1.0 = all updates are full retrains).
+    pub changed_fraction: f64,
+    /// How many save cycles happen per recovery, e.g. 1000 saves per
+    /// recovery for archival fleets (the paper assumes recoveries are
+    /// rare: "only occasionally recovered ... after an accident").
+    pub saves_per_recovery: f64,
+    /// Seconds to retrain one model (drives Provenance's TTR).
+    pub retrain_seconds_per_model: f64,
+}
+
+impl Default for Scenario {
+    /// The paper's default evaluation scenario (5000 × FFNN-48, 10 %
+    /// update rate, rare recoveries, reduced retraining).
+    fn default() -> Self {
+        Scenario {
+            n_models: 5000,
+            params_per_model: 4993,
+            update_rate: 0.10,
+            changed_fraction: 0.75,
+            saves_per_recovery: 100.0,
+            retrain_seconds_per_model: 5.0,
+        }
+    }
+}
+
+/// What the user cares about, as non-negative weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Priorities {
+    /// Weight on storage consumption.
+    pub storage: f64,
+    /// Weight on time-to-save.
+    pub tts: f64,
+    /// Weight on time-to-recover.
+    pub ttr: f64,
+}
+
+impl Priorities {
+    /// The paper's stance: storage first, recovery rare.
+    pub fn storage_first() -> Self {
+        Priorities { storage: 1.0, tts: 0.3, ttr: 0.05 }
+    }
+
+    /// Recovery latency dominates (e.g. frequent analysis).
+    pub fn recovery_first() -> Self {
+        Priorities { storage: 0.1, tts: 0.2, ttr: 1.0 }
+    }
+
+    /// Everything matters equally.
+    pub fn balanced() -> Self {
+        Priorities { storage: 1.0, tts: 1.0, ttr: 1.0 }
+    }
+}
+
+/// The approaches the advisor chooses between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Approach {
+    /// Full snapshots, set-oriented.
+    Baseline,
+    /// Hash-diffed parameter updates.
+    Update,
+    /// Provenance records + deterministic retraining.
+    Provenance,
+}
+
+impl Approach {
+    /// Stable name matching the savers' `name()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::Baseline => "baseline",
+            Approach::Update => "update",
+            Approach::Provenance => "provenance",
+        }
+    }
+}
+
+/// Estimated per-cycle costs of one approach under a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Bytes written per save cycle.
+    pub storage_bytes: f64,
+    /// Seconds per save.
+    pub tts_seconds: f64,
+    /// Seconds per recovery (amortized chain depth =
+    /// `saves_per_recovery / 2` for the recursive approaches).
+    pub ttr_seconds: f64,
+}
+
+/// First-order cost model per approach. Constants are fitted to the
+/// paper's server-setup magnitudes and our calibrated profiles; the
+/// *relative* ordering is what the advisor relies on.
+pub fn estimate(approach: Approach, s: &Scenario) -> CostEstimate {
+    let full_bytes = (s.n_models * s.params_per_model * 4) as f64;
+    let write_bw = 250e6; // bytes/s effective blob bandwidth
+    let read_bw = 180e6;
+    let per_op = 5e-4; // one store round-trip
+    let depth = (s.saves_per_recovery / 2.0).max(1.0);
+
+    match approach {
+        Approach::Baseline => CostEstimate {
+            storage_bytes: full_bytes,
+            tts_seconds: full_bytes / write_bw + 2.0 * per_op,
+            ttr_seconds: full_bytes / read_bw + 2.0 * per_op,
+        },
+        Approach::Update => {
+            let changed = full_bytes * s.update_rate * s.changed_fraction;
+            let hash_bytes = (s.n_models * 8 * 4) as f64; // ~4 layers
+            CostEstimate {
+                storage_bytes: changed + hash_bytes,
+                tts_seconds: (changed + 2.0 * hash_bytes) / write_bw + 4.0 * per_op,
+                ttr_seconds: full_bytes / read_bw + depth * (changed / read_bw + 3.0 * per_op),
+            }
+        }
+        Approach::Provenance => {
+            let refs = 200.0 * s.n_models as f64 * s.update_rate; // ~200 B/reference
+            let retrain = s.n_models as f64 * s.update_rate * s.retrain_seconds_per_model;
+            CostEstimate {
+                storage_bytes: refs + 8192.0, // + one env/training record
+                tts_seconds: refs / write_bw + 2.0 * per_op,
+                ttr_seconds: full_bytes / read_bw + depth * retrain,
+            }
+        }
+    }
+}
+
+/// The advisor's ranked output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Approaches with their weighted scores, best (lowest) first.
+    pub ranking: Vec<(Approach, f64)>,
+}
+
+impl Recommendation {
+    /// The winning approach.
+    pub fn best(&self) -> Approach {
+        self.ranking[0].0
+    }
+}
+
+/// Rank the approaches for a scenario under the given priorities.
+///
+/// Scores are weighted **log-ratios to the best approach per metric**:
+/// `Σ wᵢ · ln(costᵢ / min costᵢ)`. Log-ratios make "100× more storage"
+/// and "100× slower recovery" comparable penalties regardless of the
+/// metrics' absolute ranges — a linear normalization would let one
+/// extreme metric (Provenance's retraining TTR) flatten all the others.
+pub fn recommend(s: &Scenario, p: &Priorities) -> Recommendation {
+    let all = [Approach::Baseline, Approach::Update, Approach::Provenance];
+    let costs: Vec<CostEstimate> = all.iter().map(|&a| estimate(a, s)).collect();
+    let min_storage = costs.iter().map(|c| c.storage_bytes).fold(f64::MAX, f64::min).max(1.0);
+    let min_tts = costs.iter().map(|c| c.tts_seconds).fold(f64::MAX, f64::min).max(1e-12);
+    let min_ttr = costs.iter().map(|c| c.ttr_seconds).fold(f64::MAX, f64::min).max(1e-12);
+
+    let mut ranking: Vec<(Approach, f64)> = all
+        .iter()
+        .zip(&costs)
+        .map(|(&a, c)| {
+            let score = p.storage * (c.storage_bytes / min_storage).ln()
+                + p.tts * (c.tts_seconds / min_tts).ln()
+                + p.ttr * (c.ttr_seconds / min_ttr).ln();
+            (a, score)
+        })
+        .collect();
+    ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+    Recommendation { ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_first_picks_provenance() {
+        // Paper §4.5: "Considering that our highest priority is storage
+        // consumption and we assume model recoveries to happen rarely,
+        // Provenance is the best approach."
+        let rec = recommend(&Scenario::default(), &Priorities::storage_first());
+        assert_eq!(rec.best(), Approach::Provenance, "{:?}", rec.ranking);
+    }
+
+    #[test]
+    fn recovery_first_picks_baseline() {
+        // "If the storage consumption is not important and TTR has the
+        // highest priority, Baseline is the best approach."
+        let rec = recommend(&Scenario::default(), &Priorities::recovery_first());
+        assert_eq!(rec.best(), Approach::Baseline, "{:?}", rec.ranking);
+    }
+
+    #[test]
+    fn update_wins_when_retraining_is_prohibitive_but_storage_matters() {
+        // "If [a long recovery] is not acceptable, Update is the next
+        // best approach."
+        let s = Scenario {
+            retrain_seconds_per_model: 3600.0, // provenance recovery intolerable
+            ..Scenario::default()
+        };
+        let p = Priorities { storage: 1.0, tts: 0.2, ttr: 0.4 };
+        let rec = recommend(&s, &p);
+        assert_eq!(rec.best(), Approach::Update, "{:?}", rec.ranking);
+    }
+
+    #[test]
+    fn estimates_reproduce_figure3_ordering() {
+        let s = Scenario::default();
+        let b = estimate(Approach::Baseline, &s);
+        let u = estimate(Approach::Update, &s);
+        let p = estimate(Approach::Provenance, &s);
+        assert!(p.storage_bytes < u.storage_bytes);
+        assert!(u.storage_bytes < b.storage_bytes);
+        // Figure-3 magnitudes: Update ≈ 86 % below Baseline, Provenance ≈ 99 %.
+        assert!(u.storage_bytes / b.storage_bytes < 0.2);
+        assert!(p.storage_bytes / b.storage_bytes < 0.02);
+    }
+
+    #[test]
+    fn estimates_reproduce_figure5_ordering() {
+        let s = Scenario::default();
+        let b = estimate(Approach::Baseline, &s);
+        let u = estimate(Approach::Update, &s);
+        let p = estimate(Approach::Provenance, &s);
+        assert!(b.ttr_seconds < u.ttr_seconds);
+        assert!(u.ttr_seconds < p.ttr_seconds);
+    }
+
+    #[test]
+    fn ranking_is_complete_and_sorted() {
+        let rec = recommend(&Scenario::default(), &Priorities::balanced());
+        assert_eq!(rec.ranking.len(), 3);
+        assert!(rec.ranking.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::default();
+        let j = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Scenario>(&j).unwrap(), s);
+    }
+}

@@ -1,0 +1,135 @@
+//! The deterministic model-update procedure.
+//!
+//! This single function is used in **both directions** of the Provenance
+//! approach: the workload calls it to produce a derived model set in the
+//! first place, and provenance recovery calls it again to reproduce the
+//! exact same parameters from the recorded `(base params, dataset ref,
+//! train config, seed)`. Bit-identical results are guaranteed because the
+//! whole DNN substrate is deterministic; the integration tests assert it.
+
+use crate::model_set::ModelUpdate;
+use mmm_data::{Dataset, Targets};
+use mmm_dnn::train::{train_model, TrainTargets};
+use mmm_dnn::{ArchitectureSpec, ParamDict, TrainConfig};
+
+/// Retrain one model from its base parameters.
+///
+/// * `arch` — the shared architecture.
+/// * `base` — the model's parameters before the update.
+/// * `update` — which layers to train and with which seed.
+/// * `train` — the set-level training configuration (the per-update seed
+///   overrides `train.seed`).
+/// * `dataset` — the training data (resolved from the registry by
+///   callers; this function is store-agnostic).
+pub fn apply_update(
+    arch: &ArchitectureSpec,
+    base: &ParamDict,
+    update: &ModelUpdate,
+    train: &TrainConfig,
+    dataset: &Dataset,
+) -> ParamDict {
+    let mut model = arch.build(0); // init overwritten below
+    model.import_param_dict(base);
+
+    let n_layers = arch.parametric_layer_sizes().len();
+    model.set_trainable_layers(&update.kind.trainable_layers(n_layers));
+
+    let cfg = TrainConfig { seed: update.seed, ..*train };
+    let targets = match &dataset.targets {
+        Targets::Regression(t) => TrainTargets::Regression(t.clone()),
+        Targets::Labels(l) => TrainTargets::Classification(l.clone()),
+    };
+    train_model(&mut model, &dataset.inputs, &targets, &cfg);
+    model.export_param_dict()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_set::UpdateKind;
+    use mmm_data::registry::DatasetRef;
+    use mmm_data::battery_ds::battery_dataset;
+    use mmm_battery::data::CellDataConfig;
+    use mmm_battery::cycles::CycleConfig;
+    use mmm_dnn::Architectures;
+
+    fn small_dataset(cell: u64) -> Dataset {
+        let cfg = CellDataConfig {
+            cycle: CycleConfig { duration_s: 120, load_scale: 1.0 },
+            n_cycles: 1,
+            sample_every: 4,
+            ..CellDataConfig::default()
+        };
+        battery_dataset(&cfg, cell, 1, 7)
+    }
+
+    fn update(kind: UpdateKind) -> ModelUpdate {
+        ModelUpdate {
+            model_idx: 0,
+            kind,
+            dataset: DatasetRef { id: "unused-here".into(), n_samples: 30 },
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn full_update_changes_every_layer() {
+        let arch = Architectures::ffnn(8);
+        let base = arch.build(1).export_param_dict();
+        let out = apply_update(
+            &arch,
+            &base,
+            &update(UpdateKind::Full),
+            &TrainConfig::regression_default(0),
+            &small_dataset(0),
+        );
+        for (b, o) in base.layers.iter().zip(&out.layers) {
+            assert_ne!(b.data, o.data, "layer {} untouched by full update", b.name);
+        }
+    }
+
+    #[test]
+    fn partial_update_preserves_frozen_layers() {
+        let arch = Architectures::ffnn(8);
+        let base = arch.build(1).export_param_dict();
+        let out = apply_update(
+            &arch,
+            &base,
+            &update(UpdateKind::Partial { layers: vec![1, 2] }),
+            &TrainConfig::regression_default(0),
+            &small_dataset(0),
+        );
+        assert_eq!(base.layers[0], out.layers[0]);
+        assert_ne!(base.layers[1], out.layers[1]);
+        assert_ne!(base.layers[2], out.layers[2]);
+        assert_eq!(base.layers[3], out.layers[3]);
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let arch = Architectures::ffnn(8);
+        let base = arch.build(5).export_param_dict();
+        let u = update(UpdateKind::Full);
+        let cfg = TrainConfig::regression_default(0);
+        let ds = small_dataset(3);
+        let a = apply_update(&arch, &base, &u, &cfg, &ds);
+        let b = apply_update(&arch, &base, &u, &cfg, &ds);
+        assert_eq!(a, b, "provenance recovery depends on exact replay");
+    }
+
+    #[test]
+    fn seed_controls_the_outcome() {
+        let arch = Architectures::ffnn(8);
+        let base = arch.build(5).export_param_dict();
+        let cfg = TrainConfig::regression_default(0);
+        let ds = small_dataset(3);
+        let mut u1 = update(UpdateKind::Full);
+        let mut u2 = update(UpdateKind::Full);
+        u1.seed = 1;
+        u2.seed = 2;
+        assert_ne!(
+            apply_update(&arch, &base, &u1, &cfg, &ds),
+            apply_update(&arch, &base, &u2, &cfg, &ds)
+        );
+    }
+}

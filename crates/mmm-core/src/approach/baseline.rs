@@ -1,0 +1,180 @@
+//! The **Baseline** approach (paper §3.2).
+//!
+//! Represents a set of models by exactly three artifacts:
+//!
+//! 1. one metadata document (set-level),
+//! 2. the model architecture, stored once inside that document,
+//! 3. one binary blob with all models' parameters concatenated.
+//!
+//! This addresses O1 (redundant model data — architecture, layer names
+//! and metadata are stored once per *set* instead of once per model) and
+//! O3 (write overhead — a constant number of store round-trips instead of
+//! `Θ(n)`), while every set remains independently recoverable.
+
+use crate::approach::common;
+use crate::approach::ModelSetSaver;
+use crate::env::ManagementEnv;
+use crate::model_set::{Derivation, ModelSet, ModelSetId};
+use crate::param_codec::encode_concat;
+use mmm_util::{Error, Result};
+
+/// Saver implementing the Baseline approach. Stateless.
+#[derive(Debug, Default, Clone)]
+pub struct BaselineSaver;
+
+impl BaselineSaver {
+    /// Create a Baseline saver.
+    pub fn new() -> Self {
+        BaselineSaver
+    }
+}
+
+impl ModelSetSaver for BaselineSaver {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn save_set(
+        &mut self,
+        env: &ManagementEnv,
+        set: &ModelSet,
+        _derivation: Option<&Derivation>,
+    ) -> Result<ModelSetId> {
+        // Baseline treats every set as self-contained: derived sets are
+        // saved exactly like initial ones (its storage is flat across use
+        // cases — Figure 3).
+        let doc = common::full_set_doc(self.name(), &set.arch, set.len());
+        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
+        let blob = encode_concat(set.models());
+        env.blobs().put(&common::params_key(self.name(), doc_id), &blob)?;
+        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+    }
+
+    fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "baseline cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+        let doc_id = common::doc_id_of(id)?;
+        let doc = env.docs().get(common::SETS_COLLECTION, doc_id)?;
+        common::recover_full(env, self.name(), doc_id, &doc)
+    }
+
+    /// Selective recovery via ranged reads: the concatenated layout makes
+    /// each model a fixed-size record, so recovering `k` of `n` models
+    /// transfers only `k/n` of the blob.
+    fn recover_models(
+        &self,
+        env: &ManagementEnv,
+        id: &ModelSetId,
+        indices: &[usize],
+    ) -> Result<Vec<mmm_dnn::ParamDict>> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "baseline cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+        let doc_id = common::doc_id_of(id)?;
+        let doc = env.docs().get(common::SETS_COLLECTION, doc_id)?;
+        common::recover_full_models(env, self.name(), doc_id, &doc, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_dnn::Architectures;
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n)
+            .map(|i| arch.build(seed + i as u64).export_param_dict())
+            .collect();
+        ModelSet::new(arch, models)
+    }
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-baseline").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    #[test]
+    fn save_recover_roundtrip_is_bit_exact() {
+        let (_d, env) = env();
+        let mut saver = BaselineSaver::new();
+        let s = set(10, 0);
+        let id = saver.save_initial(&env, &s).unwrap();
+        let back = saver.recover_set(&env, &id).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn save_uses_constant_store_ops() {
+        let (_d, env) = env();
+        let mut saver = BaselineSaver::new();
+        let (_, m) = env.measure(|| saver.save_initial(&env, &set(50, 1)).unwrap());
+        // One metadata write + one blob, regardless of n (O3).
+        assert_eq!(m.stats.doc_inserts, 1);
+        assert_eq!(m.stats.blob_puts, 1);
+    }
+
+    #[test]
+    fn storage_is_params_plus_small_constant() {
+        let (_d, env) = env();
+        let mut saver = BaselineSaver::new();
+        let s = set(20, 2);
+        let raw = 4 * s.total_params() as u64;
+        let (_, m) = env.measure(|| saver.save_initial(&env, &s).unwrap());
+        let overhead = m.bytes_written() - raw;
+        // Paper §4.2: Baseline's per-set overhead is ~4 KB.
+        assert!(overhead < 8_192, "overhead {overhead} bytes");
+    }
+
+    #[test]
+    fn multiple_sets_are_independent() {
+        let (_d, env) = env();
+        let mut saver = BaselineSaver::new();
+        let s1 = set(5, 10);
+        let s2 = set(5, 20);
+        let id1 = saver.save_initial(&env, &s1).unwrap();
+        let id2 = saver.save_initial(&env, &s2).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(saver.recover_set(&env, &id1).unwrap(), s1);
+        assert_eq!(saver.recover_set(&env, &id2).unwrap(), s2);
+    }
+
+    #[test]
+    fn recovering_foreign_id_fails() {
+        let (_d, env) = env();
+        let saver = BaselineSaver::new();
+        let id = ModelSetId { approach: "update".into(), key: "0".into() };
+        assert!(matches!(saver.recover_set(&env, &id), Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn missing_set_is_not_found() {
+        let (_d, env) = env();
+        let saver = BaselineSaver::new();
+        let id = ModelSetId { approach: "baseline".into(), key: "42".into() };
+        assert!(matches!(saver.recover_set(&env, &id), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn recover_survives_reopen() {
+        let dir = TempDir::new("mmm-baseline").unwrap();
+        let id;
+        let s = set(4, 3);
+        {
+            let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+            id = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        }
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        assert_eq!(BaselineSaver::new().recover_set(&env, &id).unwrap(), s);
+    }
+}

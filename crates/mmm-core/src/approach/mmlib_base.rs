@@ -1,0 +1,257 @@
+//! The **MMlib-base** reference approach (paper §2.2, evaluated §4).
+//!
+//! MMlib's baseline saves *single* models: each model gets its own
+//! metadata document (architecture, layer names), its own verbose
+//! parameter-dict blob, its own code snapshot, and its own environment
+//! snapshot. Saving a set of `n` models therefore costs `Θ(n)` document
+//! writes and `3 Θ(n)` blob writes, and ~8 KB/model of redundant
+//! metadata — exactly the behaviour the paper's optimized approaches
+//! remove. We implement it faithfully as the comparison point.
+
+use crate::approach::ModelSetSaver;
+use crate::artifacts::{environment_info, model_code};
+use crate::env::ManagementEnv;
+use crate::model_set::{Derivation, ModelSet, ModelSetId};
+use crate::param_codec::{decode_verbose_dict, encode_verbose_dict};
+use mmm_dnn::ArchitectureSpec;
+use mmm_util::{Error, Result};
+use serde_json::json;
+
+/// Document-store collection holding one document per saved *model*.
+const MODELS_COLLECTION: &str = "models";
+
+/// Saver implementing MMlib's single-model baseline. Stateless.
+#[derive(Debug, Default, Clone)]
+pub struct MmlibBaseSaver;
+
+impl MmlibBaseSaver {
+    /// Create an MMlib-base saver.
+    pub fn new() -> Self {
+        MmlibBaseSaver
+    }
+
+    fn blob_key(doc_id: u64, artifact: &str) -> String {
+        format!("mmlib/m{doc_id}/{artifact}")
+    }
+}
+
+impl ModelSetSaver for MmlibBaseSaver {
+    fn name(&self) -> &'static str {
+        "mmlib-base"
+    }
+
+    fn save_set(
+        &mut self,
+        env: &ManagementEnv,
+        set: &ModelSet,
+        _derivation: Option<&Derivation>,
+    ) -> Result<ModelSetId> {
+        // MMlib-base has no set concept: derived sets are saved exactly
+        // like initial ones, model by model.
+        let code = model_code(&set.arch);
+        let env_info = environment_info();
+        let arch_json = serde_json::to_value(&set.arch).expect("spec serializes");
+
+        let mut first = None;
+        for dict in set.models() {
+            // One metadata document per model, repeating the architecture
+            // and layer names every time (the redundancy of O1). The
+            // first document of a save carries a batch-head marker so
+            // catalog tooling can group the per-model rows back into
+            // their save batches.
+            let doc = json!({
+                "approach": self.name(),
+                "arch": arch_json.clone(),
+                "arch_name": set.arch.name,
+                "layer_names": set.arch.parametric_layer_names(),
+                "layer_sizes": set.arch.parametric_layer_sizes(),
+                "batch_head": first.is_none(),
+            });
+            let doc_id = env.docs().insert(MODELS_COLLECTION, doc)?;
+            first.get_or_insert(doc_id);
+            env.blobs().put(&Self::blob_key(doc_id, "params.pt"), &encode_verbose_dict(dict))?;
+            env.blobs().put(&Self::blob_key(doc_id, "code.py"), code.as_bytes())?;
+            env.blobs().put(&Self::blob_key(doc_id, "environment.yaml"), env_info.as_bytes())?;
+        }
+        let first = first.ok_or_else(|| Error::invalid("cannot save an empty model set"))?;
+        Ok(ModelSetId {
+            approach: self.name().into(),
+            key: format!("{first}:{}", set.len()),
+        })
+    }
+
+    fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "mmlib-base cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+        let (first, count) = parse_range(&id.key)?;
+        let mut arch: Option<ArchitectureSpec> = None;
+        let mut models = Vec::with_capacity(count);
+        for i in 0..count {
+            let doc_id = first + i as u64;
+            // One document query and one blob read per model — the Θ(n)
+            // round-trips behind MMlib-base's TTR in Figure 5.
+            let doc = env.docs().get(MODELS_COLLECTION, doc_id)?;
+            if arch.is_none() {
+                let spec: ArchitectureSpec = serde_json::from_value(
+                    doc.get("arch")
+                        .cloned()
+                        .ok_or_else(|| Error::corrupt("model document without arch"))?,
+                )
+                .map_err(|e| Error::corrupt(format!("unparseable arch: {e}")))?;
+                arch = Some(spec);
+            }
+            let blob = env.blobs().get(&Self::blob_key(doc_id, "params.pt"))?;
+            models.push(decode_verbose_dict(&blob)?);
+        }
+        let arch = arch.ok_or_else(|| Error::invalid("empty model set id"))?;
+        Ok(ModelSet::new(arch, models))
+    }
+
+    /// Selective recovery is MMlib-base's natural strength: every model
+    /// is its own artifact, so recovering `k` models costs exactly `k`
+    /// document queries and `k` blob reads.
+    fn recover_models(
+        &self,
+        env: &ManagementEnv,
+        id: &ModelSetId,
+        indices: &[usize],
+    ) -> Result<Vec<mmm_dnn::ParamDict>> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "mmlib-base cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+        let (first, count) = parse_range(&id.key)?;
+        indices
+            .iter()
+            .map(|&i| {
+                if i >= count {
+                    return Err(Error::invalid(format!(
+                        "model index {i} out of range for {count} models"
+                    )));
+                }
+                let doc_id = first + i as u64;
+                let _doc = env.docs().get(MODELS_COLLECTION, doc_id)?;
+                let blob = env.blobs().get(&Self::blob_key(doc_id, "params.pt"))?;
+                decode_verbose_dict(&blob)
+            })
+            .collect()
+    }
+}
+
+fn parse_range(key: &str) -> Result<(u64, usize)> {
+    let (a, b) = key
+        .split_once(':')
+        .ok_or_else(|| Error::invalid(format!("malformed mmlib set key {key:?}")))?;
+    let first = a
+        .parse::<u64>()
+        .map_err(|_| Error::invalid(format!("malformed first id in {key:?}")))?;
+    let count = b
+        .parse::<usize>()
+        .map_err(|_| Error::invalid(format!("malformed count in {key:?}")))?;
+    Ok((first, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_dnn::Architectures;
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n)
+            .map(|i| arch.build(seed + i as u64).export_param_dict())
+            .collect();
+        ModelSet::new(arch, models)
+    }
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-mmlib").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let (_d, env) = env();
+        let mut saver = MmlibBaseSaver::new();
+        let s = set(7, 0);
+        let id = saver.save_initial(&env, &s).unwrap();
+        assert_eq!(saver.recover_set(&env, &id).unwrap(), s);
+    }
+
+    #[test]
+    fn save_costs_linear_store_ops() {
+        let (_d, env) = env();
+        let mut saver = MmlibBaseSaver::new();
+        let n = 20;
+        let (_, m) = env.measure(|| saver.save_initial(&env, &set(n, 1)).unwrap());
+        assert_eq!(m.stats.doc_inserts, n as u64, "one doc write per model");
+        assert_eq!(m.stats.blob_puts, 3 * n as u64, "params/code/env per model");
+    }
+
+    #[test]
+    fn recover_costs_linear_store_ops() {
+        let (_d, env) = env();
+        let mut saver = MmlibBaseSaver::new();
+        let n = 12;
+        let id = saver.save_initial(&env, &set(n, 2)).unwrap();
+        let (_, m) = env.measure(|| saver.recover_set(&env, &id).unwrap());
+        assert_eq!(m.stats.doc_queries, n as u64);
+        assert_eq!(m.stats.blob_gets, n as u64);
+    }
+
+    #[test]
+    fn per_model_overhead_is_kilobytes() {
+        let (_d, env) = env();
+        let mut saver = MmlibBaseSaver::new();
+        let n = 10;
+        let s = set(n, 3);
+        let raw = 4 * s.total_params() as u64;
+        let (_, m) = env.measure(|| saver.save_initial(&env, &s).unwrap());
+        let overhead_per_model = (m.bytes_written() - raw) / n as u64;
+        // Paper: ~8 KB/model of redundant data.
+        assert!(
+            (4_000..16_000).contains(&overhead_per_model),
+            "overhead/model = {overhead_per_model} bytes"
+        );
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let (_d, env) = env();
+        let mut saver = MmlibBaseSaver::new();
+        let arch = Architectures::ffnn(6);
+        let s = ModelSet::new(arch, vec![]);
+        assert!(saver.save_initial(&env, &s).is_err());
+    }
+
+    #[test]
+    fn malformed_key_is_invalid() {
+        let (_d, env) = env();
+        let saver = MmlibBaseSaver::new();
+        for key in ["", "5", "a:b", "5:"] {
+            let id = ModelSetId { approach: "mmlib-base".into(), key: key.into() };
+            assert!(saver.recover_set(&env, &id).is_err(), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn two_sets_do_not_interfere() {
+        let (_d, env) = env();
+        let mut saver = MmlibBaseSaver::new();
+        let s1 = set(3, 10);
+        let s2 = set(4, 20);
+        let id1 = saver.save_initial(&env, &s1).unwrap();
+        let id2 = saver.save_initial(&env, &s2).unwrap();
+        assert_eq!(saver.recover_set(&env, &id1).unwrap(), s1);
+        assert_eq!(saver.recover_set(&env, &id2).unwrap(), s2);
+    }
+}

@@ -1,0 +1,195 @@
+//! The four model-set management approaches.
+//!
+//! All approaches implement [`ModelSetSaver`]. Initial sets are saved
+//! with `save_set(env, set, None)`; derived sets pass the
+//! [`Derivation`] describing how they were
+//! trained from their base set. Recovery takes only the
+//! [`ModelSetId`] and resolves recursive
+//! dependencies (Update, Provenance) internally.
+
+pub mod baseline;
+pub mod mmlib_base;
+pub mod provenance;
+pub mod update;
+
+pub use baseline::BaselineSaver;
+pub use mmlib_base::MmlibBaseSaver;
+pub use provenance::ProvenanceSaver;
+pub use update::UpdateSaver;
+
+use crate::env::ManagementEnv;
+use crate::model_set::{Derivation, ModelSet, ModelSetId};
+use mmm_dnn::ParamDict;
+use mmm_util::{Error, Result};
+
+/// A strategy for persisting and recovering whole model sets.
+pub trait ModelSetSaver {
+    /// Stable approach name, used as the `approach` field of ids.
+    fn name(&self) -> &'static str;
+
+    /// Persist a model set. `derivation` must be `None` for an initial
+    /// set and `Some` for a set derived from a previously saved base.
+    fn save_set(
+        &mut self,
+        env: &ManagementEnv,
+        set: &ModelSet,
+        derivation: Option<&Derivation>,
+    ) -> Result<ModelSetId>;
+
+    /// Recover a previously saved set, resolving any recursive
+    /// dependencies on base sets.
+    fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet>;
+
+    /// Convenience wrapper for initial sets.
+    fn save_initial(&mut self, env: &ManagementEnv, set: &ModelSet) -> Result<ModelSetId> {
+        self.save_set(env, set, None)
+    }
+
+    /// Recover only the models at `indices` (in the given order) — the
+    /// paper's actual recovery pattern: "only recover a selected number
+    /// of models, for example, after an accident".
+    ///
+    /// The default implementation recovers the whole set and selects;
+    /// every approach overrides it with something cheaper (ranged reads
+    /// of the concatenated blob, per-model artifacts, filtered diff
+    /// replay, or selective retraining).
+    fn recover_models(
+        &self,
+        env: &ManagementEnv,
+        id: &ModelSetId,
+        indices: &[usize],
+    ) -> Result<Vec<ParamDict>> {
+        let set = self.recover_set(env, id)?;
+        indices
+            .iter()
+            .map(|&i| {
+                set.models()
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| Error::invalid(format!("model index {i} out of range")))
+            })
+            .collect()
+    }
+}
+
+/// Construct a saver by its stable name (`"mmlib-base"`, `"baseline"`,
+/// `"update"`, `"provenance"`).
+pub fn by_name(name: &str) -> Option<Box<dyn ModelSetSaver>> {
+    match name {
+        "mmlib-base" => Some(Box::new(MmlibBaseSaver::new())),
+        "baseline" => Some(Box::new(BaselineSaver::new())),
+        "update" => Some(Box::new(UpdateSaver::new())),
+        "provenance" => Some(Box::new(ProvenanceSaver::new())),
+        _ => None,
+    }
+}
+
+/// Recover a set with whatever approach its id names.
+pub fn recover_any(env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
+    by_name(&id.approach)
+        .ok_or_else(|| mmm_util::Error::invalid(format!("unknown approach {:?}", id.approach)))?
+        .recover_set(env, id)
+}
+
+/// Shared helpers for the set-oriented approaches (Baseline, Update,
+/// Provenance), which all persist one metadata document per set plus a
+/// small number of blobs.
+pub(crate) mod common {
+    use super::*;
+    use mmm_dnn::{ArchitectureSpec, ParamDict};
+    use mmm_util::Error;
+    use serde_json::{json, Value};
+
+    /// Document-store collection holding one document per saved set.
+    pub const SETS_COLLECTION: &str = "model_sets";
+
+    /// Build the set-level metadata document of a **full** (self-contained)
+    /// save: approach, architecture (saved once for the whole set —
+    /// optimization O1), model count, and layer layout.
+    pub fn full_set_doc(approach: &str, arch: &ArchitectureSpec, n_models: usize) -> Value {
+        json!({
+            "approach": approach,
+            "kind": "full",
+            "arch": serde_json::to_value(arch).expect("spec serializes"),
+            "n_models": n_models,
+            "layer_names": arch.parametric_layer_names(),
+            "layer_sizes": arch.parametric_layer_sizes(),
+        })
+    }
+
+    /// Parse the pieces of a full set document needed for recovery.
+    pub fn parse_full_doc(doc: &Value) -> Result<(ArchitectureSpec, usize)> {
+        let arch: ArchitectureSpec = serde_json::from_value(
+            doc.get("arch")
+                .cloned()
+                .ok_or_else(|| Error::corrupt("set document without arch"))?,
+        )
+        .map_err(|e| Error::corrupt(format!("unparseable arch in set document: {e}")))?;
+        let n_models = doc
+            .get("n_models")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::corrupt("set document without n_models"))? as usize;
+        Ok((arch, n_models))
+    }
+
+    /// Key of the concatenated-parameters blob of a full save.
+    pub fn params_key(approach: &str, doc_id: u64) -> String {
+        format!("{approach}/{doc_id}/params.bin")
+    }
+
+    /// Recover a full save: read the params blob and split it by the
+    /// architecture's layer layout.
+    pub fn recover_full(
+        env: &ManagementEnv,
+        approach: &str,
+        doc_id: u64,
+        doc: &Value,
+    ) -> Result<ModelSet> {
+        let (arch, n_models) = parse_full_doc(doc)?;
+        let blob = env.blobs().get(&params_key(approach, doc_id))?;
+        let models: Vec<ParamDict> = crate::param_codec::decode_concat(
+            &blob,
+            n_models,
+            &arch.parametric_layer_names(),
+            &arch.parametric_layer_sizes(),
+        )?;
+        Ok(ModelSet::new(arch, models))
+    }
+
+    /// Recover only selected models from a full save via ranged reads of
+    /// the concatenated parameter blob: the layout (`n` fixed-size model
+    /// records back to back) makes per-model byte offsets trivial.
+    pub fn recover_full_models(
+        env: &ManagementEnv,
+        approach: &str,
+        doc_id: u64,
+        doc: &Value,
+        indices: &[usize],
+    ) -> Result<Vec<ParamDict>> {
+        let (arch, n_models) = parse_full_doc(doc)?;
+        let names = arch.parametric_layer_names();
+        let sizes = arch.parametric_layer_sizes();
+        let per_model = 4 * arch.param_count() as u64;
+        let key = params_key(approach, doc_id);
+        indices
+            .iter()
+            .map(|&i| {
+                if i >= n_models {
+                    return Err(Error::invalid(format!(
+                        "model index {i} out of range for {n_models} models"
+                    )));
+                }
+                let bytes = env.blobs().get_range(&key, i as u64 * per_model, per_model as usize)?;
+                let flat = mmm_util::codec::Reader::new(&bytes).f32_slice(arch.param_count())?;
+                Ok(ParamDict::from_flat(&flat, &names, &sizes))
+            })
+            .collect()
+    }
+
+    /// Parse a set id's key as a document id.
+    pub fn doc_id_of(id: &ModelSetId) -> Result<u64> {
+        id.key
+            .parse::<u64>()
+            .map_err(|_| Error::invalid(format!("malformed set key {:?}", id.key)))
+    }
+}

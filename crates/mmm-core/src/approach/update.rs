@@ -1,0 +1,750 @@
+//! The **Update** approach (paper §3.3).
+//!
+//! Builds on Baseline and additionally exploits that per update cycle
+//! (1) not all models are updated and (2) some are only partially
+//! updated. For an initial set it saves Baseline's artifacts **plus** the
+//! per-model, per-layer parameter hashes. Every subsequent set is saved
+//! as: (1) a reference to the base set, (2) fresh hashes for all models
+//! and layers, (3) a diff list of changed layers identified by comparing
+//! hashes against the base set's stored hashes ("without having to load
+//! the full representation of the previous model"), and (4) one binary
+//! blob with all changed parameters concatenated.
+//!
+//! Recovery is recursive: recover the base set, then apply the diffs.
+//! The paper notes the recursively increasing recovery time "can be
+//! prevented by saving intermediate model snapshots using the baseline
+//! approach" — implemented here as [`UpdateSaver::with_full_snapshot_every`].
+
+use crate::approach::common;
+use crate::approach::ModelSetSaver;
+use crate::delta::{compress_delta, decompress_delta};
+use crate::env::ManagementEnv;
+use crate::model_set::{Derivation, ModelSet, ModelSetId};
+use crate::param_codec::{
+    decode_diff, decode_diff_compressed, decode_hashes, encode_concat, encode_diff,
+    encode_diff_compressed, encode_hashes, CompressedDiffEntry, DiffEntry,
+};
+use mmm_util::{Error, Result};
+use serde_json::{json, Value};
+
+/// Saver implementing the Update approach.
+#[derive(Debug, Default, Clone)]
+pub struct UpdateSaver {
+    /// If `Some(k)`, every k-th derived save is stored as a full snapshot
+    /// (bounding the recovery recursion depth at `k`).
+    full_snapshot_every: Option<usize>,
+    /// Store changed layers as XOR deltas against the base set (paper
+    /// §4.5 extension). Costs a base-set recovery at save time.
+    delta_compress: bool,
+}
+
+impl UpdateSaver {
+    /// Plain Update approach: only the initial set is a full snapshot.
+    pub fn new() -> Self {
+        UpdateSaver { full_snapshot_every: None, delta_compress: false }
+    }
+
+    /// Update approach with intermediate full snapshots every `k` saves.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_full_snapshot_every(k: usize) -> Self {
+        assert!(k > 0, "snapshot interval must be positive");
+        UpdateSaver { full_snapshot_every: Some(k), delta_compress: false }
+    }
+
+    /// Enable the §4.5 delta-compression extension: changed layers are
+    /// stored as XOR deltas against the base set's values (run-length
+    /// encoded zeros). Trades a base-set recovery at save time — and
+    /// therefore a longer TTS — for smaller derived saves whenever
+    /// retraining leaves some parameters untouched.
+    pub fn with_delta_compression(mut self) -> Self {
+        self.delta_compress = true;
+        self
+    }
+
+    fn hashes_key(doc_id: u64) -> String {
+        format!("update/{doc_id}/hashes.bin")
+    }
+
+    fn diff_key(doc_id: u64) -> String {
+        format!("update/{doc_id}/diff.bin")
+    }
+
+    fn save_full(&self, env: &ManagementEnv, set: &ModelSet, depth: u64) -> Result<ModelSetId> {
+        let mut doc = common::full_set_doc(self.name(), &set.arch, set.len());
+        doc.as_object_mut()
+            .expect("full_set_doc returns an object")
+            .insert("depth".into(), json!(depth));
+        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
+        env.blobs()
+            .put(&common::params_key(self.name(), doc_id), &encode_concat(set.models()))?;
+        let hashes: Vec<Vec<u64>> = set.models().iter().map(|m| m.layer_hashes()).collect();
+        env.blobs().put(&Self::hashes_key(doc_id), &encode_hashes(&hashes))?;
+        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+    }
+}
+
+impl ModelSetSaver for UpdateSaver {
+    fn name(&self) -> &'static str {
+        "update"
+    }
+
+    fn save_set(
+        &mut self,
+        env: &ManagementEnv,
+        set: &ModelSet,
+        derivation: Option<&Derivation>,
+    ) -> Result<ModelSetId> {
+        let Some(deriv) = derivation else {
+            return self.save_full(env, set, 0);
+        };
+        if deriv.base.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "update sets must chain to update sets, got base {:?}",
+                deriv.base.approach
+            )));
+        }
+
+        // (1) Reference to the base set + its metadata.
+        let base_id = common::doc_id_of(&deriv.base)?;
+        let base_doc = env.docs().get(common::SETS_COLLECTION, base_id)?;
+        let base_n = base_doc
+            .get("n_models")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::corrupt("base set document without n_models"))? as usize;
+        if base_n != set.len() {
+            return Err(Error::invalid(format!(
+                "derived set has {} models, base has {base_n}",
+                set.len()
+            )));
+        }
+        let depth = base_doc.get("depth").and_then(Value::as_u64).unwrap_or(0) + 1;
+
+        // Intermediate full snapshot if configured.
+        if let Some(k) = self.full_snapshot_every {
+            if depth % k as u64 == 0 {
+                return self.save_full(env, set, depth);
+            }
+        }
+
+        // (2) Hashes for every model and layer of the new set.
+        let hashes: Vec<Vec<u64>> = set.models().iter().map(|m| m.layer_hashes()).collect();
+
+        // (3) Changed layers, detected against the base set's hash blob.
+        let base_hashes = decode_hashes(&env.blobs().get(&Self::hashes_key(base_id))?)?;
+        if base_hashes.len() != hashes.len() {
+            return Err(Error::corrupt("base hash table has wrong model count"));
+        }
+        let mut changed: Vec<(usize, usize)> = Vec::new();
+        for (mi, (new_row, old_row)) in hashes.iter().zip(&base_hashes).enumerate() {
+            if new_row.len() != old_row.len() {
+                return Err(Error::corrupt("base hash table has wrong layer count"));
+            }
+            for (li, (nh, oh)) in new_row.iter().zip(old_row).enumerate() {
+                if nh != oh {
+                    changed.push((mi, li));
+                }
+            }
+        }
+
+        // (4) Persist: one metadata doc + the diff blob + the hash blob.
+        let (kind, diff_blob) = if self.delta_compress {
+            // §4.5 extension: XOR-delta each changed layer against the
+            // base set's values (requires materializing the base).
+            let base_set = self.recover_set(env, &deriv.base)?;
+            let entries: Vec<CompressedDiffEntry> = changed
+                .iter()
+                .map(|&(mi, li)| CompressedDiffEntry {
+                    model_idx: mi as u32,
+                    layer_idx: li as u32,
+                    blob: compress_delta(
+                        &base_set.models()[mi].layers[li].data,
+                        &set.models()[mi].layers[li].data,
+                    ),
+                })
+                .collect();
+            ("diffz", encode_diff_compressed(&entries))
+        } else {
+            let entries: Vec<DiffEntry> = changed
+                .iter()
+                .map(|&(mi, li)| DiffEntry {
+                    model_idx: mi as u32,
+                    layer_idx: li as u32,
+                    data: set.models()[mi].layers[li].data.clone(),
+                })
+                .collect();
+            ("diff", encode_diff(&entries))
+        };
+        let doc = json!({
+            "approach": self.name(),
+            "kind": kind,
+            "base": deriv.base.key,
+            "n_models": set.len(),
+            "n_changed_layers": changed.len(),
+            "depth": depth,
+        });
+        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
+        env.blobs().put(&Self::diff_key(doc_id), &diff_blob)?;
+        env.blobs().put(&Self::hashes_key(doc_id), &encode_hashes(&hashes))?;
+        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+    }
+
+    fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "update cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+
+        // Walk the chain back to the newest full snapshot.
+        let mut chain: Vec<(u64, bool)> = Vec::new(); // (doc id, compressed), newest first
+        let mut cursor = common::doc_id_of(id)?;
+        let mut set = loop {
+            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+            match doc.get("kind").and_then(Value::as_str) {
+                Some("full") => break common::recover_full(env, self.name(), cursor, &doc)?,
+                Some(kind @ ("diff" | "diffz")) => {
+                    chain.push((cursor, kind == "diffz"));
+                    cursor = doc
+                        .get("base")
+                        .and_then(Value::as_str)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| Error::corrupt("diff set document without base"))?;
+                }
+                other => {
+                    return Err(Error::corrupt(format!("unknown set kind {other:?}")));
+                }
+            }
+        };
+
+        // Apply diffs oldest → newest. `set` holds exactly the level the
+        // delta was computed against, so decompression is in-place.
+        for &(doc_id, compressed) in chain.iter().rev() {
+            let blob = env.blobs().get(&Self::diff_key(doc_id))?;
+            let entries: Vec<DiffEntry> = if compressed {
+                decode_diff_compressed(&blob)?
+                    .into_iter()
+                    .map(|e| {
+                        let base = layer_of(&set, e.model_idx, e.layer_idx)?;
+                        Ok(DiffEntry {
+                            model_idx: e.model_idx,
+                            layer_idx: e.layer_idx,
+                            data: decompress_delta(base, &e.blob)?,
+                        })
+                    })
+                    .collect::<Result<_>>()?
+            } else {
+                decode_diff(&blob)?
+            };
+            for e in entries {
+                let model = set
+                    .models
+                    .get_mut(e.model_idx as usize)
+                    .ok_or_else(|| Error::corrupt(format!("diff model index {} out of range", e.model_idx)))?;
+                let layer = model
+                    .layers
+                    .get_mut(e.layer_idx as usize)
+                    .ok_or_else(|| Error::corrupt(format!("diff layer index {} out of range", e.layer_idx)))?;
+                if layer.data.len() != e.data.len() {
+                    return Err(Error::corrupt(format!(
+                        "diff entry for model {} layer {} has {} params, expected {}",
+                        e.model_idx,
+                        e.layer_idx,
+                        e.data.len(),
+                        layer.data.len()
+                    )));
+                }
+                layer.data = e.data;
+            }
+        }
+        Ok(set)
+    }
+
+    /// Selective recovery: ranged reads of the selected models from the
+    /// chain's full snapshot, then diff replay filtered to those models.
+    /// Transfers `k/n` of the snapshot plus the (small) diff blobs.
+    fn recover_models(
+        &self,
+        env: &ManagementEnv,
+        id: &ModelSetId,
+        indices: &[usize],
+    ) -> Result<Vec<mmm_dnn::ParamDict>> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "update cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+        // Walk the chain back to the newest full snapshot.
+        let mut chain: Vec<(u64, bool)> = Vec::new();
+        let mut cursor = common::doc_id_of(id)?;
+        let mut selected: Vec<mmm_dnn::ParamDict> = loop {
+            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+            match doc.get("kind").and_then(Value::as_str) {
+                Some("full") => {
+                    break common::recover_full_models(env, self.name(), cursor, &doc, indices)?
+                }
+                Some(kind @ ("diff" | "diffz")) => {
+                    chain.push((cursor, kind == "diffz"));
+                    cursor = doc
+                        .get("base")
+                        .and_then(Value::as_str)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| Error::corrupt("diff set document without base"))?;
+                }
+                other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
+            }
+        };
+
+        // Position of each selected model index within `selected`.
+        let pos: std::collections::HashMap<usize, usize> =
+            indices.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+
+        for &(doc_id, compressed) in chain.iter().rev() {
+            let blob = env.blobs().get(&Self::diff_key(doc_id))?;
+            if compressed {
+                for e in decode_diff_compressed(&blob)? {
+                    if let Some(&p) = pos.get(&(e.model_idx as usize)) {
+                        let layer = selected[p]
+                            .layers
+                            .get(e.layer_idx as usize)
+                            .ok_or_else(|| Error::corrupt("diff layer index out of range"))?;
+                        let data = decompress_delta(&layer.data, &e.blob)?;
+                        selected[p].layers[e.layer_idx as usize].data = data;
+                    }
+                }
+            } else {
+                for e in decode_diff(&blob)? {
+                    if let Some(&p) = pos.get(&(e.model_idx as usize)) {
+                        let layer = selected[p]
+                            .layers
+                            .get_mut(e.layer_idx as usize)
+                            .ok_or_else(|| Error::corrupt("diff layer index out of range"))?;
+                        if layer.data.len() != e.data.len() {
+                            return Err(Error::corrupt("diff entry size mismatch"));
+                        }
+                        layer.data = e.data;
+                    }
+                }
+            }
+        }
+        Ok(selected)
+    }
+}
+
+impl UpdateSaver {
+    /// Recover several sets at once, memoizing shared chain prefixes.
+    ///
+    /// Recovering a history `U1, U3-1, …, U3-k` individually costs
+    /// `Θ(k²)` diff applications (each set replays its whole chain);
+    /// this entry point materializes each chain node once and reuses it,
+    /// costing `Θ(k)` — the batch-recovery optimization an analyst
+    /// loading a whole timeline wants. Trades memory (one cached set
+    /// per distinct chain node) for store round-trips and compute.
+    pub fn recover_many(&self, env: &ManagementEnv, ids: &[ModelSetId]) -> Result<Vec<ModelSet>> {
+        use std::collections::HashMap;
+        let mut cache: HashMap<u64, ModelSet> = HashMap::new();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if id.approach != self.name() {
+                return Err(Error::invalid(format!(
+                    "update cannot recover a {:?} set",
+                    id.approach
+                )));
+            }
+            let key = common::doc_id_of(id)?;
+            let set = self.recover_cached(env, key, &mut cache)?;
+            out.push(set);
+        }
+        Ok(out)
+    }
+
+    fn recover_cached(
+        &self,
+        env: &ManagementEnv,
+        key: u64,
+        cache: &mut std::collections::HashMap<u64, ModelSet>,
+    ) -> Result<ModelSet> {
+        if let Some(hit) = cache.get(&key) {
+            return Ok(hit.clone());
+        }
+        // Walk back only until a cached node (or the full snapshot).
+        let mut chain: Vec<(u64, bool)> = Vec::new();
+        let mut cursor = key;
+        let mut set = loop {
+            if let Some(hit) = cache.get(&cursor) {
+                break hit.clone();
+            }
+            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+            match doc.get("kind").and_then(Value::as_str) {
+                Some("full") => {
+                    let s = common::recover_full(env, self.name(), cursor, &doc)?;
+                    cache.insert(cursor, s.clone());
+                    break s;
+                }
+                Some(kind @ ("diff" | "diffz")) => {
+                    chain.push((cursor, kind == "diffz"));
+                    cursor = doc
+                        .get("base")
+                        .and_then(Value::as_str)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| Error::corrupt("diff set document without base"))?;
+                }
+                other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
+            }
+        };
+        for &(doc_id, compressed) in chain.iter().rev() {
+            apply_diff_level(env, &mut set, doc_id, compressed)?;
+            cache.insert(doc_id, set.clone());
+        }
+        Ok(set)
+    }
+}
+
+/// Apply one chain level's diff blob to `set` in place.
+fn apply_diff_level(env: &ManagementEnv, set: &mut ModelSet, doc_id: u64, compressed: bool) -> Result<()> {
+    let blob = env.blobs().get(&UpdateSaver::diff_key(doc_id))?;
+    let entries: Vec<DiffEntry> = if compressed {
+        decode_diff_compressed(&blob)?
+            .into_iter()
+            .map(|e| {
+                let base = layer_of(set, e.model_idx, e.layer_idx)?;
+                Ok(DiffEntry {
+                    model_idx: e.model_idx,
+                    layer_idx: e.layer_idx,
+                    data: decompress_delta(base, &e.blob)?,
+                })
+            })
+            .collect::<Result<_>>()?
+    } else {
+        decode_diff(&blob)?
+    };
+    for e in entries {
+        let layer = set
+            .models
+            .get_mut(e.model_idx as usize)
+            .and_then(|m| m.layers.get_mut(e.layer_idx as usize))
+            .ok_or_else(|| Error::corrupt(format!("diff index ({}, {}) out of range", e.model_idx, e.layer_idx)))?;
+        if layer.data.len() != e.data.len() {
+            return Err(Error::corrupt(format!(
+                "diff entry for model {} layer {} has {} params, expected {}",
+                e.model_idx,
+                e.layer_idx,
+                e.data.len(),
+                layer.data.len()
+            )));
+        }
+        layer.data = e.data;
+    }
+    Ok(())
+}
+
+/// Borrow one layer's data out of a recovered set (bounds-checked).
+fn layer_of(set: &ModelSet, model_idx: u32, layer_idx: u32) -> Result<&[f32]> {
+    set.models
+        .get(model_idx as usize)
+        .and_then(|m| m.layers.get(layer_idx as usize))
+        .map(|l| l.data.as_slice())
+        .ok_or_else(|| {
+            Error::corrupt(format!(
+                "compressed diff index ({model_idx}, {layer_idx}) out of range"
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_dnn::{Architectures, TrainConfig};
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n)
+            .map(|i| arch.build(seed * 1000 + i as u64).export_param_dict())
+            .collect();
+        ModelSet::new(arch, models)
+    }
+
+    /// Mutate `which` models: full (all layers) or partial (layer 1 only).
+    fn mutate(set: &ModelSet, full: &[usize], partial: &[usize]) -> ModelSet {
+        let mut s = set.clone();
+        for &i in full {
+            for l in &mut s.models[i].layers {
+                for v in &mut l.data {
+                    *v += 0.25;
+                }
+            }
+        }
+        for &i in partial {
+            for v in &mut s.models[i].layers[1].data {
+                *v -= 0.125;
+            }
+        }
+        s
+    }
+
+    fn deriv(base: &ModelSetId) -> Derivation {
+        Derivation {
+            base: base.clone(),
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        }
+    }
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-update").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    #[test]
+    fn initial_roundtrip() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s = set(8, 0);
+        let id = saver.save_initial(&env, &s).unwrap();
+        assert_eq!(saver.recover_set(&env, &id).unwrap(), s);
+    }
+
+    #[test]
+    fn derived_set_roundtrips_through_diffs() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s0 = set(10, 0);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let s1 = mutate(&s0, &[0, 1], &[5]);
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        assert_eq!(saver.recover_set(&env, &id1).unwrap(), s1);
+        // The base remains recoverable unchanged.
+        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s0);
+    }
+
+    #[test]
+    fn diff_stores_only_changed_layers() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s0 = set(10, 1);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let s1 = mutate(&s0, &[3], &[7]);
+        let (_, m) = env.measure(|| saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap());
+        // Full model = 4 layers, partial = 1 layer ⇒ 5 changed layers.
+        let arch = &s0.arch;
+        let sizes = arch.parametric_layer_sizes();
+        let changed_params: usize = sizes.iter().sum::<usize>() + sizes[1];
+        let hash_bytes = 16 + 8 * 10 * sizes.len();
+        let expected_payload = 4 * changed_params + hash_bytes;
+        assert!(
+            m.bytes_written() < (expected_payload + 2_000) as u64,
+            "wrote {} bytes, payload should be ≈{expected_payload}",
+            m.bytes_written()
+        );
+        // Far less than a full snapshot.
+        assert!(m.bytes_written() < (4 * s0.total_params() / 2) as u64);
+    }
+
+    #[test]
+    fn unchanged_set_writes_empty_diff() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s0 = set(6, 2);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let id1 = saver.save_set(&env, &s0, Some(&deriv(&id0))).unwrap();
+        assert_eq!(saver.recover_set(&env, &id1).unwrap(), s0);
+        let doc = env.docs().get(common::SETS_COLLECTION, common::doc_id_of(&id1).unwrap()).unwrap();
+        assert_eq!(doc["n_changed_layers"], 0);
+    }
+
+    #[test]
+    fn chain_of_three_recovers_each_level() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s0 = set(6, 3);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let s1 = mutate(&s0, &[0], &[1]);
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        let s2 = mutate(&s1, &[2], &[0]);
+        let id2 = saver.save_set(&env, &s2, Some(&deriv(&id1))).unwrap();
+        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s0);
+        assert_eq!(saver.recover_set(&env, &id1).unwrap(), s1);
+        assert_eq!(saver.recover_set(&env, &id2).unwrap(), s2);
+    }
+
+    #[test]
+    fn recovery_cost_grows_with_chain_depth() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(5, 4);
+        let mut ids = vec![saver.save_initial(&env, &s).unwrap()];
+        for i in 0..3 {
+            s = mutate(&s, &[i % 5], &[]);
+            let d = deriv(ids.last().unwrap());
+            ids.push(saver.save_set(&env, &s, Some(&d)).unwrap());
+        }
+        let ops: Vec<u64> = ids
+            .iter()
+            .map(|id| {
+                let (_, m) = env.measure(|| saver.recover_set(&env, id).unwrap());
+                m.stats.total_ops()
+            })
+            .collect();
+        for w in ops.windows(2) {
+            assert!(w[1] > w[0], "staircase: {ops:?}");
+        }
+    }
+
+    #[test]
+    fn recover_many_matches_individual_recovery_with_fewer_ops() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(8, 20);
+        let mut ids = vec![saver.save_initial(&env, &s).unwrap()];
+        let mut snaps = vec![s.clone()];
+        for i in 0..5 {
+            s = mutate(&s, &[i % 8], &[(i + 3) % 8]);
+            let d = deriv(ids.last().unwrap());
+            ids.push(saver.save_set(&env, &s, Some(&d)).unwrap());
+            snaps.push(s.clone());
+        }
+
+        let (individual, m_ind) = env.measure(|| {
+            ids.iter().map(|id| saver.recover_set(&env, id).unwrap()).collect::<Vec<_>>()
+        });
+        let (batched, m_batch) = env.measure(|| saver.recover_many(&env, &ids).unwrap());
+        assert_eq!(individual, batched);
+        assert_eq!(batched, snaps);
+        assert!(
+            m_batch.stats.total_ops() < m_ind.stats.total_ops(),
+            "batch {} ops vs individual {}",
+            m_batch.stats.total_ops(),
+            m_ind.stats.total_ops()
+        );
+    }
+
+    #[test]
+    fn recover_many_handles_compressed_chains() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new().with_delta_compression();
+        let mut s = set(6, 21);
+        let mut ids = vec![saver.save_initial(&env, &s).unwrap()];
+        for i in 0..3 {
+            s = mutate_sparse(&s, i % 6, 5);
+            let d = deriv(ids.last().unwrap());
+            ids.push(saver.save_set(&env, &s, Some(&d)).unwrap());
+        }
+        let batched = saver.recover_many(&env, &ids).unwrap();
+        assert_eq!(batched.last().unwrap(), &s);
+    }
+
+    #[test]
+    fn full_snapshot_every_bounds_recursion() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::with_full_snapshot_every(2);
+        let mut s = set(5, 5);
+        let mut last = saver.save_initial(&env, &s).unwrap();
+        let mut ids = vec![last.clone()];
+        for i in 0..4 {
+            s = mutate(&s, &[i % 5], &[]);
+            let d = deriv(&last);
+            last = saver.save_set(&env, &s, Some(&d)).unwrap();
+            ids.push(last.clone());
+        }
+        // Depth-2 and depth-4 saves are full snapshots: recovery of the
+        // last set needs at most 1 diff application.
+        let (recovered, m) = env.measure(|| saver.recover_set(&env, &last).unwrap());
+        assert_eq!(recovered, s);
+        assert!(m.stats.doc_queries <= 2, "snapshotting must cap the chain, got {:?}", m.stats);
+    }
+
+    /// Mutate a *sparse subset* of one layer's parameters so the delta
+    /// encoding has zero-runs to exploit.
+    fn mutate_sparse(set: &ModelSet, model: usize, every: usize) -> ModelSet {
+        let mut s = set.clone();
+        for (i, v) in s.models[model].layers[1].data.iter_mut().enumerate() {
+            if i % every == 0 {
+                *v += 0.5;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn delta_compressed_chain_roundtrips() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new().with_delta_compression();
+        let s0 = set(8, 10);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let s1 = mutate_sparse(&s0, 2, 10);
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        let s2 = mutate_sparse(&s1, 5, 7);
+        let id2 = saver.save_set(&env, &s2, Some(&deriv(&id1))).unwrap();
+        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s0);
+        assert_eq!(saver.recover_set(&env, &id1).unwrap(), s1);
+        assert_eq!(saver.recover_set(&env, &id2).unwrap(), s2);
+    }
+
+    #[test]
+    fn delta_compression_shrinks_sparse_diffs() {
+        let (_d, env) = env();
+        let s0 = set(10, 11);
+        let s1 = mutate_sparse(&s0, 0, 20); // 5% of one layer changed
+
+        let mut plain = UpdateSaver::new();
+        let id_p = plain.save_initial(&env, &s0).unwrap();
+        let (_, mp) = env.measure(|| plain.save_set(&env, &s1, Some(&deriv(&id_p))).unwrap());
+
+        let mut compressed = UpdateSaver::new().with_delta_compression();
+        let id_c = compressed.save_initial(&env, &s0).unwrap();
+        let (_, mc) =
+            env.measure(|| compressed.save_set(&env, &s1, Some(&deriv(&id_c))).unwrap());
+
+        assert!(
+            mc.bytes_written() < mp.bytes_written(),
+            "compressed {} vs plain {}",
+            mc.bytes_written(),
+            mp.bytes_written()
+        );
+        // The tradeoff: compression pays a base recovery (extra reads).
+        assert!(mc.stats.blob_gets > mp.stats.blob_gets);
+    }
+
+    #[test]
+    fn plain_saver_recovers_compressed_chains() {
+        // The compression flag affects saving only; any UpdateSaver can
+        // recover either kind (the format is tagged in the document).
+        let (_d, env) = env();
+        let mut compressed = UpdateSaver::new().with_delta_compression();
+        let s0 = set(6, 12);
+        let id0 = compressed.save_initial(&env, &s0).unwrap();
+        let s1 = mutate_sparse(&s0, 1, 3);
+        let id1 = compressed.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        let plain = UpdateSaver::new();
+        assert_eq!(plain.recover_set(&env, &id1).unwrap(), s1);
+    }
+
+    #[test]
+    fn base_model_count_mismatch_is_rejected() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let id0 = saver.save_initial(&env, &set(5, 6)).unwrap();
+        let bigger = set(6, 6);
+        assert!(saver.save_set(&env, &bigger, Some(&deriv(&id0))).is_err());
+    }
+
+    #[test]
+    fn foreign_base_approach_is_rejected() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s = set(4, 7);
+        let foreign = ModelSetId { approach: "baseline".into(), key: "0".into() };
+        let d = Derivation {
+            base: foreign,
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        };
+        assert!(saver.save_set(&env, &s, Some(&d)).is_err());
+    }
+}

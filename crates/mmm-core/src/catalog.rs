@@ -1,0 +1,144 @@
+//! Catalog: enumerate every model set archived in an environment.
+//!
+//! The savers themselves never need a listing (they work by id), but
+//! operators do: "what is stored here, by whom, how big?". The catalog
+//! reads only metadata documents — it never touches parameter blobs.
+
+use crate::approach::common;
+use crate::env::ManagementEnv;
+use crate::model_set::ModelSetId;
+use mmm_util::Result;
+use serde_json::Value;
+
+/// Summary of one archived set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetSummary {
+    /// The set's id (usable with any saver of that approach).
+    pub id: ModelSetId,
+    /// `"full"`, `"diff"`, `"diffz"`, or `"prov"`.
+    pub kind: String,
+    /// Number of models in the set.
+    pub n_models: usize,
+    /// The base set's key, for derived sets.
+    pub base: Option<String>,
+}
+
+/// List all archived sets: the set-oriented approaches' documents plus
+/// MMlib-base's per-model documents grouped into their save batches.
+/// Sorted by approach, then key.
+pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
+    let mut out = Vec::new();
+
+    // Set-oriented approaches: one document per set.
+    for approach in ["baseline", "update", "provenance"] {
+        let docs = env
+            .docs()
+            .find_eq(common::SETS_COLLECTION, "approach", &Value::String(approach.into()))?;
+        for (doc_id, doc) in docs {
+            out.push(SetSummary {
+                id: ModelSetId { approach: approach.into(), key: doc_id.to_string() },
+                kind: doc
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                n_models: doc.get("n_models").and_then(Value::as_u64).unwrap_or(0) as usize,
+                base: doc.get("base").and_then(Value::as_str).map(String::from),
+            });
+        }
+    }
+
+    // MMlib-base: group per-model documents back into their save
+    // batches using the batch-head marker on each save's first document.
+    let mmlib_docs = env
+        .docs()
+        .find_eq("models", "approach", &Value::String("mmlib-base".into()))?;
+    let mut rows: Vec<(u64, bool)> = mmlib_docs
+        .iter()
+        .map(|(id, doc)| (*id, doc.get("batch_head").and_then(Value::as_bool).unwrap_or(false)))
+        .collect();
+    rows.sort_unstable_by_key(|(id, _)| *id);
+    let mut i = 0;
+    while i < rows.len() {
+        let start = rows[i].0;
+        let mut end = i;
+        while end + 1 < rows.len() && !rows[end + 1].1 {
+            end += 1;
+        }
+        let count = end - i + 1;
+        out.push(SetSummary {
+            id: ModelSetId { approach: "mmlib-base".into(), key: format!("{start}:{count}") },
+            kind: "full".into(),
+            n_models: count,
+            base: None,
+        });
+        i = end + 1;
+    }
+
+    out.sort_by(|a, b| (a.id.approach.as_str(), a.id.key.as_str()).cmp(&(b.id.approach.as_str(), b.id.key.as_str())));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, UpdateSaver};
+    use crate::model_set::{Derivation, ModelSet};
+    use mmm_dnn::{Architectures, TrainConfig};
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n).map(|i| arch.build(seed + i as u64).export_param_dict()).collect();
+        ModelSet::new(arch, models)
+    }
+
+    #[test]
+    fn catalog_lists_every_approach() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let s = set(4, 0);
+        let idb = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        let idm = MmlibBaseSaver::new().save_initial(&env, &s).unwrap();
+        let mut u = UpdateSaver::new();
+        let idu0 = u.save_initial(&env, &s).unwrap();
+        let mut s1 = s.clone();
+        s1.models[0].layers[0].data[0] += 1.0;
+        let d = Derivation {
+            base: idu0.clone(),
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        };
+        let idu1 = u.save_set(&env, &s1, Some(&d)).unwrap();
+
+        let cat = list_sets(&env).unwrap();
+        assert_eq!(cat.len(), 4);
+        let find = |id: &ModelSetId| cat.iter().find(|e| &e.id == id).expect("listed");
+        assert_eq!(find(&idb).kind, "full");
+        assert_eq!(find(&idm).n_models, 4);
+        assert_eq!(find(&idu1).kind, "diff");
+        assert_eq!(find(&idu1).base.as_deref(), Some(idu0.key.as_str()));
+    }
+
+    #[test]
+    fn mmlib_batches_are_grouped_by_id_gap() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut m = MmlibBaseSaver::new();
+        let id1 = m.save_initial(&env, &set(3, 1)).unwrap();
+        let id2 = m.save_initial(&env, &set(5, 2)).unwrap();
+        let cat = list_sets(&env).unwrap();
+        let mmlib: Vec<&SetSummary> = cat.iter().filter(|e| e.id.approach == "mmlib-base").collect();
+        assert_eq!(mmlib.len(), 2);
+        assert!(mmlib.iter().any(|e| e.id == id1 && e.n_models == 3));
+        assert!(mmlib.iter().any(|e| e.id == id2 && e.n_models == 5));
+    }
+
+    #[test]
+    fn empty_environment_lists_nothing() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        assert!(list_sets(&env).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Delta-encoding compression (paper §4.5, future work).
+//!
+//! The paper's discussion notes that Update deduplicates only *exactly
+//! equal* parameters and that "related work shows that the storage
+//! consumption can be reduced using delta encoding and other compression
+//! techniques". This module implements that extension as an ablation the
+//! benchmark harness can toggle:
+//!
+//! Changed layers are encoded as the XOR of the new and base parameter
+//! bit patterns. After a partial training run many parameters are
+//! *unchanged* (frozen layers are diffed away already, but even inside
+//! retrained layers some values survive), so the XOR stream contains
+//! zero runs, which a run-length + varint scheme stores compactly.
+//! Bit-exact by construction.
+
+use mmm_util::codec::{put_varint, Reader};
+use mmm_util::{Error, Result};
+
+/// Compress `new` against `base` (same length) into a delta blob.
+///
+/// Format: repeated groups of
+/// `(varint zero_run, varint nonzero_run, nonzero_run × u32 xor-words)`
+/// until all words are covered.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn compress_delta(base: &[f32], new: &[f32]) -> Vec<u8> {
+    assert_eq!(base.len(), new.len(), "delta operands must have equal length");
+    let xor: Vec<u32> = base
+        .iter()
+        .zip(new)
+        .map(|(b, n)| b.to_bits() ^ n.to_bits())
+        .collect();
+
+    let mut out = Vec::new();
+    put_varint(&mut out, xor.len() as u64);
+    let mut i = 0;
+    while i < xor.len() {
+        let zero_start = i;
+        while i < xor.len() && xor[i] == 0 {
+            i += 1;
+        }
+        put_varint(&mut out, (i - zero_start) as u64);
+        let nz_start = i;
+        while i < xor.len() && xor[i] != 0 {
+            i += 1;
+        }
+        put_varint(&mut out, (i - nz_start) as u64);
+        for &w in &xor[nz_start..i] {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Reconstruct the new parameters from `base` and a delta blob.
+pub fn decompress_delta(base: &[f32], blob: &[u8]) -> Result<Vec<f32>> {
+    let mut r = Reader::new(blob);
+    let n = r.varint()? as usize;
+    if n != base.len() {
+        return Err(Error::corrupt(format!(
+            "delta encodes {n} params, base has {}",
+            base.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let zeros = r.varint()? as usize;
+        if out.len() + zeros > n {
+            return Err(Error::corrupt("zero run overflows parameter count"));
+        }
+        for _ in 0..zeros {
+            out.push(base[out.len()]);
+        }
+        let nonzeros = r.varint()? as usize;
+        if out.len() + nonzeros > n {
+            return Err(Error::corrupt("nonzero run overflows parameter count"));
+        }
+        for _ in 0..nonzeros {
+            let bytes = r.bytes(4)?;
+            let w = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+            out.push(f32::from_bits(base[out.len()].to_bits() ^ w));
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(Error::corrupt("trailing bytes after delta stream"));
+    }
+    Ok(out)
+}
+
+/// Compression statistics for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaStats {
+    /// Raw size (4 bytes/param).
+    pub raw_bytes: usize,
+    /// Encoded size.
+    pub encoded_bytes: usize,
+}
+
+impl DeltaStats {
+    /// Measure how well delta encoding does on a layer pair.
+    pub fn measure(base: &[f32], new: &[f32]) -> Self {
+        DeltaStats {
+            raw_bytes: 4 * new.len(),
+            encoded_bytes: compress_delta(base, new).len(),
+        }
+    }
+
+    /// Encoded / raw ratio (< 1 is a win).
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.encoded_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::{Rng, Xoshiro256pp};
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_params_compress_to_almost_nothing() {
+        let xs: Vec<f32> = (0..5000).map(|i| i as f32 * 0.1).collect();
+        let blob = compress_delta(&xs, &xs);
+        assert!(blob.len() < 16, "all-zero xor stream: {} bytes", blob.len());
+        assert_eq!(decompress_delta(&xs, &blob).unwrap(), xs);
+    }
+
+    #[test]
+    fn sparse_changes_compress_well() {
+        let base: Vec<f32> = (0..5000).map(|i| (i as f32).sin()).collect();
+        let mut new = base.clone();
+        for i in (0..5000).step_by(100) {
+            new[i] += 1.0;
+        }
+        let stats = DeltaStats::measure(&base, &new);
+        assert!(stats.ratio() < 0.1, "ratio {}", stats.ratio());
+        assert_eq!(decompress_delta(&base, &compress_delta(&base, &new)).unwrap(), new);
+    }
+
+    #[test]
+    fn dense_changes_cost_little_overhead() {
+        let mut rng = Xoshiro256pp::new(1);
+        let base: Vec<f32> = (0..1000).map(|_| rng.normal()).collect();
+        let new: Vec<f32> = (0..1000).map(|_| rng.normal()).collect();
+        let stats = DeltaStats::measure(&base, &new);
+        // Fully random: no compression, bounded overhead.
+        assert!(stats.ratio() < 1.05, "ratio {}", stats.ratio());
+    }
+
+    #[test]
+    fn nan_and_inf_roundtrip_bitexactly() {
+        let base = vec![1.0f32, f32::NAN, f32::INFINITY, -0.0];
+        let new = vec![f32::NAN, f32::NAN, 2.0, 0.0];
+        let blob = compress_delta(&base, &new);
+        let got = decompress_delta(&base, &blob).unwrap();
+        let a: Vec<u32> = new.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_base_length_is_corrupt() {
+        let base = vec![1.0f32; 10];
+        let blob = compress_delta(&base, &base);
+        assert!(decompress_delta(&base[..5], &blob).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_is_corrupt() {
+        let base: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let new: Vec<f32> = base.iter().map(|x| x + 1.0).collect();
+        let blob = compress_delta(&base, &new);
+        assert!(decompress_delta(&base, &blob[..blob.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn empty_slice() {
+        let blob = compress_delta(&[], &[]);
+        assert_eq!(decompress_delta(&[], &blob).unwrap(), Vec::<f32>::new());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip(seed in 0u64..10_000, sparsity in 0.0f64..1.0) {
+            let mut rng = Xoshiro256pp::new(seed);
+            let n = 1 + rng.below(300) as usize;
+            let base: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+            let new: Vec<f32> = base
+                .iter()
+                .map(|&b| if rng.next_f64() < sparsity { b + rng.normal() } else { b })
+                .collect();
+            let got = decompress_delta(&base, &compress_delta(&base, &new)).unwrap();
+            let a: Vec<u32> = new.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Lineage inspection for saved model sets.
+//!
+//! Update and Provenance sets form chains back to a full snapshot; this
+//! module walks those chains (read-only) so tools can display or reason
+//! about recovery cost before paying it.
+
+use crate::approach::common;
+use crate::env::ManagementEnv;
+use crate::model_set::ModelSetId;
+use mmm_util::{Error, Result};
+use serde_json::Value;
+
+/// One link in a set's lineage chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageNode {
+    /// The set's id.
+    pub id: ModelSetId,
+    /// `"full"`, `"diff"`, or `"prov"`.
+    pub kind: String,
+    /// Models in the set.
+    pub n_models: usize,
+    /// Changed layers (diff) or recorded updates (prov); 0 for full.
+    pub n_changes: usize,
+}
+
+/// Walk a set's lineage from the requested set back to its full
+/// snapshot. The first element is the requested set; the last is the
+/// full snapshot it bottoms out in. Baseline and MMlib-base sets have a
+/// single-node lineage.
+pub fn lineage(env: &ManagementEnv, id: &ModelSetId) -> Result<Vec<LineageNode>> {
+    if id.approach == "mmlib-base" {
+        // Per-model storage; the set is self-contained by construction.
+        let count = id
+            .key
+            .split_once(':')
+            .and_then(|(_, c)| c.parse::<usize>().ok())
+            .ok_or_else(|| Error::invalid(format!("malformed mmlib set key {:?}", id.key)))?;
+        return Ok(vec![LineageNode {
+            id: id.clone(),
+            kind: "full".into(),
+            n_models: count,
+            n_changes: 0,
+        }]);
+    }
+
+    let mut out = Vec::new();
+    let mut cursor = common::doc_id_of(id)?;
+    loop {
+        let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+        let kind = doc
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::corrupt("set document without kind"))?
+            .to_string();
+        let n_models = doc.get("n_models").and_then(Value::as_u64).unwrap_or(0) as usize;
+        let n_changes = doc
+            .get("n_changed_layers")
+            .or_else(|| doc.get("n_updates"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize;
+        out.push(LineageNode {
+            id: ModelSetId { approach: id.approach.clone(), key: cursor.to_string() },
+            kind: kind.clone(),
+            n_models,
+            n_changes,
+        });
+        if kind == "full" {
+            return Ok(out);
+        }
+        cursor = doc
+            .get("base")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| Error::corrupt("derived set document without base"))?;
+    }
+}
+
+/// The recovery depth of a set: how many derived levels sit between it
+/// and its full snapshot (0 for a full save).
+pub fn recovery_depth(env: &ManagementEnv, id: &ModelSetId) -> Result<usize> {
+    Ok(lineage(env, id)?.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approach::{ModelSetSaver, UpdateSaver};
+    use crate::model_set::{Derivation, ModelSet};
+    use mmm_dnn::{Architectures, TrainConfig};
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n).map(|i| arch.build(seed + i as u64).export_param_dict()).collect();
+        ModelSet::new(arch, models)
+    }
+
+    #[test]
+    fn chain_depth_tracks_saves() {
+        let dir = TempDir::new("mmm-lineage").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(4, 0);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        assert_eq!(recovery_depth(&env, &id0).unwrap(), 0);
+
+        for v in &mut s.models[0].layers[0].data {
+            *v += 1.0;
+        }
+        let d = Derivation {
+            base: id0.clone(),
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        };
+        let id1 = saver.save_set(&env, &s, Some(&d)).unwrap();
+        assert_eq!(recovery_depth(&env, &id1).unwrap(), 1);
+
+        let chain = lineage(&env, &id1).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].kind, "diff");
+        assert_eq!(chain[0].n_changes, 1);
+        assert_eq!(chain[1].kind, "full");
+        assert_eq!(chain[1].id, id0);
+    }
+
+    #[test]
+    fn mmlib_lineage_is_single_node() {
+        let dir = TempDir::new("mmm-lineage").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let id = ModelSetId { approach: "mmlib-base".into(), key: "0:12".into() };
+        let chain = lineage(&env, &id).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].n_models, 12);
+    }
+}

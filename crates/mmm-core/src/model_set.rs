@@ -1,0 +1,194 @@
+//! Model sets, their identities, and derivation records.
+
+use mmm_data::registry::DatasetRef;
+use mmm_dnn::{ArchitectureSpec, ParamDict, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// A set of models sharing one architecture (the unit of multi-model
+/// management, Figure 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSet {
+    /// The shared architecture.
+    pub arch: ArchitectureSpec,
+    /// One parameter dictionary per model.
+    pub models: Vec<ParamDict>,
+}
+
+impl ModelSet {
+    /// Construct and validate: every model must match the architecture's
+    /// parametric layer layout exactly.
+    ///
+    /// # Panics
+    /// Panics on any layer-count or parameter-count mismatch.
+    pub fn new(arch: ArchitectureSpec, models: Vec<ParamDict>) -> Self {
+        let sizes = arch.parametric_layer_sizes();
+        for (i, m) in models.iter().enumerate() {
+            assert_eq!(
+                m.layers.len(),
+                sizes.len(),
+                "model {i} has {} layers, architecture has {}",
+                m.layers.len(),
+                sizes.len()
+            );
+            for (j, (l, &s)) in m.layers.iter().zip(&sizes).enumerate() {
+                assert_eq!(
+                    l.data.len(),
+                    s,
+                    "model {i} layer {j} has {} params, architecture says {s}",
+                    l.data.len()
+                );
+            }
+        }
+        ModelSet { arch, models }
+    }
+
+    /// The models in the set.
+    pub fn models(&self) -> &[ParamDict] {
+        &self.models
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when the set holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Total parameters across the whole set.
+    pub fn total_params(&self) -> usize {
+        self.models.len() * self.arch.param_count()
+    }
+}
+
+/// Persistent identity of a saved model set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSetId {
+    /// Which approach produced it ("mmlib-base", "baseline", "update",
+    /// "provenance").
+    pub approach: String,
+    /// Approach-specific key (document id, or id range for MMlib-base).
+    pub key: String,
+}
+
+impl std::fmt::Display for ModelSetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.approach, self.key)
+    }
+}
+
+/// How a model was updated relative to the base set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// All layers retrained.
+    Full,
+    /// Only the listed parametric layers retrained.
+    Partial {
+        /// Parametric-layer indices that were trainable.
+        layers: Vec<usize>,
+    },
+}
+
+impl UpdateKind {
+    /// The trainable parametric-layer indices for a model with
+    /// `n_layers` parametric layers.
+    pub fn trainable_layers(&self, n_layers: usize) -> Vec<usize> {
+        match self {
+            UpdateKind::Full => (0..n_layers).collect(),
+            UpdateKind::Partial { layers } => layers.clone(),
+        }
+    }
+}
+
+/// One model's update within a derivation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Index of the model within the set.
+    pub model_idx: usize,
+    /// Full or partial update.
+    pub kind: UpdateKind,
+    /// The training dataset used, as a registry reference. The data
+    /// itself is stored outside model management (paper assumption O2).
+    pub dataset: DatasetRef,
+    /// Seed for the deterministic training run of this model.
+    pub seed: u64,
+}
+
+/// How a derived set was produced from its base set. Models not listed in
+/// `updates` are unchanged copies of the base models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Derivation {
+    /// The base model set.
+    pub base: ModelSetId,
+    /// The shared training configuration ("the training procedure ...
+    /// differs only by the used data", paper §3.4). The per-model seed in
+    /// [`ModelUpdate`] overrides `train.seed`.
+    pub train: TrainConfig,
+    /// The updated models.
+    pub updates: Vec<ModelUpdate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_dnn::Architectures;
+
+    fn tiny_set(n: usize) -> ModelSet {
+        let arch = Architectures::ffnn(4);
+        let models = (0..n)
+            .map(|i| arch.build(i as u64).export_param_dict())
+            .collect();
+        ModelSet::new(arch, models)
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let s = tiny_set(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.total_params(), 3 * s.arch.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "layer 0 has")]
+    fn wrong_param_count_panics() {
+        let arch = Architectures::ffnn(4);
+        let mut dict = arch.build(0).export_param_dict();
+        dict.layers[0].data.pop();
+        let _ = ModelSet::new(arch, vec![dict]);
+    }
+
+    #[test]
+    fn id_display() {
+        let id = ModelSetId { approach: "baseline".into(), key: "7".into() };
+        assert_eq!(id.to_string(), "baseline:7");
+    }
+
+    #[test]
+    fn update_kind_layers() {
+        assert_eq!(UpdateKind::Full.trainable_layers(4), vec![0, 1, 2, 3]);
+        assert_eq!(
+            UpdateKind::Partial { layers: vec![1, 2] }.trainable_layers(4),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_of_derivation() {
+        let d = Derivation {
+            base: ModelSetId { approach: "baseline".into(), key: "0".into() },
+            train: TrainConfig::regression_default(1),
+            updates: vec![ModelUpdate {
+                model_idx: 3,
+                kind: UpdateKind::Partial { layers: vec![1] },
+                dataset: DatasetRef { id: "abc".into(), n_samples: 10 },
+                seed: 42,
+            }],
+        };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Derivation = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, back);
+    }
+}

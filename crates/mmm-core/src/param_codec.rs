@@ -1,0 +1,347 @@
+//! Binary formats for persisted parameters.
+//!
+//! Four formats, matching the paper's descriptions:
+//!
+//! * **Concatenated set parameters** (Baseline, §3.2): the raw IEEE-754
+//!   `f32` bytes of every model back to back — *no* per-model framing.
+//!   "How many parameters each model and layer has" is recovered from the
+//!   architecture metadata saved once per set.
+//! * **Verbose per-model dict** (MMlib-base, §2.2/§4.2): one model's
+//!   parameters with per-layer name, dtype and shape framing — the
+//!   pickle-style serialization whose repeated overhead Baseline removes.
+//! * **Hash table** (Update, §3.3): the per-model, per-layer xxhash64
+//!   values used "to detect changes without having to load the full
+//!   representation of the previous model".
+//! * **Diff file** (Update, §3.3): the changed-layer list plus the
+//!   changed layers' parameters concatenated.
+
+use mmm_dnn::{LayerParams, ParamDict};
+use mmm_util::codec::{put_f32_slice, put_str, put_u32, put_u64, Reader};
+use mmm_util::{Error, Result};
+
+/// Encode a whole set's parameters as one raw `f32` blob (Baseline).
+pub fn encode_concat(models: &[ParamDict]) -> Vec<u8> {
+    let per_model: usize = models.first().map(|m| m.param_count()).unwrap_or(0);
+    let mut buf = Vec::with_capacity(4 * per_model * models.len());
+    for m in models {
+        for l in &m.layers {
+            put_f32_slice(&mut buf, &l.data);
+        }
+    }
+    buf
+}
+
+/// Decode a concatenated set blob back into per-model dictionaries, given
+/// the per-layer names and sizes from the set's architecture metadata.
+pub fn decode_concat(
+    bytes: &[u8],
+    n_models: usize,
+    layer_names: &[String],
+    layer_sizes: &[usize],
+) -> Result<Vec<ParamDict>> {
+    let per_model: usize = layer_sizes.iter().sum();
+    let expect = 4 * per_model * n_models;
+    if bytes.len() != expect {
+        return Err(Error::corrupt(format!(
+            "concat blob is {} bytes, expected {expect} ({n_models} models × {per_model} params × 4)",
+            bytes.len()
+        )));
+    }
+    let mut r = Reader::new(bytes);
+    let mut out = Vec::with_capacity(n_models);
+    for _ in 0..n_models {
+        let mut layers = Vec::with_capacity(layer_sizes.len());
+        for (name, &size) in layer_names.iter().zip(layer_sizes) {
+            layers.push(LayerParams { name: name.clone(), data: r.f32_slice(size)? });
+        }
+        out.push(ParamDict { layers });
+    }
+    Ok(out)
+}
+
+/// Encode one model's parameters verbosely (MMlib-base): per layer, a
+/// name string, a dtype string, an element count, then the data.
+pub fn encode_verbose_dict(dict: &ParamDict) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"PKLD"); // dict magic
+    put_u32(&mut buf, dict.layers.len() as u32);
+    for l in &dict.layers {
+        put_str(&mut buf, &l.name);
+        put_str(&mut buf, "torch.FloatTensor");
+        put_str(&mut buf, "little-endian");
+        put_u64(&mut buf, l.data.len() as u64);
+        put_f32_slice(&mut buf, &l.data);
+    }
+    buf
+}
+
+/// Decode a verbose per-model dict.
+pub fn decode_verbose_dict(bytes: &[u8]) -> Result<ParamDict> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4)? != b"PKLD" {
+        return Err(Error::corrupt("bad verbose-dict magic"));
+    }
+    let n_layers = r.u32()? as usize;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let name = r.str()?;
+        let _dtype = r.str()?;
+        let _endian = r.str()?;
+        let n = r.u64()? as usize;
+        layers.push(LayerParams { name, data: r.f32_slice(n)? });
+    }
+    Ok(ParamDict { layers })
+}
+
+/// Encode the per-model, per-layer hash table (row-major `[model][layer]`).
+pub fn encode_hashes(hashes: &[Vec<u64>]) -> Vec<u8> {
+    let n_layers = hashes.first().map(Vec::len).unwrap_or(0);
+    let mut buf = Vec::with_capacity(16 + 8 * hashes.len() * n_layers);
+    put_u64(&mut buf, hashes.len() as u64);
+    put_u64(&mut buf, n_layers as u64);
+    for row in hashes {
+        debug_assert_eq!(row.len(), n_layers);
+        for &h in row {
+            put_u64(&mut buf, h);
+        }
+    }
+    buf
+}
+
+/// Decode the hash table.
+pub fn decode_hashes(bytes: &[u8]) -> Result<Vec<Vec<u64>>> {
+    let mut r = Reader::new(bytes);
+    let n_models = r.u64()? as usize;
+    let n_layers = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n_models);
+    for _ in 0..n_models {
+        let mut row = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            row.push(r.u64()?);
+        }
+        out.push(row);
+    }
+    if r.remaining() != 0 {
+        return Err(Error::corrupt("trailing bytes after hash table"));
+    }
+    Ok(out)
+}
+
+/// One changed layer in a diff file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Model index within the set.
+    pub model_idx: u32,
+    /// Parametric layer index within the model.
+    pub layer_idx: u32,
+    /// The layer's new parameters.
+    pub data: Vec<f32>,
+}
+
+/// Encode a diff file: the changed-layer list plus all changed parameters
+/// concatenated into one blob (Update, step 4 of §3.3).
+pub fn encode_diff(entries: &[DiffEntry]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|e| e.data.len()).sum();
+    let mut buf = Vec::with_capacity(16 + 12 * entries.len() + 4 * total);
+    buf.extend_from_slice(b"DIFF");
+    put_u32(&mut buf, entries.len() as u32);
+    for e in entries {
+        put_u32(&mut buf, e.model_idx);
+        put_u32(&mut buf, e.layer_idx);
+        put_u32(&mut buf, e.data.len() as u32);
+    }
+    for e in entries {
+        put_f32_slice(&mut buf, &e.data);
+    }
+    buf
+}
+
+/// Decode a diff file.
+pub fn decode_diff(bytes: &[u8]) -> Result<Vec<DiffEntry>> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4)? != b"DIFF" {
+        return Err(Error::corrupt("bad diff magic"));
+    }
+    let n = r.u32()? as usize;
+    let mut heads = Vec::with_capacity(n);
+    for _ in 0..n {
+        let model_idx = r.u32()?;
+        let layer_idx = r.u32()?;
+        let count = r.u32()? as usize;
+        heads.push((model_idx, layer_idx, count));
+    }
+    let mut out = Vec::with_capacity(n);
+    for (model_idx, layer_idx, count) in heads {
+        out.push(DiffEntry { model_idx, layer_idx, data: r.f32_slice(count)? });
+    }
+    if r.remaining() != 0 {
+        return Err(Error::corrupt("trailing bytes after diff data"));
+    }
+    Ok(out)
+}
+
+/// One delta-compressed changed layer (Update's §4.5 compression
+/// extension): the payload is a [`crate::delta`] blob against the base
+/// set's layer values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedDiffEntry {
+    /// Model index within the set.
+    pub model_idx: u32,
+    /// Parametric layer index within the model.
+    pub layer_idx: u32,
+    /// Delta blob (decode with [`crate::delta::decompress_delta`]).
+    pub blob: Vec<u8>,
+}
+
+/// Encode a compressed diff file (magic `DIFZ`).
+pub fn encode_diff_compressed(entries: &[CompressedDiffEntry]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|e| e.blob.len()).sum();
+    let mut buf = Vec::with_capacity(16 + 12 * entries.len() + total);
+    buf.extend_from_slice(b"DIFZ");
+    put_u32(&mut buf, entries.len() as u32);
+    for e in entries {
+        put_u32(&mut buf, e.model_idx);
+        put_u32(&mut buf, e.layer_idx);
+        put_u32(&mut buf, e.blob.len() as u32);
+    }
+    for e in entries {
+        buf.extend_from_slice(&e.blob);
+    }
+    buf
+}
+
+/// Decode a compressed diff file.
+pub fn decode_diff_compressed(bytes: &[u8]) -> Result<Vec<CompressedDiffEntry>> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4)? != b"DIFZ" {
+        return Err(Error::corrupt("bad compressed-diff magic"));
+    }
+    let n = r.u32()? as usize;
+    let mut heads = Vec::with_capacity(n);
+    for _ in 0..n {
+        let model_idx = r.u32()?;
+        let layer_idx = r.u32()?;
+        let len = r.u32()? as usize;
+        heads.push((model_idx, layer_idx, len));
+    }
+    let mut out = Vec::with_capacity(n);
+    for (model_idx, layer_idx, len) in heads {
+        out.push(CompressedDiffEntry {
+            model_idx,
+            layer_idx,
+            blob: r.bytes(len)?.to_vec(),
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(Error::corrupt("trailing bytes after compressed diff data"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_dnn::Architectures;
+
+    fn dicts(n: usize) -> (Vec<ParamDict>, Vec<String>, Vec<usize>) {
+        let arch = Architectures::ffnn(6);
+        let models: Vec<ParamDict> = (0..n).map(|i| arch.build(i as u64).export_param_dict()).collect();
+        (models, arch.parametric_layer_names(), arch.parametric_layer_sizes())
+    }
+
+    #[test]
+    fn concat_roundtrip() {
+        let (models, names, sizes) = dicts(5);
+        let blob = encode_concat(&models);
+        assert_eq!(blob.len(), 4 * 5 * sizes.iter().sum::<usize>(), "raw floats only, zero framing");
+        let back = decode_concat(&blob, 5, &names, &sizes).unwrap();
+        assert_eq!(models, back);
+    }
+
+    #[test]
+    fn concat_wrong_size_is_corrupt() {
+        let (models, names, sizes) = dicts(2);
+        let blob = encode_concat(&models);
+        assert!(decode_concat(&blob, 3, &names, &sizes).is_err());
+        assert!(decode_concat(&blob[..blob.len() - 4], 2, &names, &sizes).is_err());
+    }
+
+    #[test]
+    fn verbose_dict_roundtrip_and_overhead() {
+        let (models, _, _) = dicts(1);
+        let blob = encode_verbose_dict(&models[0]);
+        let raw = 4 * models[0].param_count();
+        assert!(blob.len() > raw + 100, "verbose format must carry framing overhead");
+        assert_eq!(decode_verbose_dict(&blob).unwrap(), models[0]);
+    }
+
+    #[test]
+    fn verbose_dict_bad_magic() {
+        assert!(decode_verbose_dict(b"NOPE....").is_err());
+    }
+
+    #[test]
+    fn hash_table_roundtrip() {
+        let hashes = vec![vec![1u64, 2, 3], vec![4, 5, 6]];
+        let blob = encode_hashes(&hashes);
+        assert_eq!(blob.len(), 16 + 8 * 6);
+        assert_eq!(decode_hashes(&blob).unwrap(), hashes);
+    }
+
+    #[test]
+    fn hash_table_trailing_bytes_is_corrupt() {
+        let mut blob = encode_hashes(&[vec![1u64]]);
+        blob.push(0);
+        assert!(decode_hashes(&blob).is_err());
+    }
+
+    #[test]
+    fn empty_hash_table() {
+        let blob = encode_hashes(&[]);
+        assert_eq!(decode_hashes(&blob).unwrap(), Vec::<Vec<u64>>::new());
+    }
+
+    #[test]
+    fn diff_roundtrip() {
+        let entries = vec![
+            DiffEntry { model_idx: 3, layer_idx: 0, data: vec![1.0, 2.0] },
+            DiffEntry { model_idx: 7, layer_idx: 2, data: vec![-0.5] },
+        ];
+        let blob = encode_diff(&entries);
+        assert_eq!(decode_diff(&blob).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_diff_roundtrip() {
+        let blob = encode_diff(&[]);
+        assert_eq!(decode_diff(&blob).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn compressed_diff_roundtrip() {
+        let entries = vec![
+            CompressedDiffEntry { model_idx: 1, layer_idx: 2, blob: vec![1, 2, 3] },
+            CompressedDiffEntry { model_idx: 9, layer_idx: 0, blob: vec![] },
+        ];
+        let blob = encode_diff_compressed(&entries);
+        assert_eq!(decode_diff_compressed(&blob).unwrap(), entries);
+        // Empty file.
+        let empty = encode_diff_compressed(&[]);
+        assert!(decode_diff_compressed(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compressed_diff_rejects_wrong_magic_and_trailing() {
+        assert!(decode_diff_compressed(b"DIFF\x00\x00\x00\x00").is_err());
+        let mut blob = encode_diff_compressed(&[]);
+        blob.push(7);
+        assert!(decode_diff_compressed(&blob).is_err());
+    }
+
+    #[test]
+    fn diff_truncation_is_corrupt() {
+        let entries = vec![DiffEntry { model_idx: 0, layer_idx: 0, data: vec![1.0; 10] }];
+        let blob = encode_diff(&entries);
+        assert!(decode_diff(&blob[..blob.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! User-defined tags on saved model sets.
+//!
+//! Archived fleets accumulate thousands of sets; analysts need to mark
+//! and find the interesting ones ("post-accident", "pre-recall-fix",
+//! "golden"). Tags are tiny documents in their own collection, so they
+//! add no weight to the savers' artifacts and survive alongside them.
+
+use crate::env::ManagementEnv;
+use crate::model_set::ModelSetId;
+use mmm_util::Result;
+use serde_json::{json, Value};
+
+/// Document-store collection holding one document per (set, tag) pair.
+pub const TAGS_COLLECTION: &str = "set_tags";
+
+/// Attach a tag to a saved set. Idempotent: tagging twice is a no-op.
+pub fn tag_set(env: &ManagementEnv, id: &ModelSetId, tag: &str) -> Result<()> {
+    if tags_of(env, id)?.iter().any(|t| t == tag) {
+        return Ok(());
+    }
+    env.docs()
+        .insert(TAGS_COLLECTION, json!({"set": id.to_string(), "tag": tag}))?;
+    Ok(())
+}
+
+/// Remove a tag from a set (no-op when absent).
+pub fn untag_set(env: &ManagementEnv, id: &ModelSetId, tag: &str) -> Result<()> {
+    let hits = env
+        .docs()
+        .find_eq(TAGS_COLLECTION, "set", &json!(id.to_string()))?;
+    for (doc_id, doc) in hits {
+        if doc.get("tag").and_then(Value::as_str) == Some(tag) {
+            env.docs().delete(TAGS_COLLECTION, doc_id)?;
+        }
+    }
+    Ok(())
+}
+
+/// All tags of one set, sorted.
+pub fn tags_of(env: &ManagementEnv, id: &ModelSetId) -> Result<Vec<String>> {
+    let hits = env
+        .docs()
+        .find_eq(TAGS_COLLECTION, "set", &json!(id.to_string()))?;
+    let mut tags: Vec<String> = hits
+        .into_iter()
+        .filter_map(|(_, doc)| doc.get("tag").and_then(Value::as_str).map(String::from))
+        .collect();
+    tags.sort();
+    tags.dedup();
+    Ok(tags)
+}
+
+/// All sets carrying a tag.
+pub fn find_by_tag(env: &ManagementEnv, tag: &str) -> Result<Vec<ModelSetId>> {
+    let hits = env.docs().find_eq(TAGS_COLLECTION, "tag", &json!(tag))?;
+    let mut out = Vec::with_capacity(hits.len());
+    for (_, doc) in hits {
+        if let Some(s) = doc.get("set").and_then(Value::as_str) {
+            if let Some((approach, key)) = s.split_once(':') {
+                out.push(ModelSetId { approach: approach.into(), key: key.into() });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-tags").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    fn id(key: &str) -> ModelSetId {
+        ModelSetId { approach: "update".into(), key: key.into() }
+    }
+
+    #[test]
+    fn tag_untag_roundtrip() {
+        let (_d, env) = env();
+        let a = id("1");
+        tag_set(&env, &a, "golden").unwrap();
+        tag_set(&env, &a, "accident-2026-07").unwrap();
+        assert_eq!(tags_of(&env, &a).unwrap(), vec!["accident-2026-07", "golden"]);
+        untag_set(&env, &a, "golden").unwrap();
+        assert_eq!(tags_of(&env, &a).unwrap(), vec!["accident-2026-07"]);
+        // Removing an absent tag is fine.
+        untag_set(&env, &a, "golden").unwrap();
+    }
+
+    #[test]
+    fn tagging_is_idempotent() {
+        let (_d, env) = env();
+        let a = id("2");
+        tag_set(&env, &a, "golden").unwrap();
+        tag_set(&env, &a, "golden").unwrap();
+        assert_eq!(tags_of(&env, &a).unwrap().len(), 1);
+        assert_eq!(env.docs().count(TAGS_COLLECTION), 1);
+    }
+
+    #[test]
+    fn find_by_tag_spans_sets() {
+        let (_d, env) = env();
+        tag_set(&env, &id("1"), "golden").unwrap();
+        tag_set(&env, &id("7"), "golden").unwrap();
+        tag_set(&env, &id("7"), "other").unwrap();
+        let mut found = find_by_tag(&env, "golden").unwrap();
+        found.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(found, vec![id("1"), id("7")]);
+        assert!(find_by_tag(&env, "missing").unwrap().is_empty());
+    }
+
+    #[test]
+    fn tags_survive_reopen() {
+        let dir = TempDir::new("mmm-tags").unwrap();
+        {
+            let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+            tag_set(&env, &id("3"), "keep").unwrap();
+        }
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        assert_eq!(tags_of(&env, &id("3")).unwrap(), vec!["keep"]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Integrity verification of saved model sets.
+//!
+//! Archived models may sit for years before a post-accident recovery —
+//! exactly when corruption must *not* surface for the first time. This
+//! module audits a saved set without mutating anything: documents parse,
+//! every blob of the recovery chain exists with a plausible size, the
+//! chain bottoms out in a full snapshot, and (for the Update approach)
+//! the persisted layer hashes match the recovered parameters.
+
+use crate::approach::{common, ModelSetSaver, UpdateSaver};
+use crate::env::ManagementEnv;
+use crate::lineage::lineage;
+use crate::model_set::ModelSetId;
+use crate::param_codec::decode_hashes;
+use mmm_util::Result;
+use serde_json::Value;
+
+/// Result of verifying one set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Chain documents inspected.
+    pub docs_checked: usize,
+    /// Blobs whose existence/size was checked.
+    pub blobs_checked: usize,
+    /// Whether stored layer hashes were recomputed and compared.
+    pub hashes_checked: bool,
+    /// Problems found (empty = healthy).
+    pub issues: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when no issues were found.
+    pub fn is_healthy(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Verify one saved set's integrity. Never mutates the stores.
+pub fn verify_set(env: &ManagementEnv, id: &ModelSetId) -> Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+
+    if id.approach == "mmlib-base" {
+        verify_mmlib(env, id, &mut report);
+        return Ok(report);
+    }
+
+    // Walk the chain (lineage() itself validates the doc structure).
+    let chain = match lineage(env, id) {
+        Ok(c) => c,
+        Err(e) => {
+            report.issues.push(format!("lineage walk failed: {e}"));
+            return Ok(report);
+        }
+    };
+    report.docs_checked = chain.len();
+
+    if chain.last().map(|n| n.kind.as_str()) != Some("full") {
+        report.issues.push("chain does not bottom out in a full snapshot".into());
+    }
+
+    for node in &chain {
+        let doc_id = match node.id.key.parse::<u64>() {
+            Ok(d) => d,
+            Err(_) => {
+                report.issues.push(format!("malformed key {:?}", node.id.key));
+                continue;
+            }
+        };
+        let expected_blobs: Vec<String> = match (id.approach.as_str(), node.kind.as_str()) {
+            ("baseline", "full") => vec![common::params_key("baseline", doc_id)],
+            ("provenance", "full") => vec![common::params_key("provenance", doc_id)],
+            ("provenance", "prov") => vec![format!("provenance/{doc_id}/updates.jsonl")],
+            ("update", "full") => vec![
+                common::params_key("update", doc_id),
+                format!("update/{doc_id}/hashes.bin"),
+            ],
+            ("update", "diff" | "diffz") => vec![
+                format!("update/{doc_id}/diff.bin"),
+                format!("update/{doc_id}/hashes.bin"),
+            ],
+            (a, k) => {
+                report.issues.push(format!("unexpected approach/kind ({a}, {k})"));
+                continue;
+            }
+        };
+        for key in expected_blobs {
+            report.blobs_checked += 1;
+            match env.blobs().size(&key) {
+                Ok(_) => {}
+                Err(e) => report.issues.push(format!("blob {key}: {e}")),
+            }
+        }
+    }
+
+    // For Update sets: recompute layer hashes of the recovered parameters
+    // and compare against the persisted hash table — this catches silent
+    // bit corruption of the parameter payloads themselves.
+    if id.approach == "update" && report.issues.is_empty() {
+        let saver = UpdateSaver::new();
+        match saver.recover_set(env, id) {
+            Ok(set) => {
+                let doc_id = common::doc_id_of(id)?;
+                match env
+                    .blobs()
+                    .get(&format!("update/{doc_id}/hashes.bin"))
+                    .and_then(|b| decode_hashes(&b))
+                {
+                    Ok(stored) => {
+                        report.hashes_checked = true;
+                        for (mi, model) in set.models().iter().enumerate() {
+                            let fresh = model.layer_hashes();
+                            if stored.get(mi) != Some(&fresh) {
+                                report
+                                    .issues
+                                    .push(format!("model {mi}: recovered params do not match stored hashes"));
+                            }
+                        }
+                    }
+                    Err(e) => report.issues.push(format!("hash table unreadable: {e}")),
+                }
+            }
+            Err(e) => report.issues.push(format!("recovery failed: {e}")),
+        }
+    }
+
+    Ok(report)
+}
+
+fn verify_mmlib(env: &ManagementEnv, id: &ModelSetId, report: &mut VerifyReport) {
+    let Some((first, count)) = id
+        .key
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<usize>().ok()?)))
+    else {
+        report.issues.push(format!("malformed mmlib key {:?}", id.key));
+        return;
+    };
+    for i in 0..count {
+        let doc_id = first + i as u64;
+        report.docs_checked += 1;
+        match env.docs().get("models", doc_id) {
+            Ok(doc) => {
+                if doc.get("arch").and_then(Value::as_object).is_none() {
+                    report.issues.push(format!("model doc {doc_id} lacks arch"));
+                }
+            }
+            Err(e) => report.issues.push(format!("model doc {doc_id}: {e}")),
+        }
+        for artifact in ["params.pt", "code.py", "environment.yaml"] {
+            report.blobs_checked += 1;
+            let key = format!("mmlib/m{doc_id}/{artifact}");
+            if env.blobs().size(&key).is_err() {
+                report.issues.push(format!("missing blob {key}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approach::{BaselineSaver, MmlibBaseSaver, UpdateSaver};
+    use crate::model_set::{Derivation, ModelSet};
+    use mmm_dnn::{Architectures, TrainConfig};
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n).map(|i| arch.build(seed + i as u64).export_param_dict()).collect();
+        ModelSet::new(arch, models)
+    }
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-verify").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    #[test]
+    fn healthy_sets_verify_clean() {
+        let (_d, env) = env();
+        let s = set(5, 0);
+        let idb = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        let idm = MmlibBaseSaver::new().save_initial(&env, &s).unwrap();
+        let idu = UpdateSaver::new().save_initial(&env, &s).unwrap();
+        for id in [&idb, &idm, &idu] {
+            let r = verify_set(&env, id).unwrap();
+            assert!(r.is_healthy(), "{id}: {:?}", r.issues);
+            assert!(r.docs_checked > 0);
+            assert!(r.blobs_checked > 0);
+        }
+        let r = verify_set(&env, &idu).unwrap();
+        assert!(r.hashes_checked);
+    }
+
+    #[test]
+    fn missing_blob_is_reported() {
+        let (_d, env) = env();
+        let s = set(4, 1);
+        let id = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        env.blobs()
+            .delete(&format!("baseline/{}/params.bin", id.key))
+            .unwrap();
+        let r = verify_set(&env, &id).unwrap();
+        assert!(!r.is_healthy());
+        assert!(r.issues[0].contains("params.bin"), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn corrupted_update_params_fail_the_hash_audit() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(4, 2);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        s.models[0].layers[0].data[0] += 1.0;
+        let s1 = ModelSet::new(s.arch.clone(), s.models.clone());
+        let d = Derivation {
+            base: id0,
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        };
+        let id1 = saver.save_set(&env, &s1, Some(&d)).unwrap();
+
+        // Flip one byte inside the diff payload (past the header).
+        let key = format!("update/{}/diff.bin", id1.key);
+        let mut blob = env.blobs().get(&key).unwrap();
+        let n = blob.len();
+        blob[n - 1] ^= 0x01;
+        env.blobs().put(&key, &blob).unwrap();
+
+        let r = verify_set(&env, &id1).unwrap();
+        assert!(!r.is_healthy(), "bit flip must be caught");
+        assert!(r.issues.iter().any(|i| i.contains("stored hashes")), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn missing_mmlib_artifact_is_reported() {
+        let (_d, env) = env();
+        let s = set(3, 3);
+        let id = MmlibBaseSaver::new().save_initial(&env, &s).unwrap();
+        env.blobs().delete("mmlib/m1/code.py").unwrap();
+        let r = verify_set(&env, &id).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].contains("code.py"));
+    }
+
+    #[test]
+    fn orphaned_chain_is_reported_not_panicking() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(3, 4);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        s.models[0].layers[0].data[0] += 1.0;
+        let s1 = ModelSet::new(s.arch.clone(), s.models.clone());
+        let d = Derivation {
+            base: id0.clone(),
+            train: TrainConfig::regression_default(0),
+            updates: vec![],
+        };
+        let id1 = saver.save_set(&env, &s1, Some(&d)).unwrap();
+        crate::gc::delete_set(&env, &id0, true).unwrap();
+        let r = verify_set(&env, &id1).unwrap();
+        assert!(!r.is_healthy());
+    }
+}

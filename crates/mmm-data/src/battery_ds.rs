@@ -1,0 +1,55 @@
+//! Adapter from `mmm-battery` raw samples to a [`Dataset`].
+
+use crate::dataset::{Dataset, Targets};
+use mmm_battery::data::{generate_cell_data, CellDataConfig, RawSamples, FEATURES};
+use mmm_tensor::Tensor;
+
+/// Wrap raw battery samples into a regression dataset
+/// (`[n, 4]` features → `[n, 1]` voltage).
+pub fn from_raw(raw: &RawSamples) -> Dataset {
+    let n = raw.len();
+    Dataset::new(
+        Tensor::from_vec([n, FEATURES], raw.features.clone()),
+        Targets::Regression(Tensor::from_vec([n, 1], raw.targets.clone())),
+    )
+}
+
+/// Generate the training dataset for one cell at one update cycle.
+/// See [`generate_cell_data`] for determinism guarantees.
+pub fn battery_dataset(cfg: &CellDataConfig, cell_id: u64, update_cycle: u64, seed: u64) -> Dataset {
+    from_raw(&generate_cell_data(cfg, cell_id, update_cycle, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_battery::cycles::CycleConfig;
+
+    fn cfg() -> CellDataConfig {
+        CellDataConfig {
+            cycle: CycleConfig { duration_s: 120, load_scale: 1.0 },
+            n_cycles: 1,
+            sample_every: 4,
+            ..CellDataConfig::default()
+        }
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let d = battery_dataset(&cfg(), 0, 0, 1);
+        assert_eq!(d.inputs.shape(), &[30, 4]);
+        match d.targets {
+            Targets::Regression(ref t) => assert_eq!(t.shape(), &[30, 1]),
+            _ => panic!("battery data must be regression"),
+        }
+    }
+
+    #[test]
+    fn deterministic_content_hash() {
+        let a = battery_dataset(&cfg(), 7, 2, 5);
+        let b = battery_dataset(&cfg(), 7, 2, 5);
+        assert_eq!(a.content_hash(), b.content_hash());
+        let c = battery_dataset(&cfg(), 8, 2, 5);
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+}

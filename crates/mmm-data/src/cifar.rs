@@ -1,0 +1,147 @@
+//! Synthetic stand-in for CIFAR-10.
+//!
+//! The real CIFAR-10 images are not available in this environment; the
+//! management layer never looks at pixels, so any class-conditional image
+//! distribution that a small CNN can actually learn preserves the paper's
+//! experiment. Each class gets a deterministic low-frequency "prototype"
+//! field per RGB channel; samples are the prototype plus seeded pixel
+//! noise and a small random brightness shift.
+
+use crate::dataset::{Dataset, Targets};
+use mmm_tensor::Tensor;
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// Image side length (CIFAR is 32×32).
+pub const SIDE: usize = 32;
+/// Color channels.
+pub const CHANNELS: usize = 3;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+
+/// Deterministic smooth prototype for `(class, channel)`: a sum of a few
+/// random-phase sinusoids, values roughly in [-1, 1].
+fn prototype(class: usize, channel: usize) -> Vec<f32> {
+    let mut rng = Xoshiro256pp::new(SplitMix64::derive(
+        0xC1FA_u64,
+        "class-prototype",
+        (class * CHANNELS + channel) as u64,
+    ));
+    let mut waves = Vec::new();
+    for _ in 0..4 {
+        let fx = 1.0 + rng.next_f32() * 3.0;
+        let fy = 1.0 + rng.next_f32() * 3.0;
+        let phase = rng.next_f32() * std::f32::consts::TAU;
+        let amp = 0.2 + 0.3 * rng.next_f32();
+        waves.push((fx, fy, phase, amp));
+    }
+    let mut out = Vec::with_capacity(SIDE * SIDE);
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let (xf, yf) = (x as f32 / SIDE as f32, y as f32 / SIDE as f32);
+            let mut v = 0.0;
+            for &(fx, fy, phase, amp) in &waves {
+                v += amp * (std::f32::consts::TAU * (fx * xf + fy * yf) + phase).sin();
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Generate `n` labeled images (`[n, 3, 32, 32]`, labels round-robin over
+/// the 10 classes then shuffled). Fully determined by `seed`.
+pub fn generate_cifar(n: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256pp::new(SplitMix64::derive(seed, "cifar-gen", 0));
+
+    // Round-robin labels, then shuffle for mixed batches.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % CLASSES).collect();
+    rng.shuffle(&mut labels);
+
+    // Cache prototypes.
+    let protos: Vec<Vec<f32>> = (0..CLASSES * CHANNELS)
+        .map(|i| prototype(i / CHANNELS, i % CHANNELS))
+        .collect();
+
+    let mut data = Vec::with_capacity(n * CHANNELS * SIDE * SIDE);
+    for &label in &labels {
+        let brightness = 0.15 * rng.normal();
+        for c in 0..CHANNELS {
+            let proto = &protos[label * CHANNELS + c];
+            for &p in proto {
+                data.push(p + brightness + 0.25 * rng.normal());
+            }
+        }
+    }
+
+    Dataset::new(
+        Tensor::from_vec([n, CHANNELS, SIDE, SIDE], data),
+        Targets::Labels(labels),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let d = generate_cifar(20, 1);
+        assert_eq!(d.inputs.shape(), &[20, 3, 32, 32]);
+        match &d.targets {
+            Targets::Labels(l) => {
+                assert_eq!(l.len(), 20);
+                assert!(l.iter().all(|&c| c < CLASSES));
+                // Round-robin over 20 samples covers each class twice.
+                for c in 0..CLASSES {
+                    assert_eq!(l.iter().filter(|&&x| x == c).count(), 2);
+                }
+            }
+            _ => panic!("cifar must be classification"),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_cifar(10, 5), generate_cifar(10, 5));
+        assert_ne!(
+            generate_cifar(10, 5).content_hash(),
+            generate_cifar(10, 6).content_hash()
+        );
+    }
+
+    #[test]
+    fn classes_are_separable_by_mean_pattern() {
+        // The average image of class a must correlate better with its own
+        // prototype than with another class's — i.e. classes are learnable.
+        let d = generate_cifar(100, 3);
+        let labels = match &d.targets {
+            Targets::Labels(l) => l.clone(),
+            _ => unreachable!(),
+        };
+        let img_len = CHANNELS * SIDE * SIDE;
+        let mean_img = |class: usize| -> Vec<f32> {
+            let mut acc = vec![0.0f32; img_len];
+            let mut count = 0;
+            for (i, &l) in labels.iter().enumerate() {
+                if l == class {
+                    for (a, &v) in acc.iter_mut().zip(&d.inputs.data()[i * img_len..(i + 1) * img_len]) {
+                        *a += v;
+                    }
+                    count += 1;
+                }
+            }
+            acc.iter_mut().for_each(|a| *a /= count as f32);
+            acc
+        };
+        let m0 = mean_img(0);
+        let m1 = mean_img(1);
+        let dist: f32 = m0.iter().zip(&m1).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(dist > 1.0, "class means must be well separated, dist={dist}");
+    }
+
+    #[test]
+    fn pixel_values_are_bounded() {
+        let d = generate_cifar(10, 9);
+        assert!(d.inputs.data().iter().all(|&x| x.abs() < 6.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Owned datasets with content-addressed identity.
+
+use mmm_tensor::Tensor;
+use mmm_util::hash::{hash_f32s, Hasher64};
+
+/// Training targets of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Targets {
+    /// Regression targets; first dim = sample count.
+    Regression(Tensor),
+    /// Integer class labels.
+    Labels(Vec<usize>),
+}
+
+impl Targets {
+    /// Number of target samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Targets::Regression(t) => t.shape()[0],
+            Targets::Labels(l) => l.len(),
+        }
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An owned dataset: inputs plus targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Input tensor; first dim = sample count.
+    pub inputs: Tensor,
+    /// Matching targets.
+    pub targets: Targets,
+}
+
+impl Dataset {
+    /// Construct and validate a dataset.
+    ///
+    /// # Panics
+    /// Panics if input and target sample counts differ.
+    pub fn new(inputs: Tensor, targets: Targets) -> Self {
+        assert_eq!(
+            inputs.shape()[0],
+            targets.len(),
+            "inputs have {} samples but targets have {}",
+            inputs.shape()[0],
+            targets.len()
+        );
+        Dataset { inputs, targets }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stable content hash: identical data ⇒ identical id, any changed
+    /// bit ⇒ different id. This is the dataset's registry identity.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Hasher64::new(0x6D6D6D); // "mmm"
+        // Mix the input shape so [2,8] and [4,4] with equal bytes differ.
+        for &d in self.inputs.shape() {
+            h.update(&(d as u64).to_le_bytes());
+        }
+        h.update(&hash_f32s(self.inputs.data(), 1).to_le_bytes());
+        match &self.targets {
+            Targets::Regression(t) => {
+                h.update(b"reg");
+                for &d in t.shape() {
+                    h.update(&(d as u64).to_le_bytes());
+                }
+                h.update(&hash_f32s(t.data(), 2).to_le_bytes());
+            }
+            Targets::Labels(l) => {
+                h.update(b"cls");
+                for &v in l {
+                    h.update(&(v as u64).to_le_bytes());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Keep only the first `n` samples (used to mirror the paper's
+    /// "reduced data" provenance-recovery configuration).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let stride: usize = self.inputs.shape()[1..].iter().product();
+        let mut shape = self.inputs.shape().to_vec();
+        shape[0] = n;
+        let inputs = Tensor::from_vec(shape, self.inputs.data()[..n * stride].to_vec());
+        let targets = match &self.targets {
+            Targets::Regression(t) => {
+                let ts: usize = t.shape()[1..].iter().product();
+                let mut tshape = t.shape().to_vec();
+                tshape[0] = n;
+                Targets::Regression(Tensor::from_vec(tshape, t.data()[..n * ts].to_vec()))
+            }
+            Targets::Labels(l) => Targets::Labels(l[..n].to_vec()),
+        };
+        Dataset { inputs, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_ds() -> Dataset {
+        Dataset::new(
+            Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]),
+            Targets::Regression(Tensor::from_vec([3, 1], vec![0.1, 0.2, 0.3])),
+        )
+    }
+
+    #[test]
+    fn construction_and_len() {
+        let d = reg_ds();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "samples but targets have")]
+    fn mismatched_counts_panic() {
+        let _ = Dataset::new(
+            Tensor::zeros([3, 2]),
+            Targets::Labels(vec![0, 1]),
+        );
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let d = reg_ds();
+        assert_eq!(d.content_hash(), reg_ds().content_hash());
+        let mut d2 = reg_ds();
+        d2.inputs.data_mut()[0] = 9.0;
+        assert_ne!(d.content_hash(), d2.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_shapes() {
+        let a = Dataset::new(
+            Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]),
+            Targets::Labels(vec![0, 1]),
+        );
+        let b = Dataset::new(
+            Tensor::from_vec([2, 2, 1], vec![1., 2., 3., 4.]),
+            Targets::Labels(vec![0, 1]),
+        );
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_target_kinds() {
+        let a = Dataset::new(
+            Tensor::from_vec([2, 1], vec![1., 2.]),
+            Targets::Labels(vec![0, 0]),
+        );
+        let b = Dataset::new(
+            Tensor::from_vec([2, 1], vec![1., 2.]),
+            Targets::Regression(Tensor::zeros([2, 1])),
+        );
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let d = reg_ds();
+        let t = d.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.inputs.data(), &[1., 2., 3., 4.]);
+        match t.targets {
+            Targets::Regression(ref r) => assert_eq!(r.data(), &[0.1, 0.2]),
+            _ => panic!("wrong target kind"),
+        }
+        // Truncating beyond length is a no-op.
+        assert_eq!(d.truncated(100).len(), 3);
+    }
+
+    #[test]
+    fn truncated_labels() {
+        let d = Dataset::new(Tensor::zeros([4, 2]), Targets::Labels(vec![0, 1, 2, 3]));
+        let t = d.truncated(2);
+        assert_eq!(t.targets, Targets::Labels(vec![0, 1]));
+    }
+}

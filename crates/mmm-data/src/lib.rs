@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Datasets and the content-addressed dataset registry.
+//!
+//! The Provenance approach (paper §3.4) rests on an explicit assumption:
+//! *"the training data are saved regardless of the model management"* —
+//! e.g. by the manufacturer for analytics. A saved model set therefore
+//! only stores **references** to training datasets, never copies
+//! (optimization O2, redundant provenance data). This crate provides that
+//! externally-persisted data world:
+//!
+//! * [`dataset`] — an owned `(inputs, targets)` pair with a stable
+//!   content-addressed identity.
+//! * [`registry`] — a directory-backed dataset store keyed by content
+//!   hash; provenance records hold [`registry::DatasetRef`]s into it. Its
+//!   storage is intentionally *not* counted by the management layer's
+//!   accounting, matching the paper's storage-consumption definition.
+//! * [`battery_ds`] — adapter from `mmm-battery`'s raw samples.
+//! * [`cifar`] — a class-conditional synthetic stand-in for CIFAR-10
+//!   (32×32×3 images, 10 classes); the real dataset is not available in
+//!   this environment and the management layer never inspects pixels.
+
+pub mod battery_ds;
+pub mod cifar;
+pub mod dataset;
+pub mod recommender;
+pub mod registry;
+pub mod split;
+
+pub use battery_ds::battery_dataset;
+pub use cifar::generate_cifar;
+pub use recommender::generate_recommender;
+pub use dataset::{Dataset, Targets};
+pub use registry::{DatasetRef, DatasetRegistry};
+pub use split::{train_val_split, BatchIter};

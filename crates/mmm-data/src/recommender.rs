@@ -1,0 +1,126 @@
+//! Synthetic recommender-system data — the third deployment scenario the
+//! paper's introduction motivates: "recommendation systems where models
+//! are adjusted to usage characteristics".
+//!
+//! One model per user (the fleet entity). Items carry deterministic
+//! latent feature vectors; each user has a latent preference vector that
+//! **drifts** between update cycles (usage characteristics change), so
+//! the user's model must be periodically retrained — the exact dynamics
+//! the multi-model management scenario assumes.
+
+use crate::dataset::{Dataset, Targets};
+use mmm_tensor::Tensor;
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// Latent dimensionality of items and user preferences.
+pub const LATENT: usize = 16;
+
+/// Deterministic latent features of one item (unit-scale normals).
+fn item_features(item_id: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256pp::new(SplitMix64::derive(0x17EA, "item-features", item_id));
+    (0..LATENT).map(|_| rng.normal() * 0.5).collect()
+}
+
+/// A user's latent preference vector at a given update cycle: a base
+/// preference plus a cycle-dependent random-walk drift.
+fn user_preferences(user_id: u64, cycle: u64, seed: u64) -> Vec<f32> {
+    let mut base_rng =
+        Xoshiro256pp::new(SplitMix64::derive(seed, "user-pref-base", user_id));
+    let mut pref: Vec<f32> = (0..LATENT).map(|_| base_rng.normal()).collect();
+    // Accumulate one drift step per elapsed cycle so preferences evolve
+    // continuously (cycle k's preferences extend cycle k-1's).
+    for c in 1..=cycle {
+        let mut drift_rng = Xoshiro256pp::new(SplitMix64::derive(
+            seed,
+            "user-pref-drift",
+            user_id << 16 | c,
+        ));
+        for p in pref.iter_mut() {
+            *p += 0.3 * drift_rng.normal();
+        }
+    }
+    pref
+}
+
+/// Generate `n_samples` rated interactions for `(user, cycle)`: inputs
+/// are item latent features (`[n, LATENT]`), targets are the user's
+/// noisy affinity ratings (`[n, 1]`, roughly in [-3, 3]).
+/// Deterministic in all arguments.
+pub fn generate_recommender(user_id: u64, cycle: u64, n_samples: usize, seed: u64) -> Dataset {
+    let pref = user_preferences(user_id, cycle, seed);
+    let mut rng = Xoshiro256pp::new(SplitMix64::derive(
+        seed,
+        "interactions",
+        user_id << 20 | cycle,
+    ));
+    let mut inputs = Vec::with_capacity(n_samples * LATENT);
+    let mut ratings = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let item = rng.below(100_000);
+        let feat = item_features(item);
+        // Affinity = <preference, item> squashed + interaction noise.
+        let dot: f32 = pref.iter().zip(&feat).map(|(p, f)| p * f).sum();
+        ratings.push((dot * 0.8).tanh() * 3.0 + 0.1 * rng.normal());
+        inputs.extend_from_slice(&feat);
+    }
+    Dataset::new(
+        Tensor::from_vec([n_samples, LATENT], inputs),
+        Targets::Regression(Tensor::from_vec([n_samples, 1], ratings)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            generate_recommender(3, 1, 40, 9),
+            generate_recommender(3, 1, 40, 9)
+        );
+    }
+
+    #[test]
+    fn users_and_cycles_differ() {
+        let a = generate_recommender(1, 0, 40, 9);
+        let b = generate_recommender(2, 0, 40, 9);
+        let c = generate_recommender(1, 1, 40, 9);
+        assert_ne!(a.content_hash(), b.content_hash(), "users differ");
+        assert_ne!(a.content_hash(), c.content_hash(), "cycles drift");
+    }
+
+    #[test]
+    fn shapes_and_rating_range() {
+        let d = generate_recommender(0, 2, 64, 1);
+        assert_eq!(d.inputs.shape(), &[64, LATENT]);
+        match &d.targets {
+            Targets::Regression(t) => {
+                assert_eq!(t.shape(), &[64, 1]);
+                assert!(t.data().iter().all(|r| r.abs() < 4.0));
+            }
+            _ => panic!("recommender data is regression"),
+        }
+    }
+
+    #[test]
+    fn item_features_are_shared_across_users() {
+        // Same underlying catalog: two users' datasets draw from the same
+        // item-feature function, so a feature vector seen twice is equal.
+        assert_eq!(item_features(42), item_features(42));
+        assert_ne!(item_features(42), item_features(43));
+    }
+
+    #[test]
+    fn preference_drift_is_incremental() {
+        // Cycle k's preferences extend cycle k-1's: distance between
+        // consecutive cycles is smaller than between distant ones.
+        let p0 = user_preferences(5, 0, 3);
+        let p1 = user_preferences(5, 1, 3);
+        let p5 = user_preferences(5, 5, 3);
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        assert!(dist(&p0, &p1) < dist(&p0, &p5));
+    }
+}

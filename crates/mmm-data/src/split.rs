@@ -1,0 +1,194 @@
+//! Deterministic dataset splitting and batch iteration.
+//!
+//! Provenance replay requires that *every* data motion is a pure
+//! function of seeds, including train/validation splits and batch order.
+
+use crate::dataset::{Dataset, Targets};
+use mmm_tensor::Tensor;
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// Select the rows of `ds` at `indices` (in order).
+pub fn take(ds: &Dataset, indices: &[usize]) -> Dataset {
+    let stride: usize = ds.inputs.shape()[1..].iter().product();
+    let mut shape = ds.inputs.shape().to_vec();
+    shape[0] = indices.len();
+    let mut data = Vec::with_capacity(indices.len() * stride);
+    for &i in indices {
+        assert!(i < ds.len(), "index {i} out of range for {} samples", ds.len());
+        data.extend_from_slice(&ds.inputs.data()[i * stride..(i + 1) * stride]);
+    }
+    let inputs = Tensor::from_vec(shape, data);
+    let targets = match &ds.targets {
+        Targets::Regression(t) => {
+            let ts: usize = t.shape()[1..].iter().product();
+            let mut tshape = t.shape().to_vec();
+            tshape[0] = indices.len();
+            let mut td = Vec::with_capacity(indices.len() * ts);
+            for &i in indices {
+                td.extend_from_slice(&t.data()[i * ts..(i + 1) * ts]);
+            }
+            Targets::Regression(Tensor::from_vec(tshape, td))
+        }
+        Targets::Labels(l) => Targets::Labels(indices.iter().map(|&i| l[i]).collect()),
+    };
+    Dataset::new(inputs, targets)
+}
+
+/// Split into `(train, validation)` with the given train fraction, after
+/// a seed-determined shuffle. The same `(dataset, fraction, seed)` always
+/// produces the same split.
+///
+/// # Panics
+/// Panics unless `0 < train_fraction < 1`.
+pub fn train_val_split(ds: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+        "train_fraction must be in (0, 1)"
+    );
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = Xoshiro256pp::new(SplitMix64::derive(seed, "train-val-split", 0));
+    rng.shuffle(&mut order);
+    let cut = ((ds.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.clamp(1, ds.len().saturating_sub(1).max(1));
+    (take(ds, &order[..cut]), take(ds, &order[cut..]))
+}
+
+/// Iterator over deterministic mini-batches of a dataset.
+pub struct BatchIter<'a> {
+    ds: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Iterate `ds` in shuffled batches (shuffle derived from `seed`).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(ds: &'a Dataset, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        let mut rng = Xoshiro256pp::new(SplitMix64::derive(seed, "batch-iter", 0));
+        rng.shuffle(&mut order);
+        BatchIter { ds, order, batch_size, cursor: 0 }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Dataset;
+
+    fn next(&mut self) -> Option<Dataset> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = take(self.ds, &self.order[self.cursor..end]);
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+/// Per-feature mean and standard deviation of a `[n, d]` input matrix
+/// (for dataset-level normalization reports).
+pub fn feature_stats(ds: &Dataset) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(ds.inputs.ndim(), 2, "feature_stats expects flat [n, d] inputs");
+    let (n, d) = (ds.inputs.shape()[0], ds.inputs.shape()[1]);
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (m, &x) in mean.iter_mut().zip(ds.inputs.row(i)) {
+            *m += f64::from(x);
+        }
+    }
+    for m in &mut mean {
+        *m /= n.max(1) as f64;
+    }
+    let mut var = vec![0.0f64; d];
+    for i in 0..n {
+        for ((v, &x), m) in var.iter_mut().zip(ds.inputs.row(i)).zip(&mean) {
+            let dx = f64::from(x) - m;
+            *v += dx * dx;
+        }
+    }
+    for v in &mut var {
+        *v = (*v / n.max(1) as f64).sqrt();
+    }
+    (
+        mean.into_iter().map(|x| x as f32).collect(),
+        var.into_iter().map(|x| x as f32).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(n: usize) -> Dataset {
+        Dataset::new(
+            Tensor::from_vec([n, 2], (0..2 * n).map(|i| i as f32).collect()),
+            Targets::Labels((0..n).map(|i| i % 3).collect()),
+        )
+    }
+
+    #[test]
+    fn take_selects_rows_in_order() {
+        let d = ds(5);
+        let t = take(&d, &[4, 0, 2]);
+        assert_eq!(t.inputs.data(), &[8., 9., 0., 1., 4., 5.]);
+        assert_eq!(t.targets, Targets::Labels(vec![1, 0, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn take_out_of_range_panics() {
+        let _ = take(&ds(3), &[5]);
+    }
+
+    #[test]
+    fn split_is_a_partition_and_deterministic() {
+        let d = ds(20);
+        let (tr1, va1) = train_val_split(&d, 0.8, 7);
+        let (tr2, va2) = train_val_split(&d, 0.8, 7);
+        assert_eq!(tr1, tr2);
+        assert_eq!(va1, va2);
+        assert_eq!(tr1.len(), 16);
+        assert_eq!(va1.len(), 4);
+        // Every original row appears exactly once across the split.
+        let mut seen: Vec<f32> = tr1
+            .inputs
+            .data()
+            .chunks(2)
+            .chain(va1.inputs.data().chunks(2))
+            .map(|r| r[0])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..20).map(|i| (2 * i) as f32).collect::<Vec<_>>());
+        // Different seed, different split.
+        let (tr3, _) = train_val_split(&d, 0.8, 8);
+        assert_ne!(tr1, tr3);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = ds(10);
+        let batches: Vec<Dataset> = BatchIter::new(&d, 3, 1).collect();
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        assert_eq!(batches.iter().map(Dataset::len).sum::<usize>(), 10);
+        assert_eq!(batches[3].len(), 1, "last batch is the remainder");
+        let b2: Vec<Dataset> = BatchIter::new(&d, 3, 1).collect();
+        assert_eq!(batches, b2, "same seed, same batches");
+    }
+
+    #[test]
+    fn feature_stats_are_correct() {
+        let d = Dataset::new(
+            Tensor::from_vec([4, 2], vec![1., 10., 3., 10., 5., 10., 7., 10.]),
+            Targets::Labels(vec![0; 4]),
+        );
+        let (mean, std) = feature_stats(&d);
+        assert!((mean[0] - 4.0).abs() < 1e-6);
+        assert!((mean[1] - 10.0).abs() < 1e-6);
+        assert!((std[0] - 5.0f32.sqrt()).abs() < 1e-5);
+        assert_eq!(std[1], 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's evaluated model architectures, with their exact parameter
+//! counts (§4.1):
+//!
+//! * **FFNN-48** — "four fully connected layers and a total of 4,993
+//!   parameters", one of the best-performing battery electric models from
+//!   the Volkswagen study the paper cites. Inputs are current,
+//!   temperature, charge and state-of-charge (4 features); output is the
+//!   voltage response. With hidden width 48:
+//!   `(4·48+48) + (48·48+48) + (48·48+48) + (48·1+1) = 4,993`. ✓
+//! * **FFNN-69** — "10,075 parameters, ... except for the number of
+//!   parameters per layer, identical to FFNN-48". Hidden width 69:
+//!   `2·69² + 8·69 + 1 = 10,075`. ✓
+//! * **CIFAR** — "a convolutional model performing image classification on
+//!   CIFAR-10 with 6,882 parameters". A LeNet-style CNN:
+//!   conv(3→6,k5)=456, pool, conv(6→16,k5)=2,416, pool, flatten(400),
+//!   fc(400→10)=4,010 → 6,882. ✓
+
+use crate::spec::{ArchitectureSpec, LayerSpec};
+
+/// Factory for the paper's model architectures.
+pub struct Architectures;
+
+impl Architectures {
+    /// The default battery cell model: 4 inputs → 48/48/48 tanh hidden
+    /// layers → 1 output voltage. 4,993 parameters.
+    pub fn ffnn48() -> ArchitectureSpec {
+        Self::ffnn(48)
+    }
+
+    /// The larger battery cell model with hidden width 69.
+    /// 10,075 parameters.
+    pub fn ffnn69() -> ArchitectureSpec {
+        Self::ffnn(69)
+    }
+
+    /// A battery FFNN with arbitrary hidden width (used by scaling
+    /// experiments beyond the paper's two sizes).
+    pub fn ffnn(hidden: usize) -> ArchitectureSpec {
+        assert!(hidden > 0, "hidden width must be positive");
+        ArchitectureSpec {
+            name: format!("FFNN-{hidden}"),
+            input_shape: vec![4],
+            layers: vec![
+                LayerSpec::Linear { in_dim: 4, out_dim: hidden },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: hidden, out_dim: hidden },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: hidden, out_dim: hidden },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: hidden, out_dim: 1 },
+            ],
+        }
+    }
+
+    /// A per-user recommendation model for the intro's third scenario:
+    /// 16 latent item features → 32 → 16 → 1 affinity score.
+    /// 1,089 parameters — deliberately small, like per-user models are.
+    pub fn recommender_mlp() -> ArchitectureSpec {
+        ArchitectureSpec {
+            name: "RecMLP".into(),
+            input_shape: vec![16],
+            layers: vec![
+                LayerSpec::Linear { in_dim: 16, out_dim: 32 },
+                LayerSpec::Relu,
+                LayerSpec::Linear { in_dim: 32, out_dim: 16 },
+                LayerSpec::Relu,
+                LayerSpec::Linear { in_dim: 16, out_dim: 1 },
+            ],
+        }
+    }
+
+    /// The CIFAR-10 convolutional classifier. 6,882 parameters.
+    pub fn cifar_cnn() -> ArchitectureSpec {
+        ArchitectureSpec {
+            name: "CIFAR".into(),
+            input_shape: vec![3, 32, 32],
+            layers: vec![
+                LayerSpec::Conv2d { in_ch: 3, out_ch: 6, kernel: 5, stride: 1, pad: 0 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool2d { window: 2 },
+                LayerSpec::Conv2d { in_ch: 6, out_ch: 16, kernel: 5, stride: 1, pad: 0 },
+                LayerSpec::Relu,
+                LayerSpec::MaxPool2d { window: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Linear { in_dim: 400, out_dim: 10 },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_tensor::Tensor;
+
+    #[test]
+    fn ffnn48_has_exactly_4993_parameters() {
+        assert_eq!(Architectures::ffnn48().param_count(), 4993);
+    }
+
+    #[test]
+    fn ffnn69_has_exactly_10075_parameters() {
+        assert_eq!(Architectures::ffnn69().param_count(), 10_075);
+    }
+
+    #[test]
+    fn cifar_has_exactly_6882_parameters() {
+        assert_eq!(Architectures::cifar_cnn().param_count(), 6882);
+    }
+
+    #[test]
+    fn ffnn48_has_four_parametric_layers() {
+        assert_eq!(Architectures::ffnn48().parametric_layer_sizes().len(), 4);
+    }
+
+    #[test]
+    fn ffnn48_forward_produces_voltage() {
+        let mut m = Architectures::ffnn48().build(1);
+        let x = Tensor::from_vec([2, 4], vec![0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 1]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cifar_forward_produces_logits() {
+        let mut m = Architectures::cifar_cnn().build(1);
+        let x = Tensor::zeros([1, 3, 32, 32]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn cifar_backward_runs() {
+        let mut m = Architectures::cifar_cnn().build(2);
+        let x = Tensor::full([1, 3, 32, 32], 0.5);
+        let y = m.forward(&x, true);
+        let g = m.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn recommender_mlp_shape_and_count() {
+        let spec = Architectures::recommender_mlp();
+        // (16·32+32) + (32·16+16) + (16·1+1) = 544 + 528 + 17.
+        assert_eq!(spec.param_count(), 1089);
+        assert_eq!(spec.infer_output_shape().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn ffnn69_differs_from_48_only_in_width() {
+        let a = Architectures::ffnn48();
+        let b = Architectures::ffnn69();
+        assert_eq!(a.layers.len(), b.layers.len());
+        assert_eq!(a.input_shape, b.input_shape);
+    }
+}

@@ -1,0 +1,120 @@
+//! Single-model file format (`.mmmd`): architecture spec + parameters in
+//! one self-describing file — the `.pt`-style convenience for deploying
+//! or inspecting one model outside the management system.
+
+use std::path::Path;
+
+use crate::model::Model;
+use crate::spec::ArchitectureSpec;
+use mmm_util::codec::{put_f32_slice, put_str, put_u64, Reader};
+use mmm_util::{Error, Result};
+
+const MAGIC: &[u8; 4] = b"MMMD";
+const VERSION: u32 = 1;
+
+/// Serialize a model (architecture + parameters) into bytes.
+pub fn to_bytes(model: &Model) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 * model.param_count() + 1024);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    put_str(&mut buf, &serde_json::to_string(model.spec()).expect("spec serializes"));
+    let params = model.export_params();
+    put_u64(&mut buf, params.len() as u64);
+    put_f32_slice(&mut buf, &params);
+    buf
+}
+
+/// Deserialize a model previously produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Model> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4)? != MAGIC {
+        return Err(Error::corrupt("bad model-file magic"));
+    }
+    let version = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Error::corrupt(format!("unsupported model-file version {version}")));
+    }
+    let spec: ArchitectureSpec = serde_json::from_str(&r.str()?)
+        .map_err(|e| Error::corrupt(format!("bad architecture in model file: {e}")))?;
+    spec.validate().map_err(Error::Corrupt)?;
+    let n = r.u64()? as usize;
+    if n != spec.param_count() {
+        return Err(Error::corrupt(format!(
+            "model file has {n} params, architecture expects {}",
+            spec.param_count()
+        )));
+    }
+    let flat = r.f32_slice(n)?;
+    if r.remaining() != 0 {
+        return Err(Error::corrupt("trailing bytes after model parameters"));
+    }
+    let mut model = spec.build(0);
+    let dict = crate::params::ParamDict::from_flat(
+        &flat,
+        &spec.parametric_layer_names(),
+        &spec.parametric_layer_sizes(),
+    );
+    model.import_param_dict(&dict);
+    Ok(model)
+}
+
+/// Write a model to a file.
+pub fn save_model(model: &Model, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, to_bytes(model))?;
+    Ok(())
+}
+
+/// Read a model from a file.
+pub fn load_model(path: impl AsRef<Path>) -> Result<Model> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architectures::Architectures;
+    use mmm_tensor::Tensor;
+    use mmm_util::TempDir;
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut original = Architectures::ffnn48().build(42);
+        let bytes = to_bytes(&original);
+        let mut loaded = from_bytes(&bytes).unwrap();
+        assert_eq!(original.export_params(), loaded.export_params());
+        let x = Tensor::from_vec([2, 4], vec![0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7, -0.8]);
+        assert_eq!(original.forward(&x, false), loaded.forward(&x, false));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = TempDir::new("mmm-model-io").unwrap();
+        let path = dir.path().join("cell17.mmmd");
+        let model = Architectures::recommender_mlp().build(7);
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(model.export_params(), loaded.export_params());
+        assert_eq!(loaded.spec().name, "RecMLP");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let model = Architectures::ffnn(6).build(1);
+        let bytes = to_bytes(&model);
+        assert!(from_bytes(b"XXXX").is_err());
+        assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn param_count_mismatch_is_corrupt() {
+        let model = Architectures::ffnn(6).build(1);
+        let mut bytes = to_bytes(&model);
+        // Overwrite the param-count field (right after magic+version+spec).
+        let spec_len = 8 + 4 + serde_json::to_string(model.spec()).unwrap().len();
+        bytes[spec_len..spec_len + 8].copy_from_slice(&999u64.to_le_bytes());
+        assert!(from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,713 @@
+//! Layers with explicit forward/backward passes.
+//!
+//! Each layer owns its parameters and their gradients and caches whatever
+//! the backward pass needs during `forward`. The [`Layer`] trait is object
+//! safe so a model is simply `Vec<Box<dyn Layer>>`.
+
+use mmm_tensor::{conv2d, conv2d_backward, matmul, matmul_nt, matmul_tn, maxpool2d, maxpool2d_backward, Tensor};
+use mmm_util::Rng;
+
+/// A single differentiable layer in a sequential model.
+pub trait Layer: Send {
+    /// Short kind name ("linear", "relu", ...), used in persisted layer keys.
+    fn kind(&self) -> &'static str;
+
+    /// Run the layer forward. `train` controls whether backward state is
+    /// cached (inference skips the caching).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagate the gradient and accumulate parameter gradients.
+    /// Must be called after a `forward(.., train=true)`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Total number of parameters (0 for stateless layers).
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Flatten all parameters into `out` in the layer's canonical order
+    /// (weights then bias).
+    fn export_params(&self, out: &mut Vec<f32>) {
+        let _ = out;
+    }
+
+    /// Load parameters from a flat slice in canonical order.
+    ///
+    /// # Panics
+    /// Panics if `data` length differs from [`Layer::param_count`].
+    fn import_params(&mut self, data: &[f32]) {
+        assert!(data.is_empty(), "{} layer has no parameters", self.kind());
+    }
+
+    /// Apply `f(param, grad)` to each parameter tensor (for optimizers).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        let _ = f;
+    }
+
+    /// Zero all parameter gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Multiply all parameter gradients by `k` (global-norm clipping).
+    fn scale_grads(&mut self, k: f32) {
+        let _ = k;
+    }
+}
+
+/// Fully connected layer: `y = x · Wᵀ + b` with `W: [out, in]`, matching
+/// PyTorch's `nn.Linear` parameter layout (so parameter counts and byte
+/// layouts line up with the paper's models).
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-uniform initialization, the PyTorch default for `nn.Linear`:
+    /// `U(-1/sqrt(in), 1/sqrt(in))` for both weight and bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "linear dims must be positive");
+        let bound = 1.0 / (in_dim as f32).sqrt();
+        Linear {
+            weight: Tensor::rand_uniform([out_dim, in_dim], -bound, bound, rng),
+            bias: Tensor::rand_uniform([out_dim], -bound, bound, rng),
+            grad_w: Tensor::zeros([out_dim, in_dim]),
+            grad_b: Tensor::zeros([out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn kind(&self) -> &'static str {
+        "linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "linear expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_dim(), "linear input width mismatch");
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        // y[b,o] = sum_i x[b,i] * W[o,i]  ==  x · Wᵀ
+        matmul_nt(input, &self.weight).add_row_broadcast(&self.bias)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        // dW[o,i] = sum_b g[b,o] * x[b,i]  ==  gᵀ · x
+        self.grad_w = matmul_tn(grad_out, input);
+        self.grad_b = grad_out.sum_rows();
+        // dx[b,i] = sum_o g[b,o] * W[o,i]  ==  g · W
+        matmul(grad_out, &self.weight)
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn export_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn import_params(&mut self, data: &[f32]) {
+        assert_eq!(data.len(), self.param_count(), "linear param count mismatch");
+        let wn = self.weight.len();
+        self.weight.data_mut().copy_from_slice(&data[..wn]);
+        self.bias.data_mut().copy_from_slice(&data[wn..]);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_w);
+        f(&mut self.bias, &self.grad_b);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.map_inplace(|_| 0.0);
+        self.grad_b.map_inplace(|_| 0.0);
+    }
+
+    fn scale_grads(&mut self, k: f32) {
+        self.grad_w.map_inplace(|x| x * k);
+        self.grad_b.map_inplace(|x| x * k);
+    }
+}
+
+/// 2-D convolution layer with PyTorch's `nn.Conv2d` parameter layout.
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-uniform init with fan-in = `in_ch * k * k`.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        let bound = 1.0 / (fan_in as f32).sqrt();
+        Conv2d {
+            weight: Tensor::rand_uniform([out_ch, in_ch, kernel, kernel], -bound, bound, rng),
+            bias: Tensor::rand_uniform([out_ch], -bound, bound, rng),
+            grad_w: Tensor::zeros([out_ch, in_ch, kernel, kernel]),
+            grad_b: Tensor::zeros([out_ch]),
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        conv2d(input, &self.weight, &self.bias, self.stride, self.pad)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        let grads = conv2d_backward(input, &self.weight, grad_out, self.stride, self.pad);
+        self.grad_w = grads.weight;
+        self.grad_b = grads.bias;
+        grads.input
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn export_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn import_params(&mut self, data: &[f32]) {
+        assert_eq!(data.len(), self.param_count(), "conv2d param count mismatch");
+        let wn = self.weight.len();
+        self.weight.data_mut().copy_from_slice(&data[..wn]);
+        self.bias.data_mut().copy_from_slice(&data[wn..]);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_w);
+        f(&mut self.bias, &self.grad_b);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.map_inplace(|_| 0.0);
+        self.grad_b.map_inplace(|_| 0.0);
+    }
+
+    fn scale_grads(&mut self, k: f32) {
+        self.grad_w.map_inplace(|x| x * k);
+        self.grad_b.map_inplace(|x| x * k);
+    }
+}
+
+/// ReLU activation.
+#[derive(Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Layer for Relu {
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("relu backward before forward");
+        grad_out.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })
+    }
+}
+
+/// Tanh activation (the battery models' nonlinearity).
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Layer for Tanh {
+    fn kind(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(|x| x.tanh());
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self.cached_output.as_ref().expect("tanh backward before forward");
+        grad_out.zip_map(out, |g, y| g * (1.0 - y * y))
+    }
+}
+
+/// Sigmoid activation.
+#[derive(Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Layer for Sigmoid {
+    fn kind(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self.cached_output.as_ref().expect("sigmoid backward before forward");
+        grad_out.zip_map(out, |g, y| g * y * (1.0 - y))
+    }
+}
+
+/// Max pooling with a square window.
+pub struct MaxPool2d {
+    window: usize,
+    cached: Option<(Vec<usize>, Vec<u32>)>,
+}
+
+impl MaxPool2d {
+    /// Create a pool layer with the given square window / stride.
+    pub fn new(window: usize) -> Self {
+        MaxPool2d { window, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out, arg) = maxpool2d(input, self.window);
+        if train {
+            self.cached = Some((input.shape().to_vec(), arg));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (shape, arg) = self.cached.as_ref().expect("maxpool backward before forward");
+        maxpool2d_backward(shape, grad_out, arg)
+    }
+}
+
+/// Average pooling with a square window.
+pub struct AvgPool2d {
+    window: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Create an average-pool layer with the given square window/stride.
+    pub fn new(window: usize) -> Self {
+        AvgPool2d { window, cached_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn kind(&self) -> &'static str {
+        "avgpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "avgpool2d expects [N,C,H,W]");
+        let w = self.window;
+        let (n, c, h, wd) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(h % w, 0, "avgpool2d: H={h} not divisible by window={w}");
+        assert_eq!(wd % w, 0, "avgpool2d: W={wd} not divisible by window={w}");
+        if train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        let (oh, ow) = (h / w, wd / w);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let id = input.data();
+        let norm = 1.0 / (w * w) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..w {
+                            for kx in 0..w {
+                                acc += id[((ni * c + ci) * h + y * w + ky) * wd + x * w + kx];
+                            }
+                        }
+                        out[((ni * c + ci) * oh + y) * ow + x] = acc * norm;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec([n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.clone().expect("avgpool backward before forward");
+        let w = self.window;
+        let (n, c, h, wd) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = (h / w, wd / w);
+        let mut gi = vec![0.0f32; n * c * h * wd];
+        let norm = 1.0 / (w * w) as f32;
+        let god = grad_out.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let g = god[((ni * c + ci) * oh + y) * ow + x] * norm;
+                        for ky in 0..w {
+                            for kx in 0..w {
+                                gi[((ni * c + ci) * h + y * w + ky) * wd + x * w + kx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(shape, gi)
+    }
+}
+
+/// Inverted dropout with a deterministic per-layer mask stream.
+///
+/// The mask generator is seeded at construction, so a training run's
+/// dropout pattern is a pure function of `(seed, forward-call sequence)` —
+/// preserving the Provenance approach's replayability.
+pub struct Dropout {
+    p: f32,
+    rng: mmm_util::Xoshiro256pp,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Create a dropout layer dropping activations with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: mmm_util::Xoshiro256pp::new(seed),
+            cached_mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            // Inverted dropout: inference is the identity.
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_vec(
+            input.shape().to_vec(),
+            (0..input.len())
+                .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
+                .collect(),
+        );
+        let out = input.mul(&mask);
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.cached_mask.as_ref().expect("dropout backward before forward");
+        grad_out.mul(mask)
+    }
+}
+
+/// Flatten `[N, ...]` to `[N, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Layer for Flatten {
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        input.clone().reshape([n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.clone().expect("flatten backward before forward");
+        grad_out.clone().reshape(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::Xoshiro256pp;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut rng = Xoshiro256pp::new(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        // Overwrite with known params: W = [[1,0,0],[0,1,0]], b = [10, 20].
+        l.import_params(&[1., 0., 0., 0., 1., 0., 10., 20.]);
+        let x = Tensor::from_vec([1, 3], vec![5., 6., 7.]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[15., 26.]);
+    }
+
+    #[test]
+    fn linear_param_roundtrip() {
+        let mut rng = Xoshiro256pp::new(1);
+        let l = Linear::new(4, 3, &mut rng);
+        let mut buf = Vec::new();
+        l.export_params(&mut buf);
+        assert_eq!(buf.len(), l.param_count());
+        assert_eq!(l.param_count(), 4 * 3 + 3);
+        let mut l2 = Linear::new(4, 3, &mut Xoshiro256pp::new(99));
+        l2.import_params(&buf);
+        let mut buf2 = Vec::new();
+        l2.export_params(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    /// Finite-difference gradient check through Linear + Tanh.
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256pp::new(2);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::rand_normal([4, 3], 0.0, 1.0, &mut rng);
+
+        // Loss = sum(forward(x)); grad_out = ones.
+        let y = l.forward(&x, true);
+        let ones = Tensor::full(y.shape().to_vec(), 1.0);
+        let gx = l.backward(&ones);
+
+        let mut params = Vec::new();
+        l.export_params(&mut params);
+        let eps = 1e-3f32;
+        let mut analytic = Vec::new();
+        l.visit_params(&mut |_, g| analytic.extend_from_slice(g.data()));
+
+        for idx in [0usize, 3, 6, 7] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            let mut lp = Linear::new(3, 2, &mut Xoshiro256pp::new(0));
+            lp.import_params(&plus);
+            let mut lm = Linear::new(3, 2, &mut Xoshiro256pp::new(0));
+            lm.import_params(&minus);
+            let fd = (lp.forward(&x, false).sum() - lm.forward(&x, false).sum()) / (2.0 * eps);
+            assert!(
+                (fd - analytic[idx]).abs() < 1e-2,
+                "param {idx}: fd={fd} analytic={}",
+                analytic[idx]
+            );
+        }
+
+        // Input gradient check at one position.
+        let mut xp = x.clone();
+        xp.data_mut()[5] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[5] -= eps;
+        let fd = (l.forward(&xp, false).sum() - l.forward(&xm, false).sum()) / (2.0 * eps);
+        assert!((fd - gx.data()[5]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = Relu::default();
+        let x = Tensor::from_vec([1, 4], vec![-1., 2., -3., 4.]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0., 2., 0., 4.]);
+        let g = r.backward(&Tensor::full([1, 4], 1.0));
+        assert_eq!(g.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut t = Tanh::default();
+        let x = Tensor::from_vec([1, 2], vec![0.3, -0.7]);
+        let _ = t.forward(&x, true);
+        let g = t.backward(&Tensor::full([1, 2], 1.0));
+        for (i, &xi) in x.data().iter().enumerate() {
+            let eps = 1e-3f32;
+            let fd = ((xi + eps).tanh() - (xi - eps).tanh()) / (2.0 * eps);
+            assert!((g.data()[i] - fd).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut s = Sigmoid::default();
+        let x = Tensor::from_vec([1, 2], vec![0.5, -1.2]);
+        let _ = s.forward(&x, true);
+        let g = s.backward(&Tensor::full([1, 2], 1.0));
+        let sig = |x: f32| 1.0 / (1.0 + (-x).exp());
+        for (i, &xi) in x.data().iter().enumerate() {
+            let eps = 1e-3f32;
+            let fd = (sig(xi + eps) - sig(xi - eps)) / (2.0 * eps);
+            assert!((g.data()[i] - fd).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrips_shape() {
+        let mut f = Flatten::default();
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = f.backward(&Tensor::zeros([2, 60]));
+        assert_eq!(g.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn conv_layer_param_roundtrip() {
+        let mut rng = Xoshiro256pp::new(3);
+        let c = Conv2d::new(3, 6, 5, 1, 0, &mut rng);
+        assert_eq!(c.param_count(), 6 * 3 * 25 + 6);
+        let mut buf = Vec::new();
+        c.export_params(&mut buf);
+        let mut c2 = Conv2d::new(3, 6, 5, 1, 0, &mut Xoshiro256pp::new(77));
+        c2.import_params(&buf);
+        let mut buf2 = Vec::new();
+        c2.export_params(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn avgpool_known_values_and_backward() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[2.5]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0], "gradient splits evenly");
+    }
+
+    #[test]
+    fn avgpool_preserves_mean() {
+        let mut rng = Xoshiro256pp::new(8);
+        let x = Tensor::rand_normal([2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let mut p = AvgPool2d::new(4);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 3, 2, 2]);
+        assert!((y.mean() - x.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec([1, 4], vec![1., 2., 3., 4.]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_masks_and_rescales_in_training() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::full([1, 1000], 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 1000, "values are either dropped or scaled by 1/keep");
+        assert!((350..650).contains(&zeros), "drop rate ~0.5, got {zeros}");
+        // Expected value preserved (inverted dropout).
+        assert!((y.mean() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dropout_backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::full([1, 100], 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full([1, 100], 1.0));
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv, gv, "gradient must flow exactly where activations did");
+        }
+    }
+
+    #[test]
+    fn dropout_stream_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new(0.4, seed);
+            let x = Tensor::full([1, 64], 1.0);
+            let a = d.forward(&x, true);
+            let b = d.forward(&x, true);
+            (a, b)
+        };
+        let (a1, b1) = run(7);
+        let (a2, b2) = run(7);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1, b1, "consecutive forwards draw fresh masks");
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulated_gradients() {
+        let mut rng = Xoshiro256pp::new(4);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::rand_normal([3, 2], 0.0, 1.0, &mut rng);
+        let y = l.forward(&x, true);
+        let _ = l.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        let mut nonzero = false;
+        l.visit_params(&mut |_, g| nonzero |= g.data().iter().any(|&v| v != 0.0));
+        assert!(nonzero);
+        l.zero_grads();
+        l.visit_params(&mut |_, g| assert!(g.data().iter().all(|&v| v == 0.0)));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Deterministic deep-learning substrate for multi-model management.
+//!
+//! This crate provides what the paper used PyTorch 1.7.1 for:
+//!
+//! * [`layer`] — explicit forward/backward layers (Linear, Conv2d, MaxPool,
+//!   activations, Flatten) with per-layer cached state. No autograd graph:
+//!   backprop is hand-written, which keeps training bit-deterministic — a
+//!   hard requirement for the Provenance approach (paper §3.4), which
+//!   recovers models by *re-running* training.
+//! * [`model`] — [`model::Model`], a sequential container with parameter
+//!   export/import at **layer granularity** (the unit at which the Update
+//!   approach hashes and diffs parameters, paper §3.3).
+//! * [`spec`] — [`spec::ArchitectureSpec`], a serializable architecture
+//!   description. The multi-model savers persist the architecture *once*
+//!   per set and rebuild models from it (optimization O1).
+//! * [`architectures`] — the paper's evaluated models with their exact
+//!   parameter counts: FFNN-48 (4,993), FFNN-69 (10,075), CIFAR CNN (6,882).
+//! * [`loss`], [`optim`], [`train`] — MSE / cross-entropy losses, SGD /
+//!   Adam optimizers, and a seed-driven training loop with support for
+//!   *partial updates* (freezing layers), matching the paper's
+//!   fully/partially updated model versions (§2.1).
+
+pub mod architectures;
+pub mod io;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod params;
+pub mod spec;
+pub mod train;
+
+pub use architectures::Architectures;
+pub use model::Model;
+pub use params::{LayerParams, ParamDict};
+pub use spec::{ArchitectureSpec, LayerSpec};
+pub use train::{train_model, TrainConfig};

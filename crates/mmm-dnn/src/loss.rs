@@ -1,0 +1,151 @@
+//! Loss functions with analytic gradients.
+//!
+//! Each loss returns `(value, grad_wrt_predictions)` in one call — the
+//! training loop feeds the gradient straight into `Model::backward`.
+
+use mmm_tensor::Tensor;
+
+/// Mean squared error over all elements:
+/// `L = mean((pred - target)^2)`, `dL/dpred = 2 (pred - target) / n`.
+///
+/// Used by the battery regression models.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.sq_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Softmax cross-entropy over rows of `logits` (`[batch, classes]`) against
+/// integer class labels.
+///
+/// Returns the mean loss and `dL/dlogits = (softmax - onehot) / batch`.
+/// Log-sum-exp is stabilized by subtracting the row max.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "cross_entropy expects [batch, classes]");
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), b, "label count must equal batch size");
+
+    let mut grad = Tensor::zeros([b, c]);
+    let mut total = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for &x in row {
+            sum += (x - max).exp();
+        }
+        let log_sum = sum.ln() + max;
+        total += f64::from(log_sum - row[label]);
+        let g = grad.row_mut(i);
+        for (j, &x) in row.iter().enumerate() {
+            let softmax = (x - log_sum).exp();
+            g[j] = (softmax - if j == label { 1.0 } else { 0.0 }) / b as f32;
+        }
+    }
+    ((total / b as f64) as f32, grad)
+}
+
+/// Row-wise softmax probabilities (for inference / calibration metrics).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "softmax expects [batch, classes]");
+    let mut out = logits.clone();
+    let rows = out.shape()[0];
+    for i in 0..rows {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let pred = Tensor::from_vec([2, 1], vec![1.0, 3.0]);
+        let target = Tensor::from_vec([2, 1], vec![0.0, 1.0]);
+        let (l, g) = mse(&pred, &target);
+        assert!((l - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(g.data(), &[1.0, 2.0]); // 2*diff/2
+    }
+
+    #[test]
+    fn mse_zero_at_optimum() {
+        let t = Tensor::from_vec([3], vec![1., 2., 3.]);
+        let (l, g) = mse(&t, &t);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros([2, 4]);
+        let (l, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((l - (4.0f32).ln()).abs() < 1e-5, "uniform loss is ln(C)");
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec([2, 3], vec![2.0, -1.0, 0.5, 0.0, 0.0, 5.0]);
+        let (_, g) = cross_entropy(&logits, &[1, 2]);
+        for i in 0..2 {
+            let s: f32 = g.row(i).iter().sum();
+            assert!(s.abs() < 1e-6, "softmax-minus-onehot rows sum to 0");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec([1, 3], vec![0.2, -0.4, 0.9]);
+        let labels = [2usize];
+        let (_, g) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut p = logits.clone();
+            p.data_mut()[j] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[j] -= eps;
+            let fd = (cross_entropy(&p, &labels).0 - cross_entropy(&m, &labels).0) / (2.0 * eps);
+            assert!((fd - g.data()[j]).abs() < 1e-3, "logit {j}: fd={fd} an={}", g.data()[j]);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec([1, 2], vec![1000.0, -1000.0]);
+        let (l, g) = cross_entropy(&logits, &[0]);
+        assert!(l.is_finite());
+        assert!(g.data().iter().all(|x| x.is_finite()));
+        assert!(l < 1e-6, "confident correct prediction has ~0 loss");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Tensor::from_vec([2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(i).iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn bad_label_panics() {
+        let _ = cross_entropy(&Tensor::zeros([1, 3]), &[5]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Evaluation metrics for recovered and freshly trained models.
+
+use mmm_tensor::Tensor;
+
+/// Root-mean-square error between predictions and targets.
+pub fn rmse(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "rmse shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred.sub(target).sq_norm() / pred.len() as f32).sqrt()
+}
+
+/// Classification accuracy of logits (`[batch, classes]`) against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape()[0], labels.len(), "accuracy batch mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = logits
+        .argmax_rows()
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mae shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.sub(target).map(f32::abs).sum() / pred.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known() {
+        let p = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let t = Tensor::from_vec([2], vec![0.0, 4.0]);
+        assert!((rmse(&p, &t) - (2.5f32).sqrt()).abs() < 1e-6);
+        assert_eq!(rmse(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mae_known() {
+        let p = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let t = Tensor::from_vec([2], vec![0.0, 4.0]);
+        assert!((mae(&p, &t) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_give_zero() {
+        assert_eq!(rmse(&Tensor::zeros([0]), &Tensor::zeros([0])), 0.0);
+        assert_eq!(accuracy(&Tensor::zeros([0, 4]), &[]), 0.0);
+        assert_eq!(mae(&Tensor::zeros([0]), &Tensor::zeros([0])), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! [`Model`]: a sequential container of layers with layer-granularity
+//! parameter export/import and per-layer freezing for partial updates.
+
+use crate::layer::Layer;
+use crate::params::{LayerParams, ParamDict};
+use crate::spec::ArchitectureSpec;
+use mmm_tensor::Tensor;
+
+/// A sequential model: the architecture spec it was built from plus the
+/// instantiated layers.
+pub struct Model {
+    spec: ArchitectureSpec,
+    layers: Vec<Box<dyn Layer>>,
+    /// `trainable[i]` corresponds to the i-th *parametric* layer; frozen
+    /// layers are skipped by the optimizer (partial updates, paper §2.1).
+    trainable: Vec<bool>,
+}
+
+impl Model {
+    /// Assemble a model from a spec and matching layer objects.
+    /// Prefer [`ArchitectureSpec::build`].
+    pub fn new(spec: ArchitectureSpec, layers: Vec<Box<dyn Layer>>) -> Self {
+        assert_eq!(spec.layers.len(), layers.len(), "spec/layer count mismatch");
+        let n_parametric = layers.iter().filter(|l| l.param_count() > 0).count();
+        Model {
+            spec,
+            layers,
+            trainable: vec![true; n_parametric],
+        }
+    }
+
+    /// The architecture this model instantiates.
+    pub fn spec(&self) -> &ArchitectureSpec {
+        &self.spec
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Number of parametric layers.
+    pub fn parametric_layer_count(&self) -> usize {
+        self.trainable.len()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Global L2 norm of the *trainable* layers' gradients.
+    pub fn grad_norm(&mut self) -> f32 {
+        let mut sq = 0.0f32;
+        self.visit_trainable(&mut |_, g| sq += g.sq_norm());
+        sq.sqrt()
+    }
+
+    /// Clip trainable gradients to a maximum global norm. Returns the
+    /// scale factor applied (1.0 = no clipping happened).
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        let norm = self.grad_norm();
+        if norm <= max_norm || norm == 0.0 {
+            return 1.0;
+        }
+        let k = max_norm / norm;
+        // Scaling all layers (not just trainable ones) is safe: frozen
+        // layers' gradients are never read by the optimizer.
+        for layer in &mut self.layers {
+            layer.scale_grads(k);
+        }
+        k
+    }
+
+    /// Mark every parametric layer trainable (full update).
+    pub fn set_all_trainable(&mut self) {
+        self.trainable.iter_mut().for_each(|t| *t = true);
+    }
+
+    /// Restrict training to the given parametric-layer indices (partial
+    /// update). Indices refer to parametric layers in model order.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn set_trainable_layers(&mut self, indices: &[usize]) {
+        self.trainable.iter_mut().for_each(|t| *t = false);
+        for &i in indices {
+            assert!(i < self.trainable.len(), "parametric layer index {i} out of range");
+            self.trainable[i] = true;
+        }
+    }
+
+    /// Trainability flags of the parametric layers.
+    pub fn trainable_layers(&self) -> &[bool] {
+        &self.trainable
+    }
+
+    /// Visit `(param, grad)` of every parametric layer with its
+    /// parametric index and trainability — the optimizer entry point.
+    pub fn visit_trainable(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        let mut pi = 0usize;
+        for layer in &mut self.layers {
+            if layer.param_count() == 0 {
+                continue;
+            }
+            if self.trainable[pi] {
+                layer.visit_params(f);
+            }
+            pi += 1;
+        }
+    }
+
+    /// Snapshot all parameters at layer granularity.
+    pub fn export_param_dict(&self) -> ParamDict {
+        let names = self.spec.parametric_layer_names();
+        let mut layers = Vec::with_capacity(names.len());
+        let mut ni = 0usize;
+        for layer in &self.layers {
+            if layer.param_count() == 0 {
+                continue;
+            }
+            let mut data = Vec::with_capacity(layer.param_count());
+            layer.export_params(&mut data);
+            layers.push(LayerParams { name: names[ni].clone(), data });
+            ni += 1;
+        }
+        ParamDict { layers }
+    }
+
+    /// Flat snapshot of all parameters (concatenated layer order).
+    pub fn export_params(&self) -> Vec<f32> {
+        self.export_param_dict().concat()
+    }
+
+    /// Load a layer-granularity snapshot produced by
+    /// [`Model::export_param_dict`] on a model of the same architecture.
+    ///
+    /// # Panics
+    /// Panics on layer-count or parameter-count mismatch.
+    pub fn import_param_dict(&mut self, dict: &ParamDict) {
+        let mut di = 0usize;
+        for layer in &mut self.layers {
+            if layer.param_count() == 0 {
+                continue;
+            }
+            assert!(
+                di < dict.layers.len(),
+                "param dict has fewer layers than the model"
+            );
+            layer.import_params(&dict.layers[di].data);
+            di += 1;
+        }
+        assert_eq!(di, dict.layers.len(), "param dict has more layers than the model");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerSpec;
+
+    fn spec() -> ArchitectureSpec {
+        ArchitectureSpec {
+            name: "tiny".into(),
+            input_shape: vec![3],
+            layers: vec![
+                LayerSpec::Linear { in_dim: 3, out_dim: 4 },
+                LayerSpec::Relu,
+                LayerSpec::Linear { in_dim: 4, out_dim: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut m = spec().build(1);
+        let x = Tensor::from_vec([2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let y1 = m.forward(&x, false);
+        let y2 = m.forward(&x, false);
+        assert_eq!(y1.shape(), &[2, 2]);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn export_import_roundtrip_bitexact() {
+        let m1 = spec().build(1);
+        let dict = m1.export_param_dict();
+        assert_eq!(dict.layers.len(), 2);
+        assert_eq!(dict.param_count(), m1.param_count());
+
+        let mut m2 = spec().build(999); // different init
+        assert_ne!(m1.export_params(), m2.export_params());
+        m2.import_param_dict(&dict);
+        assert_eq!(m1.export_params(), m2.export_params());
+
+        // Behavioural equality, not just parameter equality.
+        let x = Tensor::from_vec([1, 3], vec![1.0, -1.0, 0.5]);
+        let mut m1 = m1;
+        assert_eq!(m1.forward(&x, false), m2.forward(&x, false));
+    }
+
+    #[test]
+    fn trainable_mask_controls_visit() {
+        let mut m = spec().build(2);
+        m.set_trainable_layers(&[1]); // only the second linear layer
+        let mut visited = 0usize;
+        m.visit_trainable(&mut |p, _| visited += p.len());
+        // Second linear layer: 4*2 weights + 2 bias = 10.
+        assert_eq!(visited, 10);
+        m.set_all_trainable();
+        let mut visited_all = 0usize;
+        m.visit_trainable(&mut |p, _| visited_all += p.len());
+        assert_eq!(visited_all, m.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trainable_index_out_of_range_panics() {
+        let mut m = spec().build(3);
+        m.set_trainable_layers(&[5]);
+    }
+
+    #[test]
+    fn gradients_flow_after_backward() {
+        let mut m = spec().build(4);
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let y = m.forward(&x, true);
+        let g = m.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        assert_eq!(g.shape(), x.shape());
+        let mut any_nonzero = false;
+        m.visit_trainable(&mut |_, grad| any_nonzero |= grad.data().iter().any(|&v| v != 0.0));
+        assert!(any_nonzero, "backward must populate gradients");
+    }
+
+    #[test]
+    #[should_panic(expected = "more layers")]
+    fn import_with_extra_layer_panics() {
+        let mut m = spec().build(5);
+        let mut dict = m.export_param_dict();
+        dict.layers.push(crate::params::LayerParams { name: "extra".into(), data: vec![] });
+        m.import_param_dict(&dict);
+    }
+}

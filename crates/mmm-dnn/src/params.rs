@@ -1,0 +1,131 @@
+//! Layer-granularity parameter snapshots.
+//!
+//! A [`ParamDict`] is the unit the management layer moves around: the flat
+//! `f32` parameters of one model, split per parametric layer. The Update
+//! approach (paper §3.3) hashes and diffs at exactly this granularity.
+
+use mmm_util::hash::hash_f32s;
+
+/// Parameters of one parametric layer, flattened in canonical order
+/// (weights then bias).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerParams {
+    /// Persisted layer key, e.g. `"0.linear"`.
+    pub name: String,
+    /// Flat parameter values.
+    pub data: Vec<f32>,
+}
+
+impl LayerParams {
+    /// Content hash of the layer's parameters (used for change detection).
+    pub fn content_hash(&self) -> u64 {
+        hash_f32s(&self.data, 0)
+    }
+}
+
+/// All parameters of one model, split per parametric layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamDict {
+    /// Parametric layers in model order.
+    pub layers: Vec<LayerParams>,
+}
+
+impl ParamDict {
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.data.len()).sum()
+    }
+
+    /// Per-layer content hashes, in layer order.
+    pub fn layer_hashes(&self) -> Vec<u64> {
+        self.layers.iter().map(LayerParams::content_hash).collect()
+    }
+
+    /// Concatenate all layer parameters into one flat vector (the
+    /// Baseline approach's storage layout).
+    pub fn concat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.data);
+        }
+        out
+    }
+
+    /// Rebuild a dict from a flat parameter vector plus per-layer
+    /// names and sizes (as recorded in the set's architecture).
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` differs from the sum of `sizes`.
+    pub fn from_flat(flat: &[f32], names: &[String], sizes: &[usize]) -> Self {
+        assert_eq!(names.len(), sizes.len(), "names/sizes length mismatch");
+        let total: usize = sizes.iter().sum();
+        assert_eq!(flat.len(), total, "flat parameter count mismatch");
+        let mut layers = Vec::with_capacity(sizes.len());
+        let mut off = 0;
+        for (name, &n) in names.iter().zip(sizes) {
+            layers.push(LayerParams {
+                name: name.clone(),
+                data: flat[off..off + n].to_vec(),
+            });
+            off += n;
+        }
+        ParamDict { layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> ParamDict {
+        ParamDict {
+            layers: vec![
+                LayerParams { name: "0.linear".into(), data: vec![1., 2., 3.] },
+                LayerParams { name: "2.linear".into(), data: vec![4., 5.] },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_concat() {
+        let d = dict();
+        assert_eq!(d.param_count(), 5);
+        assert_eq!(d.concat(), vec![1., 2., 3., 4., 5.]);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let d = dict();
+        let names: Vec<String> = d.layers.iter().map(|l| l.name.clone()).collect();
+        let sizes: Vec<usize> = d.layers.iter().map(|l| l.data.len()).collect();
+        let back = ParamDict::from_flat(&d.concat(), &names, &sizes);
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat parameter count mismatch")]
+    fn from_flat_wrong_len_panics() {
+        let _ = ParamDict::from_flat(&[1.0; 4], &["a".into()], &[5]);
+    }
+
+    #[test]
+    fn layer_hash_changes_with_content() {
+        let d = dict();
+        let h = d.layer_hashes();
+        assert_eq!(h.len(), 2);
+        let mut d2 = d.clone();
+        // Smallest representable change: flip the low mantissa bit.
+        d2.layers[1].data[0] = f32::from_bits(d2.layers[1].data[0].to_bits() + 1);
+        let h2 = d2.layer_hashes();
+        assert_eq!(h[0], h2[0], "untouched layer keeps its hash");
+        assert_ne!(h[1], h2[1], "modified layer hash changes");
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = ParamDict::default();
+        assert_eq!(d.param_count(), 0);
+        assert!(d.concat().is_empty());
+        assert!(d.layer_hashes().is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! Serializable architecture descriptions.
+//!
+//! An [`ArchitectureSpec`] captures everything needed to rebuild a model's
+//! computational structure. The multi-model savers persist one spec per
+//! *set* of models instead of one per model — optimization O1 of the paper
+//! (redundant model data).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu, Sigmoid, Tanh};
+use crate::model::Model;
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// One layer of an architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Fully connected `in_dim -> out_dim`.
+    Linear {
+        /// Input features.
+        in_dim: usize,
+        /// Output features.
+        out_dim: usize,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Square kernel side length.
+        kernel: usize,
+        /// Stride in both dimensions.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+    },
+    /// Square-window max pooling.
+    MaxPool2d {
+        /// Window side length (also the stride).
+        window: usize,
+    },
+    /// Flatten trailing dims.
+    Flatten,
+    /// ReLU activation.
+    Relu,
+    /// Tanh activation.
+    Tanh,
+    /// Sigmoid activation.
+    Sigmoid,
+}
+
+impl LayerSpec {
+    /// Number of parameters this layer will have.
+    pub fn param_count(&self) -> usize {
+        match *self {
+            LayerSpec::Linear { in_dim, out_dim } => in_dim * out_dim + out_dim,
+            LayerSpec::Conv2d { in_ch, out_ch, kernel, .. } => out_ch * in_ch * kernel * kernel + out_ch,
+            _ => 0,
+        }
+    }
+
+    /// True if the layer has trainable parameters.
+    pub fn is_parametric(&self) -> bool {
+        self.param_count() > 0
+    }
+
+    fn build(&self, rng: &mut impl Rng) -> Box<dyn Layer> {
+        match *self {
+            LayerSpec::Linear { in_dim, out_dim } => Box::new(Linear::new(in_dim, out_dim, rng)),
+            LayerSpec::Conv2d { in_ch, out_ch, kernel, stride, pad } => {
+                Box::new(Conv2d::new(in_ch, out_ch, kernel, stride, pad, rng))
+            }
+            LayerSpec::MaxPool2d { window } => Box::new(MaxPool2d::new(window)),
+            LayerSpec::Flatten => Box::new(Flatten::default()),
+            LayerSpec::Relu => Box::new(Relu::default()),
+            LayerSpec::Tanh => Box::new(Tanh::default()),
+            LayerSpec::Sigmoid => Box::new(Sigmoid::default()),
+        }
+    }
+}
+
+/// A complete, serializable model architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchitectureSpec {
+    /// Human-readable architecture name (e.g. "FFNN-48").
+    pub name: String,
+    /// Expected input shape, excluding the batch dimension.
+    pub input_shape: Vec<usize>,
+    /// The layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ArchitectureSpec {
+    /// Total parameter count across all layers.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(LayerSpec::param_count).sum()
+    }
+
+    /// Parameter counts of the parametric layers, in order.
+    pub fn parametric_layer_sizes(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .filter(|l| l.is_parametric())
+            .map(LayerSpec::param_count)
+            .collect()
+    }
+
+    /// Names of the parametric layers, in order, as persisted layer keys
+    /// (e.g. `"2.linear"` — index within the full layer list plus kind).
+    pub fn parametric_layer_names(&self) -> Vec<String> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_parametric())
+            .map(|(i, l)| {
+                let kind = match l {
+                    LayerSpec::Linear { .. } => "linear",
+                    LayerSpec::Conv2d { .. } => "conv2d",
+                    _ => unreachable!("non-parametric layer filtered out"),
+                };
+                format!("{i}.{kind}")
+            })
+            .collect()
+    }
+
+    /// Infer the output shape (excluding the batch dimension) by
+    /// propagating `input_shape` through the layers, validating every
+    /// transition. Returns a description of the first inconsistency
+    /// (wrong `in_dim`, non-divisible pooling, conv on flat input, ...).
+    pub fn infer_output_shape(&self) -> std::result::Result<Vec<usize>, String> {
+        let mut shape = self.input_shape.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            shape = match layer {
+                LayerSpec::Linear { in_dim, out_dim } => {
+                    if shape.len() != 1 {
+                        return Err(format!(
+                            "layer {i} (linear) expects a flat input, got shape {shape:?}; insert Flatten"
+                        ));
+                    }
+                    if shape[0] != *in_dim {
+                        return Err(format!(
+                            "layer {i} (linear) expects in_dim {in_dim}, got {}",
+                            shape[0]
+                        ));
+                    }
+                    vec![*out_dim]
+                }
+                LayerSpec::Conv2d { in_ch, out_ch, kernel, stride, pad } => {
+                    if shape.len() != 3 {
+                        return Err(format!(
+                            "layer {i} (conv2d) expects [C,H,W] input, got shape {shape:?}"
+                        ));
+                    }
+                    if shape[0] != *in_ch {
+                        return Err(format!(
+                            "layer {i} (conv2d) expects {in_ch} channels, got {}",
+                            shape[0]
+                        ));
+                    }
+                    let out = |d: usize| -> std::result::Result<usize, String> {
+                        let padded = d + 2 * pad;
+                        if *kernel > padded {
+                            Err(format!(
+                                "layer {i} (conv2d) kernel {kernel} exceeds padded input {padded}"
+                            ))
+                        } else {
+                            Ok((padded - kernel) / stride + 1)
+                        }
+                    };
+                    vec![*out_ch, out(shape[1])?, out(shape[2])?]
+                }
+                LayerSpec::MaxPool2d { window } => {
+                    if shape.len() != 3 {
+                        return Err(format!(
+                            "layer {i} (maxpool2d) expects [C,H,W] input, got shape {shape:?}"
+                        ));
+                    }
+                    if !shape[1].is_multiple_of(*window) || !shape[2].is_multiple_of(*window) {
+                        return Err(format!(
+                            "layer {i} (maxpool2d) window {window} does not divide {}×{}",
+                            shape[1], shape[2]
+                        ));
+                    }
+                    vec![shape[0], shape[1] / window, shape[2] / window]
+                }
+                LayerSpec::Flatten => vec![shape.iter().product()],
+                LayerSpec::Relu | LayerSpec::Tanh | LayerSpec::Sigmoid => shape,
+            };
+        }
+        Ok(shape)
+    }
+
+    /// Validate the architecture's internal consistency (see
+    /// [`ArchitectureSpec::infer_output_shape`]).
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        self.infer_output_shape().map(|_| ())
+    }
+
+    /// Build a model with freshly initialized parameters.
+    ///
+    /// Initialization is fully determined by `seed`: each layer draws from
+    /// a sub-seeded generator, so inserting a stateless layer does not
+    /// shift the draws of the layers after it.
+    pub fn build(&self, seed: u64) -> Model {
+        let layers: Vec<Box<dyn Layer>> = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rng = Xoshiro256pp::new(SplitMix64::derive(seed, "layer-init", i as u64));
+                spec.build(&mut rng)
+            })
+            .collect();
+        Model::new(self.clone(), layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ffnn(hidden: usize) -> ArchitectureSpec {
+        ArchitectureSpec {
+            name: format!("FFNN-{hidden}"),
+            input_shape: vec![4],
+            layers: vec![
+                LayerSpec::Linear { in_dim: 4, out_dim: hidden },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: hidden, out_dim: hidden },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: hidden, out_dim: hidden },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: hidden, out_dim: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(LayerSpec::Linear { in_dim: 3, out_dim: 5 }.param_count(), 20);
+        assert_eq!(
+            LayerSpec::Conv2d { in_ch: 3, out_ch: 6, kernel: 5, stride: 1, pad: 0 }.param_count(),
+            456
+        );
+        assert_eq!(LayerSpec::Relu.param_count(), 0);
+        assert!(!LayerSpec::Flatten.is_parametric());
+    }
+
+    #[test]
+    fn ffnn48_matches_paper_count() {
+        // Paper §4.1: FFNN-48 has four fully connected layers and 4,993
+        // parameters in total.
+        assert_eq!(ffnn(48).param_count(), 4993);
+    }
+
+    #[test]
+    fn parametric_layer_names_and_sizes() {
+        let spec = ffnn(48);
+        assert_eq!(spec.parametric_layer_sizes(), vec![240, 2352, 2352, 49]);
+        assert_eq!(
+            spec.parametric_layer_names(),
+            vec!["0.linear", "2.linear", "4.linear", "6.linear"]
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let spec = ffnn(8);
+        let m1 = spec.build(7);
+        let m2 = spec.build(7);
+        let m3 = spec.build(8);
+        assert_eq!(m1.export_params(), m2.export_params());
+        assert_ne!(m1.export_params(), m3.export_params());
+    }
+
+    #[test]
+    fn shape_inference_on_valid_architectures() {
+        assert_eq!(ffnn(48).infer_output_shape().unwrap(), vec![1]);
+        assert!(ffnn(48).validate().is_ok());
+        let cifar = crate::architectures::Architectures::cifar_cnn();
+        assert_eq!(cifar.infer_output_shape().unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn shape_inference_catches_wrong_in_dim() {
+        let mut spec = ffnn(8);
+        spec.layers[2] = LayerSpec::Linear { in_dim: 9, out_dim: 8 };
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("expects in_dim 9, got 8"), "{err}");
+    }
+
+    #[test]
+    fn shape_inference_catches_missing_flatten() {
+        let spec = ArchitectureSpec {
+            name: "bad".into(),
+            input_shape: vec![3, 8, 8],
+            layers: vec![LayerSpec::Linear { in_dim: 192, out_dim: 10 }],
+        };
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("insert Flatten"), "{err}");
+    }
+
+    #[test]
+    fn shape_inference_catches_bad_pooling_and_channels() {
+        let spec = ArchitectureSpec {
+            name: "bad".into(),
+            input_shape: vec![3, 9, 9],
+            layers: vec![LayerSpec::MaxPool2d { window: 2 }],
+        };
+        assert!(spec.validate().unwrap_err().contains("does not divide"));
+
+        let spec = ArchitectureSpec {
+            name: "bad".into(),
+            input_shape: vec![3, 8, 8],
+            layers: vec![LayerSpec::Conv2d { in_ch: 4, out_ch: 2, kernel: 3, stride: 1, pad: 0 }],
+        };
+        assert!(spec.validate().unwrap_err().contains("expects 4 channels"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = ffnn(48);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ArchitectureSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

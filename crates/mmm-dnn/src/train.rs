@@ -1,0 +1,385 @@
+//! Seed-driven, bit-deterministic training loop.
+//!
+//! The training configuration is serializable because the Provenance
+//! approach persists it (once per model set) and recovers models by
+//! replaying the exact same run. Everything that influences the result —
+//! shuffling, batching, optimizer state — is a pure function of
+//! `(initial params, data, TrainConfig)`.
+
+use crate::loss::{cross_entropy, mse};
+use crate::model::Model;
+use crate::optim::OptimizerKind;
+use mmm_tensor::Tensor;
+use mmm_util::{Rng, SplitMix64, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Which loss the run optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Mean squared error (regression; battery models).
+    Mse,
+    /// Softmax cross-entropy (classification; CIFAR model).
+    CrossEntropy,
+}
+
+/// Training targets: a regression target tensor or class labels.
+#[derive(Debug, Clone)]
+pub enum TrainTargets {
+    /// Regression targets, first dim = sample count.
+    Regression(Tensor),
+    /// Integer class labels, one per sample.
+    Classification(Vec<usize>),
+}
+
+impl TrainTargets {
+    /// Number of target samples.
+    pub fn len(&self) -> usize {
+        match self {
+            TrainTargets::Regression(t) => t.shape()[0],
+            TrainTargets::Classification(l) => l.len(),
+        }
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete, replayable training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size (the last batch of an epoch may be smaller).
+    pub batch_size: usize,
+    /// Optimizer and hyperparameters.
+    pub optimizer: OptimizerKind,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Seed driving shuffling (and nothing else).
+    pub seed: u64,
+    /// Optional global gradient-norm clip applied before each step.
+    /// `#[serde(default)]` keeps older persisted provenance records
+    /// readable.
+    #[serde(default)]
+    pub clip_norm: Option<f32>,
+    /// Per-epoch learning-rate schedule (`#[serde(default)]` for
+    /// back-compat with records that predate it).
+    #[serde(default)]
+    pub lr_schedule: crate::optim::LrSchedule,
+}
+
+impl TrainConfig {
+    /// A sensible default for the small battery regression models.
+    pub fn regression_default(seed: u64) -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            optimizer: OptimizerKind::adam(1e-3),
+            loss: LossKind::Mse,
+            seed,
+            clip_norm: None,
+            lr_schedule: crate::optim::LrSchedule::Constant,
+        }
+    }
+
+    /// A sensible default for the CIFAR classification model.
+    pub fn classification_default(seed: u64) -> Self {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            optimizer: OptimizerKind::sgd(0.05),
+            loss: LossKind::CrossEntropy,
+            seed,
+            clip_norm: None,
+            lr_schedule: crate::optim::LrSchedule::Constant,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch (NaN if no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Copy the rows at `indices` (first-dimension slices) into a new tensor.
+fn gather_rows(t: &Tensor, indices: &[usize]) -> Tensor {
+    let stride: usize = t.shape()[1..].iter().product();
+    let mut shape = t.shape().to_vec();
+    shape[0] = indices.len();
+    let mut out = Vec::with_capacity(indices.len() * stride);
+    for &i in indices {
+        out.extend_from_slice(&t.data()[i * stride..(i + 1) * stride]);
+    }
+    Tensor::from_vec(shape, out)
+}
+
+/// Train `model` on `(inputs, targets)` according to `cfg`.
+///
+/// Deterministic: the same model state, data and config always produce
+/// bit-identical parameters. Respects the model's trainable-layer mask,
+/// so partial updates (paper §2.1) reuse this same entry point.
+///
+/// # Panics
+/// Panics if sample counts disagree or `batch_size == 0`.
+pub fn train_model(model: &mut Model, inputs: &Tensor, targets: &TrainTargets, cfg: &TrainConfig) -> TrainReport {
+    let n = inputs.shape()[0];
+    assert_eq!(n, targets.len(), "input/target sample count mismatch");
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    assert!(n > 0, "cannot train on an empty dataset");
+
+    let mut opt = cfg.optimizer.build();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        opt.set_lr_scale(cfg.lr_schedule.factor(epoch, cfg.epochs));
+        // Fresh generator per epoch derived from the config seed, so the
+        // shuffle sequence does not depend on how many draws earlier
+        // epochs consumed.
+        let mut rng = Xoshiro256pp::new(SplitMix64::derive(cfg.seed, "epoch-shuffle", epoch as u64));
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch_idx in order.chunks(cfg.batch_size) {
+            let x = gather_rows(inputs, batch_idx);
+            model.zero_grads();
+            let pred = model.forward(&x, true);
+            let (loss, grad) = match (&cfg.loss, targets) {
+                (LossKind::Mse, TrainTargets::Regression(t)) => {
+                    let y = gather_rows(t, batch_idx);
+                    mse(&pred, &y)
+                }
+                (LossKind::CrossEntropy, TrainTargets::Classification(labels)) => {
+                    let y: Vec<usize> = batch_idx.iter().map(|&i| labels[i]).collect();
+                    cross_entropy(&pred, &y)
+                }
+                _ => panic!("loss kind does not match target kind"),
+            };
+            model.backward(&grad);
+            if let Some(max_norm) = cfg.clip_norm {
+                model.clip_grad_norm(max_norm);
+            }
+            opt.step(model);
+            epoch_loss += f64::from(loss);
+            batches += 1;
+        }
+        epoch_losses.push((epoch_loss / batches as f64) as f32);
+    }
+
+    TrainReport { epoch_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ArchitectureSpec, LayerSpec};
+
+    fn reg_spec() -> ArchitectureSpec {
+        ArchitectureSpec {
+            name: "reg".into(),
+            input_shape: vec![2],
+            layers: vec![
+                LayerSpec::Linear { in_dim: 2, out_dim: 8 },
+                LayerSpec::Tanh,
+                LayerSpec::Linear { in_dim: 8, out_dim: 1 },
+            ],
+        }
+    }
+
+    fn xor_like_data() -> (Tensor, TrainTargets) {
+        // y = x0 * 0.5 - x1 * 0.25: a linearly learnable function.
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 8) as f32 / 8.0;
+            let b = (i / 8) as f32 / 8.0;
+            xs.extend_from_slice(&[a, b]);
+            ys.push(0.5 * a - 0.25 * b);
+        }
+        (
+            Tensor::from_vec([n, 2], xs),
+            TrainTargets::Regression(Tensor::from_vec([n, 1], ys)),
+        )
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = xor_like_data();
+        let mut m = reg_spec().build(1);
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            optimizer: OptimizerKind::adam(0.01),
+            loss: LossKind::Mse,
+            seed: 5,
+            clip_norm: None,
+            lr_schedule: crate::optim::LrSchedule::Constant,
+        };
+        let report = train_model(&mut m, &x, &y, &cfg);
+        assert!(report.final_loss() < report.epoch_losses[0] * 0.5, "{:?}", report.epoch_losses);
+    }
+
+    #[test]
+    fn training_is_bit_deterministic() {
+        let (x, y) = xor_like_data();
+        let cfg = TrainConfig::regression_default(77);
+        let run = || {
+            let mut m = reg_spec().build(2);
+            train_model(&mut m, &x, &y, &cfg);
+            m.export_params()
+        };
+        let p1 = run();
+        let p2 = run();
+        assert_eq!(p1, p2, "training must be exactly reproducible");
+    }
+
+    #[test]
+    fn different_seed_changes_result() {
+        let (x, y) = xor_like_data();
+        let mut cfg = TrainConfig::regression_default(1);
+        let mut m1 = reg_spec().build(2);
+        train_model(&mut m1, &x, &y, &cfg);
+        cfg.seed = 2;
+        let mut m2 = reg_spec().build(2);
+        train_model(&mut m2, &x, &y, &cfg);
+        assert_ne!(m1.export_params(), m2.export_params());
+    }
+
+    #[test]
+    fn partial_update_only_touches_trainable_layers() {
+        let (x, y) = xor_like_data();
+        let mut m = reg_spec().build(3);
+        m.set_trainable_layers(&[1]); // freeze the first linear layer
+        let before = m.export_param_dict();
+        train_model(&mut m, &x, &y, &TrainConfig::regression_default(9));
+        let after = m.export_param_dict();
+        assert_eq!(before.layers[0], after.layers[0]);
+        assert_ne!(before.layers[1], after.layers[1]);
+    }
+
+    #[test]
+    fn classification_training_improves_accuracy() {
+        // Two well-separated clusters in 2-D.
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let off = if c == 0 { -1.0f32 } else { 1.0 };
+            xs.extend_from_slice(&[off + (i as f32 * 0.01), off - (i as f32 * 0.007)]);
+            labels.push(c);
+        }
+        let x = Tensor::from_vec([n, 2], xs);
+        let spec = ArchitectureSpec {
+            name: "clf".into(),
+            input_shape: vec![2],
+            layers: vec![
+                LayerSpec::Linear { in_dim: 2, out_dim: 8 },
+                LayerSpec::Relu,
+                LayerSpec::Linear { in_dim: 8, out_dim: 2 },
+            ],
+        };
+        let mut m = spec.build(4);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            optimizer: OptimizerKind::sgd(0.1),
+            loss: LossKind::CrossEntropy,
+            seed: 3,
+            clip_norm: None,
+            lr_schedule: crate::optim::LrSchedule::Constant,
+        };
+        train_model(&mut m, &x, &TrainTargets::Classification(labels.clone()), &cfg);
+        let pred = m.forward(&x, false);
+        let correct = pred
+            .argmax_rows()
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        assert!(correct as f32 / n as f32 > 0.95, "accuracy {correct}/{n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss kind does not match")]
+    fn mismatched_loss_and_targets_panic() {
+        let (x, _) = xor_like_data();
+        let mut m = reg_spec().build(1);
+        let cfg = TrainConfig {
+            loss: LossKind::CrossEntropy,
+            ..TrainConfig::regression_default(0)
+        };
+        let _ = train_model(&mut m, &x, &TrainTargets::Regression(Tensor::zeros([64, 1])), &cfg);
+    }
+
+    #[test]
+    fn serde_roundtrip_of_config() {
+        let cfg = TrainConfig::classification_default(42);
+        let s = serde_json::to_string(&cfg).unwrap();
+        let back: TrainConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn config_without_clip_field_still_parses() {
+        // Back-compat: provenance records persisted before clip_norm
+        // existed must keep loading.
+        let legacy = r#"{"epochs":2,"batch_size":8,
+            "optimizer":{"Sgd":{"lr":0.1,"momentum":0.0}},
+            "loss":"Mse","seed":3}"#;
+        let cfg: TrainConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg.clip_norm, None);
+        assert_eq!(cfg.epochs, 2);
+    }
+
+    #[test]
+    fn clipping_caps_the_gradient_norm() {
+        let (x, y) = xor_like_data();
+        // Huge targets force large gradients.
+        let y_big = match y {
+            TrainTargets::Regression(t) => TrainTargets::Regression(t.scale(1e4)),
+            other => other,
+        };
+        let mut m = reg_spec().build(5);
+        let x2 = x.clone();
+        let pred = m.forward(&x2, true);
+        let (_, g) = crate::loss::mse(&pred, match &y_big {
+            TrainTargets::Regression(t) => t,
+            _ => unreachable!(),
+        });
+        m.backward(&g);
+        let before = m.grad_norm();
+        assert!(before > 1.0);
+        let k = m.clip_grad_norm(1.0);
+        assert!(k < 1.0);
+        assert!((m.grad_norm() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clipped_training_is_still_deterministic() {
+        let (x, y) = xor_like_data();
+        let cfg = TrainConfig {
+            clip_norm: Some(0.5),
+            ..TrainConfig::regression_default(13)
+        };
+        let run = || {
+            let mut m = reg_spec().build(6);
+            train_model(&mut m, &x, &y, &cfg);
+            m.export_params()
+        };
+        assert_eq!(run(), run());
+    }
+}

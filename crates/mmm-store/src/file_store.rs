@@ -1,0 +1,297 @@
+//! Key→blob file store with atomic writes, latency charging, and
+//! byte accounting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mmm_util::{Error, Result, VirtualClock};
+
+use crate::profile::LatencyProfile;
+use crate::stats::StoreStats;
+
+/// A blob store backed by a directory tree. Keys may contain `/` to form
+/// sub-namespaces (e.g. `"set-3/params.bin"`).
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    root: PathBuf,
+    clock: VirtualClock,
+    profile: LatencyProfile,
+    stats: StoreStats,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        profile: LatencyProfile,
+        clock: VirtualClock,
+        stats: StoreStats,
+    ) -> Result<Self> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FileStore { root, clock, profile, stats })
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        if key.is_empty() || key.contains("..") || key.starts_with('/') {
+            return Err(Error::invalid(format!("illegal blob key {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+
+    /// Write a blob. Overwrites an existing blob under the same key.
+    /// Charged as one `blob_put` round-trip plus transfer cost.
+    pub fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename: a crash never leaves a torn blob.
+        let tmp = path.with_extension("tmp-write");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        self.stats.record_blob_put(bytes.len() as u64);
+        self.clock.charge(self.profile.blob_put.cost(bytes.len() as u64));
+        Ok(())
+    }
+
+    /// Read a blob. Charged as one `blob_get` round-trip plus transfer.
+    pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let path = self.path_for(key)?;
+        let bytes = fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::not_found(format!("blob {key:?}"))
+            } else {
+                Error::Io(e)
+            }
+        })?;
+        self.stats.record_blob_get(bytes.len() as u64);
+        self.clock.charge(self.profile.blob_get.cost(bytes.len() as u64));
+        Ok(bytes)
+    }
+
+    /// Read `len` bytes of a blob starting at `offset` (a ranged read —
+    /// one `blob_get` round-trip charged with only the transferred
+    /// bytes). Errors if the range exceeds the blob.
+    pub fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = self.path_for(key)?;
+        let mut file = std::fs::File::open(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::not_found(format!("blob {key:?}"))
+            } else {
+                Error::Io(e)
+            }
+        })?;
+        let size = file.metadata()?.len();
+        if offset + len as u64 > size {
+            return Err(Error::invalid(format!(
+                "range {offset}+{len} exceeds blob {key:?} of {size} bytes"
+            )));
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        self.stats.record_blob_get(len as u64);
+        self.clock.charge(self.profile.blob_get.cost(len as u64));
+        Ok(buf)
+    }
+
+    /// Whether a blob exists (not charged — local metadata check).
+    pub fn exists(&self, key: &str) -> bool {
+        self.path_for(key).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    /// Size of a stored blob in bytes.
+    pub fn size(&self, key: &str) -> Result<u64> {
+        let path = self.path_for(key)?;
+        Ok(fs::metadata(&path)
+            .map_err(|_| Error::not_found(format!("blob {key:?}")))?
+            .len())
+    }
+
+    /// Delete a blob. Charged as one delete round-trip.
+    pub fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        fs::remove_file(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::not_found(format!("blob {key:?}"))
+            } else {
+                Error::Io(e)
+            }
+        })?;
+        self.stats.record_blob_delete();
+        self.clock.charge(self.profile.blob_put.cost(0));
+        Ok(())
+    }
+
+    /// All keys under a prefix (sorted; not charged — local listing used
+    /// by maintenance tools, not by the savers).
+    pub fn list_keys(&self, prefix: &str) -> Result<Vec<String>> {
+        let root = self.root.clone();
+        let start = self.path_for(prefix).unwrap_or_else(|_| root.clone());
+        let mut out = Vec::new();
+        fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) {
+            if let Ok(entries) = fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.is_dir() {
+                        walk(root, &p, out);
+                    } else if let Ok(rel) = p.strip_prefix(root) {
+                        out.push(rel.to_string_lossy().replace('\\', "/"));
+                    }
+                }
+            }
+        }
+        if start.is_dir() {
+            walk(&root, &start, &mut out);
+        } else if start.is_file() {
+            out.push(prefix.to_string());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Total bytes of all blobs under the root (ground-truth disk usage).
+    pub fn disk_bytes(&self) -> u64 {
+        fn walk(dir: &Path) -> u64 {
+            let mut total = 0;
+            if let Ok(entries) = fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.is_dir() {
+                        total += walk(&p);
+                    } else if let Ok(m) = e.metadata() {
+                        total += m.len();
+                    }
+                }
+            }
+            total
+        }
+        walk(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::TempDir;
+
+    fn store(profile: LatencyProfile) -> (TempDir, FileStore) {
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let fs = FileStore::open(dir.path(), profile, VirtualClock::new(), StoreStats::new()).unwrap();
+        (dir, fs)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        fs.put("a/b/c.bin", b"hello").unwrap();
+        assert_eq!(fs.get("a/b/c.bin").unwrap(), b"hello");
+        assert!(fs.exists("a/b/c.bin"));
+        assert!(!fs.exists("a/b/d.bin"));
+        assert_eq!(fs.size("a/b/c.bin").unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_blob_is_not_found() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        assert!(matches!(fs.get("nope"), Err(Error::NotFound(_))));
+        assert!(matches!(fs.size("nope"), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn illegal_keys_are_rejected() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        assert!(fs.put("", b"x").is_err());
+        assert!(fs.put("../escape", b"x").is_err());
+        assert!(fs.put("/abs", b"x").is_err());
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        fs.put("k", b"one").unwrap();
+        fs.put("k", b"two").unwrap();
+        assert_eq!(fs.get("k").unwrap(), b"two");
+    }
+
+    #[test]
+    fn stats_and_latency_are_charged() {
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let clock = VirtualClock::new();
+        let stats = StoreStats::new();
+        let fs = FileStore::open(dir.path(), LatencyProfile::m1(), clock.clone(), stats.clone()).unwrap();
+        fs.put("k", &[0u8; 1000]).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.blob_puts, 1);
+        assert_eq!(s.bytes_written, 1000);
+        assert!(clock.simulated() >= LatencyProfile::m1().blob_put.cost(1000));
+        let before_get = clock.simulated();
+        let _ = fs.get("k").unwrap();
+        assert!(clock.simulated() > before_get);
+        assert_eq!(stats.snapshot().bytes_read, 1000);
+    }
+
+    #[test]
+    fn ranged_reads_return_exact_slices() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        let data: Vec<u8> = (0..=255).collect();
+        fs.put("blob", &data).unwrap();
+        assert_eq!(fs.get_range("blob", 0, 4).unwrap(), &data[..4]);
+        assert_eq!(fs.get_range("blob", 100, 50).unwrap(), &data[100..150]);
+        assert_eq!(fs.get_range("blob", 252, 4).unwrap(), &data[252..]);
+        assert_eq!(fs.get_range("blob", 10, 0).unwrap(), Vec::<u8>::new());
+        // Out-of-bounds range is rejected.
+        assert!(matches!(fs.get_range("blob", 250, 10), Err(Error::Invalid(_))));
+        assert!(matches!(fs.get_range("missing", 0, 1), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn ranged_reads_charge_only_transferred_bytes() {
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let stats = StoreStats::new();
+        let fs = FileStore::open(dir.path(), LatencyProfile::zero(), VirtualClock::new(), stats.clone()).unwrap();
+        fs.put("blob", &[0u8; 100_000]).unwrap();
+        let before = stats.snapshot();
+        let _ = fs.get_range("blob", 5_000, 200).unwrap();
+        let delta = stats.snapshot() - before;
+        assert_eq!(delta.blob_gets, 1);
+        assert_eq!(delta.bytes_read, 200);
+    }
+
+    #[test]
+    fn delete_removes_blob() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        fs.put("a/b", b"x").unwrap();
+        fs.delete("a/b").unwrap();
+        assert!(!fs.exists("a/b"));
+        assert!(matches!(fs.delete("a/b"), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn list_keys_by_prefix() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        fs.put("set1/params.bin", b"1").unwrap();
+        fs.put("set1/hashes.bin", b"2").unwrap();
+        fs.put("set2/params.bin", b"3").unwrap();
+        assert_eq!(
+            fs.list_keys("set1").unwrap(),
+            vec!["set1/hashes.bin".to_string(), "set1/params.bin".to_string()]
+        );
+        assert_eq!(fs.list_keys("").unwrap().len(), 3);
+        assert_eq!(
+            fs.list_keys("set1/params.bin").unwrap(),
+            vec!["set1/params.bin".to_string()]
+        );
+        assert!(fs.list_keys("nope").unwrap().is_empty());
+    }
+
+    #[test]
+    fn disk_bytes_sums_all_blobs() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        fs.put("x", &[1u8; 10]).unwrap();
+        fs.put("sub/y", &[2u8; 20]).unwrap();
+        assert_eq!(fs.disk_bytes(), 30);
+    }
+}

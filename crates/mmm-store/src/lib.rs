@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Storage substrate: blob file store + embedded document store.
+//!
+//! MMlib (which the paper extends) persists model metadata in a document
+//! store (MongoDB) and binary artifacts on a filesystem. Neither is
+//! available here, so this crate implements both as embedded engines with
+//! real durability (files on disk) plus a **simulated connection latency**
+//! charged to a shared [`mmm_util::VirtualClock`]:
+//!
+//! * [`file_store::FileStore`] — a key→blob store (real files, atomic
+//!   write-then-rename).
+//! * [`doc_store::DocumentStore`] — JSON documents in named collections,
+//!   persisted to an append-only log per collection and replayed on open.
+//! * [`profile::LatencyProfile`] — per-operation latency models. The two
+//!   calibrated profiles, [`profile::LatencyProfile::m1`] and
+//!   [`profile::LatencyProfile::server`], reproduce the paper's two
+//!   hardware setups, whose difference the paper attributes to "faster
+//!   connections to the document store on the server setup" (§4.3).
+//! * [`stats::StoreStats`] — operation and byte accounting. The savers'
+//!   reported storage consumption is taken from here and cross-checked
+//!   against on-disk sizes in tests.
+//!
+//! Every round-trip counts: saving `n` models individually costs `Θ(n)`
+//! document-store writes (the paper's optimization O3), while the
+//! set-oriented savers issue a constant number of operations.
+
+pub mod doc_store;
+pub mod file_store;
+pub mod profile;
+pub mod stats;
+
+pub use doc_store::DocumentStore;
+pub use file_store::FileStore;
+pub use profile::LatencyProfile;
+pub use stats::{StatsSnapshot, StoreStats};

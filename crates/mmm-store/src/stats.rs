@@ -1,0 +1,158 @@
+//! Operation and byte accounting shared by the stores.
+//!
+//! The paper's storage-consumption metric is "the amount of storage
+//! needed to save a set of models" — we measure it as the exact bytes the
+//! savers hand to the stores, tracked here and cross-checked against
+//! on-disk file sizes in integration tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe counters. Clone is cheap (Arc inside).
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    doc_inserts: AtomicU64,
+    doc_queries: AtomicU64,
+    doc_deletes: AtomicU64,
+    blob_puts: AtomicU64,
+    blob_gets: AtomicU64,
+    blob_deletes: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Document-store inserts.
+    pub doc_inserts: u64,
+    /// Document-store queries.
+    pub doc_queries: u64,
+    /// Document-store deletions.
+    pub doc_deletes: u64,
+    /// File-store writes.
+    pub blob_puts: u64,
+    /// File-store reads.
+    pub blob_gets: u64,
+    /// File-store deletions.
+    pub blob_deletes: u64,
+    /// Total payload bytes written (documents + blobs).
+    pub bytes_written: u64,
+    /// Total payload bytes read.
+    pub bytes_read: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            doc_inserts: self.doc_inserts - rhs.doc_inserts,
+            doc_queries: self.doc_queries - rhs.doc_queries,
+            doc_deletes: self.doc_deletes - rhs.doc_deletes,
+            blob_puts: self.blob_puts - rhs.blob_puts,
+            blob_gets: self.blob_gets - rhs.blob_gets,
+            blob_deletes: self.blob_deletes - rhs.blob_deletes,
+            bytes_written: self.bytes_written - rhs.bytes_written,
+            bytes_read: self.bytes_read - rhs.bytes_read,
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total store round-trips (reads + writes + deletes).
+    pub fn total_ops(&self) -> u64 {
+        self.doc_inserts
+            + self.doc_queries
+            + self.doc_deletes
+            + self.blob_puts
+            + self.blob_gets
+            + self.blob_deletes
+    }
+}
+
+impl StoreStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_doc_insert(&self, bytes: u64) {
+        self.inner.doc_inserts.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_doc_query(&self, bytes: u64) {
+        self.inner.doc_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_blob_put(&self, bytes: u64) {
+        self.inner.blob_puts.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_blob_get(&self, bytes: u64) {
+        self.inner.blob_gets.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_doc_delete(&self, bytes: u64) {
+        self.inner.doc_deletes.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_blob_delete(&self) {
+        self.inner.blob_deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            doc_inserts: self.inner.doc_inserts.load(Ordering::Relaxed),
+            doc_queries: self.inner.doc_queries.load(Ordering::Relaxed),
+            doc_deletes: self.inner.doc_deletes.load(Ordering::Relaxed),
+            blob_puts: self.inner.blob_puts.load(Ordering::Relaxed),
+            blob_gets: self.inner.blob_gets.load(Ordering::Relaxed),
+            blob_deletes: self.inner.blob_deletes.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let s = StoreStats::new();
+        s.record_doc_insert(100);
+        s.record_blob_put(1000);
+        let a = s.snapshot();
+        assert_eq!(a.doc_inserts, 1);
+        assert_eq!(a.bytes_written, 1100);
+        s.record_doc_query(50);
+        s.record_blob_get(500);
+        let b = s.snapshot();
+        let d = b - a;
+        assert_eq!(d.doc_inserts, 0);
+        assert_eq!(d.doc_queries, 1);
+        assert_eq!(d.bytes_read, 550);
+        assert_eq!(d.total_ops(), 2);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = StoreStats::new();
+        let s2 = s.clone();
+        s2.record_blob_put(7);
+        assert_eq!(s.snapshot().blob_puts, 1);
+    }
+}

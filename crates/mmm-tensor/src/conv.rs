@@ -1,0 +1,384 @@
+//! Direct 2-D convolution (forward and backward).
+//!
+//! Layout follows the PyTorch convention: inputs are `[N, C, H, W]`,
+//! weights are `[O, C, KH, KW]`, bias is `[O]`. Stride and symmetric zero
+//! padding are supported — sufficient for the paper's CIFAR model.
+
+use crate::Tensor;
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub input: Tensor,
+    /// Gradient w.r.t. the weights, `[O, C, KH, KW]`.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias, `[O]`.
+    pub bias: Tensor,
+}
+
+fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    if kernel > padded {
+        // No valid placement: an empty output (saturating arithmetic
+        // would wrongly report a 1-wide output here).
+        0
+    } else {
+        (padded - kernel) / stride + 1
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// # Panics
+/// Panics on mismatched channel counts or non-4-D operands.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d: input must be [N,C,H,W]");
+    assert_eq!(weight.ndim(), 4, "conv2d: weight must be [O,C,KH,KW]");
+    assert!(stride > 0, "conv2d: stride must be positive");
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (o, cw, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    assert_eq!(c, cw, "conv2d: channel mismatch ({c} vs {cw})");
+    assert_eq!(bias.len(), o, "conv2d: bias length must equal out channels");
+
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(w, kw, stride, pad);
+    let mut out = vec![0.0f32; n * o * oh * ow];
+    let id = input.data();
+    let wd = weight.data();
+    let bd = bias.data();
+
+    for ni in 0..n {
+        for oi in 0..o {
+            let b = bd[oi];
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = b;
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (y * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (x * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = id[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                                let wv = wd[((oi * c + ci) * kh + ky) * kw + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[((ni * o + oi) * oh + y) * ow + x] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, o, oh, ow], out)
+}
+
+/// Forward convolution via im2col + GEMM: lower each receptive field
+/// into a row of a `[N·OH·OW, C·KH·KW]` matrix, multiply by the weights
+/// with the blocked matmul kernel, then scatter back to `[N,O,OH,OW]`.
+///
+/// Bit-identical to [`conv2d`] is **not** guaranteed (different
+/// accumulation order), but results agree to floating-point tolerance;
+/// use the direct kernel wherever replay-exactness matters (training),
+/// and this one for bulk inference. Typically faster for larger
+/// channel counts because the inner loop becomes a dense GEMM.
+pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d_im2col: input must be [N,C,H,W]");
+    assert_eq!(weight.ndim(), 4, "conv2d_im2col: weight must be [O,C,KH,KW]");
+    assert!(stride > 0, "conv2d_im2col: stride must be positive");
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (o, cw, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    assert_eq!(c, cw, "conv2d_im2col: channel mismatch ({c} vs {cw})");
+    assert_eq!(bias.len(), o, "conv2d_im2col: bias length must equal out channels");
+
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(w, kw, stride, pad);
+    let k = c * kh * kw;
+    let rows = n * oh * ow;
+
+    // Lower: cols[row, c*kh*kw + ky*kw + kx] = input patch value.
+    let mut cols = vec![0.0f32; rows * k];
+    let id = input.data();
+    for ni in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = (ni * oh + y) * ow + x;
+                let base = row * k;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        let iy = (y * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (x * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cols[base + (ci * kh + ky) * kw + kx] =
+                                id[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // GEMM: [rows, k] · [o, k]ᵀ = [rows, o].
+    let cols_t = Tensor::from_vec([rows, k], cols);
+    let w_mat = weight.clone().reshape([o, k]);
+    let prod = crate::matmul_nt(&cols_t, &w_mat);
+
+    // Scatter to [N, O, OH, OW] and add bias.
+    let mut out = vec![0.0f32; n * o * oh * ow];
+    let pd = prod.data();
+    let bd = bias.data();
+    for ni in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = (ni * oh + y) * ow + x;
+                for oi in 0..o {
+                    out[((ni * o + oi) * oh + y) * ow + x] = pd[row * o + oi] + bd[oi];
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, o, oh, ow], out)
+}
+
+/// Backward pass of [`conv2d`]: given `grad_out` (`[N, O, OH, OW]`),
+/// compute gradients w.r.t. input, weight, and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Conv2dGrads {
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (o, _, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+    assert_eq!(grad_out.shape()[0], n, "conv2d_backward: batch mismatch");
+    assert_eq!(grad_out.shape()[1], o, "conv2d_backward: out-channel mismatch");
+
+    let mut gi = vec![0.0f32; n * c * h * w];
+    let mut gw = vec![0.0f32; weight.len()];
+    let mut gb = vec![0.0f32; o];
+    let id = input.data();
+    let wd = weight.data();
+    let god = grad_out.data();
+
+    for ni in 0..n {
+        for oi in 0..o {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let g = god[((ni * o + oi) * oh + y) * ow + x];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[oi] += g;
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (y * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (x * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let i_idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                                let w_idx = ((oi * c + ci) * kh + ky) * kw + kx;
+                                gw[w_idx] += g * id[i_idx];
+                                gi[i_idx] += g * wd[w_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Conv2dGrads {
+        input: Tensor::from_vec([n, c, h, w], gi),
+        weight: Tensor::from_vec(weight.shape().to_vec(), gw),
+        bias: Tensor::from_vec([o], gb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::Xoshiro256pp;
+
+    #[test]
+    fn known_3x3_kernel_on_4x4() {
+        // Single channel, identity-ish: kernel picks the center pixel.
+        let input = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|x| x as f32).collect());
+        let mut k = vec![0.0f32; 9];
+        k[4] = 1.0; // center tap
+        let weight = Tensor::from_vec([1, 1, 3, 3], k);
+        let bias = Tensor::zeros([1]);
+        let out = conv2d(&input, &weight, &bias, 1, 1);
+        assert_eq!(out.shape(), &[1, 1, 3, 3]);
+        assert_eq!(out.data(), input.data(), "center-tap kernel with pad 1 is identity");
+    }
+
+    #[test]
+    fn output_shape_with_stride_and_pad() {
+        let input = Tensor::zeros([2, 3, 32, 32]);
+        let weight = Tensor::zeros([8, 3, 5, 5]);
+        let bias = Tensor::zeros([8]);
+        let out = conv2d(&input, &weight, &bias, 2, 2);
+        assert_eq!(out.shape(), &[2, 8, 16, 16]);
+    }
+
+    #[test]
+    fn bias_reaches_every_output() {
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let weight = Tensor::zeros([2, 1, 3, 3]);
+        let bias = Tensor::from_vec([2], vec![1.5, -2.0]);
+        let out = conv2d(&input, &weight, &bias, 1, 1);
+        for oi in 0..2 {
+            for i in 0..16 {
+                assert_eq!(out.data()[oi * 16 + i], bias.data()[oi]);
+            }
+        }
+    }
+
+    /// Finite-difference check of all three gradients on a small problem.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Xoshiro256pp::new(42);
+        let input = Tensor::rand_normal([1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::rand_normal([3], 0.0, 0.5, &mut rng);
+        let (stride, pad) = (1, 1);
+
+        // Loss = sum(conv output); then dL/dout = 1 everywhere.
+        let out = conv2d(&input, &weight, &bias, stride, pad);
+        let grad_out = Tensor::full(out.shape().to_vec(), 1.0);
+        let grads = conv2d_backward(&input, &weight, &grad_out, stride, pad);
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| conv2d(inp, w, b, stride, pad).sum();
+
+        // Check a sample of input positions.
+        for &idx in &[0usize, 7, 24, 49] {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let fd = (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
+            let an = grads.input.data()[idx];
+            assert!((fd - an).abs() < 2e-2, "input grad at {idx}: fd={fd} an={an}");
+        }
+        // Check a sample of weight positions.
+        for &idx in &[0usize, 5, 17, 53] {
+            let mut plus = weight.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = weight.clone();
+            minus.data_mut()[idx] -= eps;
+            let fd = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias)) / (2.0 * eps);
+            let an = grads.weight.data()[idx];
+            assert!((fd - an).abs() < 2e-2, "weight grad at {idx}: fd={fd} an={an}");
+        }
+        // Bias gradient = number of output positions per channel.
+        let per_channel = (out.len() / 3) as f32;
+        for oi in 0..3 {
+            assert!((grads.bias.data()[oi] - per_channel).abs() < 1e-3);
+        }
+    }
+
+    /// The im2col path must agree with the direct kernel across shapes,
+    /// strides and paddings.
+    #[test]
+    fn im2col_matches_direct_conv() {
+        let mut rng = Xoshiro256pp::new(17);
+        for &(n, c, h, o, k, stride, pad) in &[
+            (1usize, 1usize, 5usize, 1usize, 3usize, 1usize, 0usize),
+            (2, 3, 8, 4, 3, 1, 1),
+            (1, 3, 32, 6, 5, 1, 0),
+            (2, 2, 9, 3, 3, 2, 1),
+            (1, 4, 6, 2, 5, 2, 2),
+        ] {
+            let input = Tensor::rand_normal([n, c, h, h], 0.0, 1.0, &mut rng);
+            let weight = Tensor::rand_normal([o, c, k, k], 0.0, 0.5, &mut rng);
+            let bias = Tensor::rand_normal([o], 0.0, 0.5, &mut rng);
+            let a = conv2d(&input, &weight, &bias, stride, pad);
+            let b = conv2d_im2col(&input, &weight, &bias, stride, pad);
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!(
+                    (x - y).abs() < 1e-4 * (1.0 + x.abs()),
+                    "mismatch {x} vs {y} at shape ({n},{c},{h},{o},{k},{stride},{pad})"
+                );
+            }
+        }
+    }
+
+    /// Finite-difference check with stride 2 and padding — the path the
+    /// simple identity tests miss.
+    #[test]
+    fn strided_padded_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256pp::new(7);
+        let input = Tensor::rand_normal([1, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal([2, 1, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::zeros([2]);
+        let (stride, pad) = (2, 1);
+        let out = conv2d(&input, &weight, &bias, stride, pad);
+        assert_eq!(out.shape(), &[1, 2, 3, 3]);
+        let grads = conv2d_backward(&input, &weight, &Tensor::full(out.shape().to_vec(), 1.0), stride, pad);
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, w: &Tensor| conv2d(inp, w, &bias, stride, pad).sum();
+        for &idx in &[0usize, 10, 21, 35] {
+            let mut p = input.clone();
+            p.data_mut()[idx] += eps;
+            let mut m = input.clone();
+            m.data_mut()[idx] -= eps;
+            let fd = (loss(&p, &weight) - loss(&m, &weight)) / (2.0 * eps);
+            assert!(
+                (fd - grads.input.data()[idx]).abs() < 2e-2,
+                "input grad at {idx}: fd={fd} an={}",
+                grads.input.data()[idx]
+            );
+        }
+        for &idx in &[0usize, 8, 17] {
+            let mut p = weight.clone();
+            p.data_mut()[idx] += eps;
+            let mut m = weight.clone();
+            m.data_mut()[idx] -= eps;
+            let fd = (loss(&input, &p) - loss(&input, &m)) / (2.0 * eps);
+            assert!(
+                (fd - grads.weight.data()[idx]).abs() < 2e-2,
+                "weight grad at {idx}: fd={fd} an={}",
+                grads.weight.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_larger_than_padded_input_gives_empty_output() {
+        let input = Tensor::zeros([1, 1, 2, 2]);
+        let weight = Tensor::zeros([1, 1, 5, 5]);
+        let out = conv2d(&input, &weight, &Tensor::zeros([1]), 1, 0);
+        assert_eq!(out.shape(), &[1, 1, 0, 0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let input = Tensor::zeros([1, 3, 8, 8]);
+        let weight = Tensor::zeros([4, 2, 3, 3]);
+        let _ = conv2d(&input, &weight, &Tensor::zeros([4]), 1, 0);
+    }
+}

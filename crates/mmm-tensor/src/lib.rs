@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Dense `f32` tensors and the numeric kernels used by `mmm-dnn`.
+//!
+//! This crate is the workspace's PyTorch stand-in for *storage and
+//! management* purposes: the model-management layer only cares about
+//! parameter counts, layouts and bytes, while the Provenance approach needs
+//! deterministic forward/backward passes. Tensors are owned, contiguous,
+//! row-major `Vec<f32>` buffers — no views, no autograd graph; backprop is
+//! written explicitly per layer in `mmm-dnn`.
+//!
+//! Kernels are deliberately straightforward (blocked matmul, direct
+//! convolution): models in the paper have 5k–10k parameters, so clarity and
+//! bit-determinism beat BLAS-level throughput here.
+
+mod conv;
+mod matmul;
+mod ops;
+mod pool;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_backward, conv2d_im2col, Conv2dGrads};
+pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use pool::{maxpool2d, maxpool2d_backward};
+pub use tensor::Tensor;

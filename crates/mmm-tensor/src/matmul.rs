@@ -1,0 +1,196 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover everything a fully-connected layer's forward and
+//! backward passes need without materializing transposes:
+//!
+//! * [`matmul`]    — `C = A · B`
+//! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients)
+//!
+//! The kernels use the classic i-k-j loop order so the inner loop streams
+//! over contiguous rows — good cache behaviour without unsafe code or
+//! explicit SIMD. Accumulation order is fixed, keeping results
+//! bit-deterministic across runs (required by the Provenance approach).
+
+use crate::Tensor;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// # Panics
+/// Panics if the operands are not matrices with compatible inner dims.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul: A must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul: B must be 2-D");
+    let (m, ka) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(ka, kb, "matmul: inner dims differ ({ka} vs {kb})");
+
+    let mut c = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for k in 0..ka {
+            let aik = ad[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], c)
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_tn: A must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_tn: B must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (mb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(m, mb, "matmul_tn: outer dims differ ({m} vs {mb})");
+
+    let mut c = vec![0.0f32; k * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let brow = &bd[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let crow = &mut c[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec([k, n], c)
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_nt: A must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_nt: B must be 2-D");
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let (k, nb) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(n, nb, "matmul_nt: inner dims differ ({n} vs {nb})");
+
+    let mut c = vec![0.0f32; m * k];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * n..(i + 1) * n];
+        for j in 0..k {
+            let brow = &bd[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            c[i * k + j] = acc;
+        }
+    }
+    Tensor::from_vec([m, k], c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::{Rng, Xoshiro256pp};
+    use proptest::prelude::*;
+
+    fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Xoshiro256pp::new(1);
+        let a = Tensor::rand_normal([4, 4], 0.0, 1.0, &mut rng);
+        let mut eye = Tensor::zeros([4, 4]);
+        for i in 0..4 {
+            eye.set2(i, i, 1.0);
+        }
+        assert!(approx_eq(&matmul(&a, &eye), &a, 1e-6));
+        assert!(approx_eq(&matmul(&eye, &a), &a, 1e-6));
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = Xoshiro256pp::new(2);
+        let a = Tensor::rand_normal([5, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([5, 4], 0.0, 1.0, &mut rng);
+        assert!(approx_eq(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-5));
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = Xoshiro256pp::new(3);
+        let a = Tensor::rand_normal([5, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([4, 3], 0.0, 1.0, &mut rng);
+        assert!(approx_eq(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()), 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([3, 2]);
+        assert_eq!(matmul(&a, &b).shape(), &[0, 2]);
+        let c = Tensor::zeros([2, 0]);
+        let d = Tensor::zeros([0, 5]);
+        let e = matmul(&c, &d);
+        assert_eq!(e.shape(), &[2, 5]);
+        assert!(e.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = Xoshiro256pp::new(9);
+        let a = Tensor::rand_normal([16, 16], 0.0, 1.0, &mut r1);
+        let b = Tensor::rand_normal([16, 16], 0.0, 1.0, &mut r1);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul(&a, &b);
+        assert_eq!(c1.data(), c2.data(), "bit-identical accumulation");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_matmul_distributes_over_add(seed in 0u64..1000) {
+            let mut rng = Xoshiro256pp::new(seed);
+            let m = 1 + (rng.below(6) as usize);
+            let k = 1 + (rng.below(6) as usize);
+            let n = 1 + (rng.below(6) as usize);
+            let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            let c = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            let lhs = matmul(&a, &b.add(&c));
+            let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+            prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Elementwise and reduction operations on [`Tensor`].
+//!
+//! Implemented as inherent methods so call sites read naturally
+//! (`x.add(&y)`, `x.map(f)`). All binary ops require identical shapes
+//! except the explicitly-named broadcast helpers used by bias addition.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference; shapes must match.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product; shapes must match.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// Apply `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.shape().to_vec(), self.data().iter().map(|&x| f(x)).collect())
+    }
+
+    /// Apply `f` in place to every element.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Combine two same-shape tensors elementwise.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Tensor::from_vec(
+            self.shape().to_vec(),
+            self.data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        )
+    }
+
+    /// `self += k * other`, in place (the SGD update kernel).
+    pub fn axpy(&mut self, k: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += k * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Add a `[cols]` bias vector to every row of a `[rows, cols]` matrix.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "add_row_broadcast requires a matrix");
+        assert_eq!(
+            bias.len(),
+            self.shape()[1],
+            "bias length {} does not match row width {}",
+            bias.len(),
+            self.shape()[1]
+        );
+        let mut out = self.clone();
+        let w = out.shape()[1];
+        let rows = out.shape()[0];
+        for r in 0..rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias.data()) {
+                *o += b;
+            }
+        }
+        let _ = w;
+        out
+    }
+
+    /// Column-wise sum of a `[rows, cols]` matrix, giving a `[cols]` vector
+    /// (the bias-gradient kernel).
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "sum_rows requires a matrix");
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for (o, &x) in out.iter_mut().zip(self.row(i)) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec([c], out)
+    }
+
+    /// Index of the maximum element in each row of a `[rows, cols]` matrix.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows requires a matrix");
+        (0..self.shape()[0])
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0usize;
+                for (j, &v) in row.iter().enumerate().skip(1) {
+                    // Strict > keeps the first maximum on ties.
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec([data.len()], data.to_vec())
+    }
+
+    #[test]
+    fn binary_ops() {
+        let a = t(&[1., 2., 3.]);
+        let b = t(&[4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let _ = t(&[1., 2.]).add(&t(&[1., 2., 3.]));
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut w = t(&[1., 1., 1.]);
+        let g = t(&[1., 2., 3.]);
+        w.axpy(-0.5, &g);
+        assert_eq!(w.data(), &[0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sq_norm(), 30.0);
+        assert_eq!(Tensor::zeros([0]).mean(), 0.0);
+    }
+
+    #[test]
+    fn row_broadcast_and_sum_rows() {
+        let m = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(&[10., 20., 30.]);
+        let y = m.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[11., 22., 33., 14., 25., 36.]);
+        assert_eq!(m.sum_rows().data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max_on_ties() {
+        let m = Tensor::from_vec([2, 3], vec![0., 5., 5., 7., 1., 2.]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn map_inplace_matches_map() {
+        let a = Tensor::from_vec([2, 2], vec![-1., 2., -3., 4.]);
+        let mut b = a.clone();
+        b.map_inplace(|x| x.max(0.0));
+        assert_eq!(b, a.map(|x| x.max(0.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(xs in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+            let a = t(&xs);
+            let b = a.scale(0.5);
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn prop_sub_then_add_roundtrips(xs in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+            let a = t(&xs);
+            let b = a.map(|x| x * 0.25 + 1.0);
+            let c = a.sub(&b).add(&b);
+            for (x, y) in c.data().iter().zip(a.data()) {
+                prop_assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
+            }
+        }
+    }
+}

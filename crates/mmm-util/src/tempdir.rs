@@ -1,0 +1,75 @@
+//! Minimal RAII temporary directory.
+//!
+//! Used by tests, examples, and the benchmark harness so the workspace does
+//! not need the `tempfile` crate (we keep the dependency set to the
+//! pre-approved list).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir that is removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh uniquely-named temporary directory.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .subsec_nanos();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "{prefix}-{}-{nanos:x}-{n}",
+                std::process::id()
+            ));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort; leaking a temp dir is not worth a panic-in-drop.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let path;
+        {
+            let t = TempDir::new("mmm-test").unwrap();
+            path = t.path().to_path_buf();
+            assert!(path.is_dir());
+            std::fs::write(path.join("f.bin"), b"x").unwrap();
+        }
+        assert!(!path.exists(), "directory should be removed on drop");
+    }
+
+    #[test]
+    fn two_tempdirs_are_distinct() {
+        let a = TempDir::new("mmm-test").unwrap();
+        let b = TempDir::new("mmm-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,92 @@
+//! High-level driver: run the full U1 + U3-1..k scenario against one
+//! saver — the five-line version of what every evaluation, example and
+//! test otherwise hand-rolls.
+
+use crate::fleet::{Fleet, UpdatePolicy};
+use mmm_core::approach::ModelSetSaver;
+use mmm_core::env::ManagementEnv;
+use mmm_core::model_set::{ModelSet, ModelSetId};
+use mmm_util::Result;
+
+/// Archive the fleet's initial state (U1) and `cycles` update cycles
+/// (U3-1..k) with `saver`. Returns one id per archived set, oldest
+/// first. The fleet is left at its final state.
+pub fn archive_history(
+    env: &ManagementEnv,
+    fleet: &mut Fleet,
+    policy: &UpdatePolicy,
+    saver: &mut dyn ModelSetSaver,
+    cycles: usize,
+) -> Result<Vec<ModelSetId>> {
+    Ok(archive_history_with_snapshots(env, fleet, policy, saver, cycles)?.0)
+}
+
+/// Like [`archive_history`], additionally returning the materialized
+/// snapshot of every archived set (for verification; costs memory
+/// proportional to `cycles × set size`).
+pub fn archive_history_with_snapshots(
+    env: &ManagementEnv,
+    fleet: &mut Fleet,
+    policy: &UpdatePolicy,
+    saver: &mut dyn ModelSetSaver,
+    cycles: usize,
+) -> Result<(Vec<ModelSetId>, Vec<ModelSet>)> {
+    let initial = fleet.to_model_set();
+    let mut ids = vec![saver.save_initial(env, &initial)?];
+    let mut snapshots = vec![initial];
+    for _ in 0..cycles {
+        let record = fleet.run_update_cycle(env.registry(), policy)?;
+        let set = fleet.to_model_set();
+        let deriv = record.derivation(ids.last().expect("U1 saved").clone());
+        ids.push(saver.save_set(env, &set, Some(&deriv))?);
+        snapshots.push(set);
+    }
+    Ok((ids, snapshots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::source::DataSource;
+    use mmm_core::approach::UpdateSaver;
+    use mmm_dnn::Architectures;
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    #[test]
+    fn history_archives_and_verifies() {
+        let dir = TempDir::new("wl-history").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut fleet = Fleet::initial(FleetConfig {
+            n_models: 10,
+            seed: 2,
+            arch: Architectures::ffnn(6),
+        });
+        let policy = UpdatePolicy::paper_default(DataSource::battery_small()).with_update_rate(0.4);
+        let mut saver = UpdateSaver::new();
+        let (ids, snaps) =
+            archive_history_with_snapshots(&env, &mut fleet, &policy, &mut saver, 3).unwrap();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(snaps.len(), 4);
+        assert_eq!(fleet.update_cycle(), 3);
+        for (id, snap) in ids.iter().zip(&snaps) {
+            assert_eq!(&saver.recover_set(&env, id).unwrap(), snap);
+        }
+    }
+
+    #[test]
+    fn zero_cycles_archives_only_u1() {
+        let dir = TempDir::new("wl-history").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut fleet = Fleet::initial(FleetConfig {
+            n_models: 4,
+            seed: 1,
+            arch: Architectures::ffnn(6),
+        });
+        let policy = UpdatePolicy::paper_default(DataSource::battery_small());
+        let mut saver = UpdateSaver::new();
+        let ids = archive_history(&env, &mut fleet, &policy, &mut saver, 0).unwrap();
+        assert_eq!(ids.len(), 1);
+    }
+}

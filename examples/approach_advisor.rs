@@ -1,0 +1,98 @@
+//! The paper's future-work heuristic in action (§4.5): given a scenario
+//! and priorities, pick the management approach automatically — then
+//! sanity-check the advice against actual measurements.
+//!
+//! ```sh
+//! cargo run --release -p mmm --example approach_advisor
+//! ```
+
+use mmm::core::advisor::{estimate, recommend, Approach, Priorities, Scenario};
+use mmm::core::approach::{BaselineSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver};
+use mmm::core::env::ManagementEnv;
+use mmm::dnn::Architectures;
+use mmm::store::LatencyProfile;
+use mmm::util::TempDir;
+use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
+
+fn show(title: &str, s: &Scenario, p: &Priorities) {
+    let rec = recommend(s, p);
+    println!("{title}");
+    for (a, score) in &rec.ranking {
+        let c = estimate(*a, s);
+        println!(
+            "  {:<12} score {:>7.2} | est. {:>9.2} MB/save, TTS {:>7.3}s, TTR {:>9.1}s",
+            a.name(),
+            score,
+            c.storage_bytes / 1e6,
+            c.tts_seconds,
+            c.ttr_seconds
+        );
+    }
+    println!("  -> use the {} approach\n", rec.best().name());
+}
+
+fn main() {
+    let base = Scenario::default();
+
+    show(
+        "== archival battery fleet (storage first, recoveries rare) ==",
+        &base,
+        &Priorities::storage_first(),
+    );
+    show(
+        "== analytics team recovering sets daily (TTR first) ==",
+        &Scenario { saves_per_recovery: 2.0, ..base },
+        &Priorities::recovery_first(),
+    );
+    show(
+        "== storage matters but retraining is too slow to tolerate ==",
+        &Scenario { retrain_seconds_per_model: 3600.0, ..base },
+        &Priorities { storage: 1.0, tts: 0.2, ttr: 0.4 },
+    );
+
+    // Validate the first recommendation empirically on a scaled-down run.
+    println!("== empirical check (200 models, one update cycle) ==");
+    let dir = TempDir::new("mmm-advisor").expect("temp dir");
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::server()).expect("open env");
+    let mut fleet = Fleet::initial(FleetConfig {
+        n_models: 200,
+        seed: 1,
+        arch: Architectures::ffnn48(),
+    });
+    let policy = UpdatePolicy::paper_default(DataSource::battery_small());
+
+    let mut baseline = BaselineSaver::new();
+    let mut update = UpdateSaver::new();
+    let mut prov = ProvenanceSaver::new();
+    let initial = fleet.to_model_set();
+    let b0 = baseline.save_initial(&env, &initial).expect("b0");
+    let u0 = update.save_initial(&env, &initial).expect("u0");
+    let p0 = prov.save_initial(&env, &initial).expect("p0");
+    let _ = b0;
+
+    let record = fleet.run_update_cycle(env.registry(), &policy).expect("cycle");
+    let set = fleet.to_model_set();
+    let mut measured: Vec<(Approach, f64)> = Vec::new();
+    let (_, mb) = env.measure(|| baseline.save_initial(&env, &set).expect("b1"));
+    measured.push((Approach::Baseline, mb.bytes_written() as f64));
+    let (_, mu) =
+        env.measure(|| update.save_set(&env, &set, Some(&record.derivation(u0))).expect("u1"));
+    measured.push((Approach::Update, mu.bytes_written() as f64));
+    let (_, mp) =
+        env.measure(|| prov.save_set(&env, &set, Some(&record.derivation(p0))).expect("p1"));
+    measured.push((Approach::Provenance, mp.bytes_written() as f64));
+
+    for (a, bytes) in &measured {
+        println!("  {:<12} measured {:>10.3} MB per derived save", a.name(), bytes / 1e6);
+    }
+    let best = measured
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty")
+        .0;
+    println!(
+        "\n  measured storage winner: {} — matches the advisor's storage-first pick: {}",
+        best.name(),
+        best == Approach::Provenance
+    );
+}

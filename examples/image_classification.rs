@@ -1,0 +1,94 @@
+//! The paper's second domain: image-classification models (the CIFAR
+//! CNN, 6,882 parameters) managed with the Provenance approach —
+//! demonstrating that recovery by deterministic retraining reproduces
+//! not just the bits but the behaviour (accuracy) of the saved models.
+//!
+//! ```sh
+//! cargo run --release -p mmm --example image_classification
+//! ```
+
+use mmm::core::approach::{ModelSetSaver, ProvenanceSaver};
+use mmm::core::env::ManagementEnv;
+use mmm::data::{generate_cifar, Targets};
+use mmm::dnn::metrics::accuracy;
+use mmm::dnn::Architectures;
+use mmm::store::LatencyProfile;
+use mmm::util::TempDir;
+use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
+
+fn main() {
+    let dir = TempDir::new("mmm-cifar").expect("temp dir");
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::server()).expect("open env");
+
+    // A small fleet of CNN classifiers (e.g. one per camera/site).
+    let n = 24;
+    let mut fleet = Fleet::initial(FleetConfig {
+        n_models: n,
+        seed: 3,
+        arch: Architectures::cifar_cnn(),
+    });
+    println!(
+        "fleet: {n} CIFAR CNNs ({} parameters each)\n",
+        fleet.arch().param_count()
+    );
+
+    let mut saver = ProvenanceSaver::new();
+    let id0 = saver
+        .save_initial(&env, &fleet.to_model_set())
+        .expect("save U1");
+
+    // One update cycle on synthetic CIFAR batches.
+    let mut policy = UpdatePolicy::paper_default(DataSource::Cifar { n_samples: 80 });
+    policy.train = mmm::dnn::TrainConfig {
+        epochs: 2,
+        ..mmm::dnn::TrainConfig::classification_default(0)
+    };
+    policy.partial_layers = vec![1]; // partial updates retrain conv2
+    policy = policy.with_update_rate(0.25);
+
+    let record = fleet
+        .run_update_cycle(env.registry(), &policy)
+        .expect("update cycle");
+    let set = fleet.to_model_set();
+    let (id1, m) = env.measure(|| {
+        saver
+            .save_set(&env, &set, Some(&record.derivation(id0)))
+            .expect("save U3-1")
+    });
+    println!(
+        "U3-1: {} CNNs retrained; provenance record = {:.1} KB (full snapshot would be {:.1} MB)",
+        record.updates.len(),
+        m.bytes_written() as f64 / 1e3,
+        (4 * set.total_params()) as f64 / 1e6
+    );
+
+    // Recover by retraining and verify both bits and behaviour.
+    let (recovered, m) = env.measure(|| saver.recover_set(&env, &id1).expect("recover"));
+    println!(
+        "recovered by deterministic retraining in {:.2}s; bit-exact = {}",
+        m.duration.as_secs_f64(),
+        recovered == set
+    );
+    assert_eq!(recovered, set);
+
+    // Evaluate one retrained model before/after recovery on held-out data.
+    let updated_idx = record.updates[0].model_idx;
+    let test = generate_cifar(100, 0xE7A1);
+    let labels = match &test.targets {
+        Targets::Labels(l) => l.clone(),
+        _ => unreachable!("cifar is classification"),
+    };
+    let evaluate = |params: &mmm::dnn::ParamDict| {
+        let mut model = set.arch.build(0);
+        model.import_param_dict(params);
+        accuracy(&model.forward(&test.inputs, false), &labels)
+    };
+    let acc_saved = evaluate(&set.models()[updated_idx]);
+    let acc_recovered = evaluate(&recovered.models()[updated_idx]);
+    println!(
+        "model {updated_idx}: accuracy saved = {acc_saved:.3}, recovered = {acc_recovered:.3} (identical: {})",
+        (acc_saved - acc_recovered).abs() < f32::EPSILON
+    );
+    println!("\nProvenance stored references instead of 6,882 parameters per model —");
+    println!("and retraining reproduced the exact same classifier.");
+}

@@ -1,0 +1,105 @@
+//! The paper's third deployment scenario: per-user recommendation models
+//! whose preferences drift with usage. Divergence-driven maintenance
+//! finds the users whose taste moved, retrains only those, and the
+//! Provenance approach archives each generation at near-zero storage.
+//!
+//! ```sh
+//! cargo run --release -p mmm --example recommender_fleet
+//! ```
+
+use mmm::core::approach::{ModelSetSaver, ProvenanceSaver};
+use mmm::core::env::ManagementEnv;
+use mmm::core::tags;
+use mmm::data::recommender::generate_recommender;
+use mmm::data::Targets;
+use mmm::dnn::metrics::rmse;
+use mmm::dnn::Architectures;
+use mmm::store::LatencyProfile;
+use mmm::util::TempDir;
+use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
+
+fn main() {
+    let dir = TempDir::new("mmm-recommender").expect("temp dir");
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::server()).expect("open env");
+
+    // One small MLP per user.
+    let n_users = 150;
+    let mut fleet = Fleet::initial(FleetConfig {
+        n_models: n_users,
+        seed: 77,
+        arch: Architectures::recommender_mlp(),
+    });
+    println!(
+        "fleet: {n_users} per-user recommenders ({} params each)\n",
+        fleet.arch().param_count()
+    );
+
+    let mut saver = ProvenanceSaver::new();
+    let mut ids = vec![saver
+        .save_initial(&env, &fleet.to_model_set())
+        .expect("save U1")];
+
+    // Preference drift between cycles makes some users' models stale;
+    // probe-driven selection retrains exactly those.
+    let mut policy = UpdatePolicy::paper_default(DataSource::Recommender { n_samples: 256 })
+        .with_divergence_selection(64);
+    policy.train.epochs = 20;
+    policy.train.optimizer = mmm::dnn::optim::OptimizerKind::adam(0.01);
+    policy.train.lr_schedule = mmm::dnn::optim::LrSchedule::Cosine { min_factor: 0.1 };
+    policy.partial_layers = vec![1, 2];
+
+    let mut evaluated_user = 0usize;
+    for cycle in 1..=3 {
+        let record = fleet
+            .run_update_cycle(env.registry(), &policy)
+            .expect("update cycle");
+        evaluated_user = record.updates[0].model_idx;
+        let set = fleet.to_model_set();
+        let deriv = record.derivation(ids.last().unwrap().clone());
+        let (id, m) = env.measure(|| saver.save_set(&env, &set, Some(&deriv)).expect("save"));
+        println!(
+            "cycle {cycle}: {} drifted users retrained; provenance record {:.1} KB (full set would be {:.2} MB)",
+            record.updates.len(),
+            m.bytes_written() as f64 / 1e3,
+            (4 * set.total_params()) as f64 / 1e6,
+        );
+        ids.push(id);
+    }
+    tags::tag_set(&env, ids.last().unwrap(), "production").expect("tag");
+
+    // Quality check: a retrained user's model predicts current-cycle
+    // ratings far better than its stale pre-update version would.
+    let (recovered, m) = env.measure(|| {
+        saver
+            .recover_set(&env, ids.last().unwrap())
+            .expect("recover")
+    });
+    println!(
+        "\nrecovered the 'production' generation by replaying training in {:.2}s",
+        m.duration.as_secs_f64()
+    );
+    assert_eq!(recovered, fleet.to_model_set());
+
+    // Evaluate a freshly retrained user's model on its *current*
+    // preferences, against its stale pre-update generation.
+    let test = generate_recommender(evaluated_user as u64, fleet.update_cycle(), 200, 77);
+    let target = match &test.targets {
+        Targets::Regression(t) => t,
+        _ => unreachable!("recommender data is regression"),
+    };
+    let eval = |params: &mmm::dnn::ParamDict| {
+        let mut model = recovered.arch.build(0);
+        model.import_param_dict(params);
+        rmse(&model.forward(&test.inputs, false), target)
+    };
+    let fresh = eval(&recovered.models()[evaluated_user]);
+    let stale_set = saver.recover_set(&env, &ids[0]).expect("recover U1");
+    let stale = eval(&stale_set.models()[evaluated_user]);
+    println!(
+        "user {evaluated_user}: rating RMSE {:.3} after retraining vs {:.3} with the stale U1 model",
+        fresh, stale
+    );
+    assert!(fresh < stale);
+    println!("\nPer-user models, drift detection, near-zero archive cost — the paper's");
+    println!("recommendation scenario end-to-end.");
+}

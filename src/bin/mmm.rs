@@ -1,0 +1,516 @@
+//! `mmm` — command-line multi-model management.
+//!
+//! Manages a fleet of models in a persistent directory across
+//! invocations: create a fleet, run update cycles, archive every version
+//! with a chosen approach, inspect lineage, audit integrity, recover,
+//! and garbage-collect.
+//!
+//! ```text
+//! mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach update|baseline|provenance|mmlib-base]
+//! mmm update  --dir D [--rate 0.10] [--divergence]
+//! mmm list    --dir D
+//! mmm lineage --dir D <set-id>
+//! mmm verify  --dir D <set-id>
+//! mmm recover --dir D <set-id>
+//! mmm gc      --dir D --keep-last K
+//! mmm info    --dir D <set-id>
+//! mmm export  --dir D <set-id> <file>
+//! mmm import  --dir D <file>
+//! mmm tag     --dir D <set-id> [<tag>]      # without <tag>: list tags
+//! mmm find-tag --dir D <tag>
+//! mmm advise  [--priority storage|recovery|balanced]
+//! ```
+//!
+//! Set ids are printed by `init`/`update`/`list` in the form
+//! `approach:key` (e.g. `update:3`).
+
+use std::path::{Path, PathBuf};
+
+use mmm::core::advisor::{recommend, Priorities, Scenario};
+use mmm::core::approach::ModelSetSaver;
+use mmm::core::env::ManagementEnv;
+use mmm::core::model_set::{ModelSet, ModelSetId};
+use mmm::core::{bundle, catalog, gc, lineage, tags, verify};
+use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
+use mmm::store::LatencyProfile;
+use mmm::util::codec::{put_f32_slice, put_str, put_u32, put_u64, Reader};
+use mmm::util::{Error, Result};
+use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
+
+// ---------------------------------------------------------------------
+// CLI plumbing
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[derive(Default)]
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    dir: Option<PathBuf>,
+    models: usize,
+    arch: String,
+    approach: String,
+    seed: u64,
+    rate: f64,
+    divergence: bool,
+    all: bool,
+    keep_last: usize,
+    priority: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        models: 100,
+        arch: "ffnn48".into(),
+        approach: "update".into(),
+        seed: 42,
+        rate: 0.10,
+        keep_last: 3,
+        priority: "storage".into(),
+        ..Args::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => a.dir = Some(PathBuf::from(next(&mut it, "--dir"))),
+            "--models" => a.models = num(&mut it, "--models"),
+            "--arch" => a.arch = next(&mut it, "--arch"),
+            "--approach" => a.approach = next(&mut it, "--approach"),
+            "--seed" => a.seed = num(&mut it, "--seed") as u64,
+            "--rate" => {
+                a.rate = next(&mut it, "--rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--rate needs a number"))
+            }
+            "--divergence" => a.divergence = true,
+            "--all" => a.all = true,
+            "--keep-last" => a.keep_last = num(&mut it, "--keep-last"),
+            "--priority" => a.priority = next(&mut it, "--priority"),
+            "--help" | "-h" => usage(""),
+            other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
+            other if !other.starts_with('-') => a.positional.push(other.into()),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if a.command.is_empty() {
+        usage("no command given");
+    }
+    a
+}
+
+fn next(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn num(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    next(it, flag)
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} needs a number")))
+}
+
+fn require_dir(a: &Args) -> &Path {
+    a.dir.as_deref().unwrap_or_else(|| usage("--dir is required"))
+}
+
+fn parse_set_id(s: &str) -> ModelSetId {
+    let (approach, key) = s
+        .split_once(':')
+        .unwrap_or_else(|| usage(&format!("malformed set id {s:?}; expected approach:key")));
+    ModelSetId { approach: approach.into(), key: key.into() }
+}
+
+fn make_saver(name: &str) -> Box<dyn ModelSetSaver> {
+    mmm::core::approach::by_name(name).unwrap_or_else(|| usage(&format!("unknown approach {name:?}")))
+}
+
+// ---------------------------------------------------------------------
+// Persistent CLI state: the live fleet + bookkeeping, stored as blobs in
+// the environment's file store under a reserved "cli/" prefix (they are
+// working state, not archived model sets).
+
+const STATE_KEY: &str = "cli/state.bin";
+const STATE_MAGIC: &[u8; 4] = b"MMCL";
+
+struct CliState {
+    approach: String,
+    seed: u64,
+    arch: ArchitectureSpec,
+    update_cycle: u64,
+    last_set: Option<ModelSetId>,
+    history: Vec<ModelSetId>,
+    models: Vec<ParamDict>,
+}
+
+impl CliState {
+    fn save(&self, env: &ManagementEnv) -> Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STATE_MAGIC);
+        put_str(&mut buf, &self.approach);
+        put_u64(&mut buf, self.seed);
+        put_str(&mut buf, &serde_json::to_string(&self.arch).expect("arch serializes"));
+        put_u64(&mut buf, self.update_cycle);
+        let ids: Vec<String> = self.history.iter().map(ModelSetId::to_string).collect();
+        put_str(&mut buf, &self.last_set.as_ref().map(ModelSetId::to_string).unwrap_or_default());
+        put_u32(&mut buf, ids.len() as u32);
+        for id in &ids {
+            put_str(&mut buf, id);
+        }
+        put_u32(&mut buf, self.models.len() as u32);
+        for m in &self.models {
+            put_u32(&mut buf, m.layers.len() as u32);
+            for l in &m.layers {
+                put_str(&mut buf, &l.name);
+                put_u64(&mut buf, l.data.len() as u64);
+                put_f32_slice(&mut buf, &l.data);
+            }
+        }
+        env.blobs().put(STATE_KEY, &buf)
+    }
+
+    fn load(env: &ManagementEnv) -> Result<CliState> {
+        let bytes = env
+            .blobs()
+            .get(STATE_KEY)
+            .map_err(|_| Error::invalid("no fleet here; run `mmm init --dir ...` first"))?;
+        let mut r = Reader::new(&bytes);
+        if r.bytes(4)? != STATE_MAGIC {
+            return Err(Error::corrupt("bad CLI state magic"));
+        }
+        let approach = r.str()?;
+        let seed = r.u64()?;
+        let arch: ArchitectureSpec = serde_json::from_str(&r.str()?)
+            .map_err(|e| Error::corrupt(format!("bad arch in CLI state: {e}")))?;
+        let update_cycle = r.u64()?;
+        let last_raw = r.str()?;
+        let last_set = if last_raw.is_empty() { None } else { Some(parse_set_id(&last_raw)) };
+        let n_ids = r.u32()? as usize;
+        let mut history = Vec::with_capacity(n_ids);
+        for _ in 0..n_ids {
+            history.push(parse_set_id(&r.str()?));
+        }
+        let n_models = r.u32()? as usize;
+        let mut models = Vec::with_capacity(n_models);
+        for _ in 0..n_models {
+            let n_layers = r.u32()? as usize;
+            let mut layers = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                let name = r.str()?;
+                let n = r.u64()? as usize;
+                layers.push(mmm::dnn::LayerParams { name, data: r.f32_slice(n)? });
+            }
+            models.push(ParamDict { layers });
+        }
+        Ok(CliState { approach, seed, arch, update_cycle, last_set, history, models })
+    }
+
+    fn to_fleet(&self) -> Fleet {
+        let mut fleet = Fleet::initial(FleetConfig {
+            n_models: self.models.len(),
+            seed: self.seed,
+            arch: self.arch.clone(),
+        });
+        fleet.restore(self.models.clone(), self.update_cycle);
+        fleet
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commands
+
+fn cmd_init(a: &Args) -> Result<()> {
+    let dir = require_dir(a);
+    let env = ManagementEnv::open(dir, LatencyProfile::zero())?;
+    if env.blobs().exists(STATE_KEY) {
+        return Err(Error::invalid(format!("{} already holds a fleet", dir.display())));
+    }
+    let arch = match a.arch.as_str() {
+        "ffnn48" => Architectures::ffnn48(),
+        "ffnn69" => Architectures::ffnn69(),
+        "cifar" => Architectures::cifar_cnn(),
+        other => usage(&format!("unknown architecture {other:?}")),
+    };
+    let fleet = Fleet::initial(FleetConfig { n_models: a.models, seed: a.seed, arch: arch.clone() });
+    let mut saver = make_saver(&a.approach);
+    let set = fleet.to_model_set();
+    let id = saver.save_initial(&env, &set)?;
+    let state = CliState {
+        approach: a.approach.clone(),
+        seed: a.seed,
+        arch,
+        update_cycle: 0,
+        last_set: Some(id.clone()),
+        history: vec![id.clone()],
+        models: set.models,
+    };
+    state.save(&env)?;
+    println!(
+        "initialized fleet: {} × {} ({} params/model), approach {}",
+        a.models,
+        state.arch.name,
+        state.arch.param_count(),
+        a.approach
+    );
+    println!("U1 archived as {id}");
+    Ok(())
+}
+
+fn cmd_update(a: &Args) -> Result<()> {
+    let dir = require_dir(a);
+    let env = ManagementEnv::open(dir, LatencyProfile::zero())?;
+    let mut state = CliState::load(&env)?;
+    let mut fleet = state.to_fleet();
+
+    let source = if state.arch.name == "CIFAR" {
+        DataSource::Cifar { n_samples: 64 }
+    } else {
+        DataSource::battery_small()
+    };
+    let mut policy = UpdatePolicy::paper_default(source).with_update_rate(a.rate);
+    if state.arch.name == "CIFAR" {
+        policy.train = mmm::dnn::TrainConfig { epochs: 1, ..mmm::dnn::TrainConfig::classification_default(0) };
+        policy.partial_layers = vec![1];
+    }
+    if a.divergence {
+        policy = policy.with_divergence_selection(32);
+    }
+
+    let record = fleet.run_update_cycle(env.registry(), &policy)?;
+    let set = fleet.to_model_set();
+    let mut saver = make_saver(&state.approach);
+    let base = state
+        .last_set
+        .clone()
+        .ok_or_else(|| Error::invalid("fleet has no archived base set"))?;
+    let ((id, m), selection) = (
+        env.measure(|| saver.save_set(&env, &set, Some(&record.derivation(base)))),
+        if a.divergence { "divergence-driven" } else { "random" },
+    );
+    let id = id?;
+    println!(
+        "update cycle {}: {} models retrained ({selection}); archived {:.3} MB in {:.3}s as {id}",
+        record.update_cycle,
+        record.updates.len(),
+        m.bytes_written() as f64 / 1e6,
+        m.duration.as_secs_f64()
+    );
+    state.update_cycle = fleet.update_cycle();
+    state.models = set.models;
+    state.last_set = Some(id.clone());
+    state.history.push(id);
+    state.save(&env)
+}
+
+fn cmd_list(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    if a.all {
+        // Catalog view: every set archived in this environment,
+        // including ones created outside this CLI fleet.
+        for s in catalog::list_sets(&env)? {
+            println!(
+                "{:<24} kind={:<5} models={:<6} base={}",
+                s.id.to_string(),
+                s.kind,
+                s.n_models,
+                s.base.as_deref().unwrap_or("-")
+            );
+        }
+        return Ok(());
+    }
+    let state = CliState::load(&env)?;
+    println!(
+        "fleet: {} × {} | approach {} | {} update cycle(s)",
+        state.models.len(),
+        state.arch.name,
+        state.approach,
+        state.update_cycle
+    );
+    for (i, id) in state.history.iter().enumerate() {
+        let uc = if i == 0 { "U1".to_string() } else { format!("U3-{i}") };
+        println!("  {uc:<6} {id}");
+    }
+    Ok(())
+}
+
+fn cmd_lineage(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("lineage needs a set id")));
+    for node in lineage::lineage(&env, &id)? {
+        println!(
+            "{} kind={} models={} changes={}",
+            node.id, node.kind, node.n_models, node.n_changes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("verify needs a set id")));
+    let report = verify::verify_set(&env, &id)?;
+    println!(
+        "checked {} documents, {} blobs{}",
+        report.docs_checked,
+        report.blobs_checked,
+        if report.hashes_checked { ", parameter hashes audited" } else { "" }
+    );
+    if report.is_healthy() {
+        println!("OK: {id} is healthy");
+        Ok(())
+    } else {
+        for issue in &report.issues {
+            println!("ISSUE: {issue}");
+        }
+        Err(Error::corrupt(format!("{} issue(s) found", report.issues.len())))
+    }
+}
+
+fn cmd_recover(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("recover needs a set id")));
+    let saver = make_saver(&id.approach);
+    let (set, m): (Result<ModelSet>, _) = env.measure(|| saver.recover_set(&env, &id));
+    let set = set?;
+    println!(
+        "recovered {} models × {} params in {:.3}s ({} store ops)",
+        set.len(),
+        set.arch.param_count(),
+        m.duration.as_secs_f64(),
+        m.stats.total_ops()
+    );
+    Ok(())
+}
+
+fn cmd_gc(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let mut state = CliState::load(&env)?;
+    let deleted = gc::apply_retention(&env, &state.history, a.keep_last)?;
+    for id in &deleted {
+        println!("deleted {id}");
+    }
+    println!("{} set(s) deleted, {} retained", deleted.len(), state.history.len() - deleted.len());
+    state.history.retain(|id| !deleted.contains(id));
+    state.save(&env)?;
+    // Reclaim datasets no surviving provenance record references.
+    let (n, bytes) = gc::collect_unreferenced_datasets(&env)?;
+    if n > 0 {
+        println!("reclaimed {n} unreferenced dataset(s), {:.2} MB", bytes as f64 / 1e6);
+    }
+    Ok(())
+}
+
+fn cmd_info(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("info needs a set id")));
+    let chain = lineage::lineage(&env, &id)?;
+    let head = &chain[0];
+    println!("set:      {id}");
+    println!("kind:     {}", head.kind);
+    println!("models:   {}", head.n_models);
+    println!("depth:    {} (chain of {})", chain.len() - 1, chain.len());
+    let t = tags::tags_of(&env, &id)?;
+    println!("tags:     {}", if t.is_empty() { "-".into() } else { t.join(", ") });
+    let report = verify::verify_set(&env, &id)?;
+    println!(
+        "health:   {} ({} docs, {} blobs checked)",
+        if report.is_healthy() { "OK" } else { "ISSUES" },
+        report.docs_checked,
+        report.blobs_checked
+    );
+    for issue in &report.issues {
+        println!("  ISSUE: {issue}");
+    }
+    Ok(())
+}
+
+fn cmd_tag(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("tag needs a set id")));
+    match a.positional.get(1) {
+        Some(tag) => {
+            tags::tag_set(&env, &id, tag)?;
+            println!("tagged {id} with {tag:?}");
+        }
+        None => {
+            for t in tags::tags_of(&env, &id)? {
+                println!("{t}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_find_tag(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let tag = a.positional.first().unwrap_or_else(|| usage("find-tag needs a tag"));
+    for id in tags::find_by_tag(&env, tag)? {
+        println!("{id}");
+    }
+    Ok(())
+}
+
+fn cmd_export(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("export needs a set id")));
+    let path = a.positional.get(1).unwrap_or_else(|| usage("export needs an output file"));
+    let bytes = bundle::export_set(&env, &id)?;
+    std::fs::write(path, &bytes)?;
+    println!("exported {id} ({:.3} MB) to {path}", bytes.len() as f64 / 1e6);
+    Ok(())
+}
+
+fn cmd_import(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let path = a.positional.first().unwrap_or_else(|| usage("import needs a bundle file"));
+    let bytes = std::fs::read(path)?;
+    let id = bundle::import_set(&env, &bytes)?;
+    println!("imported as {id}");
+    Ok(())
+}
+
+fn cmd_advise(a: &Args) -> Result<()> {
+    let priorities = match a.priority.as_str() {
+        "storage" => Priorities::storage_first(),
+        "recovery" => Priorities::recovery_first(),
+        "balanced" => Priorities::balanced(),
+        other => usage(&format!("unknown priority {other:?}")),
+    };
+    let scenario = Scenario { n_models: a.models.max(1), ..Scenario::default() };
+    let rec = recommend(&scenario, &priorities);
+    for (approach, score) in &rec.ranking {
+        println!("{:<12} score {score:.2}", approach.name());
+    }
+    println!("-> use the {} approach", rec.best().name());
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let result = match args.command.as_str() {
+        "init" => cmd_init(&args),
+        "update" => cmd_update(&args),
+        "list" => cmd_list(&args),
+        "lineage" => cmd_lineage(&args),
+        "verify" => cmd_verify(&args),
+        "recover" => cmd_recover(&args),
+        "gc" => cmd_gc(&args),
+        "info" => cmd_info(&args),
+        "export" => cmd_export(&args),
+        "import" => cmd_import(&args),
+        "tag" => cmd_tag(&args),
+        "find-tag" => cmd_find_tag(&args),
+        "advise" => cmd_advise(&args),
+        other => usage(&format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests driving the `mmm` CLI binary: a whole management
+//! lifecycle across separate process invocations (so all state must be
+//! durable, nothing in memory).
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use mmm::util::TempDir;
+
+fn mmm(dir: Option<&Path>, args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mmm"));
+    if let Some(d) = dir {
+        cmd.arg(args[0]).arg("--dir").arg(d).args(&args[1..]);
+    } else {
+        cmd.args(args);
+    }
+    cmd.output().expect("spawn mmm")
+}
+
+fn ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_lifecycle_across_processes() {
+    let dir = TempDir::new("cli-lifecycle").unwrap();
+    let d = dir.path();
+
+    let out = ok(&mmm(Some(d), &["init", "--models", "20", "--approach", "update", "--seed", "9"]));
+    assert!(out.contains("U1 archived as update:0"), "{out}");
+
+    // Two update cycles in separate processes.
+    let out = ok(&mmm(Some(d), &["update"]));
+    assert!(out.contains("update cycle 1"), "{out}");
+    let out = ok(&mmm(Some(d), &["update", "--rate", "0.2"]));
+    assert!(out.contains("update cycle 2"), "{out}");
+
+    // list shows the history.
+    let out = ok(&mmm(Some(d), &["list"]));
+    assert!(out.contains("U3-2"), "{out}");
+
+    // the catalog view lists all archived sets with their chain bases.
+    let out = ok(&mmm(Some(d), &["list", "--all"]));
+    assert_eq!(out.lines().count(), 3, "{out}");
+    assert!(out.contains("kind=full"), "{out}");
+    assert!(out.contains("kind=diff"), "{out}");
+
+    // lineage walks the chain; verify audits it; recover loads it.
+    let out = ok(&mmm(Some(d), &["lineage", "update:2"]));
+    assert_eq!(out.lines().count(), 3, "{out}");
+    let out = ok(&mmm(Some(d), &["verify", "update:2"]));
+    assert!(out.contains("is healthy"), "{out}");
+    let out = ok(&mmm(Some(d), &["recover", "update:2"]));
+    assert!(out.contains("recovered 20 models"), "{out}");
+}
+
+#[test]
+fn init_twice_fails() {
+    let dir = TempDir::new("cli-twice").unwrap();
+    ok(&mmm(Some(dir.path()), &["init", "--models", "4"]));
+    let out = mmm(Some(dir.path()), &["init", "--models", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("already holds a fleet"));
+}
+
+#[test]
+fn update_without_init_fails_helpfully() {
+    let dir = TempDir::new("cli-noinit").unwrap();
+    let out = mmm(Some(dir.path()), &["update"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mmm init"));
+}
+
+#[test]
+fn verify_detects_a_corrupted_archive() {
+    let dir = TempDir::new("cli-corrupt").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "8", "--approach", "baseline"]));
+    // Destroy the params blob behind the saved set.
+    std::fs::remove_file(d.join("blobs/baseline/0/params.bin")).unwrap();
+    let out = mmm(Some(d), &["verify", "baseline:0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ISSUE"), "{out:?}");
+}
+
+#[test]
+fn provenance_fleet_roundtrips_via_cli() {
+    let dir = TempDir::new("cli-prov").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "10", "--approach", "provenance"]));
+    ok(&mmm(Some(d), &["update"]));
+    let out = ok(&mmm(Some(d), &["recover", "provenance:1"]));
+    assert!(out.contains("recovered 10 models"), "{out}");
+}
+
+#[test]
+fn info_reports_kind_depth_tags_and_health() {
+    let dir = TempDir::new("cli-info").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "5", "--approach", "update"]));
+    ok(&mmm(Some(d), &["update"]));
+    ok(&mmm(Some(d), &["tag", "update:1", "golden"]));
+    let out = ok(&mmm(Some(d), &["info", "update:1"]));
+    assert!(out.contains("kind:     diff"), "{out}");
+    assert!(out.contains("models:   5"), "{out}");
+    assert!(out.contains("depth:    1"), "{out}");
+    assert!(out.contains("tags:     golden"), "{out}");
+    assert!(out.contains("health:   OK"), "{out}");
+}
+
+#[test]
+fn tagging_marks_and_finds_sets() {
+    let dir = TempDir::new("cli-tags").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "4", "--approach", "update"]));
+    ok(&mmm(Some(d), &["update"]));
+    ok(&mmm(Some(d), &["tag", "update:1", "post-accident"]));
+    ok(&mmm(Some(d), &["tag", "update:1", "golden"]));
+    let out = ok(&mmm(Some(d), &["tag", "update:1"]));
+    assert_eq!(out.trim().lines().collect::<Vec<_>>(), vec!["golden", "post-accident"]);
+    let out = ok(&mmm(Some(d), &["find-tag", "golden"]));
+    assert_eq!(out.trim(), "update:1");
+}
+
+#[test]
+fn export_import_moves_a_set_between_directories() {
+    let src = TempDir::new("cli-export-src").unwrap();
+    let dst = TempDir::new("cli-export-dst").unwrap();
+    ok(&mmm(Some(src.path()), &["init", "--models", "6", "--approach", "update"]));
+    ok(&mmm(Some(src.path()), &["update"]));
+
+    let bundle = src.path().join("set.mmbn");
+    let bundle_str = bundle.to_str().unwrap();
+    let out = ok(&mmm(Some(src.path()), &["export", "update:1", bundle_str]));
+    assert!(out.contains("exported update:1"), "{out}");
+
+    // Import into a fresh directory (no fleet needed) and recover there.
+    let out = ok(&mmm(Some(dst.path()), &["import", bundle_str]));
+    assert!(out.contains("imported as update:"), "{out}");
+    let new_id = out.trim().rsplit(' ').next().unwrap().to_string();
+    let out = ok(&mmm(Some(dst.path()), &["recover", &new_id]));
+    assert!(out.contains("recovered 6 models"), "{out}");
+}
+
+#[test]
+fn advise_ranks_without_a_fleet() {
+    let out = ok(&mmm(None, &["advise", "--priority", "recovery"]));
+    assert!(out.contains("-> use the baseline approach"), "{out}");
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = mmm(None, &["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,157 @@
+//! End-to-end roundtrip tests: a real workload (fleet + trained update
+//! cycles) saved and recovered with every approach, bit-for-bit.
+
+use mmm::core::approach::{
+    BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver,
+};
+use mmm::core::env::ManagementEnv;
+use mmm::core::model_set::ModelSetId;
+use mmm::dnn::Architectures;
+use mmm::store::LatencyProfile;
+use mmm::util::TempDir;
+use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
+
+const N: usize = 24;
+
+fn setup(dir: &TempDir) -> (ManagementEnv, Fleet, UpdatePolicy) {
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+    let fleet = Fleet::initial(FleetConfig {
+        n_models: N,
+        seed: 11,
+        arch: Architectures::ffnn(8),
+    });
+    let policy = UpdatePolicy::paper_default(DataSource::battery_small()).with_update_rate(0.25);
+    (env, fleet, policy)
+}
+
+/// Drive three update cycles, saving each set with all four approaches,
+/// then recover everything and compare with the materialized snapshots.
+#[test]
+fn all_approaches_roundtrip_a_trained_workload() {
+    let dir = TempDir::new("it-roundtrip").unwrap();
+    let (env, mut fleet, policy) = setup(&dir);
+
+    let mut savers: Vec<Box<dyn ModelSetSaver>> = vec![
+        Box::new(MmlibBaseSaver::new()),
+        Box::new(BaselineSaver::new()),
+        Box::new(UpdateSaver::new()),
+        Box::new(ProvenanceSaver::new()),
+    ];
+    let mut ids: Vec<Vec<ModelSetId>> = vec![Vec::new(); savers.len()];
+    let mut snapshots = Vec::new();
+
+    let initial = fleet.to_model_set();
+    for (s, saver) in savers.iter_mut().enumerate() {
+        ids[s].push(saver.save_initial(&env, &initial).unwrap());
+    }
+    snapshots.push(initial);
+
+    for _cycle in 0..3 {
+        let record = fleet.run_update_cycle(env.registry(), &policy).unwrap();
+        let set = fleet.to_model_set();
+        for (s, saver) in savers.iter_mut().enumerate() {
+            let deriv = record.derivation(ids[s].last().unwrap().clone());
+            ids[s].push(saver.save_set(&env, &set, Some(&deriv)).unwrap());
+        }
+        snapshots.push(set);
+    }
+
+    for (s, saver) in savers.iter().enumerate() {
+        for (uc, id) in ids[s].iter().enumerate() {
+            let recovered = saver.recover_set(&env, id).unwrap();
+            assert_eq!(
+                recovered, snapshots[uc],
+                "{} recovered a different set at use case {uc}",
+                saver.name()
+            );
+        }
+    }
+}
+
+/// Recovery must work from a freshly reopened environment (new process):
+/// nothing may depend on in-memory state of the saving session.
+#[test]
+fn recovery_survives_environment_reopen() {
+    let dir = TempDir::new("it-reopen").unwrap();
+    let mut update_ids = Vec::new();
+    let mut prov_ids = Vec::new();
+    let mut snapshots = Vec::new();
+    {
+        let (env, mut fleet, policy) = setup(&dir);
+        let mut update = UpdateSaver::new();
+        let mut prov = ProvenanceSaver::new();
+        let initial = fleet.to_model_set();
+        update_ids.push(update.save_initial(&env, &initial).unwrap());
+        prov_ids.push(prov.save_initial(&env, &initial).unwrap());
+        snapshots.push(initial);
+        for _ in 0..2 {
+            let record = fleet.run_update_cycle(env.registry(), &policy).unwrap();
+            let set = fleet.to_model_set();
+            update_ids.push(
+                update
+                    .save_set(&env, &set, Some(&record.derivation(update_ids.last().unwrap().clone())))
+                    .unwrap(),
+            );
+            prov_ids.push(
+                prov.save_set(&env, &set, Some(&record.derivation(prov_ids.last().unwrap().clone())))
+                    .unwrap(),
+            );
+            snapshots.push(set);
+        }
+    }
+
+    // Fresh environment over the same directory: replays the doc logs.
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+    let update = UpdateSaver::new();
+    let prov = ProvenanceSaver::new();
+    for (uc, id) in update_ids.iter().enumerate() {
+        assert_eq!(update.recover_set(&env, id).unwrap(), snapshots[uc], "update uc {uc}");
+    }
+    for (uc, id) in prov_ids.iter().enumerate() {
+        assert_eq!(prov.recover_set(&env, id).unwrap(), snapshots[uc], "provenance uc {uc}");
+    }
+}
+
+/// The approaches keep separate namespaces: saving the same sets with all
+/// approaches into one environment must not cross-contaminate.
+#[test]
+fn approaches_coexist_in_one_environment() {
+    let dir = TempDir::new("it-coexist").unwrap();
+    let (env, fleet, _) = setup(&dir);
+    let set = fleet.to_model_set();
+
+    let mut b = BaselineSaver::new();
+    let mut m = MmlibBaseSaver::new();
+    let mut u = UpdateSaver::new();
+    let mut p = ProvenanceSaver::new();
+    let idb = b.save_initial(&env, &set).unwrap();
+    let idm = m.save_initial(&env, &set).unwrap();
+    let idu = u.save_initial(&env, &set).unwrap();
+    let idp = p.save_initial(&env, &set).unwrap();
+
+    assert_eq!(b.recover_set(&env, &idb).unwrap(), set);
+    assert_eq!(m.recover_set(&env, &idm).unwrap(), set);
+    assert_eq!(u.recover_set(&env, &idu).unwrap(), set);
+    assert_eq!(p.recover_set(&env, &idp).unwrap(), set);
+
+    // Cross-recovery must be rejected, not return wrong data.
+    assert!(b.recover_set(&env, &idu).is_err());
+    assert!(u.recover_set(&env, &idp).is_err());
+}
+
+/// FFNN-69 and the CIFAR CNN roundtrip through the set-oriented savers
+/// too (the paper's model-size and domain variations).
+#[test]
+fn variant_architectures_roundtrip() {
+    for arch in [Architectures::ffnn69(), Architectures::cifar_cnn()] {
+        let dir = TempDir::new("it-arch").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let fleet = Fleet::initial(FleetConfig { n_models: 4, seed: 5, arch: arch.clone() });
+        let set = fleet.to_model_set();
+        let mut b = BaselineSaver::new();
+        let id = b.save_initial(&env, &set).unwrap();
+        let recovered = b.recover_set(&env, &id).unwrap();
+        assert_eq!(recovered, set, "{}", arch.name);
+        assert_eq!(recovered.arch.param_count(), arch.param_count());
+    }
+}
