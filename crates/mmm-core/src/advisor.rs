@@ -184,7 +184,7 @@ pub fn recommend(s: &Scenario, p: &Priorities) -> Recommendation {
             (a, score)
         })
         .collect();
-    ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+    ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
     Recommendation { ranking }
 }
 

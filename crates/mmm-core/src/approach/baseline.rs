@@ -13,6 +13,7 @@
 
 use crate::approach::common;
 use crate::approach::ModelSetSaver;
+use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId};
 use crate::param_codec::encode_concat;
@@ -42,12 +43,15 @@ impl ModelSetSaver for BaselineSaver {
     ) -> Result<ModelSetId> {
         // Baseline treats every set as self-contained: derived sets are
         // saved exactly like initial ones (its storage is flat across use
-        // cases — Figure 3).
-        let doc = common::full_set_doc(self.name(), &set.arch, set.len());
-        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
+        // cases — Figure 3). Phase one: set document + params blob;
+        // phase two: the commit record that makes the save visible.
+        let doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
+        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
         let blob = encode_concat(set.models());
-        env.blobs().put(&common::params_key(self.name(), doc_id), &blob)?;
-        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+        env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &blob))?;
+        let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
+        commit::commit_save(env, &id)?;
+        Ok(id)
     }
 
     fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
@@ -57,6 +61,7 @@ impl ModelSetSaver for BaselineSaver {
                 id.approach
             )));
         }
+        commit::require_committed(env, id)?;
         let doc_id = common::doc_id_of(id)?;
         let doc = env.docs().get(common::SETS_COLLECTION, doc_id)?;
         common::recover_full(env, self.name(), doc_id, &doc)
@@ -77,6 +82,7 @@ impl ModelSetSaver for BaselineSaver {
                 id.approach
             )));
         }
+        commit::require_committed(env, id)?;
         let doc_id = common::doc_id_of(id)?;
         let doc = env.docs().get(common::SETS_COLLECTION, doc_id)?;
         common::recover_full_models(env, self.name(), doc_id, &doc, indices)
@@ -119,9 +125,29 @@ mod tests {
         let (_d, env) = env();
         let mut saver = BaselineSaver::new();
         let (_, m) = env.measure(|| saver.save_initial(&env, &set(50, 1)).unwrap());
-        // One metadata write + one blob, regardless of n (O3).
-        assert_eq!(m.stats.doc_inserts, 1);
+        // One metadata write + one blob + one commit record,
+        // regardless of n (O3).
+        assert_eq!(m.stats.doc_inserts, 2);
         assert_eq!(m.stats.blob_puts, 1);
+    }
+
+    #[test]
+    fn uncommitted_save_is_invisible() {
+        let (_d, env) = env();
+        let mut saver = BaselineSaver::new();
+        let s = set(4, 9);
+        // Phase one only: document + blob, no commit record — what a
+        // crash between the blob put and the commit leaves behind.
+        let doc = common::full_set_doc("baseline", &s.arch, s.len()).unwrap();
+        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc).unwrap();
+        let blob = crate::param_codec::encode_concat(s.models());
+        env.blobs().put(&common::params_key("baseline", doc_id), &blob).unwrap();
+        let id = ModelSetId { approach: "baseline".into(), key: doc_id.to_string() };
+        assert!(matches!(saver.recover_set(&env, &id), Err(Error::NotFound(_))));
+        assert!(matches!(saver.recover_models(&env, &id, &[0]), Err(Error::NotFound(_))));
+        // A later, properly committed save is unaffected.
+        let id2 = saver.save_initial(&env, &s).unwrap();
+        assert_eq!(saver.recover_set(&env, &id2).unwrap(), s);
     }
 
     #[test]

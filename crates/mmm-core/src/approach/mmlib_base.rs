@@ -10,6 +10,7 @@
 
 use crate::approach::ModelSetSaver;
 use crate::artifacts::{environment_info, model_code};
+use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId};
 use crate::param_codec::{decode_verbose_dict, encode_verbose_dict};
@@ -50,7 +51,8 @@ impl ModelSetSaver for MmlibBaseSaver {
         // like initial ones, model by model.
         let code = model_code(&set.arch);
         let env_info = environment_info();
-        let arch_json = serde_json::to_value(&set.arch).expect("spec serializes");
+        let arch_json = serde_json::to_value(&set.arch)
+            .map_err(|e| Error::invalid(format!("unserializable architecture spec: {e}")))?;
 
         let mut first = None;
         for dict in set.models() {
@@ -67,17 +69,24 @@ impl ModelSetSaver for MmlibBaseSaver {
                 "layer_sizes": set.arch.parametric_layer_sizes(),
                 "batch_head": first.is_none(),
             });
-            let doc_id = env.docs().insert(MODELS_COLLECTION, doc)?;
+            let doc_id = env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?;
             first.get_or_insert(doc_id);
-            env.blobs().put(&Self::blob_key(doc_id, "params.pt"), &encode_verbose_dict(dict))?;
-            env.blobs().put(&Self::blob_key(doc_id, "code.py"), code.as_bytes())?;
-            env.blobs().put(&Self::blob_key(doc_id, "environment.yaml"), env_info.as_bytes())?;
+            let params = encode_verbose_dict(dict);
+            env.with_retry(|| env.blobs().put(&Self::blob_key(doc_id, "params.pt"), &params))?;
+            env.with_retry(|| env.blobs().put(&Self::blob_key(doc_id, "code.py"), code.as_bytes()))?;
+            env.with_retry(|| {
+                env.blobs().put(&Self::blob_key(doc_id, "environment.yaml"), env_info.as_bytes())
+            })?;
         }
         let first = first.ok_or_else(|| Error::invalid("cannot save an empty model set"))?;
-        Ok(ModelSetId {
+        let id = ModelSetId {
             approach: self.name().into(),
             key: format!("{first}:{}", set.len()),
-        })
+        };
+        // One commit record covers the whole batch: until it lands, every
+        // per-model row above is invisible orphaned phase-one state.
+        commit::commit_save(env, &id)?;
+        Ok(id)
     }
 
     fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
@@ -88,6 +97,7 @@ impl ModelSetSaver for MmlibBaseSaver {
             )));
         }
         let (first, count) = parse_range(&id.key)?;
+        commit::require_committed(env, id)?;
         let mut arch: Option<ArchitectureSpec> = None;
         let mut models = Vec::with_capacity(count);
         for i in 0..count {
@@ -127,6 +137,7 @@ impl ModelSetSaver for MmlibBaseSaver {
             )));
         }
         let (first, count) = parse_range(&id.key)?;
+        commit::require_committed(env, id)?;
         indices
             .iter()
             .map(|&i| {
@@ -193,7 +204,7 @@ mod tests {
         let mut saver = MmlibBaseSaver::new();
         let n = 20;
         let (_, m) = env.measure(|| saver.save_initial(&env, &set(n, 1)).unwrap());
-        assert_eq!(m.stats.doc_inserts, n as u64, "one doc write per model");
+        assert_eq!(m.stats.doc_inserts, n as u64 + 1, "one doc write per model + commit");
         assert_eq!(m.stats.blob_puts, 3 * n as u64, "params/code/env per model");
     }
 
@@ -204,7 +215,7 @@ mod tests {
         let n = 12;
         let id = saver.save_initial(&env, &set(n, 2)).unwrap();
         let (_, m) = env.measure(|| saver.recover_set(&env, &id).unwrap());
-        assert_eq!(m.stats.doc_queries, n as u64);
+        assert_eq!(m.stats.doc_queries, n as u64 + 1, "per-model docs + commit check");
         assert_eq!(m.stats.blob_gets, n as u64);
     }
 

@@ -106,15 +106,21 @@ pub(crate) mod common {
     /// Build the set-level metadata document of a **full** (self-contained)
     /// save: approach, architecture (saved once for the whole set —
     /// optimization O1), model count, and layer layout.
-    pub fn full_set_doc(approach: &str, arch: &ArchitectureSpec, n_models: usize) -> Value {
-        json!({
+    pub fn full_set_doc(
+        approach: &str,
+        arch: &ArchitectureSpec,
+        n_models: usize,
+    ) -> Result<Value> {
+        let arch_value = serde_json::to_value(arch)
+            .map_err(|e| Error::invalid(format!("unserializable architecture spec: {e}")))?;
+        Ok(json!({
             "approach": approach,
             "kind": "full",
-            "arch": serde_json::to_value(arch).expect("spec serializes"),
+            "arch": arch_value,
             "n_models": n_models,
             "layer_names": arch.parametric_layer_names(),
             "layer_sizes": arch.parametric_layer_sizes(),
-        })
+        }))
     }
 
     /// Parse the pieces of a full set document needed for recovery.

@@ -17,6 +17,7 @@
 use crate::apply_update::apply_update;
 use crate::approach::common;
 use crate::approach::ModelSetSaver;
+use crate::commit;
 use crate::artifacts::environment_info;
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId, ModelUpdate, UpdateKind};
@@ -112,13 +113,16 @@ impl ModelSetSaver for ProvenanceSaver {
     ) -> Result<ModelSetId> {
         let Some(deriv) = derivation else {
             // Initial set: complete representation using Baseline's logic.
-            let doc = common::full_set_doc(self.name(), &set.arch, set.len());
-            let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
-            env.blobs().put(
-                &common::params_key(self.name(), doc_id),
-                &crate::param_codec::encode_concat(set.models()),
-            )?;
-            return Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() });
+            let doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
+            let doc_id =
+                env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
+            let params = crate::param_codec::encode_concat(set.models());
+            env.with_retry(|| {
+                env.blobs().put(&common::params_key(self.name(), doc_id), &params)
+            })?;
+            let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
+            commit::commit_save(env, &id)?;
+            return Ok(id);
         };
         if deriv.base.approach != self.name() {
             return Err(Error::invalid(format!(
@@ -126,6 +130,7 @@ impl ModelSetSaver for ProvenanceSaver {
                 deriv.base.approach
             )));
         }
+        commit::require_committed(env, &deriv.base)?;
         for u in &deriv.updates {
             if u.model_idx >= set.len() {
                 return Err(Error::invalid(format!(
@@ -144,16 +149,18 @@ impl ModelSetSaver for ProvenanceSaver {
 
         // One metadata document per *set*: training info and environment
         // saved once (O2), not per model.
+        let train_value = serde_json::to_value(deriv.train)
+            .map_err(|e| Error::invalid(format!("unserializable train config: {e}")))?;
         let doc = json!({
             "approach": self.name(),
             "kind": "prov",
             "base": deriv.base.key,
             "n_models": set.len(),
             "n_updates": deriv.updates.len(),
-            "train": serde_json::to_value(deriv.train).expect("train config serializes"),
+            "train": train_value,
             "environment": environment_info(),
         });
-        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
+        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
 
         // One dataset reference per updated model.
         let mut lines = String::new();
@@ -161,8 +168,10 @@ impl ModelSetSaver for ProvenanceSaver {
             lines.push_str(&Self::update_line(u));
             lines.push('\n');
         }
-        env.blobs().put(&Self::updates_key(doc_id), lines.as_bytes())?;
-        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+        env.with_retry(|| env.blobs().put(&Self::updates_key(doc_id), lines.as_bytes()))?;
+        let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
+        commit::commit_save(env, &id)?;
+        Ok(id)
     }
 
     fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
@@ -172,6 +181,7 @@ impl ModelSetSaver for ProvenanceSaver {
                 id.approach
             )));
         }
+        commit::require_committed(env, id)?;
 
         // Walk back to the full snapshot, collecting provenance levels.
         let mut chain: Vec<(u64, TrainConfig)> = Vec::new(); // newest first
@@ -236,6 +246,7 @@ impl ModelSetSaver for ProvenanceSaver {
                 id.approach
             )));
         }
+        commit::require_committed(env, id)?;
         let mut chain: Vec<(u64, TrainConfig)> = Vec::new();
         let mut cursor = common::doc_id_of(id)?;
         let mut selected: Vec<mmm_dnn::ParamDict> = loop {
@@ -376,7 +387,7 @@ mod tests {
         let id0 = saver.save_initial(&env, &s0).unwrap();
         let (s1, d1) = derive(&env, &s0, &id0, &[(1, UpdateKind::Full), (2, UpdateKind::Full)], 1);
         let (_, m) = env.measure(|| saver.save_set(&env, &s1, Some(&d1)).unwrap());
-        assert_eq!(m.stats.doc_inserts, 1);
+        assert_eq!(m.stats.doc_inserts, 2, "set doc + commit record");
         assert_eq!(m.stats.blob_puts, 1);
         // Constant-size: one doc (train config + environment, ~5 KB) and
         // one small updates blob — independent of the set's parameter

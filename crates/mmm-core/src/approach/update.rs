@@ -17,6 +17,7 @@
 
 use crate::approach::common;
 use crate::approach::ModelSetSaver;
+use crate::commit;
 use crate::delta::{compress_delta, decompress_delta};
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId};
@@ -72,16 +73,19 @@ impl UpdateSaver {
     }
 
     fn save_full(&self, env: &ManagementEnv, set: &ModelSet, depth: u64) -> Result<ModelSetId> {
-        let mut doc = common::full_set_doc(self.name(), &set.arch, set.len());
+        let mut doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
         doc.as_object_mut()
-            .expect("full_set_doc returns an object")
+            .ok_or_else(|| Error::invalid("full_set_doc did not return an object"))?
             .insert("depth".into(), json!(depth));
-        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
-        env.blobs()
-            .put(&common::params_key(self.name(), doc_id), &encode_concat(set.models()))?;
+        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
+        let params = encode_concat(set.models());
+        env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &params))?;
         let hashes: Vec<Vec<u64>> = set.models().iter().map(|m| m.layer_hashes()).collect();
-        env.blobs().put(&Self::hashes_key(doc_id), &encode_hashes(&hashes))?;
-        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+        let hash_blob = encode_hashes(&hashes);
+        env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+        let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
+        commit::commit_save(env, &id)?;
+        Ok(id)
     }
 }
 
@@ -106,7 +110,9 @@ impl ModelSetSaver for UpdateSaver {
             )));
         }
 
-        // (1) Reference to the base set + its metadata.
+        // (1) Reference to the base set + its metadata. A base whose own
+        // save never committed must not anchor new chains.
+        commit::require_committed(env, &deriv.base)?;
         let base_id = common::doc_id_of(&deriv.base)?;
         let base_doc = env.docs().get(common::SETS_COLLECTION, base_id)?;
         let base_n = base_doc
@@ -184,10 +190,13 @@ impl ModelSetSaver for UpdateSaver {
             "n_changed_layers": changed.len(),
             "depth": depth,
         });
-        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
-        env.blobs().put(&Self::diff_key(doc_id), &diff_blob)?;
-        env.blobs().put(&Self::hashes_key(doc_id), &encode_hashes(&hashes))?;
-        Ok(ModelSetId { approach: self.name().into(), key: doc_id.to_string() })
+        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
+        env.with_retry(|| env.blobs().put(&Self::diff_key(doc_id), &diff_blob))?;
+        let hash_blob = encode_hashes(&hashes);
+        env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+        let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
+        commit::commit_save(env, &id)?;
+        Ok(id)
     }
 
     fn recover_set(&self, env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
@@ -197,6 +206,7 @@ impl ModelSetSaver for UpdateSaver {
                 id.approach
             )));
         }
+        commit::require_committed(env, id)?;
 
         // Walk the chain back to the newest full snapshot.
         let mut chain: Vec<(u64, bool)> = Vec::new(); // (doc id, compressed), newest first
@@ -277,6 +287,7 @@ impl ModelSetSaver for UpdateSaver {
                 id.approach
             )));
         }
+        commit::require_committed(env, id)?;
         // Walk the chain back to the newest full snapshot.
         let mut chain: Vec<(u64, bool)> = Vec::new();
         let mut cursor = common::doc_id_of(id)?;
@@ -354,6 +365,7 @@ impl UpdateSaver {
                     id.approach
                 )));
             }
+            commit::require_committed(env, id)?;
             let key = common::doc_id_of(id)?;
             let set = self.recover_cached(env, key, &mut cache)?;
             out.push(set);
@@ -656,7 +668,8 @@ mod tests {
         // last set needs at most 1 diff application.
         let (recovered, m) = env.measure(|| saver.recover_set(&env, &last).unwrap());
         assert_eq!(recovered, s);
-        assert!(m.stats.doc_queries <= 2, "snapshotting must cap the chain, got {:?}", m.stats);
+        // Commit check + full-snapshot doc (+ slack for one diff level).
+        assert!(m.stats.doc_queries <= 3, "snapshotting must cap the chain, got {:?}", m.stats);
     }
 
     /// Mutate a *sparse subset* of one layer's parameters so the delta

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use crate::approach::common;
+use crate::commit;
 use crate::env::ManagementEnv;
 use crate::lineage::lineage;
 use crate::model_set::ModelSetId;
@@ -28,7 +29,8 @@ const MAGIC: &[u8; 4] = b"MMBN";
 const VERSION: u32 = 1;
 
 /// Blob keys belonging to a chain node of the given approach/kind.
-fn node_blob_keys(approach: &str, kind: &str, doc_id: u64) -> Vec<String> {
+/// Shared with [`crate::fsck`], which audits the same expectations.
+pub(crate) fn node_blob_keys(approach: &str, kind: &str, doc_id: u64) -> Vec<String> {
     match (approach, kind) {
         ("baseline", "full") | ("provenance", "full") => {
             vec![common::params_key(approach, doc_id)]
@@ -58,6 +60,7 @@ pub fn export_set(env: &ManagementEnv, id: &ModelSetId) -> Result<Vec<u8>> {
             "mmlib-base sets are per-model artifacts; export is supported for set-oriented approaches",
         ));
     }
+    commit::require_committed(env, id)?;
     let chain = lineage(env, id)?;
 
     let mut buf = Vec::new();
@@ -133,19 +136,28 @@ pub fn import_set(env: &ManagementEnv, bundle: &[u8]) -> Result<ModelSetId> {
                 .get(base)
                 .ok_or_else(|| Error::corrupt("bundle chain references a base outside the bundle"))?;
             doc.as_object_mut()
-                .expect("set documents are objects")
+                .ok_or_else(|| Error::corrupt("set document in bundle is not an object"))?
                 .insert("base".into(), Value::String(new_base.clone()));
         }
-        let new_id = env.docs().insert(common::SETS_COLLECTION, doc)?;
+        let new_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
         for (old_blob_key, bytes) in &node.blobs {
             // Rewrite "…/<old doc id>/<artifact>" to the new doc id.
             let artifact = old_blob_key
                 .rsplit('/')
                 .next()
                 .ok_or_else(|| Error::corrupt("malformed blob key in bundle"))?;
-            env.blobs()
-                .put(&format!("{approach}/{new_id}/{artifact}"), bytes)?;
+            env.with_retry(|| {
+                env.blobs().put(&format!("{approach}/{new_id}/{artifact}"), bytes)
+            })?;
         }
+        // Every chain node is a recoverable set in its own right, so
+        // each gets its own commit record — a crash mid-import leaves a
+        // committed prefix of the chain plus invisible debris, never a
+        // half-visible set.
+        commit::commit_save(
+            env,
+            &ModelSetId { approach: approach.clone(), key: new_id.to_string() },
+        )?;
         id_map.insert(node.old_key.clone(), new_id.to_string());
         newest_new_key = Some(new_id.to_string());
     }

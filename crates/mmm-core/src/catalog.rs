@@ -5,6 +5,7 @@
 //! reads only metadata documents — it never touches parameter blobs.
 
 use crate::approach::common;
+use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::ModelSetId;
 use mmm_util::Result;
@@ -25,9 +26,12 @@ pub struct SetSummary {
 
 /// List all archived sets: the set-oriented approaches' documents plus
 /// MMlib-base's per-model documents grouped into their save batches.
+/// Saves without a commit record (crashed mid-save) are not listed —
+/// they are invisible orphans until [`crate::fsck`] collects them.
 /// Sorted by approach, then key.
 pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
     let mut out = Vec::new();
+    let committed = commit::committed_ids(env)?;
 
     // Set-oriented approaches: one document per set.
     for approach in ["baseline", "update", "provenance"] {
@@ -35,6 +39,9 @@ pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
             .docs()
             .find_eq(common::SETS_COLLECTION, "approach", &Value::String(approach.into()))?;
         for (doc_id, doc) in docs {
+            if !committed.contains(&(approach.to_string(), doc_id.to_string())) {
+                continue;
+            }
             out.push(SetSummary {
                 id: ModelSetId { approach: approach.into(), key: doc_id.to_string() },
                 kind: doc
@@ -66,12 +73,15 @@ pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
             end += 1;
         }
         let count = end - i + 1;
-        out.push(SetSummary {
-            id: ModelSetId { approach: "mmlib-base".into(), key: format!("{start}:{count}") },
-            kind: "full".into(),
-            n_models: count,
-            base: None,
-        });
+        let key = format!("{start}:{count}");
+        if committed.contains(&("mmlib-base".to_string(), key.clone())) {
+            out.push(SetSummary {
+                id: ModelSetId { approach: "mmlib-base".into(), key },
+                kind: "full".into(),
+                n_models: count,
+                base: None,
+            });
+        }
         i = end + 1;
     }
 
@@ -133,6 +143,20 @@ mod tests {
         assert_eq!(mmlib.len(), 2);
         assert!(mmlib.iter().any(|e| e.id == id1 && e.n_models == 3));
         assert!(mmlib.iter().any(|e| e.id == id2 && e.n_models == 5));
+    }
+
+    #[test]
+    fn uncommitted_saves_are_not_listed() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let s = set(3, 5);
+        let committed_id = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        // Phase one of a second save, without its commit record.
+        let doc = crate::approach::common::full_set_doc("baseline", &s.arch, s.len()).unwrap();
+        env.docs().insert(crate::approach::common::SETS_COLLECTION, doc).unwrap();
+        let cat = list_sets(&env).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat[0].id, committed_id);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Crash-atomic saves: the commit record.
+//!
+//! Every saver works in two phases. Phase one writes all of a save's
+//! artifacts — metadata documents and parameter/diff/provenance blobs —
+//! none of which make the save visible. Phase two appends **one**
+//! record to the [`COMMITS_COLLECTION`]; that single append is the
+//! atomic commit point (the document log is append-only and a torn
+//! append is discarded on replay, so the record is either durably
+//! whole or absent).
+//!
+//! Readers ([`require_committed`]) and the catalog treat saves without
+//! a commit record as absent. A crash anywhere in phase one therefore
+//! never corrupts the store — it only strands orphaned artifacts that
+//! [`crate::fsck`] can garbage-collect.
+
+use std::collections::HashSet;
+
+use serde_json::{json, Value};
+
+use crate::env::ManagementEnv;
+use crate::model_set::ModelSetId;
+use mmm_util::{Error, Result};
+
+/// Collection holding one record per committed model-set save.
+pub const COMMITS_COLLECTION: &str = "commits";
+
+/// Phase two of a save: append the commit record, making the save
+/// visible. Retries transient faults. Returns the record's doc id.
+pub fn commit_save(env: &ManagementEnv, id: &ModelSetId) -> Result<u64> {
+    env.with_retry(|| {
+        env.docs()
+            .insert(COMMITS_COLLECTION, json!({"approach": id.approach, "set": id.key}))
+    })
+}
+
+/// Whether `id`'s save was committed. Charged as one `doc_query`.
+pub fn is_committed(env: &ManagementEnv, id: &ModelSetId) -> Result<bool> {
+    let hits = env
+        .docs()
+        .find_eq(COMMITS_COLLECTION, "set", &json!(id.key))?;
+    Ok(hits
+        .iter()
+        .any(|(_, v)| v.get("approach").and_then(Value::as_str) == Some(id.approach.as_str())))
+}
+
+/// The readers' gate: error with `NotFound` unless `id` was committed.
+/// An uncommitted save is indistinguishable from one that never
+/// happened — exactly the contract a crash mid-save requires.
+pub fn require_committed(env: &ManagementEnv, id: &ModelSetId) -> Result<()> {
+    if is_committed(env, id)? {
+        Ok(())
+    } else {
+        Err(Error::not_found(format!(
+            "model set {id} (no commit record: the save never completed)"
+        )))
+    }
+}
+
+/// All committed `(approach, set-key)` pairs. Charged as one
+/// `doc_query` — used by catalog listings and fsck scans.
+pub fn committed_ids(env: &ManagementEnv) -> Result<HashSet<(String, String)>> {
+    let mut out = HashSet::new();
+    for (_, doc) in env.docs().all(COMMITS_COLLECTION)? {
+        if let (Some(approach), Some(set)) = (
+            doc.get("approach").and_then(Value::as_str),
+            doc.get("set").and_then(Value::as_str),
+        ) {
+            out.insert((approach.to_string(), set.to_string()));
+        }
+    }
+    Ok(out)
+}
+
+/// Remove the commit record(s) of `id` (set deletion, fsck repair).
+/// Missing records are not an error; returns how many were removed.
+pub fn decommit(env: &ManagementEnv, id: &ModelSetId) -> Result<usize> {
+    let hits = env
+        .docs()
+        .find_eq(COMMITS_COLLECTION, "set", &json!(id.key))?;
+    let mut removed = 0;
+    for (doc_id, doc) in hits {
+        if doc.get("approach").and_then(Value::as_str) == Some(id.approach.as_str()) {
+            env.docs().delete(COMMITS_COLLECTION, doc_id)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-commit").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    fn id(approach: &str, key: &str) -> ModelSetId {
+        ModelSetId { approach: approach.into(), key: key.into() }
+    }
+
+    #[test]
+    fn commit_flips_visibility() {
+        let (_d, env) = env();
+        let a = id("baseline", "0");
+        assert!(!is_committed(&env, &a).unwrap());
+        assert!(matches!(require_committed(&env, &a), Err(Error::NotFound(_))));
+        commit_save(&env, &a).unwrap();
+        assert!(is_committed(&env, &a).unwrap());
+        require_committed(&env, &a).unwrap();
+    }
+
+    #[test]
+    fn commits_are_scoped_to_the_approach() {
+        let (_d, env) = env();
+        commit_save(&env, &id("baseline", "0")).unwrap();
+        assert!(!is_committed(&env, &id("update", "0")).unwrap());
+        assert!(is_committed(&env, &id("baseline", "0")).unwrap());
+    }
+
+    #[test]
+    fn committed_ids_lists_all_pairs() {
+        let (_d, env) = env();
+        commit_save(&env, &id("baseline", "0")).unwrap();
+        commit_save(&env, &id("update", "1")).unwrap();
+        let all = committed_ids(&env).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&("baseline".to_string(), "0".to_string())));
+        assert!(all.contains(&("update".to_string(), "1".to_string())));
+    }
+
+    #[test]
+    fn decommit_removes_only_the_named_save() {
+        let (_d, env) = env();
+        commit_save(&env, &id("baseline", "7")).unwrap();
+        commit_save(&env, &id("update", "7")).unwrap();
+        assert_eq!(decommit(&env, &id("baseline", "7")).unwrap(), 1);
+        assert!(!is_committed(&env, &id("baseline", "7")).unwrap());
+        assert!(is_committed(&env, &id("update", "7")).unwrap());
+        assert_eq!(decommit(&env, &id("baseline", "7")).unwrap(), 0, "idempotent");
+    }
+
+    #[test]
+    fn commit_survives_reopen() {
+        let dir = TempDir::new("mmm-commit").unwrap();
+        {
+            let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+            commit_save(&env, &id("provenance", "3")).unwrap();
+        }
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        assert!(is_committed(&env, &id("provenance", "3")).unwrap());
+    }
+}

@@ -4,8 +4,26 @@ use std::path::Path;
 use std::time::Duration;
 
 use mmm_data::DatasetRegistry;
-use mmm_store::{DocumentStore, FileStore, LatencyProfile, StatsSnapshot, StoreStats};
+use mmm_store::{DocumentStore, FaultInjector, FileStore, LatencyProfile, StatsSnapshot, StoreStats};
 use mmm_util::{Result, VirtualClock};
+
+/// Bounded-backoff retry policy for [`mmm_util::Error::Transient`]
+/// store faults. Backoff delays are *charged to the virtual clock*, so
+/// TTS/TTR measurements honestly include the waiting a real client
+/// would do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before attempt k+1 is `base_backoff << k` (exponential).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_millis(2) }
+    }
+}
 
 /// Everything a saver needs: a document store for metadata, a file store
 /// for binary artifacts, and the externally-persisted dataset registry
@@ -16,6 +34,8 @@ pub struct ManagementEnv {
     docs: DocumentStore,
     blobs: FileStore,
     registry: DatasetRegistry,
+    faults: FaultInjector,
+    retry: RetryPolicy,
 }
 
 /// What one measured operation cost.
@@ -40,16 +60,79 @@ impl ManagementEnv {
     /// `dir/docs` (document store), `dir/blobs` (file store),
     /// `dir/datasets` (dataset registry — *outside* storage accounting).
     pub fn open(dir: impl AsRef<Path>, profile: LatencyProfile) -> Result<Self> {
+        Self::open_with_faults(dir, profile, FaultInjector::new())
+    }
+
+    /// Open an environment whose stores share the given fault-injection
+    /// handle (crash-recovery tests; a disarmed injector is free).
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        profile: LatencyProfile,
+        faults: FaultInjector,
+    ) -> Result<Self> {
         let dir = dir.as_ref();
         let clock = VirtualClock::new();
         let stats = StoreStats::new();
-        let docs = DocumentStore::open(dir.join("docs"), profile, clock.clone(), stats.clone())?;
-        let blobs = FileStore::open(dir.join("blobs"), profile, clock.clone(), stats.clone())?;
+        let docs = DocumentStore::open_with_faults(
+            dir.join("docs"),
+            profile,
+            clock.clone(),
+            stats.clone(),
+            faults.clone(),
+        )?;
+        let blobs = FileStore::open_with_faults(
+            dir.join("blobs"),
+            profile,
+            clock.clone(),
+            stats.clone(),
+            faults.clone(),
+        )?;
         // The registry deliberately bypasses clock/stats: the paper's
         // storage metric "does not include the storage consumption of
         // referenced models" or data saved outside model management.
         let registry = DatasetRegistry::open(dir.join("datasets"))?;
-        Ok(ManagementEnv { clock, stats, docs, blobs, registry })
+        Ok(ManagementEnv {
+            clock,
+            stats,
+            docs,
+            blobs,
+            registry,
+            faults,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Replace the transient-fault retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault-injection handle shared by both stores.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The active transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Run a store operation, retrying transient faults with bounded
+    /// exponential backoff. Each backoff is charged to the virtual
+    /// clock, so measurements include the delay a real client would
+    /// experience. Permanent errors and exhausted budgets pass through.
+    pub fn with_retry<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
+                    self.clock.charge(self.retry.base_backoff * (1u32 << attempt.min(16)));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// The document store (metadata).
@@ -119,6 +202,49 @@ mod tests {
         assert_eq!(m.stats.blob_puts, 1, "only in-section ops counted");
         assert_eq!(m.bytes_written(), 1000);
         assert!(m.duration >= LatencyProfile::m1().blob_put.cost(1000));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults_and_charges_backoff() {
+        use mmm_store::{FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-env").unwrap();
+        let faults = mmm_store::FaultInjector::new();
+        let env =
+            ManagementEnv::open_with_faults(dir.path(), LatencyProfile::zero(), faults.clone())
+                .unwrap();
+        faults.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 2));
+        let before = env.clock().simulated();
+        env.with_retry(|| env.blobs().put("k", b"v")).unwrap();
+        assert_eq!(env.blobs().get("k").unwrap(), b"v");
+        // Two failures → backoffs of base and 2×base on the sim clock.
+        let policy = env.retry_policy();
+        assert_eq!(env.clock().simulated() - before, policy.base_backoff * 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts_and_passes_permanent_errors() {
+        use mmm_store::{FaultPlan, FaultTarget, OpClass};
+        use mmm_util::Error;
+        let dir = TempDir::new("mmm-env").unwrap();
+        let faults = mmm_store::FaultInjector::new();
+        let env =
+            ManagementEnv::open_with_faults(dir.path(), LatencyProfile::zero(), faults.clone())
+                .unwrap()
+                .with_retry_policy(RetryPolicy {
+                    max_attempts: 2,
+                    base_backoff: Duration::from_millis(1),
+                });
+        faults.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 5));
+        assert!(matches!(
+            env.with_retry(|| env.blobs().put("k", b"v")),
+            Err(Error::Transient(_))
+        ));
+        // Permanent errors are not retried.
+        faults.disarm_all();
+        faults.arm(FaultPlan::crash_at(FaultTarget::Class(OpClass::BlobPut), 0));
+        let before = env.clock().simulated();
+        assert!(matches!(env.with_retry(|| env.blobs().put("k2", b"v")), Err(Error::Io(_))));
+        assert_eq!(env.clock().simulated(), before, "no backoff for permanent errors");
     }
 
     #[test]

@@ -1,0 +1,695 @@
+//! Store-wide consistency checking and repair (`fsck`).
+//!
+//! [`crate::verify`] audits *one* set the operator already knows about;
+//! `fsck` walks the **whole environment** and classifies every kind of
+//! damage a crash or bit rot can leave behind:
+//!
+//! - **uncommitted saves** — phase-one debris (documents/blobs written
+//!   before the commit record landed); invisible to readers, safe to GC,
+//! - **missing blobs** — a committed set references an absent artifact,
+//! - **hash mismatches** — an Update set's recovered parameters disagree
+//!   with its persisted layer hashes (silent bit corruption),
+//! - **dangling chains** — a derived set whose base document is gone or
+//!   was never committed,
+//! - **dangling commits** — commit records whose set documents are gone,
+//! - **orphan blobs** — blobs no document accounts for.
+//!
+//! [`repair`] garbage-collects the harmless classes (uncommitted debris,
+//! orphan blobs, dangling commits) and **quarantines** corrupt sets:
+//! their blobs move under the [`QUARANTINE_PREFIX`], their documents and
+//! commit records are removed, and a reason record lands in the
+//! [`QUARANTINE_COLLECTION`] — the damage stays inspectable without
+//! masquerading as recoverable data. Quarantining a chain's base may
+//! expose its descendants as newly dangling, so run fsck→repair until
+//! clean for deeply damaged stores.
+
+use std::collections::{HashMap, HashSet};
+
+use serde_json::{json, Value};
+
+use crate::approach::{common, ModelSetSaver, UpdateSaver};
+use crate::bundle::node_blob_keys;
+use crate::commit;
+use crate::env::ManagementEnv;
+use crate::model_set::ModelSetId;
+use crate::param_codec::decode_hashes;
+use mmm_util::{Error, Result};
+
+/// Blob-key prefix under which [`repair`] parks corrupt sets' artifacts.
+pub const QUARANTINE_PREFIX: &str = "quarantine/";
+
+/// Blob-key prefixes fsck never touches: quarantined remains and
+/// tooling working state (the CLI keeps its fleet state under `cli/`).
+const RESERVED_PREFIXES: [&str; 2] = [QUARANTINE_PREFIX, "cli/"];
+
+/// Document collection recording why each set was quarantined.
+pub const QUARANTINE_COLLECTION: &str = "quarantine";
+
+/// MMlib-base's per-model document collection (mirrored privately there).
+const MODELS_COLLECTION: &str = "models";
+
+/// One classified problem found by [`fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Damage {
+    /// Phase-one debris of a save that never committed: the listed
+    /// documents and blobs exist but no reader will ever see them.
+    UncommittedSave {
+        /// The never-visible set the debris belongs to.
+        id: ModelSetId,
+        /// Document ids of the debris (in the set's collection).
+        docs: Vec<u64>,
+        /// Blob keys of the debris that exist on disk.
+        blobs: Vec<String>,
+    },
+    /// A committed set references a blob that does not exist.
+    MissingBlob {
+        /// The damaged set.
+        id: ModelSetId,
+        /// The absent blob's key.
+        key: String,
+    },
+    /// An Update set's recovered parameters do not match its persisted
+    /// layer hashes — silent corruption of a parameter payload.
+    HashMismatch {
+        /// The damaged set.
+        id: ModelSetId,
+        /// What the audit observed.
+        detail: String,
+    },
+    /// A committed derived set whose recovery chain is broken.
+    DanglingChain {
+        /// The damaged set.
+        id: ModelSetId,
+        /// Which link is broken and how.
+        detail: String,
+    },
+    /// A commit record whose set documents no longer exist.
+    DanglingCommit {
+        /// The committed-but-gone set.
+        id: ModelSetId,
+        /// What is missing.
+        detail: String,
+    },
+    /// A blob under no live document's key space.
+    OrphanBlob {
+        /// The unowned blob's key.
+        key: String,
+    },
+}
+
+impl Damage {
+    /// One-line human-readable description (CLI output).
+    pub fn describe(&self) -> String {
+        match self {
+            Damage::UncommittedSave { id, docs, blobs } => format!(
+                "uncommitted save {id}: {} document(s), {} blob(s) of phase-one debris",
+                docs.len(),
+                blobs.len()
+            ),
+            Damage::MissingBlob { id, key } => format!("set {id}: missing blob {key}"),
+            Damage::HashMismatch { id, detail } => format!("set {id}: hash mismatch ({detail})"),
+            Damage::DanglingChain { id, detail } => format!("set {id}: dangling chain ({detail})"),
+            Damage::DanglingCommit { id, detail } => {
+                format!("dangling commit for {id} ({detail})")
+            }
+            Damage::OrphanBlob { key } => format!("orphan blob {key}"),
+        }
+    }
+
+    /// The damaged set's id, when the damage is set-scoped.
+    fn set_id(&self) -> Option<&ModelSetId> {
+        match self {
+            Damage::UncommittedSave { id, .. }
+            | Damage::MissingBlob { id, .. }
+            | Damage::HashMismatch { id, .. }
+            | Damage::DanglingChain { id, .. }
+            | Damage::DanglingCommit { id, .. } => Some(id),
+            Damage::OrphanBlob { .. } => None,
+        }
+    }
+}
+
+/// What one [`fsck`] pass inspected and found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Committed sets whose structure was audited.
+    pub sets_checked: usize,
+    /// Blob existence checks performed.
+    pub blobs_checked: usize,
+    /// Everything wrong, in classification order.
+    pub damage: Vec<Damage>,
+}
+
+impl FsckReport {
+    /// True when the environment is fully consistent.
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_empty()
+    }
+}
+
+/// What one [`repair`] pass removed or parked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Phase-one debris documents deleted.
+    pub uncommitted_docs_deleted: usize,
+    /// Phase-one debris blobs deleted.
+    pub uncommitted_blobs_deleted: usize,
+    /// Unowned blobs deleted.
+    pub orphan_blobs_deleted: usize,
+    /// Commit records without documents removed.
+    pub dangling_commits_removed: usize,
+    /// Corrupt sets moved to quarantine.
+    pub sets_quarantined: usize,
+}
+
+/// The owner prefix of a blob key: its first two `/` segments
+/// (`baseline/7`, `mmlib/m3`, `quarantine/update`…).
+fn owner_of(key: &str) -> String {
+    key.splitn(3, '/').take(2).collect::<Vec<_>>().join("/")
+}
+
+/// MMlib-base batches reconstructed from the per-model rows: id-sorted
+/// runs starting at each `batch_head` marker, as the catalog groups them.
+fn mmlib_batches(rows: &[(u64, Value)]) -> Vec<(String, Vec<u64>)> {
+    let mut sorted: Vec<(u64, bool)> = rows
+        .iter()
+        .map(|(id, doc)| (*id, doc.get("batch_head").and_then(Value::as_bool).unwrap_or(false)))
+        .collect();
+    sorted.sort_unstable_by_key(|(id, _)| *id);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut end = i;
+        while end + 1 < sorted.len() && !sorted[end + 1].1 {
+            end += 1;
+        }
+        let ids: Vec<u64> = sorted[i..=end].iter().map(|(id, _)| *id).collect();
+        out.push((format!("{}:{}", ids[0], ids.len()), ids));
+        i = end + 1;
+    }
+    out
+}
+
+/// Scan the whole environment and classify every inconsistency.
+/// Read-only — repair decisions are a separate, explicit step.
+pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
+    let mut report = FsckReport::default();
+    let committed = commit::committed_ids(env)?;
+
+    // ---- set-oriented documents (baseline / update / provenance) ----
+    let set_docs = env.docs().all(common::SETS_COLLECTION)?;
+    let set_ids: HashSet<u64> = set_docs.iter().map(|(id, _)| *id).collect();
+    let mut owners: HashSet<String> = HashSet::new();
+
+    for (doc_id, doc) in &set_docs {
+        let approach = doc
+            .get("approach")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        owners.insert(format!("{approach}/{doc_id}"));
+        let id = ModelSetId { approach: approach.clone(), key: doc_id.to_string() };
+        if !committed.contains(&(approach.clone(), doc_id.to_string())) {
+            let blobs = env.blobs().list_keys(&format!("{approach}/{doc_id}"))?;
+            report.damage.push(Damage::UncommittedSave { id, docs: vec![*doc_id], blobs });
+            continue;
+        }
+        report.sets_checked += 1;
+        let kind = doc.get("kind").and_then(Value::as_str).unwrap_or("?");
+        for key in node_blob_keys(&approach, kind, *doc_id) {
+            report.blobs_checked += 1;
+            if env.blobs().size(&key).is_err() {
+                report.damage.push(Damage::MissingBlob { id: id.clone(), key });
+            }
+        }
+        if let Some(base) = doc.get("base") {
+            match base.as_str().and_then(|s| s.parse::<u64>().ok()) {
+                Some(b) if set_ids.contains(&b) => {
+                    if !committed.contains(&(approach.clone(), b.to_string())) {
+                        report.damage.push(Damage::DanglingChain {
+                            id: id.clone(),
+                            detail: format!("base {b} exists but was never committed"),
+                        });
+                    }
+                }
+                Some(b) => report.damage.push(Damage::DanglingChain {
+                    id: id.clone(),
+                    detail: format!("base document {b} is missing"),
+                }),
+                None => report.damage.push(Damage::DanglingChain {
+                    id: id.clone(),
+                    detail: "malformed base reference".into(),
+                }),
+            }
+        }
+    }
+
+    // ---- MMlib-base per-model rows, grouped into save batches ----
+    let model_rows = env.docs().all(MODELS_COLLECTION)?;
+    let rows_by_id: HashMap<u64, &Value> =
+        model_rows.iter().map(|(id, doc)| (*id, doc)).collect();
+    for (doc_id, _) in &model_rows {
+        owners.insert(format!("mmlib/m{doc_id}"));
+    }
+    for (key, row_ids) in mmlib_batches(&model_rows) {
+        let id = ModelSetId { approach: "mmlib-base".into(), key: key.clone() };
+        if !committed.contains(&("mmlib-base".to_string(), key)) {
+            let mut blobs = Vec::new();
+            for rid in &row_ids {
+                blobs.extend(env.blobs().list_keys(&format!("mmlib/m{rid}"))?);
+            }
+            report.damage.push(Damage::UncommittedSave { id, docs: row_ids, blobs });
+            continue;
+        }
+        report.sets_checked += 1;
+        for rid in &row_ids {
+            for artifact in ["params.pt", "code.py", "environment.yaml"] {
+                report.blobs_checked += 1;
+                let key = format!("mmlib/m{rid}/{artifact}");
+                if env.blobs().size(&key).is_err() {
+                    report.damage.push(Damage::MissingBlob { id: id.clone(), key });
+                }
+            }
+        }
+    }
+
+    // ---- commit records whose documents are gone ----
+    for (approach, key) in &committed {
+        let id = ModelSetId { approach: approach.clone(), key: key.clone() };
+        if approach == "mmlib-base" {
+            let parsed = key
+                .split_once(':')
+                .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<usize>().ok()?)));
+            match parsed {
+                Some((first, count)) => {
+                    let missing: Vec<u64> = (0..count as u64)
+                        .map(|i| first + i)
+                        .filter(|rid| !rows_by_id.contains_key(rid))
+                        .collect();
+                    if !missing.is_empty() {
+                        report.damage.push(Damage::DanglingCommit {
+                            id,
+                            detail: format!("batch rows {missing:?} are gone"),
+                        });
+                    }
+                }
+                None => report.damage.push(Damage::DanglingCommit {
+                    id,
+                    detail: "malformed batch key".into(),
+                }),
+            }
+        } else {
+            match key.parse::<u64>() {
+                Ok(doc_id) if set_ids.contains(&doc_id) => {}
+                Ok(doc_id) => report.damage.push(Damage::DanglingCommit {
+                    id,
+                    detail: format!("set document {doc_id} is gone"),
+                }),
+                Err(_) => report.damage.push(Damage::DanglingCommit {
+                    id,
+                    detail: "malformed set key".into(),
+                }),
+            }
+        }
+    }
+
+    // ---- blobs no document accounts for ----
+    for key in env.blobs().list_keys("")? {
+        if RESERVED_PREFIXES.iter().any(|p| key.starts_with(p)) {
+            continue;
+        }
+        if !owners.contains(&owner_of(&key)) {
+            report.damage.push(Damage::OrphanBlob { key });
+        }
+    }
+
+    // ---- hash audit: Update sets whose structure looks intact ----
+    let damaged: HashSet<(String, String)> = report
+        .damage
+        .iter()
+        .filter_map(|d| d.set_id())
+        .map(|id| (id.approach.clone(), id.key.clone()))
+        .collect();
+    let saver = UpdateSaver::new();
+    for (doc_id, doc) in &set_docs {
+        if doc.get("approach").and_then(Value::as_str) != Some("update") {
+            continue;
+        }
+        let id = ModelSetId { approach: "update".into(), key: doc_id.to_string() };
+        if !committed.contains(&("update".to_string(), id.key.clone()))
+            || damaged.contains(&("update".to_string(), id.key.clone()))
+        {
+            continue;
+        }
+        match saver.recover_set(env, &id) {
+            Ok(set) => {
+                match env
+                    .blobs()
+                    .get(&format!("update/{doc_id}/hashes.bin"))
+                    .and_then(|b| decode_hashes(&b))
+                {
+                    Ok(stored) => {
+                        for (mi, model) in set.models().iter().enumerate() {
+                            if stored.get(mi) != Some(&model.layer_hashes()) {
+                                report.damage.push(Damage::HashMismatch {
+                                    id: id.clone(),
+                                    detail: format!(
+                                        "model {mi}: recovered params disagree with stored hashes"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => report.damage.push(Damage::HashMismatch {
+                        id: id.clone(),
+                        detail: format!("hash table unreadable: {e}"),
+                    }),
+                }
+            }
+            Err(e) => report.damage.push(Damage::HashMismatch {
+                id: id.clone(),
+                detail: format!("recovery failed: {e}"),
+            }),
+        }
+    }
+
+    Ok(report)
+}
+
+fn delete_doc_quietly(env: &ManagementEnv, collection: &str, id: u64) -> Result<bool> {
+    match env.docs().delete(collection, id) {
+        Ok(()) => Ok(true),
+        Err(Error::NotFound(_)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+fn delete_blob_quietly(env: &ManagementEnv, key: &str) -> Result<bool> {
+    match env.blobs().delete(key) {
+        Ok(()) => Ok(true),
+        Err(Error::NotFound(_)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Move a corrupt set's remains out of the live key space: decommit it,
+/// relocate its blobs under [`QUARANTINE_PREFIX`], delete its documents,
+/// and record the reason in [`QUARANTINE_COLLECTION`].
+fn quarantine_set(env: &ManagementEnv, id: &ModelSetId, reason: &str) -> Result<()> {
+    commit::decommit(env, id)?;
+    let (collection, doc_ids, blob_prefixes): (&str, Vec<u64>, Vec<String>) =
+        if id.approach == "mmlib-base" {
+            let (first, count) = id
+                .key
+                .split_once(':')
+                .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<usize>().ok()?)))
+                .ok_or_else(|| Error::invalid(format!("malformed mmlib set key {:?}", id.key)))?;
+            let ids: Vec<u64> = (0..count as u64).map(|i| first + i).collect();
+            let prefixes = ids.iter().map(|i| format!("mmlib/m{i}")).collect();
+            (MODELS_COLLECTION, ids, prefixes)
+        } else {
+            let doc_id = common::doc_id_of(id)?;
+            (
+                common::SETS_COLLECTION,
+                vec![doc_id],
+                vec![format!("{}/{doc_id}", id.approach)],
+            )
+        };
+    for prefix in &blob_prefixes {
+        for key in env.blobs().list_keys(prefix)? {
+            let bytes = env.blobs().get(&key)?;
+            env.blobs().put(&format!("{QUARANTINE_PREFIX}{key}"), &bytes)?;
+            env.blobs().delete(&key)?;
+        }
+    }
+    for doc_id in doc_ids {
+        delete_doc_quietly(env, collection, doc_id)?;
+    }
+    env.docs().insert(
+        QUARANTINE_COLLECTION,
+        json!({"approach": id.approach, "set": id.key, "reason": reason}),
+    )?;
+    Ok(())
+}
+
+/// Act on an [`fsck`] report: GC uncommitted debris, orphan blobs and
+/// dangling commits; quarantine corrupt sets. Run [`fsck`] again after
+/// repairing — quarantining a base can expose dangling descendants.
+pub fn repair(env: &ManagementEnv, report: &FsckReport) -> Result<RepairReport> {
+    let mut out = RepairReport::default();
+    let mut quarantined: HashSet<(String, String)> = HashSet::new();
+    for damage in &report.damage {
+        match damage {
+            Damage::UncommittedSave { id, docs, blobs } => {
+                let collection = if id.approach == "mmlib-base" {
+                    MODELS_COLLECTION
+                } else {
+                    common::SETS_COLLECTION
+                };
+                for blob in blobs {
+                    if delete_blob_quietly(env, blob)? {
+                        out.uncommitted_blobs_deleted += 1;
+                    }
+                }
+                for doc_id in docs {
+                    if delete_doc_quietly(env, collection, *doc_id)? {
+                        out.uncommitted_docs_deleted += 1;
+                    }
+                }
+            }
+            Damage::OrphanBlob { key } => {
+                if delete_blob_quietly(env, key)? {
+                    out.orphan_blobs_deleted += 1;
+                }
+            }
+            Damage::DanglingCommit { id, .. } => {
+                out.dangling_commits_removed += commit::decommit(env, id)?;
+            }
+            Damage::MissingBlob { id, .. }
+            | Damage::HashMismatch { id, .. }
+            | Damage::DanglingChain { id, .. } => {
+                if quarantined.insert((id.approach.clone(), id.key.clone())) {
+                    quarantine_set(env, id, &damage.describe())?;
+                    out.sets_quarantined += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver};
+    use crate::model_set::{Derivation, ModelSet};
+    use mmm_dnn::{Architectures, TrainConfig};
+    use mmm_store::LatencyProfile;
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(6);
+        let models = (0..n).map(|i| arch.build(seed + i as u64).export_param_dict()).collect();
+        ModelSet::new(arch, models)
+    }
+
+    fn env() -> (TempDir, ManagementEnv) {
+        let dir = TempDir::new("mmm-fsck").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        (dir, env)
+    }
+
+    fn deriv(base: &ModelSetId) -> Derivation {
+        Derivation { base: base.clone(), train: TrainConfig::regression_default(0), updates: vec![] }
+    }
+
+    #[test]
+    fn healthy_environment_is_clean() {
+        let (_d, env) = env();
+        let s = set(4, 0);
+        BaselineSaver::new().save_initial(&env, &s).unwrap();
+        MmlibBaseSaver::new().save_initial(&env, &s).unwrap();
+        ProvenanceSaver::new().save_initial(&env, &s).unwrap();
+        let mut u = UpdateSaver::new();
+        let id0 = u.save_initial(&env, &s).unwrap();
+        let mut s1 = s.clone();
+        s1.models[0].layers[0].data[0] += 1.0;
+        u.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        let r = fsck(&env).unwrap();
+        assert!(r.is_clean(), "{:?}", r.damage);
+        assert_eq!(r.sets_checked, 5);
+        assert!(r.blobs_checked > 0);
+    }
+
+    #[test]
+    fn uncommitted_debris_is_classified_and_collected() {
+        let (_d, env) = env();
+        let s = set(3, 1);
+        let keep = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        // Phase one of a crashed save: document + blob, no commit.
+        let doc = common::full_set_doc("baseline", &s.arch, s.len()).unwrap();
+        let doc_id = env.docs().insert(common::SETS_COLLECTION, doc).unwrap();
+        env.blobs()
+            .put(&common::params_key("baseline", doc_id), b"partial")
+            .unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert_eq!(r.damage.len(), 1);
+        assert!(matches!(&r.damage[0], Damage::UncommittedSave { docs, blobs, .. }
+            if docs == &vec![doc_id] && blobs.len() == 1));
+
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.uncommitted_docs_deleted, 1);
+        assert_eq!(rep.uncommitted_blobs_deleted, 1);
+        assert!(fsck(&env).unwrap().is_clean());
+        assert_eq!(BaselineSaver::new().recover_set(&env, &keep).unwrap(), s);
+    }
+
+    #[test]
+    fn missing_blob_quarantines_the_set() {
+        let (_d, env) = env();
+        let s = set(3, 2);
+        let id = BaselineSaver::new().save_initial(&env, &s).unwrap();
+        env.blobs().delete(&common::params_key("baseline", common::doc_id_of(&id).unwrap())).unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert!(r.damage.iter().any(|d| matches!(d, Damage::MissingBlob { .. })), "{:?}", r.damage);
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.sets_quarantined, 1);
+        assert!(fsck(&env).unwrap().is_clean());
+        // The quarantine record names the set and the reason.
+        let records = env.docs().all(QUARANTINE_COLLECTION).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1["set"], json!(id.key));
+        assert!(records[0].1["reason"].as_str().unwrap().contains("missing blob"));
+        // And readers see the set as gone.
+        assert!(BaselineSaver::new().recover_set(&env, &id).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_update_params_fail_the_hash_audit() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(4, 3);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        s.models[0].layers[0].data[0] += 1.0;
+        let s1 = ModelSet::new(s.arch.clone(), s.models.clone());
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+
+        let key = format!("update/{}/diff.bin", id1.key);
+        let mut blob = env.blobs().get(&key).unwrap();
+        let n = blob.len();
+        blob[n - 1] ^= 0x01;
+        env.blobs().put(&key, &blob).unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert!(
+            r.damage.iter().any(|d| matches!(d, Damage::HashMismatch { id, .. } if id == &id1)),
+            "{:?}",
+            r.damage
+        );
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.sets_quarantined, 1);
+        // The quarantined set's blobs moved, the base set survives.
+        assert!(env.blobs().get(&key).is_err());
+        assert!(env.blobs().get(&format!("{QUARANTINE_PREFIX}{key}")).is_ok());
+        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+
+    #[test]
+    fn orphan_blob_is_deleted() {
+        let (_d, env) = env();
+        BaselineSaver::new().save_initial(&env, &set(2, 4)).unwrap();
+        env.blobs().put("stray/9/junk.bin", b"???").unwrap();
+        let r = fsck(&env).unwrap();
+        assert!(matches!(&r.damage[..], [Damage::OrphanBlob { key }] if key == "stray/9/junk.bin"));
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.orphan_blobs_deleted, 1);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+
+    #[test]
+    fn dangling_commit_is_removed() {
+        let (_d, env) = env();
+        let ghost = ModelSetId { approach: "baseline".into(), key: "99".into() };
+        commit::commit_save(&env, &ghost).unwrap();
+        let r = fsck(&env).unwrap();
+        assert!(matches!(&r.damage[..], [Damage::DanglingCommit { id, .. }] if id == &ghost));
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.dangling_commits_removed, 1);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+
+    #[test]
+    fn partial_mmlib_batch_is_collected() {
+        let (_d, env) = env();
+        let s = set(3, 5);
+        let keep = MmlibBaseSaver::new().save_initial(&env, &s).unwrap();
+        // A crashed batch: two rows + one blob, head marker, no commit.
+        for head in [true, false] {
+            let doc_id = env
+                .docs()
+                .insert(MODELS_COLLECTION, json!({"approach": "mmlib-base", "batch_head": head}))
+                .unwrap();
+            env.blobs().put(&format!("mmlib/m{doc_id}/params.pt"), b"x").unwrap();
+        }
+        let r = fsck(&env).unwrap();
+        assert_eq!(r.damage.len(), 1);
+        assert!(matches!(&r.damage[0], Damage::UncommittedSave { docs, blobs, .. }
+            if docs.len() == 2 && blobs.len() == 2));
+        repair(&env, &r).unwrap();
+        assert!(fsck(&env).unwrap().is_clean());
+        assert_eq!(MmlibBaseSaver::new().recover_set(&env, &keep).unwrap(), s);
+    }
+
+    #[test]
+    fn corrupt_base_takes_its_descendants_to_quarantine() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(3, 6);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        s.models[0].layers[0].data[0] += 0.5;
+        let s1 = ModelSet::new(s.arch.clone(), s.models.clone());
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        // Corrupt the *base*: its params blob disappears. The base is
+        // structurally damaged; the child fails the hash audit because
+        // its recovery chain runs through the hole.
+        env.blobs()
+            .delete(&common::params_key("update", common::doc_id_of(&id0).unwrap()))
+            .unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert!(r.damage.iter().any(|d| matches!(d, Damage::MissingBlob { id, .. } if id == &id0)));
+        assert!(
+            r.damage.iter().any(|d| matches!(d, Damage::HashMismatch { id, .. } if id == &id1)),
+            "{:?}",
+            r.damage
+        );
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.sets_quarantined, 2);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+
+    #[test]
+    fn force_deleted_base_leaves_a_dangling_chain() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let mut s = set(3, 7);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        s.models[1].layers[1].data[0] -= 0.25;
+        let s1 = ModelSet::new(s.arch.clone(), s.models.clone());
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        crate::gc::delete_set(&env, &id0, true).unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert!(
+            r.damage.iter().any(|d| matches!(d, Damage::DanglingChain { id, .. } if id == &id1)),
+            "{:?}",
+            r.damage
+        );
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.sets_quarantined, 1);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+}

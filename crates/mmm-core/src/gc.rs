@@ -7,22 +7,27 @@
 //! provides dependency-checked deletion and a retention sweep.
 
 use crate::approach::common;
+use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::ModelSetId;
 use mmm_util::{Error, Result};
 use serde_json::{json, Value};
 
-/// Ids of sets that directly reference `id` as their base.
+/// Ids of *committed* sets that directly reference `id` as their base.
+/// Uncommitted referrers are crash debris — they never became visible,
+/// so they don't pin their base against deletion.
 pub fn dependents(env: &ManagementEnv, id: &ModelSetId) -> Result<Vec<ModelSetId>> {
     if id.approach == "mmlib-base" {
         return Ok(Vec::new()); // per-model storage has no chains
     }
+    let committed = commit::committed_ids(env)?;
     let hits = env
         .docs()
         .find_eq(common::SETS_COLLECTION, "base", &json!(id.key))?;
     Ok(hits
         .into_iter()
         .filter(|(_, doc)| doc.get("approach").and_then(Value::as_str) == Some(id.approach.as_str()))
+        .filter(|(doc_id, _)| committed.contains(&(id.approach.clone(), doc_id.to_string())))
         .map(|(doc_id, _)| ModelSetId { approach: id.approach.clone(), key: doc_id.to_string() })
         .collect())
 }
@@ -34,6 +39,8 @@ pub struct DeleteReport {
     pub docs_deleted: usize,
     /// Blobs removed.
     pub blobs_deleted: usize,
+    /// Commit records removed (the set becomes invisible first).
+    pub commits_deleted: usize,
 }
 
 /// Delete one saved set. Refuses (with [`Error::Invalid`]) when other
@@ -52,6 +59,11 @@ pub fn delete_set(env: &ManagementEnv, id: &ModelSetId, force: bool) -> Result<D
     }
 
     let mut report = DeleteReport::default();
+    // Decommit first: the set disappears from readers and the catalog
+    // before any artifact is touched, so a crash mid-deletion leaves
+    // only invisible orphans (fsck-collectable), never a visible set
+    // with missing artifacts.
+    report.commits_deleted = commit::decommit(env, id)?;
     if id.approach == "mmlib-base" {
         let (first, count) = id
             .key
@@ -117,13 +129,20 @@ pub fn apply_retention(
 pub fn collect_unreferenced_datasets(env: &ManagementEnv) -> Result<(usize, u64)> {
     use std::collections::HashSet;
 
-    // Gather every dataset id referenced by any surviving provenance doc.
+    // Gather every dataset id referenced by any surviving *committed*
+    // provenance doc. Uncommitted docs may lack their updates blob (a
+    // crash can land between doc and blob), so they are skipped — their
+    // datasets were never acknowledged as referenced.
     let mut referenced: HashSet<String> = HashSet::new();
+    let committed = commit::committed_ids(env)?;
     let prov_docs = env
         .docs()
         .find_eq(common::SETS_COLLECTION, "approach", &json!("provenance"))?;
     for (doc_id, doc) in prov_docs {
         if doc.get("kind").and_then(Value::as_str) != Some("prov") {
+            continue;
+        }
+        if !committed.contains(&("provenance".to_string(), doc_id.to_string())) {
             continue;
         }
         let blob = env
@@ -180,6 +199,7 @@ mod tests {
         let report = delete_set(&env, &id, false).unwrap();
         assert_eq!(report.docs_deleted, 1);
         assert_eq!(report.blobs_deleted, 1);
+        assert_eq!(report.commits_deleted, 1);
         assert!(env.blobs().disk_bytes() < before);
         assert!(saver.recover_set(&env, &id).is_err());
     }
@@ -228,6 +248,7 @@ mod tests {
         let report = delete_set(&env, &id, false).unwrap();
         assert_eq!(report.docs_deleted, 3);
         assert_eq!(report.blobs_deleted, 9);
+        assert_eq!(report.commits_deleted, 1, "one commit record per batch");
         assert!(saver.recover_set(&env, &id).is_err());
     }
 

@@ -31,8 +31,10 @@ pub mod approach;
 pub mod artifacts;
 pub mod bundle;
 pub mod catalog;
+pub mod commit;
 pub mod delta;
 pub mod env;
+pub mod fsck;
 pub mod gc;
 pub mod lineage;
 pub mod model_set;

@@ -8,6 +8,7 @@
 //! the persisted layer hashes match the recovered parameters.
 
 use crate::approach::{common, ModelSetSaver, UpdateSaver};
+use crate::commit;
 use crate::env::ManagementEnv;
 use crate::lineage::lineage;
 use crate::model_set::ModelSetId;
@@ -38,6 +39,15 @@ impl VerifyReport {
 /// Verify one saved set's integrity. Never mutates the stores.
 pub fn verify_set(env: &ManagementEnv, id: &ModelSetId) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
+
+    // A set without a commit record is crash debris: readers already
+    // treat it as absent, so flag it rather than auditing artifacts
+    // that were never promised to be complete.
+    if !commit::is_committed(env, id)? {
+        report
+            .issues
+            .push(format!("set {id} has no commit record (save never completed)"));
+    }
 
     if id.approach == "mmlib-base" {
         verify_mmlib(env, id, &mut report);

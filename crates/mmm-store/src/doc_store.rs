@@ -7,22 +7,79 @@
 //! profile's round-trip latency — the `Θ(n)` document writes of saving
 //! `n` models individually are exactly what the paper's optimization O3
 //! eliminates.
+//!
+//! Durability: each record carries an xxhash64 checksum
+//! (`<json>\t#<16 hex>\n`). On replay, a record without its trailing
+//! newline is a torn tail from a crash mid-append — the log is
+//! truncated back to the last whole record and the store opens clean
+//! (the torn write was never acknowledged). A *complete* record that
+//! fails its checksum or does not parse is real corruption and
+//! surfaces as [`Error::Corrupt`] naming the collection and byte
+//! offset. Checksum-less records (logs written before checksums
+//! existed) still replay.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 
-use mmm_util::{Error, Result, VirtualClock};
+use mmm_util::{hash::xxhash64, Error, Result, VirtualClock};
 
+use crate::fault::{flip_bits, FaultEffect, FaultInjector, OpClass};
 use crate::profile::LatencyProfile;
 use crate::stats::StoreStats;
 
 /// Document id within a collection.
 pub type DocId = u64;
+
+/// Seed for per-record log checksums (any fixed value works; changing
+/// it would orphan existing logs' checksums).
+const RECORD_CHECKSUM_SEED: u64 = 0x6d6d_5f64_6f63;
+
+/// Serialize one log record: the document JSON, a tab (JSON strings
+/// escape raw tabs, so it cannot appear inside the payload), `#`, the
+/// checksum as 16 lowercase hex digits, newline.
+fn format_record(json: &str) -> Vec<u8> {
+    format!("{json}\t#{:016x}\n", xxhash64(json.as_bytes(), RECORD_CHECKSUM_SEED)).into_bytes()
+}
+
+/// Parse and verify one complete log record (without its newline).
+fn parse_record(line: &[u8], collection: &str, offset: usize) -> Result<Value> {
+    let text = std::str::from_utf8(line).map_err(|_| {
+        Error::corrupt(format!(
+            "collection {collection:?}: non-utf8 record at byte {offset}"
+        ))
+    })?;
+    let json = match text.rsplit_once('\t') {
+        Some((json, sum)) => {
+            let expected = sum
+                .strip_prefix('#')
+                .filter(|h| h.len() == 16)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| {
+                    Error::corrupt(format!(
+                        "collection {collection:?}: malformed record checksum at byte {offset}"
+                    ))
+                })?;
+            if xxhash64(json.as_bytes(), RECORD_CHECKSUM_SEED) != expected {
+                return Err(Error::corrupt(format!(
+                    "collection {collection:?}: record checksum mismatch at byte {offset}"
+                )));
+            }
+            json
+        }
+        // Legacy record written before checksums: the JSON is the line.
+        None => text,
+    };
+    serde_json::from_str(json).map_err(|e| {
+        Error::corrupt(format!(
+            "collection {collection:?}: bad record at byte {offset}: {e}"
+        ))
+    })
+}
 
 struct Collection {
     log: File,
@@ -63,6 +120,7 @@ pub struct DocumentStore {
     clock: VirtualClock,
     profile: LatencyProfile,
     stats: StoreStats,
+    faults: FaultInjector,
     collections: Mutex<HashMap<String, Collection>>,
 }
 
@@ -74,6 +132,18 @@ impl DocumentStore {
         profile: LatencyProfile,
         clock: VirtualClock,
         stats: StoreStats,
+    ) -> Result<Self> {
+        Self::open_with_faults(dir, profile, clock, stats, FaultInjector::new())
+    }
+
+    /// Open a store with a fault-injection handle (tests of the
+    /// crash-recovery protocol; a disarmed injector is free).
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        profile: LatencyProfile,
+        clock: VirtualClock,
+        stats: StoreStats,
+        faults: FaultInjector,
     ) -> Result<Self> {
         let root = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
@@ -87,7 +157,7 @@ impl DocumentStore {
                     .and_then(|s| s.to_str())
                     .ok_or_else(|| Error::corrupt("non-utf8 collection name"))?
                     .to_string();
-                let coll = Self::replay(&path)?;
+                let coll = Self::replay(&path, &name)?;
                 collections.insert(name, coll);
             }
         }
@@ -96,38 +166,49 @@ impl DocumentStore {
             clock,
             profile,
             stats,
+            faults,
             collections: Mutex::new(collections),
         })
     }
 
-    fn replay(path: &Path) -> Result<Collection> {
+    fn replay(path: &Path, name: &str) -> Result<Collection> {
+        let data = std::fs::read(path)?;
         let mut docs = BTreeMap::new();
         let mut next_id = 0;
-        {
-            let reader = BufReader::new(File::open(path)?);
-            for line in reader.lines() {
-                let line = line?;
-                if line.is_empty() {
-                    continue;
-                }
-                let mut v: Value = serde_json::from_str(&line)
-                    .map_err(|e| Error::corrupt(format!("bad document log line: {e}")))?;
-                let id = v
-                    .get("_id")
-                    .and_then(Value::as_u64)
-                    .ok_or_else(|| Error::corrupt("document log line without _id"))?;
+        let mut pos = 0usize;
+        let mut valid_len = data.len();
+        while pos < data.len() {
+            let Some(rel) = data[pos..].iter().position(|&b| b == b'\n') else {
+                // Torn tail: a crash mid-append left a record without
+                // its newline. The write was never acknowledged, so we
+                // truncate back to the last whole record and move on.
+                valid_len = pos;
+                break;
+            };
+            let line = &data[pos..pos + rel];
+            if !line.is_empty() {
+                let mut v = parse_record(line, name, pos)?;
+                let id = v.get("_id").and_then(Value::as_u64).ok_or_else(|| {
+                    Error::corrupt(format!(
+                        "collection {name:?}: record without _id at byte {pos}"
+                    ))
+                })?;
                 if v.get("_deleted").and_then(Value::as_bool) == Some(true) {
                     // Tombstone: drop the document but never reuse its id.
                     docs.remove(&id);
-                    next_id = next_id.max(id + 1);
-                    continue;
-                }
-                if let Some(obj) = v.as_object_mut() {
-                    obj.remove("_id");
+                } else {
+                    if let Some(obj) = v.as_object_mut() {
+                        obj.remove("_id");
+                    }
+                    docs.insert(id, v);
                 }
                 next_id = next_id.max(id + 1);
-                docs.insert(id, v);
             }
+            pos += rel + 1;
+        }
+        if valid_len < data.len() {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(valid_len as u64)?;
         }
         let log = OpenOptions::new().append(true).open(path)?;
         Ok(Collection { log, docs, next_id, indexes: HashMap::new() })
@@ -148,13 +229,16 @@ impl DocumentStore {
 
     /// Insert a document (must be a JSON object). Returns its id.
     /// Charged as one `doc_insert` round-trip plus transfer cost.
+    ///
+    /// On failure nothing is acknowledged: the id is not consumed and
+    /// the in-memory state is unchanged (a torn append leaves bytes on
+    /// disk that the next open truncates away).
     pub fn insert(&self, collection: &str, doc: Value) -> Result<DocId> {
         if !doc.is_object() {
             return Err(Error::invalid("documents must be JSON objects"));
         }
         self.with_collection(collection, |coll| {
             let id = coll.next_id;
-            coll.next_id += 1;
             let mut on_disk = doc.clone();
             on_disk
                 .as_object_mut()
@@ -162,9 +246,31 @@ impl DocumentStore {
                 .insert("_id".into(), json!(id));
             let line = serde_json::to_string(&on_disk)
                 .map_err(|e| Error::invalid(format!("unserializable document: {e}")))?;
-            let bytes = line.len() as u64 + 1;
-            coll.log.write_all(line.as_bytes())?;
-            coll.log.write_all(b"\n")?;
+            let mut record = format_record(&line);
+            match self.faults.on_op(OpClass::DocInsert, record.len())? {
+                FaultEffect::Clean => {}
+                FaultEffect::Torn { keep } => {
+                    // Crash mid-append: part of the record (never its
+                    // newline) reaches the log, then the writer dies.
+                    let keep = keep.min(record.len() - 1);
+                    coll.log.write_all(&record[..keep])?;
+                    return Err(Error::Io(std::io::Error::other(format!(
+                        "injected torn append to collection {collection:?}"
+                    ))));
+                }
+                FaultEffect::Flip { seed, flips } => {
+                    // Silent corruption: the persisted bytes rot but the
+                    // writer (and this process's memory) believe the
+                    // clean document landed. Only replay notices. The
+                    // framing newline is spared so the record stays one
+                    // line.
+                    let n = record.len();
+                    flip_bits(&mut record[..n - 1], seed, flips);
+                }
+            }
+            let bytes = record.len() as u64;
+            coll.log.write_all(&record)?;
+            coll.next_id += 1;
             coll.index_insert(id, &doc);
             coll.docs.insert(id, doc);
             self.stats.record_doc_insert(bytes);
@@ -175,6 +281,9 @@ impl DocumentStore {
 
     /// Fetch one document by id. Charged as one `doc_query` round-trip.
     pub fn get(&self, collection: &str, id: DocId) -> Result<Value> {
+        // Queries have no payload to tear or flip; only crash/transient
+        // faults apply.
+        self.faults.on_op(OpClass::DocQuery, 0)?;
         self.with_collection(collection, |coll| {
             let found = coll
                 .docs
@@ -191,6 +300,7 @@ impl DocumentStore {
     /// Find all documents whose `field` equals `value`.
     /// Charged as one `doc_query` round-trip (one find() call).
     pub fn find_eq(&self, collection: &str, field: &str, value: &Value) -> Result<Vec<(DocId, Value)>> {
+        self.faults.on_op(OpClass::DocQuery, 0)?;
         self.with_collection(collection, |coll| {
             let found: Vec<(DocId, Value)> = if let Some(index) = coll.indexes.get(field) {
                 // Indexed path: O(hits).
@@ -227,12 +337,26 @@ impl DocumentStore {
                 .cloned()
                 .ok_or_else(|| Error::not_found(format!("document {id} in {collection:?}")))?;
             let line = serde_json::to_string(&json!({"_id": id, "_deleted": true}))
-                .expect("tombstone serializes");
-            coll.log.write_all(line.as_bytes())?;
-            coll.log.write_all(b"\n")?;
+                .map_err(|e| Error::invalid(format!("unserializable tombstone: {e}")))?;
+            let record = format_record(&line);
+            match self.faults.on_op(OpClass::DocDelete, record.len())? {
+                FaultEffect::Clean => {}
+                FaultEffect::Torn { keep } => {
+                    let keep = keep.min(record.len() - 1);
+                    coll.log.write_all(&record[..keep])?;
+                    return Err(Error::Io(std::io::Error::other(format!(
+                        "injected torn tombstone append to collection {collection:?}"
+                    ))));
+                }
+                // A flipped tombstone surfaces as Corrupt on replay, but
+                // this process already dropped the document; nothing
+                // more to model here.
+                FaultEffect::Flip { .. } => {}
+            }
+            coll.log.write_all(&record)?;
             coll.index_remove(id, &doc);
             coll.docs.remove(&id);
-            let bytes = line.len() as u64 + 1;
+            let bytes = record.len() as u64;
             self.stats.record_doc_delete(bytes);
             self.clock.charge(self.profile.doc_insert.cost(bytes));
             Ok(())
@@ -255,22 +379,22 @@ impl DocumentStore {
                     let mut on_disk = doc.clone();
                     on_disk
                         .as_object_mut()
-                        .expect("stored documents are objects")
+                        .ok_or_else(|| Error::corrupt("stored document is not an object"))?
                         .insert("_id".into(), json!(id));
-                    // Preserve the id horizon so compaction never allows
-                    // id reuse, even when the newest documents were
-                    // deleted.
-                    serde_json::to_writer(&mut out, &on_disk)
+                    let line = serde_json::to_string(&on_disk)
                         .map_err(|e| Error::invalid(format!("unserializable document: {e}")))?;
-                    out.write_all(b"\n")?;
+                    out.write_all(&format_record(&line))?;
                 }
+                // Preserve the id horizon so compaction never allows
+                // id reuse, even when the newest documents were
+                // deleted.
                 if coll.docs.keys().next_back().map(|&m| m + 1) != Some(coll.next_id)
                     && coll.next_id > 0
                 {
                     let horizon = json!({"_id": coll.next_id - 1, "_deleted": true});
-                    serde_json::to_writer(&mut out, &horizon)
+                    let line = serde_json::to_string(&horizon)
                         .map_err(|e| Error::invalid(format!("unserializable horizon: {e}")))?;
-                    out.write_all(b"\n")?;
+                    out.write_all(&format_record(&line))?;
                 }
                 out.flush()?;
             }
@@ -307,6 +431,26 @@ impl DocumentStore {
             .get(collection)
             .map(|c| c.docs.len())
             .unwrap_or(0)
+    }
+
+    /// All documents of a collection, id-ascending. Charged as one
+    /// `doc_query` round-trip (one find() call) — used by catalog and
+    /// fsck scans.
+    pub fn all(&self, collection: &str) -> Result<Vec<(DocId, Value)>> {
+        self.faults.on_op(OpClass::DocQuery, 0)?;
+        self.with_collection(collection, |coll| {
+            let found: Vec<(DocId, Value)> =
+                coll.docs.iter().map(|(id, v)| (*id, v.clone())).collect();
+            let bytes: u64 = found.iter().map(|(_, v)| v.to_string().len() as u64).sum();
+            self.stats.record_doc_query(bytes);
+            self.clock.charge(self.profile.doc_query.cost(bytes));
+            Ok(found)
+        })
+    }
+
+    /// The store's fault-injection handle.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 }
 
@@ -592,5 +736,132 @@ mod tests {
             StoreStats::new(),
         );
         assert!(matches!(res, Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_log_repaired() {
+        let dir = TempDir::new("mmm-doc").unwrap();
+        {
+            let db = open(dir.path(), LatencyProfile::zero());
+            db.insert("c", json!({"v": 0})).unwrap();
+            db.insert("c", json!({"v": 1})).unwrap();
+        }
+        // Crash mid-append: half a record, no newline.
+        let path = dir.path().join("c.jsonl");
+        let whole = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":2,\"_id").unwrap();
+        drop(f);
+
+        let db = open(dir.path(), LatencyProfile::zero());
+        assert_eq!(db.count("c"), 2, "torn record is not a document");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            whole,
+            "log truncated back to the last whole record"
+        );
+        // The store keeps working; the torn id was never acknowledged,
+        // so reusing it is correct.
+        assert_eq!(db.insert("c", json!({"v": 2})).unwrap(), 2);
+        drop(db);
+        let db = open(dir.path(), LatencyProfile::zero());
+        assert_eq!(db.count("c"), 3);
+    }
+
+    #[test]
+    fn corrupt_middle_record_names_collection_and_offset() {
+        let dir = TempDir::new("mmm-doc").unwrap();
+        {
+            let db = open(dir.path(), LatencyProfile::zero());
+            db.insert("sets", json!({"v": 0})).unwrap();
+            db.insert("sets", json!({"v": 1})).unwrap();
+            db.insert("sets", json!({"v": 2})).unwrap();
+        }
+        // Flip one byte inside the second record's JSON.
+        let path = dir.path().join("sets.jsonl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let target = first_nl + 3;
+        bytes[target] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = open_err(dir.path());
+        let msg = err.to_string();
+        assert!(matches!(err, Error::Corrupt(_)), "got {msg}");
+        assert!(msg.contains("\"sets\""), "collection named: {msg}");
+        assert!(
+            msg.contains(&format!("byte {}", first_nl + 1)),
+            "offset named: {msg}"
+        );
+    }
+
+    fn open_err(dir: &Path) -> Error {
+        DocumentStore::open(dir, LatencyProfile::zero(), VirtualClock::new(), StoreStats::new())
+            .err()
+            .expect("open should fail")
+    }
+
+    #[test]
+    fn legacy_records_without_checksums_still_replay() {
+        let dir = TempDir::new("mmm-doc").unwrap();
+        std::fs::write(
+            dir.path().join("old.jsonl"),
+            b"{\"v\":7,\"_id\":0}\n{\"_id\":0,\"_deleted\":true}\n{\"v\":8,\"_id\":1}\n",
+        )
+        .unwrap();
+        let db = open(dir.path(), LatencyProfile::zero());
+        assert_eq!(db.count("old"), 1);
+        assert_eq!(db.get("old", 1).unwrap()["v"], 8);
+        assert_eq!(db.insert("old", json!({"v": 9})).unwrap(), 2);
+    }
+
+    #[test]
+    fn injected_torn_insert_is_unacknowledged_and_heals_on_reopen() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-doc").unwrap();
+        let faults = FaultInjector::new();
+        {
+            let db = DocumentStore::open_with_faults(
+                dir.path(),
+                LatencyProfile::zero(),
+                VirtualClock::new(),
+                StoreStats::new(),
+                faults.clone(),
+            )
+            .unwrap();
+            db.insert("c", json!({"v": 0})).unwrap();
+            faults.arm(FaultPlan::torn_write_at(FaultTarget::Class(OpClass::DocInsert), 0, 9));
+            assert!(db.insert("c", json!({"v": 1})).is_err());
+            assert_eq!(db.count("c"), 1, "failed insert left no document");
+            assert_eq!(db.stats.snapshot().doc_inserts, 1, "failed op not accounted");
+        }
+        let db = open(dir.path(), LatencyProfile::zero());
+        assert_eq!(db.count("c"), 1);
+        assert_eq!(db.insert("c", json!({"v": 1})).unwrap(), 1, "id was never consumed");
+    }
+
+    #[test]
+    fn injected_bit_flip_surfaces_as_corrupt_on_reopen() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-doc").unwrap();
+        let faults = FaultInjector::new();
+        {
+            let db = DocumentStore::open_with_faults(
+                dir.path(),
+                LatencyProfile::zero(),
+                VirtualClock::new(),
+                StoreStats::new(),
+                faults.clone(),
+            )
+            .unwrap();
+            db.insert("c", json!({"v": 0})).unwrap();
+            faults.arm(FaultPlan::bit_flip_at(FaultTarget::Class(OpClass::DocInsert), 0, 1, 7));
+            // The writer believes this insert landed clean.
+            db.insert("c", json!({"v": 1, "payload": "x".repeat(50)})).unwrap();
+            assert_eq!(db.count("c"), 2);
+        }
+        let err = open_err(dir.path());
+        assert!(matches!(err, Error::Corrupt(_)), "got {err}");
+        assert!(err.to_string().contains("\"c\""), "collection named: {err}");
     }
 }

@@ -3,11 +3,21 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mmm_util::{Error, Result, VirtualClock};
 
+use crate::fault::{flip_bits, FaultEffect, FaultInjector, OpClass};
 use crate::profile::LatencyProfile;
 use crate::stats::StoreStats;
+
+/// Prefix of in-flight temp files. Each write gets a process-unique
+/// name so concurrent puts never collide, and a crash can only leak a
+/// file with this prefix — swept away on the next [`FileStore::open`].
+const TMP_PREFIX: &str = ".mmm-tmp.";
+
+/// Process-wide sequence for temp-file uniqueness.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A blob store backed by a directory tree. Keys may contain `/` to form
 /// sub-namespaces (e.g. `"set-3/params.bin"`).
@@ -17,6 +27,7 @@ pub struct FileStore {
     clock: VirtualClock,
     profile: LatencyProfile,
     stats: StoreStats,
+    faults: FaultInjector,
 }
 
 impl FileStore {
@@ -27,9 +38,22 @@ impl FileStore {
         clock: VirtualClock,
         stats: StoreStats,
     ) -> Result<Self> {
+        Self::open_with_faults(dir, profile, clock, stats, FaultInjector::new())
+    }
+
+    /// Open a store with a fault-injection handle (tests of the
+    /// crash-recovery protocol; a disarmed injector is free).
+    pub fn open_with_faults(
+        dir: impl AsRef<Path>,
+        profile: LatencyProfile,
+        clock: VirtualClock,
+        stats: StoreStats,
+        faults: FaultInjector,
+    ) -> Result<Self> {
         let root = dir.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(FileStore { root, clock, profile, stats })
+        sweep_stale_temps(&root)?;
+        Ok(FileStore { root, clock, profile, stats, faults })
     }
 
     fn path_for(&self, key: &str) -> Result<PathBuf> {
@@ -46,10 +70,31 @@ impl FileStore {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        // Write-then-rename: a crash never leaves a torn blob.
-        let tmp = path.with_extension("tmp-write");
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, &path)?;
+        // Write-then-rename with a per-write unique temp name: a crash
+        // never leaves a torn blob, concurrent puts to keys sharing a
+        // stem (`a.bin` vs `a.txt`) never collide, and a leaked temp is
+        // recognizable by prefix and swept on the next open.
+        let tmp = tmp_path(&path)?;
+        match self.faults.on_op(OpClass::BlobPut, bytes.len())? {
+            FaultEffect::Clean => {
+                fs::write(&tmp, bytes)?;
+                fs::rename(&tmp, &path)?;
+            }
+            FaultEffect::Torn { keep } => {
+                // Crash mid-write: part of the payload reaches the temp
+                // file, the rename never happens, the caller dies.
+                fs::write(&tmp, &bytes[..keep.min(bytes.len())])?;
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected torn write to blob {key:?}"
+                ))));
+            }
+            FaultEffect::Flip { seed, flips } => {
+                let mut corrupted = bytes.to_vec();
+                flip_bits(&mut corrupted, seed, flips);
+                fs::write(&tmp, &corrupted)?;
+                fs::rename(&tmp, &path)?;
+            }
+        }
         self.stats.record_blob_put(bytes.len() as u64);
         self.clock.charge(self.profile.blob_put.cost(bytes.len() as u64));
         Ok(())
@@ -57,14 +102,21 @@ impl FileStore {
 
     /// Read a blob. Charged as one `blob_get` round-trip plus transfer.
     pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let effect = self.faults.on_op(OpClass::BlobGet, 0)?;
         let path = self.path_for(key)?;
-        let bytes = fs::read(&path).map_err(|e| {
+        let mut bytes = fs::read(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 Error::not_found(format!("blob {key:?}"))
             } else {
                 Error::Io(e)
             }
         })?;
+        match effect {
+            FaultEffect::Clean => {}
+            // Read-side damage: short read / flipped bits in transit.
+            FaultEffect::Torn { keep } => bytes.truncate(keep),
+            FaultEffect::Flip { seed, flips } => flip_bits(&mut bytes, seed, flips),
+        }
         self.stats.record_blob_get(bytes.len() as u64);
         self.clock.charge(self.profile.blob_get.cost(bytes.len() as u64));
         Ok(bytes)
@@ -75,6 +127,7 @@ impl FileStore {
     /// bytes). Errors if the range exceeds the blob.
     pub fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         use std::io::{Read, Seek, SeekFrom};
+        let effect = self.faults.on_op(OpClass::BlobGet, len)?;
         let path = self.path_for(key)?;
         let mut file = std::fs::File::open(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -84,7 +137,10 @@ impl FileStore {
             }
         })?;
         let size = file.metadata()?.len();
-        if offset + len as u64 > size {
+        let end = offset.checked_add(len as u64).ok_or_else(|| {
+            Error::invalid(format!("range {offset}+{len} overflows for blob {key:?}"))
+        })?;
+        if end > size {
             return Err(Error::invalid(format!(
                 "range {offset}+{len} exceeds blob {key:?} of {size} bytes"
             )));
@@ -92,8 +148,13 @@ impl FileStore {
         file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; len];
         file.read_exact(&mut buf)?;
-        self.stats.record_blob_get(len as u64);
-        self.clock.charge(self.profile.blob_get.cost(len as u64));
+        match effect {
+            FaultEffect::Clean => {}
+            FaultEffect::Torn { keep } => buf.truncate(keep),
+            FaultEffect::Flip { seed, flips } => flip_bits(&mut buf, seed, flips),
+        }
+        self.stats.record_blob_get(buf.len() as u64);
+        self.clock.charge(self.profile.blob_get.cost(buf.len() as u64));
         Ok(buf)
     }
 
@@ -112,6 +173,13 @@ impl FileStore {
 
     /// Delete a blob. Charged as one delete round-trip.
     pub fn delete(&self, key: &str) -> Result<()> {
+        if self.faults.on_op(OpClass::BlobDelete, 0)? != FaultEffect::Clean {
+            // Deletes have no payload to tear or flip; any non-clean
+            // verdict means the operation did not happen.
+            return Err(Error::Io(std::io::Error::other(format!(
+                "injected fault during delete of blob {key:?}"
+            ))));
+        }
         let path = self.path_for(key)?;
         fs::remove_file(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -137,6 +205,8 @@ impl FileStore {
                     let p = e.path();
                     if p.is_dir() {
                         walk(root, &p, out);
+                    } else if is_temp(&p) {
+                        // An in-flight or crash-leaked temp is not a blob.
                     } else if let Ok(rel) = p.strip_prefix(root) {
                         out.push(rel.to_string_lossy().replace('\\', "/"));
                     }
@@ -161,6 +231,8 @@ impl FileStore {
                     let p = e.path();
                     if p.is_dir() {
                         total += walk(&p);
+                    } else if is_temp(&p) {
+                        // Temps are transient, never part of blob usage.
                     } else if let Ok(m) = e.metadata() {
                         total += m.len();
                     }
@@ -170,6 +242,49 @@ impl FileStore {
         }
         walk(&self.root)
     }
+
+    /// The store's fault-injection handle.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+}
+
+/// Whether `path` names an in-flight write's temp file.
+fn is_temp(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with(TMP_PREFIX))
+}
+
+/// Unique temp path next to the final blob path (same filesystem, so
+/// the rename is atomic).
+fn tmp_path(path: &Path) -> Result<PathBuf> {
+    let parent = path
+        .parent()
+        .ok_or_else(|| Error::invalid(format!("blob path {path:?} has no parent")))?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| Error::invalid(format!("blob path {path:?} has no file name")))?;
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    Ok(parent.join(format!("{TMP_PREFIX}{}.{seq}.{name}", std::process::id())))
+}
+
+/// Remove temp files leaked by writes that crashed before their rename.
+/// Their payloads were never acknowledged, so deleting is always safe.
+fn sweep_stale_temps(root: &Path) -> Result<()> {
+    fn walk(dir: &Path) -> std::io::Result<()> {
+        for e in fs::read_dir(dir)? {
+            let p = e?.path();
+            if p.is_dir() {
+                walk(&p)?;
+            } else if is_temp(&p) {
+                fs::remove_file(&p)?;
+            }
+        }
+        Ok(())
+    }
+    walk(root).map_err(Error::Io)
 }
 
 #[cfg(test)]
@@ -293,5 +408,148 @@ mod tests {
         fs.put("x", &[1u8; 10]).unwrap();
         fs.put("sub/y", &[2u8; 20]).unwrap();
         assert_eq!(fs.disk_bytes(), 30);
+    }
+
+    #[test]
+    fn keys_differing_only_in_extension_coexist() {
+        // The old temp scheme mapped `a.bin` and `a.txt` to the same
+        // `a.tmp-write`; racing writers could rename each other's data.
+        let (_d, fs) = store(LatencyProfile::zero());
+        std::thread::scope(|s| {
+            for ext in ["bin", "txt"] {
+                let fs = &fs;
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        fs.put(&format!("a.{ext}"), &i.to_le_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(fs.get("a.bin").unwrap(), 99u32.to_le_bytes());
+        assert_eq!(fs.get("a.txt").unwrap(), 99u32.to_le_bytes());
+        assert_eq!(fs.list_keys("").unwrap().len(), 2, "no stray temp files");
+    }
+
+    #[test]
+    fn stale_temps_are_swept_on_open() {
+        let dir = TempDir::new("mmm-fs").unwrap();
+        {
+            let fs = FileStore::open(dir.path(), LatencyProfile::zero(), VirtualClock::new(), StoreStats::new()).unwrap();
+            fs.put("sub/real.bin", b"keep me").unwrap();
+        }
+        // Simulate a crash that leaked temps at two levels.
+        std::fs::write(dir.path().join(".mmm-tmp.1.2.x.bin"), b"torn").unwrap();
+        std::fs::write(dir.path().join("sub").join(".mmm-tmp.3.4.y.bin"), b"torn").unwrap();
+        let fs = FileStore::open(dir.path(), LatencyProfile::zero(), VirtualClock::new(), StoreStats::new()).unwrap();
+        assert_eq!(fs.list_keys("").unwrap(), vec!["sub/real.bin".to_string()]);
+        assert_eq!(fs.get("sub/real.bin").unwrap(), b"keep me");
+        assert!(!dir.path().join(".mmm-tmp.1.2.x.bin").exists());
+        assert!(!dir.path().join("sub").join(".mmm-tmp.3.4.y.bin").exists());
+    }
+
+    #[test]
+    fn get_range_overflow_is_invalid_not_a_panic() {
+        let (_d, fs) = store(LatencyProfile::zero());
+        fs.put("blob", &[0u8; 16]).unwrap();
+        assert!(matches!(
+            fs.get_range("blob", u64::MAX, 2),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            fs.get_range("blob", u64::MAX - 1, usize::MAX),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn injected_crash_fails_put_and_leaves_no_blob() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let faults = FaultInjector::new();
+        let fs = FileStore::open_with_faults(
+            dir.path(),
+            LatencyProfile::zero(),
+            VirtualClock::new(),
+            StoreStats::new(),
+            faults.clone(),
+        )
+        .unwrap();
+        faults.arm(FaultPlan::crash_at(FaultTarget::Class(OpClass::BlobPut), 1));
+        fs.put("ok.bin", b"first").unwrap();
+        assert!(fs.put("dead.bin", b"second").is_err());
+        assert!(fs.exists("ok.bin"));
+        assert!(!fs.exists("dead.bin"));
+        assert_eq!(fs.stats.snapshot().blob_puts, 1, "failed op is not accounted");
+    }
+
+    #[test]
+    fn injected_torn_write_leaks_a_temp_that_the_next_open_sweeps() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let faults = FaultInjector::new();
+        {
+            let fs = FileStore::open_with_faults(
+                dir.path(),
+                LatencyProfile::zero(),
+                VirtualClock::new(),
+                StoreStats::new(),
+                faults.clone(),
+            )
+            .unwrap();
+            faults.arm(FaultPlan::torn_write_at(FaultTarget::Class(OpClass::BlobPut), 0, 3));
+            assert!(fs.put("torn.bin", b"full payload").is_err());
+            assert!(!fs.exists("torn.bin"), "the rename never happened");
+            // The torn temp is on disk with exactly the kept bytes.
+            let leaked: Vec<_> = std::fs::read_dir(dir.path())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with(TMP_PREFIX))
+                .collect();
+            assert_eq!(leaked.len(), 1);
+            assert_eq!(std::fs::read(leaked[0].path()).unwrap(), b"ful");
+        }
+        let fs = FileStore::open(dir.path(), LatencyProfile::zero(), VirtualClock::new(), StoreStats::new()).unwrap();
+        assert!(fs.list_keys("").unwrap().is_empty());
+        assert_eq!(fs.disk_bytes(), 0);
+    }
+
+    #[test]
+    fn injected_bit_flip_corrupts_the_stored_blob_silently() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let faults = FaultInjector::new();
+        let fs = FileStore::open_with_faults(
+            dir.path(),
+            LatencyProfile::zero(),
+            VirtualClock::new(),
+            StoreStats::new(),
+            faults.clone(),
+        )
+        .unwrap();
+        faults.arm(FaultPlan::bit_flip_at(FaultTarget::Class(OpClass::BlobPut), 0, 1, 99));
+        fs.put("rot.bin", &[0u8; 128]).unwrap();
+        let stored = fs.get("rot.bin").unwrap();
+        assert_ne!(stored, vec![0u8; 128], "exactly one bit differs");
+        assert_eq!(stored.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn injected_transient_clears_after_n_failures() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-fs").unwrap();
+        let faults = FaultInjector::new();
+        let fs = FileStore::open_with_faults(
+            dir.path(),
+            LatencyProfile::zero(),
+            VirtualClock::new(),
+            StoreStats::new(),
+            faults.clone(),
+        )
+        .unwrap();
+        faults.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 2));
+        assert!(matches!(fs.put("k", b"x"), Err(Error::Transient(_))));
+        assert!(matches!(fs.put("k", b"x"), Err(Error::Transient(_))));
+        fs.put("k", b"x").unwrap();
+        assert_eq!(fs.get("k").unwrap(), b"x");
     }
 }

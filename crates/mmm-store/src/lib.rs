@@ -20,17 +20,22 @@
 //! * [`stats::StoreStats`] — operation and byte accounting. The savers'
 //!   reported storage consumption is taken from here and cross-checked
 //!   against on-disk sizes in tests.
+//! * [`fault::FaultInjector`] — deterministic fault injection (crashes,
+//!   torn writes, bit flips, transient errors) threaded through both
+//!   stores so the crash-recovery protocol is testable.
 //!
 //! Every round-trip counts: saving `n` models individually costs `Θ(n)`
 //! document-store writes (the paper's optimization O3), while the
 //! set-oriented savers issue a constant number of operations.
 
 pub mod doc_store;
+pub mod fault;
 pub mod file_store;
 pub mod profile;
 pub mod stats;
 
 pub use doc_store::DocumentStore;
+pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultTarget, OpClass};
 pub use file_store::FileStore;
 pub use profile::LatencyProfile;
 pub use stats::{StatsSnapshot, StoreStats};

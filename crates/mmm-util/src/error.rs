@@ -21,6 +21,11 @@ pub enum Error {
     /// The caller violated an API contract (mismatched architecture,
     /// wrong parameter count, unknown approach name, ...).
     Invalid(String),
+    /// A fault that is expected to clear on retry (connection blip,
+    /// store momentarily unavailable). Callers may re-issue the
+    /// operation after a bounded backoff; every other variant is
+    /// permanent for the purposes of the retry path.
+    Transient(String),
 }
 
 impl Error {
@@ -38,6 +43,16 @@ impl Error {
     pub fn invalid(what: impl Into<String>) -> Self {
         Error::Invalid(what.into())
     }
+
+    /// Construct a [`Error::Transient`] with a formatted description.
+    pub fn transient(what: impl Into<String>) -> Self {
+        Error::Transient(what.into())
+    }
+
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Transient(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -47,6 +62,7 @@ impl fmt::Display for Error {
             Error::NotFound(s) => write!(f, "not found: {s}"),
             Error::Corrupt(s) => write!(f, "corrupt data: {s}"),
             Error::Invalid(s) => write!(f, "invalid argument: {s}"),
+            Error::Transient(s) => write!(f, "transient fault: {s}"),
         }
     }
 }
@@ -77,6 +93,14 @@ mod tests {
         assert!(Error::not_found("doc 7").to_string().contains("doc 7"));
         assert!(Error::corrupt("bad magic").to_string().contains("bad magic"));
         assert!(Error::invalid("n must be > 0").to_string().contains("must be"));
+        assert!(Error::transient("store flaked").to_string().contains("flaked"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::transient("blip").is_transient());
+        assert!(!Error::corrupt("bad").is_transient());
+        assert!(!Error::not_found("x").is_transient());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! mmm list    --dir D
 //! mmm lineage --dir D <set-id>
 //! mmm verify  --dir D <set-id>
+//! mmm fsck    --dir D [--repair]
 //! mmm recover --dir D <set-id>
 //! mmm gc      --dir D --keep-last K
 //! mmm info    --dir D <set-id>
@@ -30,7 +31,7 @@ use mmm::core::advisor::{recommend, Priorities, Scenario};
 use mmm::core::approach::ModelSetSaver;
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{ModelSet, ModelSetId};
-use mmm::core::{bundle, catalog, gc, lineage, tags, verify};
+use mmm::core::{bundle, catalog, fsck, gc, lineage, tags, verify};
 use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
 use mmm::store::LatencyProfile;
 use mmm::util::codec::{put_f32_slice, put_str, put_u32, put_u64, Reader};
@@ -45,7 +46,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -62,6 +63,7 @@ struct Args {
     rate: f64,
     divergence: bool,
     all: bool,
+    repair: bool,
     keep_last: usize,
     priority: String,
 }
@@ -92,6 +94,7 @@ fn parse_args() -> Args {
             }
             "--divergence" => a.divergence = true,
             "--all" => a.all = true,
+            "--repair" => a.repair = true,
             "--keep-last" => a.keep_last = num(&mut it, "--keep-last"),
             "--priority" => a.priority = next(&mut it, "--priority"),
             "--help" | "-h" => usage(""),
@@ -372,6 +375,45 @@ fn cmd_verify(a: &Args) -> Result<()> {
     }
 }
 
+fn cmd_fsck(a: &Args) -> Result<()> {
+    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let report = fsck::fsck(&env)?;
+    println!("checked {} set(s), {} blob(s)", report.sets_checked, report.blobs_checked);
+    if report.is_clean() {
+        println!("OK: environment is clean");
+        return Ok(());
+    }
+    for damage in &report.damage {
+        println!("DAMAGE: {}", damage.describe());
+    }
+    if !a.repair {
+        return Err(Error::corrupt(format!(
+            "{} problem(s) found; rerun with --repair to fix",
+            report.damage.len()
+        )));
+    }
+    let fixed = fsck::repair(&env, &report)?;
+    println!(
+        "repair: {} uncommitted doc(s) and {} uncommitted blob(s) collected, \
+         {} orphan blob(s) deleted, {} dangling commit(s) removed, {} set(s) quarantined",
+        fixed.uncommitted_docs_deleted,
+        fixed.uncommitted_blobs_deleted,
+        fixed.orphan_blobs_deleted,
+        fixed.dangling_commits_removed,
+        fixed.sets_quarantined
+    );
+    let after = fsck::fsck(&env)?;
+    if after.is_clean() {
+        println!("OK: environment is clean after repair");
+        Ok(())
+    } else {
+        for damage in &after.damage {
+            println!("REMAINING: {}", damage.describe());
+        }
+        Err(Error::corrupt(format!("{} problem(s) remain after repair", after.damage.len())))
+    }
+}
+
 fn cmd_recover(a: &Args) -> Result<()> {
     let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("recover needs a set id")));
@@ -499,6 +541,7 @@ fn main() {
         "list" => cmd_list(&args),
         "lineage" => cmd_lineage(&args),
         "verify" => cmd_verify(&args),
+        "fsck" => cmd_fsck(&args),
         "recover" => cmd_recover(&args),
         "gc" => cmd_gc(&args),
         "info" => cmd_info(&args),

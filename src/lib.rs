@@ -60,7 +60,7 @@ pub mod prelude {
     };
     pub use mmm_core::env::ManagementEnv;
     pub use mmm_core::model_set::{Derivation, ModelSet, ModelSetId, ModelUpdate, UpdateKind};
-    pub use mmm_core::{bundle, gc, lineage, verify};
+    pub use mmm_core::{bundle, commit, fsck, gc, lineage, verify};
     pub use mmm_dnn::architectures::Architectures;
     pub use mmm_store::profile::LatencyProfile;
     pub use mmm_workload::fleet::{Fleet, FleetConfig, SelectionStrategy, UpdatePolicy};
