@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--models N] [--cycles K] [--trials T]
-//!                    [--setup m1|server|zero] [--out DIR]
+//!                    [--setup m1|server|zero] [--threads N] [--out DIR]
 //!
 //! experiments:
 //!   fig3       storage consumption per use case        (Figure 3)
@@ -18,6 +18,8 @@
 //!   scaling    storage/TTS vs fleet size               (extension)
 //!   selective  recover k of n models (§1's accident    (extension)
 //!              scenario), per approach
+//!   threads    save/recover wall-clock vs --threads,   (extension)
+//!              with storage + simulated-time invariance
 //!   all        everything above with default settings
 //! ```
 
@@ -38,6 +40,7 @@ struct Args {
     cycles: usize,
     trials: usize,
     setup: Option<String>,
+    threads: usize,
     out: Option<PathBuf>,
 }
 
@@ -48,6 +51,7 @@ fn parse_args() -> Args {
         cycles: 3,
         trials: 3,
         setup: None,
+        threads: 1,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +60,7 @@ fn parse_args() -> Args {
             "--models" => args.models = Some(expect_num(&mut it, "--models")),
             "--cycles" => args.cycles = expect_num(&mut it, "--cycles"),
             "--trials" => args.trials = expect_num(&mut it, "--trials"),
+            "--threads" => args.threads = expect_num(&mut it, "--threads").max(1),
             "--setup" => args.setup = Some(it.next().unwrap_or_else(|| usage("missing value for --setup"))),
             "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --out")))),
             "--help" | "-h" => usage(""),
@@ -82,8 +87,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|all> \
-         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--out DIR]"
+        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|all> \
+         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -123,7 +128,7 @@ fn write_csv(out: &Option<PathBuf>, name: &str, csv: &str) {
 }
 
 fn base_config(args: &Args, prof: LatencyProfile) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper_default(prof);
+    let mut cfg = ExperimentConfig::paper_default(prof).with_threads(args.threads);
     cfg.n_cycles = args.cycles;
     if let Some(n) = args.models {
         cfg.n_models = n;
@@ -507,6 +512,55 @@ fn selective(args: &Args) {
     println!("while Baseline/Update win via ranged reads of the concatenated blob.)");
 }
 
+fn threads(args: &Args) {
+    println!("=== extension: save/recover wall-clock vs worker threads ===");
+    println!("zero-latency profile isolates CPU work (encode/hash/compress).");
+    println!("storage bytes are asserted identical across thread counts; the");
+    println!("simulated-clock invariants are pinned by tests/parallel_stress.rs.");
+    println!("TTS/TTR below are hybrid (real + simulated), so they track the wall");
+    println!("clock, which scales with min(threads, cores)\n");
+    let n = args.models.unwrap_or(1000);
+    let sweep: Vec<usize> = if args.threads > 1 { vec![1, args.threads] } else { vec![1, 2, 4, 8] };
+    println!(
+        "{:<10}{:>14}{:>16}{:>16}{:>12}",
+        "threads", "wall (s)", "sum TTS (s)", "sum TTR (s)", "MB written"
+    );
+    let mut reference: Option<(u64, std::time::Duration, std::time::Duration)> = None;
+    for &t in &sweep {
+        let mut cfg = ExperimentConfig::small(n, 1).with_threads(t);
+        cfg.arch = Architectures::ffnn48();
+        let dir = TempDir::new("mmm-threads").expect("temp dir");
+        let start = Instant::now();
+        let r = run_scenario(&cfg, dir.path()).expect("scenario");
+        let wall = start.elapsed();
+        let mut bytes = 0u64;
+        let mut tts = std::time::Duration::ZERO;
+        let mut ttr = std::time::Duration::ZERO;
+        for a in mmm_bench::experiment::APPROACHES {
+            for cell in r.row(a) {
+                bytes += cell.storage_bytes;
+                tts += cell.tts;
+                ttr += cell.ttr;
+            }
+        }
+        println!(
+            "{t:<10}{:>14.2}{:>16.3}{:>16.3}{:>12.2}",
+            wall.as_secs_f64(),
+            tts.as_secs_f64(),
+            ttr.as_secs_f64(),
+            bytes as f64 / 1e6
+        );
+        match &reference {
+            None => reference = Some((bytes, tts, ttr)),
+            Some((b0, _, _)) => {
+                assert_eq!(bytes, *b0, "storage must be thread-count invariant");
+            }
+        }
+    }
+    println!("\n(nproc = {}; speedup is bounded by min(threads, cores))",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+}
+
 fn main() {
     let args = parse_args();
     let start = Instant::now();
@@ -522,6 +576,7 @@ fn main() {
         "snapshots" => snapshots(&args),
         "scaling" => scaling(&args),
         "selective" => selective(&args),
+        "threads" => threads(&args),
         "all" => {
             fig3(&args);
             println!();
@@ -544,6 +599,8 @@ fn main() {
             scaling(&args);
             println!();
             selective(&args);
+            println!();
+            threads(&args);
         }
         other => usage(&format!("unknown experiment {other:?}")),
     }

@@ -55,6 +55,10 @@ pub struct ExperimentConfig {
     pub prov_reduced: bool,
     /// Assert recovered sets equal materialized sets (tests).
     pub verify_roundtrip: bool,
+    /// Worker threads for the save/recover hot paths (1 = sequential).
+    /// Simulated TTS/TTR charge the critical path across lanes, so
+    /// results stay comparable across thread counts; wall clock drops.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -70,6 +74,7 @@ impl ExperimentConfig {
             seed: 7,
             prov_reduced: false,
             verify_roundtrip: false,
+            threads: 1,
         }
     }
 
@@ -90,7 +95,14 @@ impl ExperimentConfig {
             seed: 7,
             prov_reduced: false,
             verify_roundtrip: false,
+            threads: 1,
         }
+    }
+
+    /// Set the worker-thread budget for save/recover hot paths.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -169,7 +181,7 @@ fn reduce_derivation(env: &ManagementEnv, deriv: &Derivation) -> Result<Derivati
 
 /// Run one full scenario in `dir`. Returns per-cell measurements.
 pub fn run_scenario(cfg: &ExperimentConfig, dir: &Path) -> Result<ScenarioResult> {
-    let env = ManagementEnv::open(dir, cfg.profile)?;
+    let env = ManagementEnv::open(dir, cfg.profile)?.with_threads(cfg.threads);
     let mut fleet = Fleet::initial(FleetConfig {
         n_models: cfg.n_models,
         seed: cfg.seed,

@@ -16,7 +16,7 @@ use crate::approach::ModelSetSaver;
 use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId};
-use crate::param_codec::encode_concat;
+use crate::param_codec::encode_concat_threaded;
 use mmm_util::{Error, Result};
 
 /// Saver implementing the Baseline approach. Stateless.
@@ -47,7 +47,7 @@ impl ModelSetSaver for BaselineSaver {
         // phase two: the commit record that makes the save visible.
         let doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
         let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-        let blob = encode_concat(set.models());
+        let blob = encode_concat_threaded(set.models(), env.threads());
         env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &blob))?;
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;

@@ -54,28 +54,54 @@ impl ModelSetSaver for MmlibBaseSaver {
         let arch_json = serde_json::to_value(&set.arch)
             .map_err(|e| Error::invalid(format!("unserializable architecture spec: {e}")))?;
 
-        let mut first = None;
-        for dict in set.models() {
+        let make_doc = |head: bool| {
             // One metadata document per model, repeating the architecture
             // and layer names every time (the redundancy of O1). The
             // first document of a save carries a batch-head marker so
             // catalog tooling can group the per-model rows back into
             // their save batches.
-            let doc = json!({
+            json!({
                 "approach": self.name(),
                 "arch": arch_json.clone(),
                 "arch_name": set.arch.name,
                 "layer_names": set.arch.parametric_layer_names(),
                 "layer_sizes": set.arch.parametric_layer_sizes(),
-                "batch_head": first.is_none(),
-            });
-            let doc_id = env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?;
-            first.get_or_insert(doc_id);
-            let params = encode_verbose_dict(dict);
-            env.with_retry(|| env.blobs().put(&Self::blob_key(doc_id, "params.pt"), &params))?;
+                "batch_head": head,
+            })
+        };
+        let put_blobs = |doc_id: u64, params: &[u8]| -> Result<()> {
+            env.with_retry(|| env.blobs().put(&Self::blob_key(doc_id, "params.pt"), params))?;
             env.with_retry(|| env.blobs().put(&Self::blob_key(doc_id, "code.py"), code.as_bytes()))?;
             env.with_retry(|| {
                 env.blobs().put(&Self::blob_key(doc_id, "environment.yaml"), env_info.as_bytes())
+            })?;
+            Ok(())
+        };
+        let mut first = None;
+        if env.threads() <= 1 {
+            for dict in set.models() {
+                let doc = make_doc(first.is_none());
+                let doc_id = env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?;
+                first.get_or_insert(doc_id);
+                let params = encode_verbose_dict(dict);
+                put_blobs(doc_id, &params)?;
+            }
+        } else {
+            // Parallel save keeps the document inserts sequential — the
+            // batch id range must stay dense and in model order — and fans
+            // the independent per-model encode + 3 blob puts out over the
+            // thread budget.
+            let mut doc_ids = Vec::with_capacity(set.len());
+            for i in 0..set.len() {
+                let doc = make_doc(i == 0);
+                let doc_id = env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?;
+                first.get_or_insert(doc_id);
+                doc_ids.push(doc_id);
+            }
+            let models = set.models();
+            env.run_parallel(models.len(), |i| {
+                let params = encode_verbose_dict(&models[i]);
+                put_blobs(doc_ids[i], &params)
             })?;
         }
         let first = first.ok_or_else(|| Error::invalid("cannot save an empty model set"))?;
@@ -98,24 +124,35 @@ impl ModelSetSaver for MmlibBaseSaver {
         }
         let (first, count) = parse_range(&id.key)?;
         commit::require_committed(env, id)?;
-        let mut arch: Option<ArchitectureSpec> = None;
-        let mut models = Vec::with_capacity(count);
-        for i in 0..count {
+        // One document query and one blob read per model — the Θ(n)
+        // round-trips behind MMlib-base's TTR in Figure 5. Each model is
+        // an independent pair of round-trips, so they fan out over the
+        // environment's thread budget; only the first model's document
+        // carries the architecture we need.
+        let recovered = env.run_parallel(count, |i| {
             let doc_id = first + i as u64;
-            // One document query and one blob read per model — the Θ(n)
-            // round-trips behind MMlib-base's TTR in Figure 5.
             let doc = env.docs().get(MODELS_COLLECTION, doc_id)?;
-            if arch.is_none() {
+            let arch = if i == 0 {
                 let spec: ArchitectureSpec = serde_json::from_value(
                     doc.get("arch")
                         .cloned()
                         .ok_or_else(|| Error::corrupt("model document without arch"))?,
                 )
                 .map_err(|e| Error::corrupt(format!("unparseable arch: {e}")))?;
+                Some(spec)
+            } else {
+                None
+            };
+            let blob = env.blobs().get(&Self::blob_key(doc_id, "params.pt"))?;
+            Ok((arch, decode_verbose_dict(&blob)?))
+        })?;
+        let mut arch: Option<ArchitectureSpec> = None;
+        let mut models = Vec::with_capacity(count);
+        for (spec, dict) in recovered {
+            if let Some(spec) = spec {
                 arch = Some(spec);
             }
-            let blob = env.blobs().get(&Self::blob_key(doc_id, "params.pt"))?;
-            models.push(decode_verbose_dict(&blob)?);
+            models.push(dict);
         }
         let arch = arch.ok_or_else(|| Error::invalid("empty model set id"))?;
         Ok(ModelSet::new(arch, models))
@@ -138,20 +175,18 @@ impl ModelSetSaver for MmlibBaseSaver {
         }
         let (first, count) = parse_range(&id.key)?;
         commit::require_committed(env, id)?;
-        indices
-            .iter()
-            .map(|&i| {
-                if i >= count {
-                    return Err(Error::invalid(format!(
-                        "model index {i} out of range for {count} models"
-                    )));
-                }
-                let doc_id = first + i as u64;
-                let _doc = env.docs().get(MODELS_COLLECTION, doc_id)?;
-                let blob = env.blobs().get(&Self::blob_key(doc_id, "params.pt"))?;
-                decode_verbose_dict(&blob)
-            })
-            .collect()
+        env.run_parallel(indices.len(), |p| {
+            let i = indices[p];
+            if i >= count {
+                return Err(Error::invalid(format!(
+                    "model index {i} out of range for {count} models"
+                )));
+            }
+            let doc_id = first + i as u64;
+            let _doc = env.docs().get(MODELS_COLLECTION, doc_id)?;
+            let blob = env.blobs().get(&Self::blob_key(doc_id, "params.pt"))?;
+            decode_verbose_dict(&blob)
+        })
     }
 }
 

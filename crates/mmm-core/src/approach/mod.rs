@@ -153,11 +153,12 @@ pub(crate) mod common {
     ) -> Result<ModelSet> {
         let (arch, n_models) = parse_full_doc(doc)?;
         let blob = env.blobs().get(&params_key(approach, doc_id))?;
-        let models: Vec<ParamDict> = crate::param_codec::decode_concat(
+        let models: Vec<ParamDict> = crate::param_codec::decode_concat_threaded(
             &blob,
             n_models,
             &arch.parametric_layer_names(),
             &arch.parametric_layer_sizes(),
+            env.threads(),
         )?;
         Ok(ModelSet::new(arch, models))
     }
@@ -177,19 +178,21 @@ pub(crate) mod common {
         let sizes = arch.parametric_layer_sizes();
         let per_model = 4 * arch.param_count() as u64;
         let key = params_key(approach, doc_id);
-        indices
-            .iter()
-            .map(|&i| {
-                if i >= n_models {
-                    return Err(Error::invalid(format!(
-                        "model index {i} out of range for {n_models} models"
-                    )));
-                }
-                let bytes = env.blobs().get_range(&key, i as u64 * per_model, per_model as usize)?;
-                let flat = mmm_util::codec::Reader::new(&bytes).f32_slice(arch.param_count())?;
-                Ok(ParamDict::from_flat(&flat, &names, &sizes))
-            })
-            .collect()
+        // One ranged read per selected model — independent store
+        // round-trips, so they fan out over the environment's thread
+        // budget (each lane charges its own transfer time; the section
+        // costs its critical path).
+        env.run_parallel(indices.len(), |p| {
+            let i = indices[p];
+            if i >= n_models {
+                return Err(Error::invalid(format!(
+                    "model index {i} out of range for {n_models} models"
+                )));
+            }
+            let bytes = env.blobs().get_range(&key, i as u64 * per_model, per_model as usize)?;
+            let flat = mmm_util::codec::Reader::new(&bytes).f32_slice(arch.param_count())?;
+            Ok(ParamDict::from_flat(&flat, &names, &sizes))
+        })
     }
 
     /// Parse a set id's key as a document id.

@@ -116,7 +116,7 @@ impl ModelSetSaver for ProvenanceSaver {
             let doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
             let doc_id =
                 env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-            let params = crate::param_codec::encode_concat(set.models());
+            let params = crate::param_codec::encode_concat_threaded(set.models(), env.threads());
             env.with_retry(|| {
                 env.blobs().put(&common::params_key(self.name(), doc_id), &params)
             })?;
@@ -210,20 +210,41 @@ impl ModelSetSaver for ProvenanceSaver {
 
         // Replay updates oldest → newest: "update every model by
         // deterministically repeating its training on the associated
-        // dataset".
+        // dataset". Chain levels are strictly ordered, but within one
+        // level different models' retrainings are independent, so the
+        // lines are grouped per model (preserving each model's update
+        // order) and the groups retrained across the thread budget —
+        // retraining dominates Provenance's TTR, making this the
+        // approach's main parallel win.
         for (doc_id, train) in chain.iter().rev() {
             let blob = env.blobs().get(&Self::updates_key(*doc_id))?;
             let text = String::from_utf8(blob)
                 .map_err(|_| Error::corrupt("provenance updates blob is not UTF-8"))?;
+            let mut groups: Vec<(usize, Vec<ModelUpdate>)> = Vec::new();
             for line in text.lines().filter(|l| !l.is_empty()) {
                 let u = Self::parse_update_line(line)?;
-                let dataset = env.registry().get(&u.dataset)?;
-                let model = set
-                    .models
-                    .get(u.model_idx)
-                    .ok_or_else(|| Error::corrupt(format!("update model index {} out of range", u.model_idx)))?
-                    .clone();
-                set.models[u.model_idx] = apply_update(&set.arch, &model, &u, train, &dataset);
+                if u.model_idx >= set.models.len() {
+                    return Err(Error::corrupt(format!(
+                        "update model index {} out of range",
+                        u.model_idx
+                    )));
+                }
+                match groups.iter_mut().find(|(i, _)| *i == u.model_idx) {
+                    Some((_, us)) => us.push(u),
+                    None => groups.push((u.model_idx, vec![u])),
+                }
+            }
+            let retrained = env.run_parallel(groups.len(), |g| {
+                let (model_idx, updates) = &groups[g];
+                let mut model = set.models[*model_idx].clone();
+                for u in updates {
+                    let dataset = env.registry().get(&u.dataset)?;
+                    model = apply_update(&set.arch, &model, u, train, &dataset);
+                }
+                Ok((*model_idx, model))
+            })?;
+            for (model_idx, model) in retrained {
+                set.models[model_idx] = model;
             }
         }
         Ok(set)

@@ -22,10 +22,10 @@ use crate::delta::{compress_delta, decompress_delta};
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId};
 use crate::param_codec::{
-    decode_diff, decode_diff_compressed, decode_hashes, encode_concat, encode_diff,
+    decode_diff, decode_diff_compressed, decode_hashes, encode_concat_threaded, encode_diff,
     encode_diff_compressed, encode_hashes, CompressedDiffEntry, DiffEntry,
 };
-use mmm_util::{Error, Result};
+use mmm_util::{parallel, Error, Result};
 use serde_json::{json, Value};
 
 /// Saver implementing the Update approach.
@@ -78,14 +78,22 @@ impl UpdateSaver {
             .ok_or_else(|| Error::invalid("full_set_doc did not return an object"))?
             .insert("depth".into(), json!(depth));
         let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-        let params = encode_concat(set.models());
+        let params = encode_concat_threaded(set.models(), env.threads());
         env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &params))?;
-        let hashes: Vec<Vec<u64>> = set.models().iter().map(|m| m.layer_hashes()).collect();
+        let hashes = Self::layer_hash_table(env, set);
         let hash_blob = encode_hashes(&hashes);
         env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;
         Ok(id)
+    }
+
+    /// Per-model, per-layer content hashes, computed across the
+    /// environment's thread budget (pure compute — row `i` depends only
+    /// on model `i`, so the table is identical for every thread count).
+    fn layer_hash_table(env: &ManagementEnv, set: &ModelSet) -> Vec<Vec<u64>> {
+        let models = set.models();
+        parallel::map(env.threads(), models.len(), |i| models[i].layer_hashes())
     }
 }
 
@@ -125,7 +133,11 @@ impl ModelSetSaver for UpdateSaver {
                 set.len()
             )));
         }
-        let depth = base_doc.get("depth").and_then(Value::as_u64).unwrap_or(0) + 1;
+        let depth = base_doc
+            .get("depth")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::corrupt("base set document without depth"))?
+            + 1;
 
         // Intermediate full snapshot if configured.
         if let Some(k) = self.full_snapshot_every {
@@ -135,7 +147,7 @@ impl ModelSetSaver for UpdateSaver {
         }
 
         // (2) Hashes for every model and layer of the new set.
-        let hashes: Vec<Vec<u64>> = set.models().iter().map(|m| m.layer_hashes()).collect();
+        let hashes = Self::layer_hash_table(env, set);
 
         // (3) Changed layers, detected against the base set's hash blob.
         let base_hashes = decode_hashes(&env.blobs().get(&Self::hashes_key(base_id))?)?;
@@ -159,27 +171,31 @@ impl ModelSetSaver for UpdateSaver {
             // §4.5 extension: XOR-delta each changed layer against the
             // base set's values (requires materializing the base).
             let base_set = self.recover_set(env, &deriv.base)?;
-            let entries: Vec<CompressedDiffEntry> = changed
-                .iter()
-                .map(|&(mi, li)| CompressedDiffEntry {
-                    model_idx: mi as u32,
-                    layer_idx: li as u32,
-                    blob: compress_delta(
-                        &base_set.models()[mi].layers[li].data,
-                        &set.models()[mi].layers[li].data,
-                    ),
-                })
-                .collect();
+            // Each changed layer's XOR delta is independent — compress
+            // them across the thread budget (pure compute; entry order
+            // follows `changed`, so the blob is thread-count invariant).
+            let entries: Vec<CompressedDiffEntry> =
+                parallel::map(env.threads(), changed.len(), |c| {
+                    let (mi, li) = changed[c];
+                    CompressedDiffEntry {
+                        model_idx: mi as u32,
+                        layer_idx: li as u32,
+                        blob: compress_delta(
+                            &base_set.models()[mi].layers[li].data,
+                            &set.models()[mi].layers[li].data,
+                        ),
+                    }
+                });
             ("diffz", encode_diff_compressed(&entries))
         } else {
-            let entries: Vec<DiffEntry> = changed
-                .iter()
-                .map(|&(mi, li)| DiffEntry {
+            let entries: Vec<DiffEntry> = parallel::map(env.threads(), changed.len(), |c| {
+                let (mi, li) = changed[c];
+                DiffEntry {
                     model_idx: mi as u32,
                     layer_idx: li as u32,
                     data: set.models()[mi].layers[li].data.clone(),
-                })
-                .collect();
+                }
+            });
             ("diff", encode_diff(&entries))
         };
         let doc = json!({
@@ -232,42 +248,7 @@ impl ModelSetSaver for UpdateSaver {
         // Apply diffs oldest → newest. `set` holds exactly the level the
         // delta was computed against, so decompression is in-place.
         for &(doc_id, compressed) in chain.iter().rev() {
-            let blob = env.blobs().get(&Self::diff_key(doc_id))?;
-            let entries: Vec<DiffEntry> = if compressed {
-                decode_diff_compressed(&blob)?
-                    .into_iter()
-                    .map(|e| {
-                        let base = layer_of(&set, e.model_idx, e.layer_idx)?;
-                        Ok(DiffEntry {
-                            model_idx: e.model_idx,
-                            layer_idx: e.layer_idx,
-                            data: decompress_delta(base, &e.blob)?,
-                        })
-                    })
-                    .collect::<Result<_>>()?
-            } else {
-                decode_diff(&blob)?
-            };
-            for e in entries {
-                let model = set
-                    .models
-                    .get_mut(e.model_idx as usize)
-                    .ok_or_else(|| Error::corrupt(format!("diff model index {} out of range", e.model_idx)))?;
-                let layer = model
-                    .layers
-                    .get_mut(e.layer_idx as usize)
-                    .ok_or_else(|| Error::corrupt(format!("diff layer index {} out of range", e.layer_idx)))?;
-                if layer.data.len() != e.data.len() {
-                    return Err(Error::corrupt(format!(
-                        "diff entry for model {} layer {} has {} params, expected {}",
-                        e.model_idx,
-                        e.layer_idx,
-                        e.data.len(),
-                        layer.data.len()
-                    )));
-                }
-                layer.data = e.data;
-            }
+            apply_diff_level(env, &mut set, doc_id, compressed)?;
         }
         Ok(set)
     }
@@ -320,10 +301,13 @@ impl ModelSetSaver for UpdateSaver {
                     if let Some(&p) = pos.get(&(e.model_idx as usize)) {
                         let layer = selected[p]
                             .layers
-                            .get(e.layer_idx as usize)
+                            .get_mut(e.layer_idx as usize)
                             .ok_or_else(|| Error::corrupt("diff layer index out of range"))?;
                         let data = decompress_delta(&layer.data, &e.blob)?;
-                        selected[p].layers[e.layer_idx as usize].data = data;
+                        if layer.data.len() != data.len() {
+                            return Err(Error::corrupt("diff entry size mismatch"));
+                        }
+                        layer.data = data;
                     }
                 }
             } else {
@@ -419,17 +403,20 @@ impl UpdateSaver {
 fn apply_diff_level(env: &ManagementEnv, set: &mut ModelSet, doc_id: u64, compressed: bool) -> Result<()> {
     let blob = env.blobs().get(&UpdateSaver::diff_key(doc_id))?;
     let entries: Vec<DiffEntry> = if compressed {
-        decode_diff_compressed(&blob)?
-            .into_iter()
-            .map(|e| {
-                let base = layer_of(set, e.model_idx, e.layer_idx)?;
-                Ok(DiffEntry {
-                    model_idx: e.model_idx,
-                    layer_idx: e.layer_idx,
-                    data: decompress_delta(base, &e.blob)?,
-                })
+        // XOR-decompress every entry against the (read-only) base level
+        // across the thread budget, then apply the writes sequentially
+        // below. Entry order follows the blob, so results are identical
+        // for every thread count.
+        let raw = decode_diff_compressed(&blob)?;
+        parallel::try_map(env.threads(), raw.len(), |i| {
+            let e = &raw[i];
+            let base = layer_of(set, e.model_idx, e.layer_idx)?;
+            Ok(DiffEntry {
+                model_idx: e.model_idx,
+                layer_idx: e.layer_idx,
+                data: decompress_delta(base, &e.blob)?,
             })
-            .collect::<Result<_>>()?
+        })?
     } else {
         decode_diff(&blob)?
     };
@@ -736,6 +723,92 @@ mod tests {
         let id1 = compressed.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
         let plain = UpdateSaver::new();
         assert_eq!(plain.recover_set(&env, &id1).unwrap(), s1);
+    }
+
+    #[test]
+    fn base_doc_without_depth_is_corrupt_not_depth_zero() {
+        // A base document missing its depth field must surface as
+        // corruption, not be silently treated as a fresh depth-0 chain
+        // (which would wreck snapshot cadence and lineage queries).
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s0 = set(5, 30);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let base_id = common::doc_id_of(&id0).unwrap();
+
+        // Clone the committed base into a new doc id, dropping "depth",
+        // and mirror its blobs so everything else about it is valid.
+        let mut doc = env.docs().get(common::SETS_COLLECTION, base_id).unwrap();
+        let obj = doc.as_object_mut().unwrap();
+        obj.remove("depth");
+        obj.remove("_id");
+        let new_id = env.docs().insert(common::SETS_COLLECTION, doc).unwrap();
+        let params = env.blobs().get(&common::params_key("update", base_id)).unwrap();
+        env.blobs().put(&common::params_key("update", new_id), &params).unwrap();
+        let hashes = env.blobs().get(&UpdateSaver::hashes_key(base_id)).unwrap();
+        env.blobs().put(&UpdateSaver::hashes_key(new_id), &hashes).unwrap();
+        let fake = ModelSetId { approach: saver.name().into(), key: new_id.to_string() };
+        commit::commit_save(&env, &fake).unwrap();
+
+        let s1 = mutate(&s0, &[0], &[]);
+        let err = saver.save_set(&env, &s1, Some(&deriv(&fake))).unwrap_err();
+        assert!(
+            err.to_string().contains("depth"),
+            "expected corrupt-depth error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_diffz_blob_is_an_error_in_selective_recovery() {
+        // Regression: the diffz branch of recover_models used an
+        // unchecked double index and skipped size validation. A diff
+        // blob whose delta stream disagrees with the layer shape must
+        // come back as Error::Corrupt, never a panic or silent truncation.
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new().with_delta_compression();
+        let s0 = set(6, 31);
+        let id0 = saver.save_initial(&env, &s0).unwrap();
+        let s1 = mutate_sparse(&s0, 0, 4);
+        let id1 = saver.save_set(&env, &s1, Some(&deriv(&id0))).unwrap();
+        let doc_id = common::doc_id_of(&id1).unwrap();
+
+        // (a) Delta stream sized for the wrong layer length.
+        let wrong = CompressedDiffEntry {
+            model_idx: 0,
+            layer_idx: 1,
+            blob: compress_delta(&[1.0, 2.0, 3.0], &[1.5, 2.0, 3.0]),
+        };
+        env.blobs()
+            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[wrong]))
+            .unwrap();
+        let err = saver.recover_models(&env, &id1, &[0]).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got: {err}");
+
+        // (b) Layer index out of range must hit the checked access.
+        let oob = CompressedDiffEntry {
+            model_idx: 0,
+            layer_idx: 99,
+            blob: compress_delta(&[1.0], &[2.0]),
+        };
+        env.blobs()
+            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[oob]))
+            .unwrap();
+        let err = saver.recover_models(&env, &id1, &[0]).unwrap_err();
+        assert!(
+            err.to_string().contains("layer index"),
+            "expected out-of-range error, got: {err}"
+        );
+
+        // (c) Models outside the selection still skip foreign entries.
+        let foreign = CompressedDiffEntry {
+            model_idx: 5,
+            layer_idx: 99,
+            blob: vec![0xFF],
+        };
+        env.blobs()
+            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[foreign]))
+            .unwrap();
+        assert!(saver.recover_models(&env, &id1, &[0]).is_ok());
     }
 
     #[test]

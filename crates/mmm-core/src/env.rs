@@ -15,13 +15,34 @@ use mmm_util::{Result, VirtualClock};
 pub struct RetryPolicy {
     /// Total attempts (first try included). 1 disables retries.
     pub max_attempts: u32,
-    /// Backoff before attempt k+1 is `base_backoff << k` (exponential).
+    /// Backoff before attempt k+1 is `base_backoff << k` (exponential),
+    /// saturating at [`RetryPolicy::max_backoff`].
     pub base_backoff: Duration,
+    /// Upper bound on any single backoff; also the value charged when
+    /// the exponential computation would overflow `Duration`.
+    pub max_backoff: Duration,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_millis(2) }
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff charged after failed attempt `attempt` (0-based):
+    /// `min(base_backoff × 2^attempt, max_backoff)`, saturating instead
+    /// of panicking when the shift or multiplication overflows.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
     }
 }
 
@@ -36,6 +57,7 @@ pub struct ManagementEnv {
     registry: DatasetRegistry,
     faults: FaultInjector,
     retry: RetryPolicy,
+    threads: usize,
 }
 
 /// What one measured operation cost.
@@ -99,6 +121,7 @@ impl ManagementEnv {
             registry,
             faults,
             retry: RetryPolicy::default(),
+            threads: 1,
         })
     }
 
@@ -106,6 +129,39 @@ impl ManagementEnv {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Set the worker-thread budget for parallel save/recover sections
+    /// (builder style). `1` (the default) runs every hot path inline,
+    /// bit-identical to the sequential engine.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The worker-thread budget for parallel save/recover sections.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The live statistics handle (for per-lane accounting; use
+    /// [`ManagementEnv::stats`] for plain snapshots).
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Fan `f(0..n)` out over the environment's thread budget. Worker
+    /// threads are registered as clock *and* stats lanes, and the
+    /// section charges the maximum lane time — its critical path — to
+    /// the clock (see [`mmm_util::parallel::try_map_timed`]). Results
+    /// come back in index order; with `threads = 1` this is exactly the
+    /// sequential loop.
+    pub fn run_parallel<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        mmm_util::parallel::try_map_timed(&self.clock, self.threads, &[&self.stats], n, f)
     }
 
     /// The fault-injection handle shared by both stores.
@@ -127,7 +183,7 @@ impl ManagementEnv {
         loop {
             match op() {
                 Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
-                    self.clock.charge(self.retry.base_backoff * (1u32 << attempt.min(16)));
+                    self.clock.charge(self.retry.backoff_for(attempt));
                     attempt += 1;
                 }
                 other => return other,
@@ -233,6 +289,7 @@ mod tests {
                 .with_retry_policy(RetryPolicy {
                     max_attempts: 2,
                     base_backoff: Duration::from_millis(1),
+                    ..RetryPolicy::default()
                 });
         faults.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 5));
         assert!(matches!(
@@ -245,6 +302,40 @@ mod tests {
         let before = env.clock().simulated();
         assert!(matches!(env.with_retry(|| env.blobs().put("k2", b"v")), Err(Error::Io(_))));
         assert_eq!(env.clock().simulated(), before, "no backoff for permanent errors");
+    }
+
+    #[test]
+    fn retry_backoff_saturates_instead_of_overflowing() {
+        use mmm_store::{FaultPlan, FaultTarget, OpClass};
+        // A base backoff near Duration's ceiling: the old
+        // `base_backoff * (1 << attempt)` arithmetic panicked here.
+        let policy = RetryPolicy {
+            max_attempts: 40,
+            base_backoff: Duration::from_secs(u64::MAX / 4),
+            max_backoff: Duration::from_secs(60),
+        };
+        // Every exponent, including shift amounts ≥ 32, stays capped.
+        assert_eq!(policy.backoff_for(0), Duration::from_secs(60));
+        assert_eq!(policy.backoff_for(16), Duration::from_secs(60));
+        assert_eq!(policy.backoff_for(39), Duration::from_secs(60));
+        // Small bases below the cap keep exact exponential growth.
+        let small = RetryPolicy { base_backoff: Duration::from_millis(2), ..RetryPolicy::default() };
+        assert_eq!(small.backoff_for(0), Duration::from_millis(2));
+        assert_eq!(small.backoff_for(3), Duration::from_millis(16));
+        assert_eq!(small.backoff_for(63), small.max_backoff);
+
+        // End to end: a transient fault under the huge-base policy must
+        // retry without panicking and charge exactly the cap.
+        let dir = TempDir::new("mmm-env").unwrap();
+        let faults = mmm_store::FaultInjector::new();
+        let env =
+            ManagementEnv::open_with_faults(dir.path(), LatencyProfile::zero(), faults.clone())
+                .unwrap()
+                .with_retry_policy(policy);
+        faults.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 1));
+        let before = env.clock().simulated();
+        env.with_retry(|| env.blobs().put("k", b"v")).unwrap();
+        assert_eq!(env.clock().simulated() - before, policy.max_backoff);
     }
 
     #[test]

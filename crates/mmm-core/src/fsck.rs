@@ -571,6 +571,7 @@ mod tests {
         let (_d, env) = env();
         let mut saver = UpdateSaver::new();
         let mut s = set(4, 3);
+        let s0 = s.clone();
         let id0 = saver.save_initial(&env, &s).unwrap();
         s.models[0].layers[0].data[0] += 1.0;
         let s1 = ModelSet::new(s.arch.clone(), s.models.clone());
@@ -593,7 +594,7 @@ mod tests {
         // The quarantined set's blobs moved, the base set survives.
         assert!(env.blobs().get(&key).is_err());
         assert!(env.blobs().get(&format!("{QUARANTINE_PREFIX}{key}")).is_ok());
-        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s);
+        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s0);
         assert!(fsck(&env).unwrap().is_clean());
     }
 

@@ -17,7 +17,7 @@
 
 use mmm_dnn::{LayerParams, ParamDict};
 use mmm_util::codec::{put_f32_slice, put_str, put_u32, put_u64, Reader};
-use mmm_util::{Error, Result};
+use mmm_util::{parallel, Error, Result};
 
 /// Encode a whole set's parameters as one raw `f32` blob (Baseline).
 pub fn encode_concat(models: &[ParamDict]) -> Vec<u8> {
@@ -28,6 +28,33 @@ pub fn encode_concat(models: &[ParamDict]) -> Vec<u8> {
             put_f32_slice(&mut buf, &l.data);
         }
     }
+    buf
+}
+
+/// [`encode_concat`] with the per-model chunks filled on up to `threads`
+/// worker threads. The format has no framing, so every model's bytes
+/// land at a fixed offset (`model_idx × 4 × params_per_model`) and the
+/// output is byte-identical for every thread count. Falls back to the
+/// sequential encoder for degenerate inputs (a single model, empty
+/// models, or a ragged set whose models disagree on parameter count).
+pub fn encode_concat_threaded(models: &[ParamDict], threads: usize) -> Vec<u8> {
+    let per_model: usize = models.first().map(|m| m.param_count()).unwrap_or(0);
+    let uniform = models.iter().all(|m| m.param_count() == per_model);
+    if threads <= 1 || models.len() <= 1 || per_model == 0 || !uniform {
+        return encode_concat(models);
+    }
+    let model_bytes = 4 * per_model;
+    let mut buf = vec![0u8; model_bytes * models.len()];
+    let mut chunks: Vec<&mut [u8]> = buf.chunks_mut(model_bytes).collect();
+    parallel::for_each_slot(threads, &mut chunks, |i, chunk| {
+        let mut off = 0;
+        for l in &models[i].layers {
+            for v in &l.data {
+                chunk[off..off + 4].copy_from_slice(&v.to_le_bytes());
+                off += 4;
+            }
+        }
+    });
     buf
 }
 
@@ -57,6 +84,36 @@ pub fn decode_concat(
         out.push(ParamDict { layers });
     }
     Ok(out)
+}
+
+/// [`decode_concat`] with the per-model chunks decoded on up to
+/// `threads` worker threads. Identical results for every thread count.
+pub fn decode_concat_threaded(
+    bytes: &[u8],
+    n_models: usize,
+    layer_names: &[String],
+    layer_sizes: &[usize],
+    threads: usize,
+) -> Result<Vec<ParamDict>> {
+    if threads <= 1 || n_models <= 1 {
+        return decode_concat(bytes, n_models, layer_names, layer_sizes);
+    }
+    let per_model: usize = layer_sizes.iter().sum();
+    let expect = 4 * per_model * n_models;
+    if bytes.len() != expect {
+        return Err(Error::corrupt(format!(
+            "concat blob is {} bytes, expected {expect} ({n_models} models × {per_model} params × 4)",
+            bytes.len()
+        )));
+    }
+    parallel::try_map(threads, n_models, |i| {
+        let mut r = Reader::new(&bytes[4 * per_model * i..4 * per_model * (i + 1)]);
+        let mut layers = Vec::with_capacity(layer_sizes.len());
+        for (name, &size) in layer_names.iter().zip(layer_sizes) {
+            layers.push(LayerParams { name: name.clone(), data: r.f32_slice(size)? });
+        }
+        Ok(ParamDict { layers })
+    })
 }
 
 /// Encode one model's parameters verbosely (MMlib-base): per layer, a
@@ -256,6 +313,28 @@ mod tests {
         assert_eq!(blob.len(), 4 * 5 * sizes.iter().sum::<usize>(), "raw floats only, zero framing");
         let back = decode_concat(&blob, 5, &names, &sizes).unwrap();
         assert_eq!(models, back);
+    }
+
+    #[test]
+    fn threaded_concat_is_byte_identical_for_all_thread_counts() {
+        let (models, names, sizes) = dicts(9);
+        let sequential = encode_concat(&models);
+        for threads in [1, 2, 3, 8, 16] {
+            assert_eq!(encode_concat_threaded(&models, threads), sequential, "threads={threads}");
+            let back = decode_concat_threaded(&sequential, 9, &names, &sizes, threads).unwrap();
+            assert_eq!(back, models, "threads={threads}");
+        }
+        // Degenerate shapes fall back to the sequential encoder.
+        assert_eq!(encode_concat_threaded(&[], 8), encode_concat(&[]));
+        assert_eq!(encode_concat_threaded(&models[..1], 8), encode_concat(&models[..1]));
+    }
+
+    #[test]
+    fn threaded_concat_decode_validates_sizes() {
+        let (models, names, sizes) = dicts(4);
+        let blob = encode_concat(&models);
+        assert!(decode_concat_threaded(&blob, 5, &names, &sizes, 4).is_err());
+        assert!(decode_concat_threaded(&blob[..blob.len() - 4], 4, &names, &sizes, 4).is_err());
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl DatasetRegistry {
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let root = dir.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
+        // Sweep temp files a crashed writer left behind; registered
+        // datasets are only ever visible under their final `.mmds` name.
+        for entry in fs::read_dir(&root)? {
+            let path = entry?.path();
+            let stale = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with('.') && n.ends_with(".tmp"));
+            if stale {
+                let _ = fs::remove_file(&path);
+            }
+        }
         Ok(DatasetRegistry { root })
     }
 
@@ -59,9 +71,19 @@ impl DatasetRegistry {
         }
         let bytes = encode(ds);
         // Write-then-rename so a crash never leaves a torn dataset file.
-        let tmp = self.root.join(format!(".{id}.tmp"));
+        // The temp name is unique per process *and* per call: two threads
+        // registering the same dataset concurrently must not write the
+        // same temp file (one would rename the other's half-written copy).
+        static PUT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = PUT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self
+            .root
+            .join(format!(".{id}.{}.{seq}.tmp", std::process::id()));
         fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, &path)?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(r)
     }
 

@@ -38,4 +38,4 @@ pub use doc_store::DocumentStore;
 pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultTarget, OpClass};
 pub use file_store::FileStore;
 pub use profile::LatencyProfile;
-pub use stats::{StatsSnapshot, StoreStats};
+pub use stats::{StatsLaneGuard, StatsSnapshot, StoreStats};

@@ -4,14 +4,29 @@
 //! needed to save a set of models" — we measure it as the exact bytes the
 //! savers hand to the stores, tracked here and cross-checked against
 //! on-disk file sizes in integration tests.
+//!
+//! Global counters are exact sums regardless of thread count: every
+//! operation is recorded once whether it ran sequentially or on a worker
+//! lane. In addition, a worker thread registered via
+//! [`StoreStats::enter_lane`] gets a private per-lane copy of each
+//! counter, so a parallel section can report how work and bytes were
+//! distributed across its lanes without perturbing the global sums.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
+
+use parking_lot::Mutex;
 
 /// Shared, thread-safe counters. Clone is cheap (Arc inside).
 #[derive(Debug, Clone, Default)]
 pub struct StoreStats {
     inner: Arc<Counters>,
+    /// Number of currently registered lanes; 0 ⇒ record() skips the map.
+    lane_count: Arc<AtomicUsize>,
+    /// Worker-thread → per-lane counters.
+    lanes: Arc<Mutex<HashMap<ThreadId, Arc<Counters>>>>,
 }
 
 #[derive(Debug, Default)]
@@ -24,6 +39,21 @@ struct Counters {
     blob_deletes: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            doc_inserts: self.doc_inserts.load(Ordering::Relaxed),
+            doc_queries: self.doc_queries.load(Ordering::Relaxed),
+            doc_deletes: self.doc_deletes.load(Ordering::Relaxed),
+            blob_puts: self.blob_puts.load(Ordering::Relaxed),
+            blob_gets: self.blob_gets.load(Ordering::Relaxed),
+            blob_deletes: self.blob_deletes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A point-in-time copy of the counters.
@@ -64,6 +94,23 @@ impl std::ops::Sub for StatsSnapshot {
     }
 }
 
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            doc_inserts: self.doc_inserts + rhs.doc_inserts,
+            doc_queries: self.doc_queries + rhs.doc_queries,
+            doc_deletes: self.doc_deletes + rhs.doc_deletes,
+            blob_puts: self.blob_puts + rhs.blob_puts,
+            blob_gets: self.blob_gets + rhs.blob_gets,
+            blob_deletes: self.blob_deletes + rhs.blob_deletes,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+        }
+    }
+}
+
 impl StatsSnapshot {
     /// Total store round-trips (reads + writes + deletes).
     pub fn total_ops(&self) -> u64 {
@@ -82,47 +129,103 @@ impl StoreStats {
         Self::default()
     }
 
+    /// Apply `f` to the global counters and, if the current thread is a
+    /// registered lane, to that lane's private counters too.
+    fn record(&self, f: impl Fn(&Counters)) {
+        f(&self.inner);
+        if self.lane_count.load(Ordering::Relaxed) != 0 {
+            if let Some(lane) = self.lanes.lock().get(&std::thread::current().id()) {
+                f(lane);
+            }
+        }
+    }
+
     pub(crate) fn record_doc_insert(&self, bytes: u64) {
-        self.inner.doc_inserts.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.record(|c| {
+            c.doc_inserts.fetch_add(1, Ordering::Relaxed);
+            c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
 
     pub(crate) fn record_doc_query(&self, bytes: u64) {
-        self.inner.doc_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.record(|c| {
+            c.doc_queries.fetch_add(1, Ordering::Relaxed);
+            c.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
 
     pub(crate) fn record_blob_put(&self, bytes: u64) {
-        self.inner.blob_puts.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.record(|c| {
+            c.blob_puts.fetch_add(1, Ordering::Relaxed);
+            c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
 
     pub(crate) fn record_blob_get(&self, bytes: u64) {
-        self.inner.blob_gets.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.record(|c| {
+            c.blob_gets.fetch_add(1, Ordering::Relaxed);
+            c.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
 
     pub(crate) fn record_doc_delete(&self, bytes: u64) {
-        self.inner.doc_deletes.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.record(|c| {
+            c.doc_deletes.fetch_add(1, Ordering::Relaxed);
+            c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
 
     pub(crate) fn record_blob_delete(&self) {
-        self.inner.blob_deletes.fetch_add(1, Ordering::Relaxed);
+        self.record(|c| {
+            c.blob_deletes.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Register the current thread as a parallel lane: until the guard
+    /// drops, every operation recorded from this thread is *also*
+    /// mirrored into the guard's private counters. Global counters keep
+    /// their exact totals either way.
+    pub fn enter_lane(&self) -> StatsLaneGuard {
+        let counters = Arc::new(Counters::default());
+        let tid = std::thread::current().id();
+        let prev = self.lanes.lock().insert(tid, counters.clone());
+        assert!(prev.is_none(), "thread registered as a stats lane twice");
+        self.lane_count.fetch_add(1, Ordering::Relaxed);
+        StatsLaneGuard { stats: self.clone(), tid, counters }
     }
 
     /// Copy the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            doc_inserts: self.inner.doc_inserts.load(Ordering::Relaxed),
-            doc_queries: self.inner.doc_queries.load(Ordering::Relaxed),
-            doc_deletes: self.inner.doc_deletes.load(Ordering::Relaxed),
-            blob_puts: self.inner.blob_puts.load(Ordering::Relaxed),
-            blob_gets: self.inner.blob_gets.load(Ordering::Relaxed),
-            blob_deletes: self.inner.blob_deletes.load(Ordering::Relaxed),
-            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
-            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
-        }
+        self.inner.snapshot()
+    }
+}
+
+impl mmm_util::parallel::WorkerHook for StoreStats {
+    fn enter(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.enter_lane())
+    }
+}
+
+/// Guard for a thread registered as a statistics lane; see
+/// [`StoreStats::enter_lane`]. Dropping unregisters the lane.
+#[derive(Debug)]
+pub struct StatsLaneGuard {
+    stats: StoreStats,
+    tid: ThreadId,
+    counters: Arc<Counters>,
+}
+
+impl StatsLaneGuard {
+    /// The operations recorded on this lane so far.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl Drop for StatsLaneGuard {
+    fn drop(&mut self) {
+        self.stats.lanes.lock().remove(&self.tid);
+        self.stats.lane_count.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -154,5 +257,50 @@ mod tests {
         let s2 = s.clone();
         s2.record_blob_put(7);
         assert_eq!(s.snapshot().blob_puts, 1);
+    }
+
+    #[test]
+    fn lane_counters_mirror_without_perturbing_globals() {
+        let s = StoreStats::new();
+        s.record_blob_put(10); // before any lane exists
+        let worker = s.clone();
+        let lane_snap = std::thread::spawn(move || {
+            let lane = worker.enter_lane();
+            worker.record_blob_put(100);
+            worker.record_doc_query(30);
+            lane.snapshot()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(lane_snap.blob_puts, 1);
+        assert_eq!(lane_snap.bytes_written, 100);
+        assert_eq!(lane_snap.doc_queries, 1);
+        // Globals see everything: the pre-lane put plus the lane's ops.
+        let g = s.snapshot();
+        assert_eq!(g.blob_puts, 2);
+        assert_eq!(g.bytes_written, 110);
+        // After the guard dropped, this thread records globally only.
+        s.record_blob_put(1);
+        assert_eq!(s.snapshot().blob_puts, 3);
+    }
+
+    #[test]
+    fn lanes_on_other_threads_do_not_capture_this_threads_ops() {
+        let s = StoreStats::new();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let worker = s.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let lane = worker.enter_lane();
+                ready_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+                assert_eq!(lane.snapshot(), StatsSnapshot::default());
+            });
+            ready_rx.recv().unwrap();
+            s.record_doc_insert(42); // not a lane → global only
+            done_tx.send(()).unwrap();
+        });
+        assert_eq!(s.snapshot().doc_inserts, 1);
     }
 }

@@ -10,8 +10,10 @@
 //! `real + simulated`, which preserves the paper's orderings and
 //! crossovers while keeping the benchmark suite fast and deterministic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 /// Per-operation latency model for a (document or file) store connection.
@@ -46,10 +48,27 @@ impl LatencyModel {
 /// A monotonically advancing clock combining real elapsed time with
 /// simulated latency charges. Cloning is cheap and clones share state, so
 /// one clock can be threaded through stores and savers.
+///
+/// # Lanes and critical-path accounting
+///
+/// A sequential program's simulated time is the *sum* of its charges. A
+/// parallel section's simulated time is the time of its slowest worker —
+/// the critical path — not the sum over all workers. To keep TTS/TTR
+/// honest under parallel save/recover, a worker thread registers itself
+/// as a *lane* ([`VirtualClock::enter_lane`]); charges made from that
+/// thread accumulate on the lane instead of the shared clock. When the
+/// parallel section joins, the executor charges `max(lane totals)` once
+/// ([`crate::parallel`] does this automatically). With no lanes
+/// registered the fast path is a single atomic add, exactly as before.
 #[derive(Debug, Clone)]
 pub struct VirtualClock {
     start: Instant,
     simulated_ns: Arc<AtomicU64>,
+    /// Number of currently registered lanes; 0 ⇒ charge() takes the
+    /// lock-free fast path.
+    lane_count: Arc<AtomicUsize>,
+    /// Worker-thread → lane accumulator (nanoseconds).
+    lanes: Arc<Mutex<HashMap<ThreadId, Arc<AtomicU64>>>>,
 }
 
 impl Default for VirtualClock {
@@ -64,13 +83,42 @@ impl VirtualClock {
         VirtualClock {
             start: Instant::now(),
             simulated_ns: Arc::new(AtomicU64::new(0)),
+            lane_count: Arc::new(AtomicUsize::new(0)),
+            lanes: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
     /// Charge simulated latency to the clock (e.g. one store round-trip).
+    /// From a thread registered as a lane the charge lands on that lane's
+    /// accumulator; otherwise it lands on the shared clock directly.
     pub fn charge(&self, d: Duration) {
-        self.simulated_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        let ns = d.as_nanos() as u64;
+        if self.lane_count.load(Ordering::Relaxed) != 0 {
+            let lanes = self.lanes.lock().expect("clock lane map poisoned");
+            if let Some(acc) = lanes.get(&std::thread::current().id()) {
+                acc.fetch_add(ns, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.simulated_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Register the current thread as a parallel lane. Until the guard is
+    /// [`finished`](LaneGuard::finish), every `charge` from this thread
+    /// accumulates on the lane instead of the shared clock. The executor
+    /// that spawned the lanes is responsible for charging the maximum
+    /// lane total (the critical path) back to the clock after the join.
+    pub fn enter_lane(&self) -> LaneGuard {
+        let acc = Arc::new(AtomicU64::new(0));
+        let tid = std::thread::current().id();
+        let prev = self
+            .lanes
+            .lock()
+            .expect("clock lane map poisoned")
+            .insert(tid, acc.clone());
+        assert!(prev.is_none(), "thread registered as a clock lane twice");
+        self.lane_count.fetch_add(1, Ordering::Relaxed);
+        LaneGuard { clock: self.clone(), tid, acc, done: false }
     }
 
     /// Simulated time accumulated so far.
@@ -95,6 +143,51 @@ impl VirtualClock {
             real_start: Instant::now(),
             sim_start: self.simulated(),
         }
+    }
+}
+
+/// Guard for a thread registered as a parallel lane on a
+/// [`VirtualClock`]. Obtained from [`VirtualClock::enter_lane`] on the
+/// worker thread itself; dropping (or calling [`LaneGuard::finish`])
+/// unregisters the lane and yields its accumulated simulated time.
+#[derive(Debug)]
+pub struct LaneGuard {
+    clock: VirtualClock,
+    tid: ThreadId,
+    acc: Arc<AtomicU64>,
+    done: bool,
+}
+
+impl LaneGuard {
+    /// Simulated time charged to this lane so far.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.acc.load(Ordering::Relaxed))
+    }
+
+    /// Unregister the lane and return its total simulated time. The
+    /// caller (the parallel executor, after joining all workers) decides
+    /// what to charge back to the clock — normally the max over lanes.
+    pub fn finish(mut self) -> Duration {
+        self.unregister();
+        self.total()
+    }
+
+    fn unregister(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.clock
+                .lanes
+                .lock()
+                .expect("clock lane map poisoned")
+                .remove(&self.tid);
+            self.clock.lane_count.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        self.unregister();
     }
 }
 
@@ -155,6 +248,59 @@ mod tests {
         assert_eq!(m.cost(0), Duration::from_micros(100));
         assert_eq!(m.cost(1_000_000), Duration::from_micros(100) + Duration::from_millis(1));
         assert_eq!(LatencyModel::zero().cost(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn lane_charges_divert_from_shared_clock() {
+        let c = VirtualClock::new();
+        c.charge(Duration::from_millis(1));
+        let clock = c.clone();
+        let lane_total = std::thread::spawn(move || {
+            let lane = clock.enter_lane();
+            clock.charge(Duration::from_millis(10));
+            clock.charge(Duration::from_millis(5));
+            lane.finish()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(lane_total, Duration::from_millis(15));
+        // The lane's charges never reached the shared accumulator.
+        assert_eq!(c.simulated(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn unregistered_threads_charge_shared_even_while_lanes_exist() {
+        let c = VirtualClock::new();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let worker_clock = c.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let lane = worker_clock.enter_lane();
+                worker_clock.charge(Duration::from_millis(7));
+                ready_tx.send(()).unwrap();
+                done_rx.recv().unwrap(); // hold the lane open
+                assert_eq!(lane.finish(), Duration::from_millis(7));
+            });
+            ready_rx.recv().unwrap();
+            // Main thread is NOT a lane: its charge goes through even
+            // though another thread's lane is currently registered.
+            c.charge(Duration::from_millis(2));
+            assert_eq!(c.simulated(), Duration::from_millis(2));
+            done_tx.send(()).unwrap();
+        });
+        assert_eq!(c.simulated(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn dropping_a_lane_unregisters_it() {
+        let c = VirtualClock::new();
+        {
+            let _lane = c.enter_lane();
+            c.charge(Duration::from_millis(9)); // lands on the lane
+        }
+        c.charge(Duration::from_millis(3)); // lane gone → shared
+        assert_eq!(c.simulated(), Duration::from_millis(3));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   experiments reproduce the paper's *shape* without sleeping.
 //! * [`codec`] — little-endian slice codecs and varints for the binary
 //!   parameter-file formats.
+//! * [`parallel`] — deterministic scoped-thread fan-out with
+//!   critical-path clock accounting for the parallel save/recover paths.
 //! * [`tempdir`] — a minimal RAII temporary directory for tests and
 //!   examples (avoids an external dependency).
 
@@ -24,10 +26,11 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod hash;
+pub mod parallel;
 pub mod rng;
 pub mod tempdir;
 
-pub use clock::{LatencyModel, VirtualClock};
+pub use clock::{LaneGuard, LatencyModel, VirtualClock};
 pub use error::{Error, Result};
 pub use hash::{xxhash64, Hasher64};
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,279 @@
+//! Deterministic scoped-thread parallel execution for save/recover hot
+//! paths.
+//!
+//! Three invariants make this layer safe to drop into a measured,
+//! fault-injected storage engine:
+//!
+//! 1. **Deterministic partition.** Work item `i` always runs on lane
+//!    `i mod lanes`; lane counts depend only on `(threads, n)`. Results
+//!    come back in index order and the reported error (if any) is the
+//!    one with the smallest index, so outcomes don't depend on thread
+//!    scheduling.
+//! 2. **Inline fallback.** With one lane (or one item) the closure runs
+//!    on the calling thread in index order — bit-identical to the
+//!    pre-parallel sequential code, which keeps `threads = 1` the exact
+//!    baseline.
+//! 3. **Critical-path clock accounting.** The timed variants register
+//!    each worker as a [`VirtualClock`] lane and, after the join, charge
+//!    the *maximum* lane total back to the clock — a parallel section
+//!    costs its slowest lane, not the sum over lanes (see
+//!    [`crate::clock`]).
+
+use std::time::Duration;
+
+use crate::clock::VirtualClock;
+use crate::Result;
+
+/// Per-worker instrumentation hook for the timed executors. `enter` is
+/// called on each worker thread before it processes its share; the
+/// returned guard is dropped when that worker finishes. Store statistics
+/// use this to keep per-lane counters.
+pub trait WorkerHook: Sync {
+    /// Install this hook on the current worker thread.
+    fn enter(&self) -> Box<dyn std::any::Any + Send>;
+}
+
+/// Number of lanes actually used for `n` items under a `threads` budget.
+pub fn effective_lanes(threads: usize, n: usize) -> usize {
+    threads.max(1).min(n.max(1))
+}
+
+/// Round-robin partition of `items` into `t` disjoint `(index, &mut)`
+/// shares: lane `l` owns every item whose index ≡ `l` (mod `t`).
+fn round_robin_mut<T>(items: &mut [T], t: usize) -> Vec<Vec<(usize, &mut T)>> {
+    let mut parts: Vec<Vec<(usize, &mut T)>> = (0..t).map(|_| Vec::new()).collect();
+    for (i, item) in items.iter_mut().enumerate() {
+        parts[i % t].push((i, item));
+    }
+    parts
+}
+
+/// Index-order results; on failure, the error with the smallest index.
+fn collect_slots<T>(slots: Vec<Option<Result<T>>>) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.expect("parallel worker left a slot unfilled") {
+            Ok(v) => out.push(v),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Run `f(0..n)` across up to `threads` scoped worker threads and return
+/// the results in index order. Pure-compute variant: nothing is charged
+/// to any clock, so it is only for CPU work (encoding, hashing,
+/// compression) whose simulated cost is zero.
+///
+/// Sequentially (one lane), evaluation stops at the first error; in
+/// parallel every index runs and the smallest-index error is returned.
+pub fn try_map<T, F>(threads: usize, n: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let t = effective_lanes(threads, n);
+    if t <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    {
+        let parts = round_robin_mut(&mut slots, t);
+        std::thread::scope(|s| {
+            for part in parts {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, slot) in part {
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        });
+    }
+    collect_slots(slots)
+}
+
+/// Infallible [`try_map`].
+pub fn map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_map(threads, n, |i| Ok(f(i))).expect("infallible closure failed")
+}
+
+/// Apply `f(index, &mut item)` to every slot of `items` in parallel.
+/// Pure-compute variant for filling disjoint output regions (e.g. one
+/// encoded chunk per model).
+pub fn for_each_slot<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let t = effective_lanes(threads, items.len());
+    if t <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let parts = round_robin_mut(items, t);
+    std::thread::scope(|s| {
+        for part in parts {
+            let f = &f;
+            s.spawn(move || {
+                for (i, item) in part {
+                    f(i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Run `f(0..n)` across worker threads that perform *store operations*:
+/// each worker is registered as a [`VirtualClock`] lane (plus any extra
+/// `hooks`, e.g. per-lane store statistics), and after the join the
+/// maximum lane total — the critical path — is charged to `clock` once.
+///
+/// With one lane this is exactly the sequential loop on the calling
+/// thread: charges flow straight to the clock and sum, as before.
+pub fn try_map_timed<T, F>(
+    clock: &VirtualClock,
+    threads: usize,
+    hooks: &[&dyn WorkerHook],
+    n: usize,
+    f: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let t = effective_lanes(threads, n);
+    if t <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    let mut lane_totals = vec![Duration::ZERO; t];
+    {
+        let parts = round_robin_mut(&mut slots, t);
+        std::thread::scope(|s| {
+            for (part, total) in parts.into_iter().zip(lane_totals.iter_mut()) {
+                let f = &f;
+                s.spawn(move || {
+                    let _guards: Vec<_> = hooks.iter().map(|h| h.enter()).collect();
+                    let lane = clock.enter_lane();
+                    for (i, slot) in part {
+                        *slot = Some(f(i));
+                    }
+                    *total = lane.finish();
+                });
+            }
+        });
+    }
+    clock.charge(lane_totals.into_iter().max().unwrap_or(Duration::ZERO));
+    collect_slots(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = map(threads, 17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        assert_eq!(map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map(8, 1, |i| i + 1), vec![1]);
+        assert_eq!(effective_lanes(8, 0), 1);
+        assert_eq!(effective_lanes(8, 3), 3);
+        assert_eq!(effective_lanes(0, 3), 1);
+    }
+
+    #[test]
+    fn smallest_index_error_wins_regardless_of_thread_count() {
+        for threads in [1, 2, 7] {
+            let err = try_map(threads, 20, |i| {
+                if i % 3 == 2 {
+                    Err(Error::invalid(format!("bad {i}")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("bad 2"), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn for_each_slot_touches_every_slot_once() {
+        for threads in [1, 4] {
+            let mut v = vec![0u32; 33];
+            for_each_slot(threads, &mut v, |i, slot| *slot += i as u32 + 1);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn timed_map_charges_critical_path_not_sum() {
+        let clock = VirtualClock::new();
+        // 4 items on 2 lanes: lane 0 gets {0, 2}, lane 1 gets {1, 3}.
+        // Charge 10ms per even item, 1ms per odd ⇒ lane totals 20ms / 2ms.
+        let out = try_map_timed(&clock, 2, &[], 4, |i| {
+            clock.charge(Duration::from_millis(if i % 2 == 0 { 10 } else { 1 }));
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(clock.simulated(), Duration::from_millis(20), "max over lanes");
+
+        // The same work sequentially costs the sum.
+        let seq = VirtualClock::new();
+        try_map_timed(&seq, 1, &[], 4, |i| {
+            seq.charge(Duration::from_millis(if i % 2 == 0 { 10 } else { 1 }));
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(seq.simulated(), Duration::from_millis(22), "sum over items");
+    }
+
+    #[test]
+    fn nested_timed_sections_charge_into_the_outer_lane() {
+        let clock = VirtualClock::new();
+        // Outer: 2 lanes × 1 item each. Each item runs an inner parallel
+        // section whose critical path lands on the *outer* lane.
+        try_map_timed(&clock, 2, &[], 2, |outer| {
+            try_map_timed(&clock, 2, &[], 2, |inner| {
+                clock.charge(Duration::from_millis(1 + outer as u64 * 2 + inner as u64));
+                Ok(())
+            })?;
+            Ok(())
+        })
+        .unwrap();
+        // Inner maxes: outer 0 → max(1,2)=2ms; outer 1 → max(3,4)=4ms.
+        // Outer critical path: max(2,4) = 4ms.
+        assert_eq!(clock.simulated(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn worker_hooks_run_on_each_worker_thread() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counter(AtomicUsize);
+        impl WorkerHook for Counter {
+            fn enter(&self) -> Box<dyn std::any::Any + Send> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Box::new(())
+            }
+        }
+        let counter = Counter(AtomicUsize::new(0));
+        let clock = VirtualClock::new();
+        try_map_timed(&clock, 3, &[&counter], 9, |i| Ok(i)).unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 3, "one enter per lane");
+    }
+}

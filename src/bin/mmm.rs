@@ -24,6 +24,11 @@
 //!
 //! Set ids are printed by `init`/`update`/`list` in the form
 //! `approach:key` (e.g. `update:3`).
+//!
+//! Every command accepts `--threads N` to fan the save/recover hot
+//! paths (hashing, chunk encoding, delta compression, blob transfers)
+//! out over N worker threads. Stored bytes and reported simulated
+//! times are identical for every `N`; only wall-clock time changes.
 
 use std::path::{Path, PathBuf};
 
@@ -46,7 +51,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n\nall commands accept --threads N (parallel save/recover; default 1)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -66,6 +71,7 @@ struct Args {
     repair: bool,
     keep_last: usize,
     priority: String,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +83,7 @@ fn parse_args() -> Args {
         rate: 0.10,
         keep_last: 3,
         priority: "storage".into(),
+        threads: 1,
         ..Args::default()
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +104,7 @@ fn parse_args() -> Args {
             "--repair" => a.repair = true,
             "--keep-last" => a.keep_last = num(&mut it, "--keep-last"),
             "--priority" => a.priority = next(&mut it, "--priority"),
+            "--threads" => a.threads = num(&mut it, "--threads").max(1),
             "--help" | "-h" => usage(""),
             other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
             other if !other.starts_with('-') => a.positional.push(other.into()),
@@ -121,6 +129,10 @@ fn num(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
 
 fn require_dir(a: &Args) -> &Path {
     a.dir.as_deref().unwrap_or_else(|| usage("--dir is required"))
+}
+
+fn open_env(a: &Args) -> Result<ManagementEnv> {
+    Ok(ManagementEnv::open(require_dir(a), LatencyProfile::zero())?.with_threads(a.threads))
 }
 
 fn parse_set_id(s: &str) -> ModelSetId {
@@ -230,7 +242,7 @@ impl CliState {
 
 fn cmd_init(a: &Args) -> Result<()> {
     let dir = require_dir(a);
-    let env = ManagementEnv::open(dir, LatencyProfile::zero())?;
+    let env = open_env(a)?;
     if env.blobs().exists(STATE_KEY) {
         return Err(Error::invalid(format!("{} already holds a fleet", dir.display())));
     }
@@ -266,8 +278,7 @@ fn cmd_init(a: &Args) -> Result<()> {
 }
 
 fn cmd_update(a: &Args) -> Result<()> {
-    let dir = require_dir(a);
-    let env = ManagementEnv::open(dir, LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let mut state = CliState::load(&env)?;
     let mut fleet = state.to_fleet();
 
@@ -312,7 +323,7 @@ fn cmd_update(a: &Args) -> Result<()> {
 }
 
 fn cmd_list(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     if a.all {
         // Catalog view: every set archived in this environment,
         // including ones created outside this CLI fleet.
@@ -343,7 +354,7 @@ fn cmd_list(a: &Args) -> Result<()> {
 }
 
 fn cmd_lineage(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("lineage needs a set id")));
     for node in lineage::lineage(&env, &id)? {
         println!(
@@ -355,7 +366,7 @@ fn cmd_lineage(a: &Args) -> Result<()> {
 }
 
 fn cmd_verify(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("verify needs a set id")));
     let report = verify::verify_set(&env, &id)?;
     println!(
@@ -376,7 +387,7 @@ fn cmd_verify(a: &Args) -> Result<()> {
 }
 
 fn cmd_fsck(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let report = fsck::fsck(&env)?;
     println!("checked {} set(s), {} blob(s)", report.sets_checked, report.blobs_checked);
     if report.is_clean() {
@@ -415,7 +426,7 @@ fn cmd_fsck(a: &Args) -> Result<()> {
 }
 
 fn cmd_recover(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("recover needs a set id")));
     let saver = make_saver(&id.approach);
     let (set, m): (Result<ModelSet>, _) = env.measure(|| saver.recover_set(&env, &id));
@@ -431,7 +442,7 @@ fn cmd_recover(a: &Args) -> Result<()> {
 }
 
 fn cmd_gc(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let mut state = CliState::load(&env)?;
     let deleted = gc::apply_retention(&env, &state.history, a.keep_last)?;
     for id in &deleted {
@@ -449,7 +460,7 @@ fn cmd_gc(a: &Args) -> Result<()> {
 }
 
 fn cmd_info(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("info needs a set id")));
     let chain = lineage::lineage(&env, &id)?;
     let head = &chain[0];
@@ -473,7 +484,7 @@ fn cmd_info(a: &Args) -> Result<()> {
 }
 
 fn cmd_tag(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("tag needs a set id")));
     match a.positional.get(1) {
         Some(tag) => {
@@ -490,7 +501,7 @@ fn cmd_tag(a: &Args) -> Result<()> {
 }
 
 fn cmd_find_tag(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let tag = a.positional.first().unwrap_or_else(|| usage("find-tag needs a tag"));
     for id in tags::find_by_tag(&env, tag)? {
         println!("{id}");
@@ -499,7 +510,7 @@ fn cmd_find_tag(a: &Args) -> Result<()> {
 }
 
 fn cmd_export(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("export needs a set id")));
     let path = a.positional.get(1).unwrap_or_else(|| usage("export needs an output file"));
     let bytes = bundle::export_set(&env, &id)?;
@@ -509,7 +520,7 @@ fn cmd_export(a: &Args) -> Result<()> {
 }
 
 fn cmd_import(a: &Args) -> Result<()> {
-    let env = ManagementEnv::open(require_dir(a), LatencyProfile::zero())?;
+    let env = open_env(a)?;
     let path = a.positional.first().unwrap_or_else(|| usage("import needs a bundle file"));
     let bytes = std::fs::read(path)?;
     let id = bundle::import_set(&env, &bytes)?;
