@@ -24,12 +24,15 @@
 //! ```
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
 
-use mmm_bench::experiment::{run_scenario, ExperimentConfig, ScenarioResult};
+use mmm_bench::experiment::{run_scenario, run_scenario_in_env, ExperimentConfig, ScenarioResult};
 use mmm_bench::report;
 use mmm_core::delta::DeltaStats;
+use mmm_core::env::ManagementEnv;
 use mmm_dnn::Architectures;
+use mmm_obs::{EventLevel, Observer};
 use mmm_store::LatencyProfile;
 use mmm_util::TempDir;
 use mmm_workload::DataSource;
@@ -42,6 +45,17 @@ struct Args {
     setup: Option<String>,
     threads: usize,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    verbose: bool,
+}
+
+/// The process-wide observer. Disabled (a no-op) unless `--trace-out`,
+/// `--metrics-out` or `--verbose` asked for recording.
+static OBSERVER: OnceLock<Observer> = OnceLock::new();
+
+fn obs() -> &'static Observer {
+    OBSERVER.get_or_init(Observer::disabled)
 }
 
 fn parse_args() -> Args {
@@ -53,6 +67,9 @@ fn parse_args() -> Args {
         setup: None,
         threads: 1,
         out: None,
+        trace_out: None,
+        metrics_out: None,
+        verbose: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -63,6 +80,15 @@ fn parse_args() -> Args {
             "--threads" => args.threads = expect_num(&mut it, "--threads").max(1),
             "--setup" => args.setup = Some(it.next().unwrap_or_else(|| usage("missing value for --setup"))),
             "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --out")))),
+            "--trace-out" => {
+                args.trace_out =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --trace-out"))));
+            }
+            "--metrics-out" => {
+                args.metrics_out =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --metrics-out"))));
+            }
+            "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => usage(""),
             other if args.experiment.is_empty() && !other.starts_with('-') => {
                 args.experiment = other.to_string();
@@ -88,7 +114,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|all> \
-         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] [--out DIR]"
+         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] [--out DIR] \
+         [--trace-out FILE] [--metrics-out FILE] [--verbose]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -100,21 +127,32 @@ fn profile(name: &str) -> LatencyProfile {
 /// Run `trials` scenario repetitions and return the element-wise median.
 fn run_trials(cfg: &ExperimentConfig, trials: usize) -> ScenarioResult {
     let mut runs = Vec::with_capacity(trials);
+    let mut lanes = Vec::new();
     for t in 0..trials {
         let dir = TempDir::new("mmm-repro").expect("create temp dir");
+        let env = ManagementEnv::open(dir.path(), cfg.profile)
+            .expect("open environment")
+            .with_threads(cfg.threads)
+            .with_observer(cfg.observer.clone());
         let start = Instant::now();
-        let r = run_scenario(cfg, dir.path()).expect("scenario run failed");
-        eprintln!(
-            "  [trial {}/{}] {} models, {} cycles, setup {} — {:.1}s wall",
-            t + 1,
-            trials,
-            cfg.n_models,
-            cfg.n_cycles,
-            cfg.profile.name,
-            start.elapsed().as_secs_f64()
-        );
+        let r = run_scenario_in_env(cfg, &env).expect("scenario run failed");
+        // Trial progress is debug output: recorded as an event, printed
+        // to stderr only under --verbose (quiet by default).
+        obs().event(EventLevel::Info, || {
+            format!(
+                "[trial {}/{}] {} models, {} cycles, setup {} — {:.1}s wall",
+                t + 1,
+                trials,
+                cfg.n_models,
+                cfg.n_cycles,
+                cfg.profile.name,
+                start.elapsed().as_secs_f64()
+            )
+        });
+        lanes = env.store_stats().lane_history();
         runs.push(r);
     }
+    print!("{}", report::run_header(cfg.profile.name, cfg.threads, &lanes));
     ScenarioResult::median(&runs)
 }
 
@@ -128,7 +166,9 @@ fn write_csv(out: &Option<PathBuf>, name: &str, csv: &str) {
 }
 
 fn base_config(args: &Args, prof: LatencyProfile) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper_default(prof).with_threads(args.threads);
+    let mut cfg = ExperimentConfig::paper_default(prof)
+        .with_threads(args.threads)
+        .with_observer(obs().clone());
     cfg.n_cycles = args.cycles;
     if let Some(n) = args.models {
         cfg.n_models = n;
@@ -527,7 +567,7 @@ fn threads(args: &Args) {
     );
     let mut reference: Option<(u64, std::time::Duration, std::time::Duration)> = None;
     for &t in &sweep {
-        let mut cfg = ExperimentConfig::small(n, 1).with_threads(t);
+        let mut cfg = ExperimentConfig::small(n, 1).with_threads(t).with_observer(obs().clone());
         cfg.arch = Architectures::ffnn48();
         let dir = TempDir::new("mmm-threads").expect("temp dir");
         let start = Instant::now();
@@ -563,6 +603,11 @@ fn threads(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    if args.trace_out.is_some() || args.metrics_out.is_some() || args.verbose {
+        let o = Observer::new();
+        o.set_stderr_events(args.verbose);
+        OBSERVER.set(o).expect("observer initialized once");
+    }
     let start = Instant::now();
     match args.experiment.as_str() {
         "fig3" => fig3(&args),
@@ -603,6 +648,18 @@ fn main() {
             threads(&args);
         }
         other => usage(&format!("unknown experiment {other:?}")),
+    }
+    if obs().enabled() {
+        println!("\n=== per-phase TTS/TTR breakdown (simulated time) ===");
+        print!("{}", report::phase_table(obs()));
+    }
+    if let Some(path) = &args.trace_out {
+        obs().write_trace(path).expect("write trace file");
+        eprintln!("  wrote {}", path.display());
+    }
+    if let Some(path) = &args.metrics_out {
+        obs().write_metrics(path).expect("write metrics file");
+        eprintln!("  wrote {}", path.display());
     }
     eprintln!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
 }

@@ -26,6 +26,7 @@ use mmm_core::approach::{
 use mmm_core::env::ManagementEnv;
 use mmm_core::model_set::{Derivation, ModelSet, ModelSetId, ModelUpdate};
 use mmm_dnn::ArchitectureSpec;
+use mmm_obs::Observer;
 use mmm_store::LatencyProfile;
 use mmm_util::{Error, Result};
 use mmm_workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
@@ -59,6 +60,11 @@ pub struct ExperimentConfig {
     /// Simulated TTS/TTR charge the critical path across lanes, so
     /// results stay comparable across thread counts; wall clock drops.
     pub threads: usize,
+    /// Observer wired into the environment; contexts are set to
+    /// `approach/use-case` and each measured op runs inside a
+    /// `save`/`recover` span, so the per-phase breakdown groups per
+    /// scenario cell. Disabled by default (zero overhead).
+    pub observer: Observer,
 }
 
 impl ExperimentConfig {
@@ -75,6 +81,7 @@ impl ExperimentConfig {
             prov_reduced: false,
             verify_roundtrip: false,
             threads: 1,
+            observer: Observer::disabled(),
         }
     }
 
@@ -96,12 +103,20 @@ impl ExperimentConfig {
             prov_reduced: false,
             verify_roundtrip: false,
             threads: 1,
+            observer: Observer::disabled(),
         }
     }
 
     /// Set the worker-thread budget for save/recover hot paths.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attach an observer; the scenario runner wires it into the
+    /// environment and annotates every save/recover with context + spans.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
         self
     }
 }
@@ -115,6 +130,11 @@ pub struct UseCaseCell {
     pub tts: Duration,
     /// Time-to-recover.
     pub ttr: Duration,
+    /// Simulated-store share of the TTS (thread-count invariant up to
+    /// critical-path scheduling; what the phase breakdown sums to).
+    pub tts_sim: Duration,
+    /// Simulated-store share of the TTR.
+    pub ttr_sim: Duration,
 }
 
 /// All measurements of one scenario run.
@@ -154,6 +174,8 @@ impl ScenarioResult {
                         storage_bytes: row[uc].storage_bytes,
                         tts: tts[tts.len() / 2],
                         ttr: ttr[ttr.len() / 2],
+                        tts_sim: row[uc].tts_sim,
+                        ttr_sim: row[uc].ttr_sim,
                     }
                 })
                 .collect();
@@ -181,7 +203,15 @@ fn reduce_derivation(env: &ManagementEnv, deriv: &Derivation) -> Result<Derivati
 
 /// Run one full scenario in `dir`. Returns per-cell measurements.
 pub fn run_scenario(cfg: &ExperimentConfig, dir: &Path) -> Result<ScenarioResult> {
-    let env = ManagementEnv::open(dir, cfg.profile)?.with_threads(cfg.threads);
+    let env = ManagementEnv::open(dir, cfg.profile)?
+        .with_threads(cfg.threads)
+        .with_observer(cfg.observer.clone());
+    run_scenario_in_env(cfg, &env)
+}
+
+/// Run one full scenario against a pre-built environment (the caller
+/// keeps access to its stats, lane history and observer afterwards).
+pub fn run_scenario_in_env(cfg: &ExperimentConfig, env: &ManagementEnv) -> Result<ScenarioResult> {
     let mut fleet = Fleet::initial(FleetConfig {
         n_models: cfg.n_models,
         seed: cfg.seed,
@@ -220,12 +250,18 @@ pub fn run_scenario(cfg: &ExperimentConfig, dir: &Path) -> Result<ScenarioResult
     let initial = fleet.to_model_set();
     for saver in &mut savers {
         let name = saver.name().to_string();
-        let (id, m) = env.measure(|| saver.save_initial(&env, &initial));
+        env.obs().set_context(format!("{name}/U1"));
+        let (id, m) = env.measure(|| {
+            let _op = env.obs().span_idx("save", 0);
+            saver.save_initial(env, &initial)
+        });
         let id = id?;
         cells.get_mut(&name).expect("known approach").push(UseCaseCell {
             storage_bytes: m.bytes_written(),
             tts: m.duration,
             ttr: Duration::ZERO,
+            tts_sim: m.sim,
+            ttr_sim: Duration::ZERO,
         });
         ids.get_mut(&name).expect("known approach").push(id);
     }
@@ -243,16 +279,22 @@ pub fn run_scenario(cfg: &ExperimentConfig, dir: &Path) -> Result<ScenarioResult
             let base = ids[&name].last().expect("U1 saved first").clone();
             let deriv = record.derivation(base);
             let deriv = if cfg.prov_reduced && name == "provenance" {
-                reduce_derivation(&env, &deriv)?
+                reduce_derivation(env, &deriv)?
             } else {
                 deriv
             };
-            let (id, m) = env.measure(|| saver.save_set(&env, &set, Some(&deriv)));
+            env.obs().set_context(format!("{name}/U3-{cycle}"));
+            let (id, m) = env.measure(|| {
+                let _op = env.obs().span_idx("save", cycle as u64);
+                saver.save_set(env, &set, Some(&deriv))
+            });
             let id = id?;
             cells.get_mut(&name).expect("known approach").push(UseCaseCell {
                 storage_bytes: m.bytes_written(),
                 tts: m.duration,
                 ttr: Duration::ZERO,
+                tts_sim: m.sim,
+                ttr_sim: Duration::ZERO,
             });
             ids.get_mut(&name).expect("known approach").push(id);
         }
@@ -265,9 +307,15 @@ pub fn run_scenario(cfg: &ExperimentConfig, dir: &Path) -> Result<ScenarioResult
     for saver in &savers {
         let name = saver.name().to_string();
         for (uc, id) in ids[&name].iter().enumerate() {
-            let (recovered, m) = env.measure(|| saver.recover_set(&env, id));
+            env.obs().set_context(format!("{name}/{}", use_cases[uc]));
+            let (recovered, m) = env.measure(|| {
+                let _op = env.obs().span_idx("recover", uc as u64);
+                saver.recover_set(env, id)
+            });
             let recovered = recovered?;
-            cells.get_mut(&name).expect("known approach")[uc].ttr = m.duration;
+            let cell = &mut cells.get_mut(&name).expect("known approach")[uc];
+            cell.ttr = m.duration;
+            cell.ttr_sim = m.sim;
             if cfg.verify_roundtrip {
                 // Reduced provenance intentionally records less than the
                 // materialized set — skip its equality check (paper §4.4).

@@ -1,6 +1,8 @@
 //! Rendering of scenario results as paper-style tables.
 
 use crate::experiment::{ScenarioResult, APPROACHES};
+use mmm_obs::Observer;
+use mmm_store::StatsSnapshot;
 use std::fmt::Write as _;
 
 /// Pretty approach labels in the paper's legend order.
@@ -60,6 +62,52 @@ fn time_table(r: &ScenarioResult, tts: bool) -> String {
     out
 }
 
+/// Render the run header: latency profile, worker-thread budget, and
+/// the per-lane op/byte distribution of every parallel section that ran
+/// (one lane-history entry per finished lane).
+pub fn run_header(profile: &str, threads: usize, lanes: &[StatsSnapshot]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "profile: {profile}   threads: {threads}");
+    if lanes.is_empty() {
+        out.push_str("lanes:   none recorded (sequential run)\n");
+        return out;
+    }
+    let ops: Vec<u64> = lanes.iter().map(StatsSnapshot::total_ops).collect();
+    let bytes: Vec<u64> = lanes.iter().map(|l| l.bytes_read + l.bytes_written).collect();
+    let stat = |v: &[u64]| {
+        let sum: u64 = v.iter().sum();
+        (
+            sum,
+            *v.iter().min().expect("nonempty"),
+            *v.iter().max().expect("nonempty"),
+            sum as f64 / v.len() as f64,
+        )
+    };
+    let (o_sum, o_min, o_max, o_mean) = stat(&ops);
+    let (b_sum, b_min, b_max, b_mean) = stat(&bytes);
+    let _ = writeln!(
+        out,
+        "lanes:   {} finished; store ops/lane min {o_min} max {o_max} mean {o_mean:.1} (total {o_sum})",
+        lanes.len()
+    );
+    let _ = writeln!(
+        out,
+        "         bytes/lane min {b_min} max {b_max} mean {b_mean:.1} (total {b_sum})"
+    );
+    out
+}
+
+/// Render the per-phase TTS/TTR breakdown recorded by `obs` — one block
+/// per `(approach/use-case, save|recover)` pair, phases in first-opened
+/// order, with an `other` residual so phase sums match the op totals
+/// exactly.
+pub fn phase_table(obs: &Observer) -> String {
+    if !obs.enabled() {
+        return String::from("(observability disabled: no per-phase breakdown recorded)\n");
+    }
+    mmm_obs::render_breakdown(&obs.breakdown())
+}
+
 /// Render a CSV with every cell (for EXPERIMENTS.md and offline plots).
 pub fn to_csv(r: &ScenarioResult, setup: &str) -> String {
     let mut out = String::from("setup,approach,use_case,storage_mb,tts_s,ttr_s\n");
@@ -95,6 +143,7 @@ mod tests {
                         storage_bytes: (i as u64 + 1) * 1_000_000,
                         tts: Duration::from_millis(100 * (i as u64 + 1)),
                         ttr: Duration::from_millis(10 * (i as u64 + 1)),
+                        ..UseCaseCell::default()
                     }],
                 )
             })

@@ -46,9 +46,18 @@ impl ModelSetSaver for BaselineSaver {
         // cases — Figure 3). Phase one: set document + params blob;
         // phase two: the commit record that makes the save visible.
         let doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
-        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-        let blob = encode_concat_threaded(set.models(), env.threads());
-        env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &blob))?;
+        let doc_id = {
+            let _span = env.obs().span("doc_insert");
+            env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
+        };
+        let blob = {
+            let _span = env.obs().span("encode");
+            encode_concat_threaded(set.models(), env.threads())
+        };
+        {
+            let _span = env.obs().span("blob_put");
+            env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &blob))?;
+        }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;
         Ok(id)
@@ -63,7 +72,10 @@ impl ModelSetSaver for BaselineSaver {
         }
         commit::require_committed(env, id)?;
         let doc_id = common::doc_id_of(id)?;
-        let doc = env.docs().get(common::SETS_COLLECTION, doc_id)?;
+        let doc = {
+            let _span = env.obs().span("doc_get");
+            env.docs().get(common::SETS_COLLECTION, doc_id)?
+        };
         common::recover_full(env, self.name(), doc_id, &doc)
     }
 
@@ -84,7 +96,10 @@ impl ModelSetSaver for BaselineSaver {
         }
         commit::require_committed(env, id)?;
         let doc_id = common::doc_id_of(id)?;
-        let doc = env.docs().get(common::SETS_COLLECTION, doc_id)?;
+        let doc = {
+            let _span = env.obs().span("doc_get");
+            env.docs().get(common::SETS_COLLECTION, doc_id)?
+        };
         common::recover_full_models(env, self.name(), doc_id, &doc, indices)
     }
 }

@@ -81,9 +81,17 @@ impl ModelSetSaver for MmlibBaseSaver {
         if env.threads() <= 1 {
             for dict in set.models() {
                 let doc = make_doc(first.is_none());
-                let doc_id = env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?;
+                let doc_id = {
+                    let _span = env.obs().span("doc_insert");
+                    env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?
+                };
                 first.get_or_insert(doc_id);
-                let params = encode_verbose_dict(dict);
+                let _span = env.obs().span("encode_put");
+                let params = {
+                    let _s = env.obs().span("encode");
+                    encode_verbose_dict(dict)
+                };
+                let _s = env.obs().span("blob_put");
                 put_blobs(doc_id, &params)?;
             }
         } else {
@@ -94,13 +102,21 @@ impl ModelSetSaver for MmlibBaseSaver {
             let mut doc_ids = Vec::with_capacity(set.len());
             for i in 0..set.len() {
                 let doc = make_doc(i == 0);
-                let doc_id = env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?;
+                let doc_id = {
+                    let _span = env.obs().span("doc_insert");
+                    env.with_retry(|| env.docs().insert(MODELS_COLLECTION, doc.clone()))?
+                };
                 first.get_or_insert(doc_id);
                 doc_ids.push(doc_id);
             }
             let models = set.models();
+            let _span = env.obs().span("encode_put");
             env.run_parallel(models.len(), |i| {
-                let params = encode_verbose_dict(&models[i]);
+                let params = {
+                    let _s = env.obs().span("encode");
+                    encode_verbose_dict(&models[i])
+                };
+                let _s = env.obs().span("blob_put");
                 put_blobs(doc_ids[i], &params)
             })?;
         }
@@ -129,6 +145,7 @@ impl ModelSetSaver for MmlibBaseSaver {
         // an independent pair of round-trips, so they fan out over the
         // environment's thread budget; only the first model's document
         // carries the architecture we need.
+        let _span = env.obs().span("fetch_decode");
         let recovered = env.run_parallel(count, |i| {
             let doc_id = first + i as u64;
             let doc = env.docs().get(MODELS_COLLECTION, doc_id)?;
@@ -175,6 +192,7 @@ impl ModelSetSaver for MmlibBaseSaver {
         }
         let (first, count) = parse_range(&id.key)?;
         commit::require_committed(env, id)?;
+        let _span = env.obs().span("fetch_decode");
         env.run_parallel(indices.len(), |p| {
             let i = indices[p];
             if i >= count {

@@ -152,7 +152,11 @@ pub(crate) mod common {
         doc: &Value,
     ) -> Result<ModelSet> {
         let (arch, n_models) = parse_full_doc(doc)?;
-        let blob = env.blobs().get(&params_key(approach, doc_id))?;
+        let blob = {
+            let _span = env.obs().span("blob_get");
+            env.blobs().get(&params_key(approach, doc_id))?
+        };
+        let _span = env.obs().span("decode");
         let models: Vec<ParamDict> = crate::param_codec::decode_concat_threaded(
             &blob,
             n_models,
@@ -182,6 +186,7 @@ pub(crate) mod common {
         // round-trips, so they fan out over the environment's thread
         // budget (each lane charges its own transfer time; the section
         // costs its critical path).
+        let _span = env.obs().span("blob_get");
         env.run_parallel(indices.len(), |p| {
             let i = indices[p];
             if i >= n_models {

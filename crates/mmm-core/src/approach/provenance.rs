@@ -114,12 +114,20 @@ impl ModelSetSaver for ProvenanceSaver {
         let Some(deriv) = derivation else {
             // Initial set: complete representation using Baseline's logic.
             let doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
-            let doc_id =
-                env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-            let params = crate::param_codec::encode_concat_threaded(set.models(), env.threads());
-            env.with_retry(|| {
-                env.blobs().put(&common::params_key(self.name(), doc_id), &params)
-            })?;
+            let doc_id = {
+                let _span = env.obs().span("doc_insert");
+                env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
+            };
+            let params = {
+                let _span = env.obs().span("encode");
+                crate::param_codec::encode_concat_threaded(set.models(), env.threads())
+            };
+            {
+                let _span = env.obs().span("blob_put");
+                env.with_retry(|| {
+                    env.blobs().put(&common::params_key(self.name(), doc_id), &params)
+                })?;
+            }
             let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
             commit::commit_save(env, &id)?;
             return Ok(id);
@@ -131,19 +139,22 @@ impl ModelSetSaver for ProvenanceSaver {
             )));
         }
         commit::require_committed(env, &deriv.base)?;
-        for u in &deriv.updates {
-            if u.model_idx >= set.len() {
-                return Err(Error::invalid(format!(
-                    "update for model {} but the set has {} models",
-                    u.model_idx,
-                    set.len()
-                )));
-            }
-            if !env.registry().contains(&u.dataset) {
-                return Err(Error::invalid(format!(
-                    "dataset {} is not in the registry; provenance assumes training data is persisted externally",
-                    u.dataset.id
-                )));
+        {
+            let _span = env.obs().span("validate");
+            for u in &deriv.updates {
+                if u.model_idx >= set.len() {
+                    return Err(Error::invalid(format!(
+                        "update for model {} but the set has {} models",
+                        u.model_idx,
+                        set.len()
+                    )));
+                }
+                if !env.registry().contains(&u.dataset) {
+                    return Err(Error::invalid(format!(
+                        "dataset {} is not in the registry; provenance assumes training data is persisted externally",
+                        u.dataset.id
+                    )));
+                }
             }
         }
 
@@ -160,7 +171,10 @@ impl ModelSetSaver for ProvenanceSaver {
             "train": train_value,
             "environment": environment_info(),
         });
-        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
+        let doc_id = {
+            let _span = env.obs().span("doc_insert");
+            env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
+        };
 
         // One dataset reference per updated model.
         let mut lines = String::new();
@@ -168,7 +182,10 @@ impl ModelSetSaver for ProvenanceSaver {
             lines.push_str(&Self::update_line(u));
             lines.push('\n');
         }
-        env.with_retry(|| env.blobs().put(&Self::updates_key(doc_id), lines.as_bytes()))?;
+        {
+            let _span = env.obs().span("blob_put");
+            env.with_retry(|| env.blobs().put(&Self::updates_key(doc_id), lines.as_bytes()))?;
+        }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;
         Ok(id)
@@ -185,27 +202,34 @@ impl ModelSetSaver for ProvenanceSaver {
 
         // Walk back to the full snapshot, collecting provenance levels.
         let mut chain: Vec<(u64, TrainConfig)> = Vec::new(); // newest first
-        let mut cursor = common::doc_id_of(id)?;
-        let mut set = loop {
-            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
-            match doc.get("kind").and_then(Value::as_str) {
-                Some("full") => break common::recover_full(env, self.name(), cursor, &doc)?,
-                Some("prov") => {
-                    let train: TrainConfig = serde_json::from_value(
-                        doc.get("train")
-                            .cloned()
-                            .ok_or_else(|| Error::corrupt("provenance document without train config"))?,
-                    )
-                    .map_err(|e| Error::corrupt(format!("unparseable train config: {e}")))?;
-                    chain.push((cursor, train));
-                    cursor = doc
-                        .get("base")
-                        .and_then(Value::as_str)
-                        .and_then(|s| s.parse::<u64>().ok())
-                        .ok_or_else(|| Error::corrupt("provenance document without base"))?;
+        let (root, root_doc) = {
+            let _span = env.obs().span("chain_walk");
+            let mut cursor = common::doc_id_of(id)?;
+            loop {
+                let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+                match doc.get("kind").and_then(Value::as_str) {
+                    Some("full") => break (cursor, doc),
+                    Some("prov") => {
+                        let train: TrainConfig = serde_json::from_value(
+                            doc.get("train")
+                                .cloned()
+                                .ok_or_else(|| Error::corrupt("provenance document without train config"))?,
+                        )
+                        .map_err(|e| Error::corrupt(format!("unparseable train config: {e}")))?;
+                        chain.push((cursor, train));
+                        cursor = doc
+                            .get("base")
+                            .and_then(Value::as_str)
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| Error::corrupt("provenance document without base"))?;
+                    }
+                    other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
                 }
-                other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
             }
+        };
+        let mut set = {
+            let _span = env.obs().span("base_snapshot");
+            common::recover_full(env, self.name(), root, &root_doc)?
         };
 
         // Replay updates oldest → newest: "update every model by
@@ -217,6 +241,7 @@ impl ModelSetSaver for ProvenanceSaver {
         // retraining dominates Provenance's TTR, making this the
         // approach's main parallel win.
         for (doc_id, train) in chain.iter().rev() {
+            let mut fetch_span = Some(env.obs().span("updates_fetch"));
             let blob = env.blobs().get(&Self::updates_key(*doc_id))?;
             let text = String::from_utf8(blob)
                 .map_err(|_| Error::corrupt("provenance updates blob is not UTF-8"))?;
@@ -234,6 +259,8 @@ impl ModelSetSaver for ProvenanceSaver {
                     None => groups.push((u.model_idx, vec![u])),
                 }
             }
+            fetch_span.take();
+            let _span = env.obs().span("retrain");
             let retrained = env.run_parallel(groups.len(), |g| {
                 let (model_idx, updates) = &groups[g];
                 let mut model = set.models[*model_idx].clone();
@@ -269,41 +296,49 @@ impl ModelSetSaver for ProvenanceSaver {
         }
         commit::require_committed(env, id)?;
         let mut chain: Vec<(u64, TrainConfig)> = Vec::new();
-        let mut cursor = common::doc_id_of(id)?;
-        let mut selected: Vec<mmm_dnn::ParamDict> = loop {
-            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
-            match doc.get("kind").and_then(Value::as_str) {
-                Some("full") => {
-                    break common::recover_full_models(env, self.name(), cursor, &doc, indices)?
+        let (root, walk_doc) = {
+            let _span = env.obs().span("chain_walk");
+            let mut cursor = common::doc_id_of(id)?;
+            loop {
+                let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+                match doc.get("kind").and_then(Value::as_str) {
+                    Some("full") => break (cursor, doc),
+                    Some("prov") => {
+                        let train: TrainConfig = serde_json::from_value(
+                            doc.get("train")
+                                .cloned()
+                                .ok_or_else(|| Error::corrupt("provenance document without train config"))?,
+                        )
+                        .map_err(|e| Error::corrupt(format!("unparseable train config: {e}")))?;
+                        chain.push((cursor, train));
+                        cursor = doc
+                            .get("base")
+                            .and_then(Value::as_str)
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| Error::corrupt("provenance document without base"))?;
+                    }
+                    other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
                 }
-                Some("prov") => {
-                    let train: TrainConfig = serde_json::from_value(
-                        doc.get("train")
-                            .cloned()
-                            .ok_or_else(|| Error::corrupt("provenance document without train config"))?,
-                    )
-                    .map_err(|e| Error::corrupt(format!("unparseable train config: {e}")))?;
-                    chain.push((cursor, train));
-                    cursor = doc
-                        .get("base")
-                        .and_then(Value::as_str)
-                        .and_then(|s| s.parse::<u64>().ok())
-                        .ok_or_else(|| Error::corrupt("provenance document without base"))?;
-                }
-                other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
             }
         };
+        let _bspan = env.obs().span("base_snapshot");
+        let mut selected: Vec<mmm_dnn::ParamDict> =
+            common::recover_full_models(env, self.name(), root, &walk_doc, indices)?;
         // The selected models' architecture: read once from the chain's
         // full snapshot document (recover_full_models validated indices).
-        let root_doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+        let root_doc = env.docs().get(common::SETS_COLLECTION, root)?;
         let (arch, _) = common::parse_full_doc(&root_doc)?;
+        drop(_bspan);
 
         let pos: std::collections::HashMap<usize, usize> =
             indices.iter().enumerate().map(|(p, &i)| (i, p)).collect();
         for (doc_id, train) in chain.iter().rev() {
+            let mut fetch_span = Some(env.obs().span("updates_fetch"));
             let blob = env.blobs().get(&Self::updates_key(*doc_id))?;
             let text = String::from_utf8(blob)
                 .map_err(|_| Error::corrupt("provenance updates blob is not UTF-8"))?;
+            fetch_span.take();
+            let _span = env.obs().span("retrain");
             for line in text.lines().filter(|l| !l.is_empty()) {
                 let u = Self::parse_update_line(line)?;
                 if let Some(&p) = pos.get(&u.model_idx) {

@@ -77,12 +77,27 @@ impl UpdateSaver {
         doc.as_object_mut()
             .ok_or_else(|| Error::invalid("full_set_doc did not return an object"))?
             .insert("depth".into(), json!(depth));
-        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-        let params = encode_concat_threaded(set.models(), env.threads());
-        env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &params))?;
-        let hashes = Self::layer_hash_table(env, set);
+        let doc_id = {
+            let _span = env.obs().span("doc_insert");
+            env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
+        };
+        let params = {
+            let _span = env.obs().span("encode");
+            encode_concat_threaded(set.models(), env.threads())
+        };
+        {
+            let _span = env.obs().span("blob_put");
+            env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &params))?;
+        }
+        let hashes = {
+            let _span = env.obs().span("hash");
+            Self::layer_hash_table(env, set)
+        };
         let hash_blob = encode_hashes(&hashes);
-        env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+        {
+            let _span = env.obs().span("blob_put");
+            env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+        }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;
         Ok(id)
@@ -122,7 +137,10 @@ impl ModelSetSaver for UpdateSaver {
         // save never committed must not anchor new chains.
         commit::require_committed(env, &deriv.base)?;
         let base_id = common::doc_id_of(&deriv.base)?;
-        let base_doc = env.docs().get(common::SETS_COLLECTION, base_id)?;
+        let base_doc = {
+            let _span = env.obs().span("doc_get");
+            env.docs().get(common::SETS_COLLECTION, base_id)?
+        };
         let base_n = base_doc
             .get("n_models")
             .and_then(Value::as_u64)
@@ -147,56 +165,72 @@ impl ModelSetSaver for UpdateSaver {
         }
 
         // (2) Hashes for every model and layer of the new set.
-        let hashes = Self::layer_hash_table(env, set);
+        let hashes = {
+            let _span = env.obs().span("hash");
+            Self::layer_hash_table(env, set)
+        };
 
         // (3) Changed layers, detected against the base set's hash blob.
-        let base_hashes = decode_hashes(&env.blobs().get(&Self::hashes_key(base_id))?)?;
-        if base_hashes.len() != hashes.len() {
-            return Err(Error::corrupt("base hash table has wrong model count"));
-        }
-        let mut changed: Vec<(usize, usize)> = Vec::new();
-        for (mi, (new_row, old_row)) in hashes.iter().zip(&base_hashes).enumerate() {
-            if new_row.len() != old_row.len() {
-                return Err(Error::corrupt("base hash table has wrong layer count"));
+        let changed: Vec<(usize, usize)> = {
+            let _span = env.obs().span("diff_detect");
+            let base_hashes = decode_hashes(&env.blobs().get(&Self::hashes_key(base_id))?)?;
+            if base_hashes.len() != hashes.len() {
+                return Err(Error::corrupt("base hash table has wrong model count"));
             }
-            for (li, (nh, oh)) in new_row.iter().zip(old_row).enumerate() {
-                if nh != oh {
-                    changed.push((mi, li));
+            let mut changed = Vec::new();
+            for (mi, (new_row, old_row)) in hashes.iter().zip(&base_hashes).enumerate() {
+                if new_row.len() != old_row.len() {
+                    return Err(Error::corrupt("base hash table has wrong layer count"));
+                }
+                for (li, (nh, oh)) in new_row.iter().zip(old_row).enumerate() {
+                    if nh != oh {
+                        changed.push((mi, li));
+                    }
                 }
             }
-        }
+            changed
+        };
 
         // (4) Persist: one metadata doc + the diff blob + the hash blob.
-        let (kind, diff_blob) = if self.delta_compress {
-            // §4.5 extension: XOR-delta each changed layer against the
-            // base set's values (requires materializing the base).
-            let base_set = self.recover_set(env, &deriv.base)?;
-            // Each changed layer's XOR delta is independent — compress
-            // them across the thread budget (pure compute; entry order
-            // follows `changed`, so the blob is thread-count invariant).
-            let entries: Vec<CompressedDiffEntry> =
-                parallel::map(env.threads(), changed.len(), |c| {
+        let (kind, diff_blob) = {
+            let _span = env.obs().span("encode_diff");
+            if self.delta_compress {
+                // §4.5 extension: XOR-delta each changed layer against the
+                // base set's values (requires materializing the base).
+                let base_set = self.recover_set(env, &deriv.base)?;
+                // Each changed layer's XOR delta is independent — compress
+                // them across the thread budget (pure compute; entry order
+                // follows `changed`, so the blob is thread-count invariant).
+                let entries: Vec<CompressedDiffEntry> =
+                    parallel::map(env.threads(), changed.len(), |c| {
+                        let (mi, li) = changed[c];
+                        CompressedDiffEntry {
+                            model_idx: mi as u32,
+                            layer_idx: li as u32,
+                            blob: compress_delta(
+                                &base_set.models()[mi].layers[li].data,
+                                &set.models()[mi].layers[li].data,
+                            ),
+                        }
+                    });
+                for e in &entries {
+                    env.obs().observe("mmm_update_changed_layer_bytes", e.blob.len() as u64);
+                }
+                ("diffz", encode_diff_compressed(&entries))
+            } else {
+                let entries: Vec<DiffEntry> = parallel::map(env.threads(), changed.len(), |c| {
                     let (mi, li) = changed[c];
-                    CompressedDiffEntry {
+                    DiffEntry {
                         model_idx: mi as u32,
                         layer_idx: li as u32,
-                        blob: compress_delta(
-                            &base_set.models()[mi].layers[li].data,
-                            &set.models()[mi].layers[li].data,
-                        ),
+                        data: set.models()[mi].layers[li].data.clone(),
                     }
                 });
-            ("diffz", encode_diff_compressed(&entries))
-        } else {
-            let entries: Vec<DiffEntry> = parallel::map(env.threads(), changed.len(), |c| {
-                let (mi, li) = changed[c];
-                DiffEntry {
-                    model_idx: mi as u32,
-                    layer_idx: li as u32,
-                    data: set.models()[mi].layers[li].data.clone(),
+                for e in &entries {
+                    env.obs().observe("mmm_update_changed_layer_bytes", 4 * e.data.len() as u64);
                 }
-            });
-            ("diff", encode_diff(&entries))
+                ("diff", encode_diff(&entries))
+            }
         };
         let doc = json!({
             "approach": self.name(),
@@ -206,10 +240,16 @@ impl ModelSetSaver for UpdateSaver {
             "n_changed_layers": changed.len(),
             "depth": depth,
         });
-        let doc_id = env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?;
-        env.with_retry(|| env.blobs().put(&Self::diff_key(doc_id), &diff_blob))?;
-        let hash_blob = encode_hashes(&hashes);
-        env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+        let doc_id = {
+            let _span = env.obs().span("doc_insert");
+            env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
+        };
+        {
+            let _span = env.obs().span("blob_put");
+            env.with_retry(|| env.blobs().put(&Self::diff_key(doc_id), &diff_blob))?;
+            let hash_blob = encode_hashes(&hashes);
+            env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+        }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;
         Ok(id)
@@ -226,27 +266,35 @@ impl ModelSetSaver for UpdateSaver {
 
         // Walk the chain back to the newest full snapshot.
         let mut chain: Vec<(u64, bool)> = Vec::new(); // (doc id, compressed), newest first
-        let mut cursor = common::doc_id_of(id)?;
-        let mut set = loop {
-            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
-            match doc.get("kind").and_then(Value::as_str) {
-                Some("full") => break common::recover_full(env, self.name(), cursor, &doc)?,
-                Some(kind @ ("diff" | "diffz")) => {
-                    chain.push((cursor, kind == "diffz"));
-                    cursor = doc
-                        .get("base")
-                        .and_then(Value::as_str)
-                        .and_then(|s| s.parse::<u64>().ok())
-                        .ok_or_else(|| Error::corrupt("diff set document without base"))?;
-                }
-                other => {
-                    return Err(Error::corrupt(format!("unknown set kind {other:?}")));
+        let (root, root_doc) = {
+            let _span = env.obs().span("chain_walk");
+            let mut cursor = common::doc_id_of(id)?;
+            loop {
+                let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+                match doc.get("kind").and_then(Value::as_str) {
+                    Some("full") => break (cursor, doc),
+                    Some(kind @ ("diff" | "diffz")) => {
+                        chain.push((cursor, kind == "diffz"));
+                        cursor = doc
+                            .get("base")
+                            .and_then(Value::as_str)
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| Error::corrupt("diff set document without base"))?;
+                    }
+                    other => {
+                        return Err(Error::corrupt(format!("unknown set kind {other:?}")));
+                    }
                 }
             }
+        };
+        let mut set = {
+            let _span = env.obs().span("base_snapshot");
+            common::recover_full(env, self.name(), root, &root_doc)?
         };
 
         // Apply diffs oldest → newest. `set` holds exactly the level the
         // delta was computed against, so decompression is in-place.
+        let _span = env.obs().span("diff_apply");
         for &(doc_id, compressed) in chain.iter().rev() {
             apply_diff_level(env, &mut set, doc_id, compressed)?;
         }
@@ -271,29 +319,35 @@ impl ModelSetSaver for UpdateSaver {
         commit::require_committed(env, id)?;
         // Walk the chain back to the newest full snapshot.
         let mut chain: Vec<(u64, bool)> = Vec::new();
-        let mut cursor = common::doc_id_of(id)?;
-        let mut selected: Vec<mmm_dnn::ParamDict> = loop {
-            let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
-            match doc.get("kind").and_then(Value::as_str) {
-                Some("full") => {
-                    break common::recover_full_models(env, self.name(), cursor, &doc, indices)?
+        let (root, root_doc) = {
+            let _span = env.obs().span("chain_walk");
+            let mut cursor = common::doc_id_of(id)?;
+            loop {
+                let doc = env.docs().get(common::SETS_COLLECTION, cursor)?;
+                match doc.get("kind").and_then(Value::as_str) {
+                    Some("full") => break (cursor, doc),
+                    Some(kind @ ("diff" | "diffz")) => {
+                        chain.push((cursor, kind == "diffz"));
+                        cursor = doc
+                            .get("base")
+                            .and_then(Value::as_str)
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| Error::corrupt("diff set document without base"))?;
+                    }
+                    other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
                 }
-                Some(kind @ ("diff" | "diffz")) => {
-                    chain.push((cursor, kind == "diffz"));
-                    cursor = doc
-                        .get("base")
-                        .and_then(Value::as_str)
-                        .and_then(|s| s.parse::<u64>().ok())
-                        .ok_or_else(|| Error::corrupt("diff set document without base"))?;
-                }
-                other => return Err(Error::corrupt(format!("unknown set kind {other:?}"))),
             }
+        };
+        let mut selected: Vec<mmm_dnn::ParamDict> = {
+            let _span = env.obs().span("base_snapshot");
+            common::recover_full_models(env, self.name(), root, &root_doc, indices)?
         };
 
         // Position of each selected model index within `selected`.
         let pos: std::collections::HashMap<usize, usize> =
             indices.iter().enumerate().map(|(p, &i)| (i, p)).collect();
 
+        let _span = env.obs().span("diff_apply");
         for &(doc_id, compressed) in chain.iter().rev() {
             let blob = env.blobs().get(&Self::diff_key(doc_id))?;
             if compressed {

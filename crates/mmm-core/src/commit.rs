@@ -27,6 +27,7 @@ pub const COMMITS_COLLECTION: &str = "commits";
 /// Phase two of a save: append the commit record, making the save
 /// visible. Retries transient faults. Returns the record's doc id.
 pub fn commit_save(env: &ManagementEnv, id: &ModelSetId) -> Result<u64> {
+    let _span = env.obs().span("commit");
     env.with_retry(|| {
         env.docs()
             .insert(COMMITS_COLLECTION, json!({"approach": id.approach, "set": id.key}))
@@ -47,6 +48,7 @@ pub fn is_committed(env: &ManagementEnv, id: &ModelSetId) -> Result<bool> {
 /// An uncommitted save is indistinguishable from one that never
 /// happened — exactly the contract a crash mid-save requires.
 pub fn require_committed(env: &ManagementEnv, id: &ModelSetId) -> Result<()> {
+    let _span = env.obs().span("commit_check");
     if is_committed(env, id)? {
         Ok(())
     } else {

@@ -4,6 +4,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use mmm_data::DatasetRegistry;
+use mmm_obs::{EventLevel, LaneHook, Observer};
 use mmm_store::{DocumentStore, FaultInjector, FileStore, LatencyProfile, StatsSnapshot, StoreStats};
 use mmm_util::{Result, VirtualClock};
 
@@ -58,6 +59,8 @@ pub struct ManagementEnv {
     faults: FaultInjector,
     retry: RetryPolicy,
     threads: usize,
+    profile: LatencyProfile,
+    obs: Observer,
 }
 
 /// What one measured operation cost.
@@ -65,6 +68,10 @@ pub struct ManagementEnv {
 pub struct Measurement {
     /// Hybrid duration: real elapsed + simulated store latency.
     pub duration: Duration,
+    /// The simulated-latency part of `duration` alone. Deterministic for
+    /// a deterministic run, and directly comparable to the per-phase
+    /// simulated breakdown an observer produces.
+    pub sim: Duration,
     /// Store operations and bytes during the measured section.
     pub stats: StatsSnapshot,
 }
@@ -122,7 +129,34 @@ impl ManagementEnv {
             faults,
             retry: RetryPolicy::default(),
             threads: 1,
+            profile,
+            obs: Observer::disabled(),
         })
+    }
+
+    /// Install an observer (builder style): spans/metrics flow from the
+    /// environment, both stores, the retry path, and every saver that
+    /// runs on this environment. The observer's simulated-duration
+    /// measurements use this environment's clock. Observability is
+    /// strictly read-only: stored bytes, statistics, and clock charges
+    /// are identical with or without it.
+    pub fn with_observer(mut self, obs: Observer) -> Self {
+        obs.attach_clock(&self.clock);
+        self.docs.set_observer(obs.clone());
+        self.blobs.set_observer(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The installed observer (disabled by default — safe to call into
+    /// unconditionally).
+    pub fn obs(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// The store latency profile this environment was opened with.
+    pub fn profile(&self) -> LatencyProfile {
+        self.profile
     }
 
     /// Replace the transient-fault retry policy (builder style).
@@ -161,7 +195,17 @@ impl ManagementEnv {
         n: usize,
         f: impl Fn(usize) -> Result<T> + Sync,
     ) -> Result<Vec<T>> {
-        mmm_util::parallel::try_map_timed(&self.clock, self.threads, &[&self.stats], n, f)
+        // The lane hook carries the calling thread's current span onto
+        // the workers, so spans opened inside `f` nest under the span
+        // that launched the section (annotated with their lane).
+        let lane_hook = LaneHook::current(&self.obs);
+        mmm_util::parallel::try_map_timed(
+            &self.clock,
+            self.threads,
+            &[&self.stats, &lane_hook],
+            n,
+            f,
+        )
     }
 
     /// The fault-injection handle shared by both stores.
@@ -183,7 +227,16 @@ impl ManagementEnv {
         loop {
             match op() {
                 Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
-                    self.clock.charge(self.retry.backoff_for(attempt));
+                    let backoff = self.retry.backoff_for(attempt);
+                    self.clock.charge(backoff);
+                    self.obs.inc("mmm_retries_total", 1);
+                    self.obs.observe("mmm_retry_backoff_ns", backoff.as_nanos() as u64);
+                    self.obs.event(EventLevel::Warn, || {
+                        format!(
+                            "transient fault (attempt {}): {e}; backing off {backoff:?}",
+                            attempt + 1
+                        )
+                    });
                     attempt += 1;
                 }
                 other => return other,
@@ -220,10 +273,12 @@ impl ManagementEnv {
     /// This is how the harness computes TTS, TTR and storage consumption.
     pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Measurement) {
         let before = self.stats.snapshot();
+        let sim_before = self.clock.simulated();
         let sw = self.clock.stopwatch();
         let out = f();
         let m = Measurement {
             duration: sw.elapsed(),
+            sim: self.clock.simulated() - sim_before,
             stats: self.stats.snapshot() - before,
         };
         (out, m)

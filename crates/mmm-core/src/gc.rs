@@ -58,12 +58,12 @@ pub fn delete_set(env: &ManagementEnv, id: &ModelSetId, force: bool) -> Result<D
         }
     }
 
-    let mut report = DeleteReport::default();
     // Decommit first: the set disappears from readers and the catalog
     // before any artifact is touched, so a crash mid-deletion leaves
     // only invisible orphans (fsck-collectable), never a visible set
     // with missing artifacts.
-    report.commits_deleted = commit::decommit(env, id)?;
+    let mut report =
+        DeleteReport { commits_deleted: commit::decommit(env, id)?, ..DeleteReport::default() };
     if id.approach == "mmlib-base" {
         let (first, count) = id
             .key

@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 
+use mmm_obs::{EventLevel, Observer};
 use mmm_util::{hash::xxhash64, Error, Result, VirtualClock};
 
 use crate::fault::{flip_bits, FaultEffect, FaultInjector, OpClass};
@@ -133,6 +134,10 @@ pub struct DocumentStore {
     profile: LatencyProfile,
     stats: StoreStats,
     faults: FaultInjector,
+    /// Observability sink; disabled (a no-op) unless installed via
+    /// [`DocumentStore::set_observer`]. Mirrors op latencies and fault
+    /// activations into metrics without touching behaviour.
+    obs: Observer,
     shards: [Mutex<HashMap<String, Collection>>; SHARDS],
 }
 
@@ -183,8 +188,40 @@ impl DocumentStore {
             profile,
             stats,
             faults,
+            obs: Observer::disabled(),
             shards: shards.map(Mutex::new),
         })
+    }
+
+    /// Install an observer that mirrors op latencies, payload sizes, and
+    /// fault activations into metrics. Purely additive: the store's
+    /// behaviour, accounting, and stored bytes are unchanged.
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Run the fault gate for one operation, counting any activation
+    /// (damage effect or injected error) in the observer's metrics.
+    fn fault_gate(&self, class: OpClass, op: &'static str, bytes: usize) -> Result<FaultEffect> {
+        match self.faults.on_op(class, bytes) {
+            Ok(FaultEffect::Clean) => Ok(FaultEffect::Clean),
+            Ok(effect) => {
+                self.obs.inc(&format!("mmm_fault_activations_total{{op=\"{op}\"}}"), 1);
+                self.obs
+                    .event(EventLevel::Warn, || format!("fault injected during {op}: {effect:?}"));
+                Ok(effect)
+            }
+            Err(e) => {
+                self.obs.inc(&format!("mmm_fault_activations_total{{op=\"{op}\"}}"), 1);
+                self.obs.event(EventLevel::Warn, || format!("fault injected during {op}: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Record one successful charged operation into the observer.
+    fn observe_op(&self, op: &'static str, bytes: u64, cost: std::time::Duration) {
+        self.obs.store_op(op, bytes, cost);
     }
 
     fn replay(path: &Path, name: &str) -> Result<Collection> {
@@ -263,7 +300,7 @@ impl DocumentStore {
             let line = serde_json::to_string(&on_disk)
                 .map_err(|e| Error::invalid(format!("unserializable document: {e}")))?;
             let mut record = format_record(&line);
-            match self.faults.on_op(OpClass::DocInsert, record.len())? {
+            match self.fault_gate(OpClass::DocInsert, "doc_insert", record.len())? {
                 FaultEffect::Clean => {}
                 FaultEffect::Torn { keep } => {
                     // Crash mid-append: part of the record (never its
@@ -289,8 +326,10 @@ impl DocumentStore {
             coll.next_id += 1;
             coll.index_insert(id, &doc);
             coll.docs.insert(id, doc);
+            let cost = self.profile.doc_insert.cost(bytes);
             self.stats.record_doc_insert(bytes);
-            self.clock.charge(self.profile.doc_insert.cost(bytes));
+            self.clock.charge(cost);
+            self.observe_op("doc_insert", bytes, cost);
             Ok(id)
         })
     }
@@ -299,7 +338,7 @@ impl DocumentStore {
     pub fn get(&self, collection: &str, id: DocId) -> Result<Value> {
         // Queries have no payload to tear or flip; only crash/transient
         // faults apply.
-        self.faults.on_op(OpClass::DocQuery, 0)?;
+        self.fault_gate(OpClass::DocQuery, "doc_query", 0)?;
         self.with_collection(collection, |coll| {
             let found = coll
                 .docs
@@ -307,8 +346,10 @@ impl DocumentStore {
                 .cloned()
                 .ok_or_else(|| Error::not_found(format!("document {id} in {collection:?}")))?;
             let bytes = found.to_string().len() as u64;
+            let cost = self.profile.doc_query.cost(bytes);
             self.stats.record_doc_query(bytes);
-            self.clock.charge(self.profile.doc_query.cost(bytes));
+            self.clock.charge(cost);
+            self.observe_op("doc_query", bytes, cost);
             Ok(found)
         })
     }
@@ -316,7 +357,7 @@ impl DocumentStore {
     /// Find all documents whose `field` equals `value`.
     /// Charged as one `doc_query` round-trip (one find() call).
     pub fn find_eq(&self, collection: &str, field: &str, value: &Value) -> Result<Vec<(DocId, Value)>> {
-        self.faults.on_op(OpClass::DocQuery, 0)?;
+        self.fault_gate(OpClass::DocQuery, "doc_find", 0)?;
         self.with_collection(collection, |coll| {
             let found: Vec<(DocId, Value)> = if let Some(index) = coll.indexes.get(field) {
                 // Indexed path: O(hits).
@@ -337,8 +378,10 @@ impl DocumentStore {
                     .collect()
             };
             let bytes: u64 = found.iter().map(|(_, v)| v.to_string().len() as u64).sum();
+            let cost = self.profile.doc_query.cost(bytes);
             self.stats.record_doc_query(bytes);
-            self.clock.charge(self.profile.doc_query.cost(bytes));
+            self.clock.charge(cost);
+            self.observe_op("doc_find", bytes, cost);
             Ok(found)
         })
     }
@@ -355,7 +398,7 @@ impl DocumentStore {
             let line = serde_json::to_string(&json!({"_id": id, "_deleted": true}))
                 .map_err(|e| Error::invalid(format!("unserializable tombstone: {e}")))?;
             let record = format_record(&line);
-            match self.faults.on_op(OpClass::DocDelete, record.len())? {
+            match self.fault_gate(OpClass::DocDelete, "doc_delete", record.len())? {
                 FaultEffect::Clean => {}
                 FaultEffect::Torn { keep } => {
                     let keep = keep.min(record.len() - 1);
@@ -373,8 +416,10 @@ impl DocumentStore {
             coll.index_remove(id, &doc);
             coll.docs.remove(&id);
             let bytes = record.len() as u64;
+            let cost = self.profile.doc_insert.cost(bytes);
             self.stats.record_doc_delete(bytes);
-            self.clock.charge(self.profile.doc_insert.cost(bytes));
+            self.clock.charge(cost);
+            self.observe_op("doc_delete", bytes, cost);
             Ok(())
         })
     }
@@ -453,13 +498,15 @@ impl DocumentStore {
     /// `doc_query` round-trip (one find() call) — used by catalog and
     /// fsck scans.
     pub fn all(&self, collection: &str) -> Result<Vec<(DocId, Value)>> {
-        self.faults.on_op(OpClass::DocQuery, 0)?;
+        self.fault_gate(OpClass::DocQuery, "doc_find", 0)?;
         self.with_collection(collection, |coll| {
             let found: Vec<(DocId, Value)> =
                 coll.docs.iter().map(|(id, v)| (*id, v.clone())).collect();
             let bytes: u64 = found.iter().map(|(_, v)| v.to_string().len() as u64).sum();
+            let cost = self.profile.doc_query.cost(bytes);
             self.stats.record_doc_query(bytes);
-            self.clock.charge(self.profile.doc_query.cost(bytes));
+            self.clock.charge(cost);
+            self.observe_op("doc_find", bytes, cost);
             Ok(found)
         })
     }

@@ -233,7 +233,7 @@ impl FaultInjector {
     /// Register one operation of `class` with payload size `len` and
     /// decide its fate. Crash and transient faults return `Err`; torn
     /// writes and bit flips return an effect the store must apply.
-    pub fn on_op(&self, class: OpClass, len: usize) -> Result<FaultEffect> {
+    pub fn on_op(&self, class: OpClass, _len: usize) -> Result<FaultEffect> {
         let mut state = self.inner.lock();
         state.ops += 1;
         if class.is_write() {

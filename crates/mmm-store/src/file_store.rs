@@ -5,6 +5,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mmm_obs::{EventLevel, Observer};
 use mmm_util::{Error, Result, VirtualClock};
 
 use crate::fault::{flip_bits, FaultEffect, FaultInjector, OpClass};
@@ -28,6 +29,10 @@ pub struct FileStore {
     profile: LatencyProfile,
     stats: StoreStats,
     faults: FaultInjector,
+    /// Observability sink; disabled (a no-op) unless installed via
+    /// [`FileStore::set_observer`]. Never affects stored bytes, stats,
+    /// or clock charges — it only mirrors them into metrics.
+    obs: Observer,
 }
 
 impl FileStore {
@@ -53,7 +58,33 @@ impl FileStore {
         let root = dir.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
         sweep_stale_temps(&root)?;
-        Ok(FileStore { root, clock, profile, stats, faults })
+        Ok(FileStore { root, clock, profile, stats, faults, obs: Observer::disabled() })
+    }
+
+    /// Install an observer that mirrors op latencies, payload sizes, and
+    /// fault activations into metrics. Purely additive: the store's
+    /// behaviour, accounting, and stored bytes are unchanged.
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Run the fault gate for one operation, counting any activation
+    /// (damage effect or injected error) in the observer's metrics.
+    fn fault_gate(&self, class: OpClass, op: &'static str, bytes: usize) -> Result<FaultEffect> {
+        match self.faults.on_op(class, bytes) {
+            Ok(FaultEffect::Clean) => Ok(FaultEffect::Clean),
+            Ok(effect) => {
+                self.obs.inc(&format!("mmm_fault_activations_total{{op=\"{op}\"}}"), 1);
+                self.obs
+                    .event(EventLevel::Warn, || format!("fault injected during {op}: {effect:?}"));
+                Ok(effect)
+            }
+            Err(e) => {
+                self.obs.inc(&format!("mmm_fault_activations_total{{op=\"{op}\"}}"), 1);
+                self.obs.event(EventLevel::Warn, || format!("fault injected during {op}: {e}"));
+                Err(e)
+            }
+        }
     }
 
     fn path_for(&self, key: &str) -> Result<PathBuf> {
@@ -75,7 +106,7 @@ impl FileStore {
         // stem (`a.bin` vs `a.txt`) never collide, and a leaked temp is
         // recognizable by prefix and swept on the next open.
         let tmp = tmp_path(&path)?;
-        match self.faults.on_op(OpClass::BlobPut, bytes.len())? {
+        match self.fault_gate(OpClass::BlobPut, "blob_put", bytes.len())? {
             FaultEffect::Clean => {
                 fs::write(&tmp, bytes)?;
                 fs::rename(&tmp, &path)?;
@@ -95,14 +126,16 @@ impl FileStore {
                 fs::rename(&tmp, &path)?;
             }
         }
+        let cost = self.profile.blob_put.cost(bytes.len() as u64);
         self.stats.record_blob_put(bytes.len() as u64);
-        self.clock.charge(self.profile.blob_put.cost(bytes.len() as u64));
+        self.clock.charge(cost);
+        self.obs.store_op("blob_put", bytes.len() as u64, cost);
         Ok(())
     }
 
     /// Read a blob. Charged as one `blob_get` round-trip plus transfer.
     pub fn get(&self, key: &str) -> Result<Vec<u8>> {
-        let effect = self.faults.on_op(OpClass::BlobGet, 0)?;
+        let effect = self.fault_gate(OpClass::BlobGet, "blob_get", 0)?;
         let path = self.path_for(key)?;
         let mut bytes = fs::read(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -117,8 +150,10 @@ impl FileStore {
             FaultEffect::Torn { keep } => bytes.truncate(keep),
             FaultEffect::Flip { seed, flips } => flip_bits(&mut bytes, seed, flips),
         }
+        let cost = self.profile.blob_get.cost(bytes.len() as u64);
         self.stats.record_blob_get(bytes.len() as u64);
-        self.clock.charge(self.profile.blob_get.cost(bytes.len() as u64));
+        self.clock.charge(cost);
+        self.obs.store_op("blob_get", bytes.len() as u64, cost);
         Ok(bytes)
     }
 
@@ -127,7 +162,7 @@ impl FileStore {
     /// bytes). Errors if the range exceeds the blob.
     pub fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         use std::io::{Read, Seek, SeekFrom};
-        let effect = self.faults.on_op(OpClass::BlobGet, len)?;
+        let effect = self.fault_gate(OpClass::BlobGet, "blob_get_range", len)?;
         let path = self.path_for(key)?;
         let mut file = std::fs::File::open(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -153,8 +188,10 @@ impl FileStore {
             FaultEffect::Torn { keep } => buf.truncate(keep),
             FaultEffect::Flip { seed, flips } => flip_bits(&mut buf, seed, flips),
         }
+        let cost = self.profile.blob_get.cost(buf.len() as u64);
         self.stats.record_blob_get(buf.len() as u64);
-        self.clock.charge(self.profile.blob_get.cost(buf.len() as u64));
+        self.clock.charge(cost);
+        self.obs.store_op("blob_get_range", buf.len() as u64, cost);
         Ok(buf)
     }
 
@@ -173,7 +210,7 @@ impl FileStore {
 
     /// Delete a blob. Charged as one delete round-trip.
     pub fn delete(&self, key: &str) -> Result<()> {
-        if self.faults.on_op(OpClass::BlobDelete, 0)? != FaultEffect::Clean {
+        if self.fault_gate(OpClass::BlobDelete, "blob_delete", 0)? != FaultEffect::Clean {
             // Deletes have no payload to tear or flip; any non-clean
             // verdict means the operation did not happen.
             return Err(Error::Io(std::io::Error::other(format!(
@@ -188,8 +225,10 @@ impl FileStore {
                 Error::Io(e)
             }
         })?;
+        let cost = self.profile.blob_put.cost(0);
         self.stats.record_blob_delete();
-        self.clock.charge(self.profile.blob_put.cost(0));
+        self.clock.charge(cost);
+        self.obs.store_op("blob_delete", 0, cost);
         Ok(())
     }
 

@@ -19,6 +19,9 @@ use std::thread::ThreadId;
 
 use parking_lot::Mutex;
 
+/// Maximum number of finished-lane snapshots kept in the history log.
+const LANE_LOG_CAPACITY: usize = 4096;
+
 /// Shared, thread-safe counters. Clone is cheap (Arc inside).
 #[derive(Debug, Clone, Default)]
 pub struct StoreStats {
@@ -27,6 +30,10 @@ pub struct StoreStats {
     lane_count: Arc<AtomicUsize>,
     /// Worker-thread → per-lane counters.
     lanes: Arc<Mutex<HashMap<ThreadId, Arc<Counters>>>>,
+    /// Snapshots of finished lanes, newest last, capped at
+    /// [`LANE_LOG_CAPACITY`] (oldest evicted). Observability reads this
+    /// to report how ops/bytes were distributed across worker lanes.
+    lane_log: Arc<Mutex<Vec<StatsSnapshot>>>,
 }
 
 #[derive(Debug, Default)]
@@ -198,6 +205,18 @@ impl StoreStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         self.inner.snapshot()
     }
+
+    /// Snapshots of lanes that have finished (guard dropped), oldest
+    /// first. Bounded: only the most recent [`LANE_LOG_CAPACITY`] lanes
+    /// are retained.
+    pub fn lane_history(&self) -> Vec<StatsSnapshot> {
+        self.lane_log.lock().clone()
+    }
+
+    /// Clear the finished-lane history (e.g. between benchmark phases).
+    pub fn clear_lane_history(&self) {
+        self.lane_log.lock().clear();
+    }
 }
 
 impl mmm_util::parallel::WorkerHook for StoreStats {
@@ -226,6 +245,12 @@ impl Drop for StatsLaneGuard {
     fn drop(&mut self) {
         self.stats.lanes.lock().remove(&self.tid);
         self.stats.lane_count.fetch_sub(1, Ordering::Relaxed);
+        let snap = self.counters.snapshot();
+        let mut log = self.stats.lane_log.lock();
+        if log.len() == LANE_LOG_CAPACITY {
+            log.remove(0);
+        }
+        log.push(snap);
     }
 }
 
@@ -282,6 +307,27 @@ mod tests {
         // After the guard dropped, this thread records globally only.
         s.record_blob_put(1);
         assert_eq!(s.snapshot().blob_puts, 3);
+    }
+
+    #[test]
+    fn finished_lanes_are_logged_in_order() {
+        let s = StoreStats::new();
+        assert!(s.lane_history().is_empty());
+        for bytes in [10u64, 20] {
+            let worker = s.clone();
+            std::thread::spawn(move || {
+                let _lane = worker.enter_lane();
+                worker.record_blob_put(bytes);
+            })
+            .join()
+            .unwrap();
+        }
+        let log = s.lane_history();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].bytes_written, 10);
+        assert_eq!(log[1].bytes_written, 20);
+        s.clear_lane_history();
+        assert!(s.lane_history().is_empty());
     }
 
     #[test]

@@ -126,6 +126,22 @@ impl VirtualClock {
         Duration::from_nanos(self.simulated_ns.load(Ordering::Relaxed))
     }
 
+    /// Simulated time as seen from the *current thread*: if this thread is
+    /// registered as a lane, its lane accumulator; otherwise the shared
+    /// clock. Two reads of this from the same thread bracket exactly the
+    /// simulated charges that landed on this thread's account in between
+    /// (including the critical-path charge a parallel join makes on the
+    /// calling thread), which is what span measurement needs.
+    pub fn thread_simulated(&self) -> Duration {
+        if self.lane_count.load(Ordering::Relaxed) != 0 {
+            let lanes = self.lanes.lock().expect("clock lane map poisoned");
+            if let Some(acc) = lanes.get(&std::thread::current().id()) {
+                return Duration::from_nanos(acc.load(Ordering::Relaxed));
+            }
+        }
+        self.simulated()
+    }
+
     /// Real wall-clock time since the clock was created.
     pub fn real_elapsed(&self) -> Duration {
         self.start.elapsed()
@@ -290,6 +306,26 @@ mod tests {
             done_tx.send(()).unwrap();
         });
         assert_eq!(c.simulated(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn thread_simulated_tracks_the_callers_account() {
+        let c = VirtualClock::new();
+        c.charge(Duration::from_millis(2));
+        assert_eq!(c.thread_simulated(), Duration::from_millis(2));
+        let clock = c.clone();
+        std::thread::spawn(move || {
+            let lane = clock.enter_lane();
+            let before = clock.thread_simulated();
+            clock.charge(Duration::from_millis(5));
+            let after = clock.thread_simulated();
+            assert_eq!(after - before, Duration::from_millis(5));
+            lane.finish();
+        })
+        .join()
+        .unwrap();
+        // Main thread still sees only the shared accumulator.
+        assert_eq!(c.thread_simulated(), Duration::from_millis(2));
     }
 
     #[test]

@@ -273,7 +273,7 @@ mod tests {
         }
         let counter = Counter(AtomicUsize::new(0));
         let clock = VirtualClock::new();
-        try_map_timed(&clock, 3, &[&counter], 9, |i| Ok(i)).unwrap();
+        try_map_timed(&clock, 3, &[&counter], 9, Ok).unwrap();
         assert_eq!(counter.0.load(Ordering::Relaxed), 3, "one enter per lane");
     }
 }

@@ -20,6 +20,7 @@
 //! mmm tag     --dir D <set-id> [<tag>]      # without <tag>: list tags
 //! mmm find-tag --dir D <tag>
 //! mmm advise  [--priority storage|recovery|balanced]
+//! mmm stats   [--models N] [--cycles K] [--setup zero|m1|server]
 //! ```
 //!
 //! Set ids are printed by `init`/`update`/`list` in the form
@@ -29,18 +30,28 @@
 //! paths (hashing, chunk encoding, delta compression, blob transfers)
 //! out over N worker threads. Stored bytes and reported simulated
 //! times are identical for every `N`; only wall-clock time changes.
+//!
+//! `mmm stats` runs a self-contained micro-scenario (all four
+//! approaches, U1 + `--cycles` U3 cycles in a temp directory) with full
+//! tracing enabled and pretty-prints the per-phase TTS/TTR breakdown in
+//! simulated time. `--trace-out FILE` / `--metrics-out FILE` also dump
+//! the JSONL span trace and Prometheus metrics text.
 
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
+use mmm::bench::experiment::{run_scenario_in_env, ExperimentConfig};
+use mmm::bench::report;
 use mmm::core::advisor::{recommend, Priorities, Scenario};
 use mmm::core::approach::ModelSetSaver;
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{ModelSet, ModelSetId};
 use mmm::core::{bundle, catalog, fsck, gc, lineage, tags, verify};
 use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
+use mmm::obs::Observer;
 use mmm::store::LatencyProfile;
 use mmm::util::codec::{put_f32_slice, put_str, put_u32, put_u64, Reader};
-use mmm::util::{Error, Result};
+use mmm::util::{Error, Result, TempDir};
 use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
 
 // ---------------------------------------------------------------------
@@ -51,7 +62,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n\nall commands accept --threads N (parallel save/recover; default 1)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n\nall commands accept --threads N (parallel save/recover; default 1)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -72,6 +83,10 @@ struct Args {
     keep_last: usize,
     priority: String,
     threads: usize,
+    cycles: usize,
+    setup: String,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -84,6 +99,8 @@ fn parse_args() -> Args {
         keep_last: 3,
         priority: "storage".into(),
         threads: 1,
+        cycles: 2,
+        setup: "zero".into(),
         ..Args::default()
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +122,10 @@ fn parse_args() -> Args {
             "--keep-last" => a.keep_last = num(&mut it, "--keep-last"),
             "--priority" => a.priority = next(&mut it, "--priority"),
             "--threads" => a.threads = num(&mut it, "--threads").max(1),
+            "--cycles" => a.cycles = num(&mut it, "--cycles"),
+            "--setup" => a.setup = next(&mut it, "--setup"),
+            "--trace-out" => a.trace_out = Some(PathBuf::from(next(&mut it, "--trace-out"))),
+            "--metrics-out" => a.metrics_out = Some(PathBuf::from(next(&mut it, "--metrics-out"))),
             "--help" | "-h" => usage(""),
             other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
             other if !other.starts_with('-') => a.positional.push(other.into()),
@@ -131,8 +152,19 @@ fn require_dir(a: &Args) -> &Path {
     a.dir.as_deref().unwrap_or_else(|| usage("--dir is required"))
 }
 
+/// Process-wide observer: enabled when the command records traces
+/// (`stats`, or any command run with `--trace-out`/`--metrics-out`),
+/// otherwise a no-op.
+static OBSERVER: OnceLock<Observer> = OnceLock::new();
+
+fn obs() -> &'static Observer {
+    OBSERVER.get_or_init(Observer::disabled)
+}
+
 fn open_env(a: &Args) -> Result<ManagementEnv> {
-    Ok(ManagementEnv::open(require_dir(a), LatencyProfile::zero())?.with_threads(a.threads))
+    Ok(ManagementEnv::open(require_dir(a), LatencyProfile::zero())?
+        .with_threads(a.threads)
+        .with_observer(obs().clone()))
 }
 
 fn parse_set_id(s: &str) -> ModelSetId {
@@ -544,8 +576,41 @@ fn cmd_advise(a: &Args) -> Result<()> {
     Ok(())
 }
 
+fn cmd_stats(a: &Args) -> Result<()> {
+    let profile = LatencyProfile::by_name(&a.setup)
+        .unwrap_or_else(|| usage(&format!("unknown setup {:?}; expected zero|m1|server", a.setup)));
+    let cfg = ExperimentConfig {
+        profile,
+        ..ExperimentConfig::small(a.models, a.cycles)
+    }
+    .with_threads(a.threads)
+    .with_observer(obs().clone());
+    let dir = TempDir::new("mmm-stats")?;
+    let env = ManagementEnv::open(dir.path(), profile)?
+        .with_threads(cfg.threads)
+        .with_observer(obs().clone());
+    println!(
+        "micro-scenario: {} models × {} ({} params/model), U1 + {} U3 cycle(s)",
+        cfg.n_models,
+        cfg.arch.name,
+        cfg.arch.param_count(),
+        cfg.n_cycles
+    );
+    let r = run_scenario_in_env(&cfg, &env)?;
+    print!("{}", report::run_header(env.profile().name, cfg.threads, &env.store_stats().lane_history()));
+    println!("\n=== storage (MB) ===\n{}", report::storage_table(&r));
+    println!("=== TTS (s) ===\n{}", report::tts_table(&r));
+    println!("=== TTR (s) ===\n{}", report::ttr_table(&r));
+    println!("=== per-phase TTS/TTR breakdown (simulated time) ===");
+    print!("{}", report::phase_table(obs()));
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "stats" || args.trace_out.is_some() || args.metrics_out.is_some() {
+        let _ = OBSERVER.set(Observer::new());
+    }
     let result = match args.command.as_str() {
         "init" => cmd_init(&args),
         "update" => cmd_update(&args),
@@ -561,8 +626,23 @@ fn main() {
         "tag" => cmd_tag(&args),
         "find-tag" => cmd_find_tag(&args),
         "advise" => cmd_advise(&args),
+        "stats" => cmd_stats(&args),
         other => usage(&format!("unknown command {other:?}")),
     };
+    // Dump observability artifacts even when the command failed — the
+    // trace of a failed run is exactly what one wants to look at.
+    if let Some(path) = &args.trace_out {
+        match obs().write_trace(path) {
+            Ok(()) => eprintln!("wrote span trace to {}", path.display()),
+            Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match obs().write_metrics(path) {
+            Ok(()) => eprintln!("wrote metrics to {}", path.display()),
+            Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+        }
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

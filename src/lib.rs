@@ -25,6 +25,10 @@
 //! * [`store`] — the storage substrate: blob file store and document store
 //!   with configurable latency profiles (`m1`, `server`).
 //! * [`workload`] — the paper's U1/U3 evaluation scenario driver.
+//! * [`obs`] — structured tracing, metrics and the per-phase TTS/TTR
+//!   breakdown (spans measure both wall-clock and simulated store time).
+//! * [`bench`] — the scenario harness and report tables behind the
+//!   `repro` binary and `mmm stats`.
 //!
 //! ## Quickstart
 //!
@@ -44,7 +48,9 @@
 //! ```
 
 pub use mmm_battery as battery;
+pub use mmm_bench as bench;
 pub use mmm_core as core;
+pub use mmm_obs as obs;
 pub use mmm_data as data;
 pub use mmm_dnn as dnn;
 pub use mmm_store as store;

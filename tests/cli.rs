@@ -160,3 +160,47 @@ fn unknown_command_prints_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn stats_prints_phase_breakdown_and_writes_artifacts() {
+    let dir = TempDir::new("cli-stats").unwrap();
+    let trace = dir.path().join("trace.jsonl");
+    let metrics = dir.path().join("metrics.prom");
+    let out = ok(&mmm(
+        None,
+        &[
+            "stats",
+            "--models",
+            "8",
+            "--cycles",
+            "1",
+            "--setup",
+            "m1",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    ));
+    // Run header: profile, thread budget, lane distribution.
+    assert!(out.contains("profile: m1   threads: 2"), "{out}");
+    assert!(out.contains("lanes:"), "{out}");
+    // A per-phase block for every approach's save and recover.
+    for ctx in ["mmlib-base/U1/save", "baseline/U3-1/save", "update/U1/recover", "provenance/U3-1/recover"] {
+        assert!(out.contains(ctx), "missing breakdown block {ctx}:\n{out}");
+    }
+    assert!(out.contains("commit"), "{out}");
+
+    // The span trace is JSONL with deterministic sim durations.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.lines().count() > 10, "trace too small");
+    assert!(trace_text.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "not JSONL");
+
+    // The metrics file is Prometheus text with the core families.
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    for family in ["mmm_store_op_bytes_total", "mmm_span_sim_ns", "# TYPE"] {
+        assert!(prom.contains(family), "missing {family} in:\n{prom}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Observability acceptance tests.
+//!
+//! Tracing must be a pure read on the system it observes:
+//!
+//! 1. **Zero interference**: running the full Figure-2 scenario with the
+//!    observer enabled stores bit-identical bytes on disk and reports
+//!    identical store-op accounting as an unobserved run — for every
+//!    approach, at 1 and at 4 worker threads.
+//! 2. **Exact phase tiling**: every `save`/`recover` op's named phases
+//!    sum to the op's end-to-end simulated time with a zero `other`
+//!    residual, and each breakdown total equals the TTS/TTR simulated
+//!    time the bench reports for that cell.
+//! 3. **Deterministic traces**: two runs of the same seeded scenario
+//!    produce the same ordered span sequence with the same simulated
+//!    durations, even across parallel worker lanes (only wall-clock
+//!    `real_ns` and lane assignment may differ).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use mmm::bench::experiment::{run_scenario_in_env, ExperimentConfig, APPROACHES};
+use mmm::core::env::ManagementEnv;
+use mmm::dnn::Architectures;
+use mmm::obs::Observer;
+use mmm::store::LatencyProfile;
+use mmm::util::TempDir;
+
+fn cfg(threads: usize, profile: LatencyProfile, observer: Observer) -> ExperimentConfig {
+    ExperimentConfig {
+        arch: Architectures::ffnn(6),
+        profile,
+        ..ExperimentConfig::small(10, 2)
+    }
+    .with_threads(threads)
+    .with_observer(observer)
+}
+
+/// Every file under `root`, as relative path → content.
+fn dir_contents(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(root, root, &mut out);
+    out
+}
+
+#[test]
+fn tracing_changes_no_stored_bytes_and_no_op_accounting() {
+    for threads in [1, 4] {
+        let mut runs = Vec::new();
+        for observer in [Observer::disabled(), Observer::new()] {
+            let dir = TempDir::new("it-obs").unwrap();
+            let c = cfg(threads, LatencyProfile::zero(), observer.clone());
+            let env = ManagementEnv::open(dir.path(), c.profile)
+                .unwrap()
+                .with_threads(c.threads)
+                .with_observer(observer);
+            let r = run_scenario_in_env(&c, &env).unwrap();
+            runs.push((dir_contents(dir.path()), env.stats(), r));
+        }
+        let (files_off, stats_off, r_off) = &runs[0];
+        let (files_on, stats_on, r_on) = &runs[1];
+
+        assert_eq!(
+            stats_off, stats_on,
+            "global store-op sums must not depend on tracing ({threads} thread(s))"
+        );
+        for a in APPROACHES {
+            let bytes = |r: &mmm::bench::ScenarioResult| {
+                r.row(a).iter().map(|c| c.storage_bytes).collect::<Vec<_>>()
+            };
+            assert_eq!(bytes(r_off), bytes(r_on), "{a} storage at {threads} thread(s)");
+        }
+        assert_eq!(
+            files_off.keys().collect::<Vec<_>>(),
+            files_on.keys().collect::<Vec<_>>(),
+            "observed run created/removed files ({threads} thread(s))"
+        );
+        for (path, bytes) in files_off {
+            assert!(
+                files_on[path] == *bytes,
+                "{path} differs between observed and unobserved run ({threads} thread(s))"
+            );
+        }
+    }
+}
+
+#[test]
+fn phases_tile_every_op_and_match_reported_sim_times() {
+    let observer = Observer::new();
+    let dir = TempDir::new("it-obs").unwrap();
+    let c = cfg(2, LatencyProfile::by_name("m1").unwrap(), observer.clone());
+    let env = ManagementEnv::open(dir.path(), c.profile)
+        .unwrap()
+        .with_threads(c.threads)
+        .with_observer(observer.clone());
+    let r = run_scenario_in_env(&c, &env).unwrap();
+
+    let rows = observer.breakdown();
+    for a in APPROACHES {
+        for (uc, label) in r.use_cases.iter().enumerate() {
+            let cell = &r.row(a)[uc];
+            for (op, expect) in [("save", cell.tts_sim), ("recover", cell.ttr_sim)] {
+                let ctx = format!("{a}/{label}");
+                let row = rows
+                    .iter()
+                    .find(|row| row.ctx == ctx && row.op == op)
+                    .unwrap_or_else(|| panic!("no breakdown row for {ctx}/{op}"));
+                assert!(expect.as_nanos() > 0, "{ctx}/{op} measured zero sim on m1");
+                let phase_sum: u64 = row.phases.iter().map(|p| p.sim_ns).sum();
+                assert_eq!(
+                    phase_sum + row.other_sim_ns,
+                    row.total_sim_ns,
+                    "{ctx}/{op}: phases + other must equal the total by construction"
+                );
+                assert_eq!(row.other_sim_ns, 0, "{ctx}/{op} has unattributed sim time");
+                assert_eq!(
+                    row.total_sim_ns,
+                    expect.as_nanos() as u64,
+                    "{ctx}/{op}: breakdown total != measured sim time"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn span_traces_are_deterministic_across_runs_and_lanes() {
+    // (seq, depth, ctx, name, op index, sim_ns) — everything except
+    // wall-clock time and physical lane assignment.
+    type Shape = Vec<(usize, usize, String, String, Option<u64>, u64)>;
+    let run = || -> Shape {
+        let observer = Observer::new();
+        let dir = TempDir::new("it-obs").unwrap();
+        let c = cfg(4, LatencyProfile::by_name("m1").unwrap(), observer.clone());
+        let env = ManagementEnv::open(dir.path(), c.profile)
+            .unwrap()
+            .with_threads(c.threads)
+            .with_observer(observer.clone());
+        run_scenario_in_env(&c, &env).unwrap();
+        observer
+            .trace_jsonl()
+            .lines()
+            .filter_map(|l| serde_json::from_str::<serde_json::Value>(l).ok())
+            .filter(|v| v.get("sim_ns").is_some()) // span records, not events
+            .map(|v| {
+                (
+                    v["seq"].as_u64().unwrap() as usize,
+                    v["depth"].as_u64().unwrap() as usize,
+                    v["ctx"].as_str().unwrap().to_string(),
+                    v["name"].as_str().unwrap().to_string(),
+                    v["op"].as_u64(),
+                    v["sim_ns"].as_u64().unwrap(),
+                )
+            })
+            .collect()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len(), "span counts differ between identical runs");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x, y, "trace diverged between identical runs");
+    }
+}
