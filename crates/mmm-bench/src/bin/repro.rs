@@ -20,7 +20,12 @@
 //!              scenario), per approach
 //!   threads    save/recover wall-clock vs --threads,   (extension)
 //!              with storage + simulated-time invariance
+//!   dedup      plain vs content-addressed storage,     (extension)
+//!              dedup ratio + recovery-cache hit rate
 //!   all        everything above with default settings
+//!
+//! `--backend plain|cas` selects the blob storage backend for the
+//! scenario experiments; `--cache-mb N` sizes the CAS recovery cache.
 //! ```
 
 use std::path::PathBuf;
@@ -33,7 +38,7 @@ use mmm_core::delta::DeltaStats;
 use mmm_core::env::ManagementEnv;
 use mmm_dnn::Architectures;
 use mmm_obs::{EventLevel, Observer};
-use mmm_store::LatencyProfile;
+use mmm_store::{LatencyProfile, StorageBackend};
 use mmm_util::TempDir;
 use mmm_workload::DataSource;
 
@@ -44,6 +49,8 @@ struct Args {
     trials: usize,
     setup: Option<String>,
     threads: usize,
+    backend: StorageBackend,
+    cache_mb: Option<u64>,
     out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
@@ -66,6 +73,8 @@ fn parse_args() -> Args {
         trials: 3,
         setup: None,
         threads: 1,
+        backend: StorageBackend::Plain,
+        cache_mb: None,
         out: None,
         trace_out: None,
         metrics_out: None,
@@ -79,6 +88,12 @@ fn parse_args() -> Args {
             "--trials" => args.trials = expect_num(&mut it, "--trials"),
             "--threads" => args.threads = expect_num(&mut it, "--threads").max(1),
             "--setup" => args.setup = Some(it.next().unwrap_or_else(|| usage("missing value for --setup"))),
+            "--backend" => {
+                let name = it.next().unwrap_or_else(|| usage("missing value for --backend"));
+                args.backend = StorageBackend::by_name(&name)
+                    .unwrap_or_else(|| usage(&format!("unknown backend {name:?} (plain|cas)")));
+            }
+            "--cache-mb" => args.cache_mb = Some(expect_num(&mut it, "--cache-mb") as u64),
             "--out" => args.out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --out")))),
             "--trace-out" => {
                 args.trace_out =
@@ -113,8 +128,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|all> \
-         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] [--out DIR] \
+        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|dedup|all> \
+         [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] \
+         [--backend plain|cas] [--cache-mb N] [--out DIR] \
          [--trace-out FILE] [--metrics-out FILE] [--verbose]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -130,10 +146,14 @@ fn run_trials(cfg: &ExperimentConfig, trials: usize) -> ScenarioResult {
     let mut lanes = Vec::new();
     for t in 0..trials {
         let dir = TempDir::new("mmm-repro").expect("create temp dir");
-        let env = ManagementEnv::open(dir.path(), cfg.profile)
-            .expect("open environment")
-            .with_threads(cfg.threads)
-            .with_observer(cfg.observer.clone());
+        let mut builder = ManagementEnv::builder(dir.path(), cfg.profile)
+            .threads(cfg.threads)
+            .observer(cfg.observer.clone())
+            .backend(cfg.backend);
+        if let Some(bytes) = cfg.cache_bytes {
+            builder = builder.cache_bytes(bytes);
+        }
+        let env = builder.open().expect("open environment");
         let start = Instant::now();
         let r = run_scenario_in_env(cfg, &env).expect("scenario run failed");
         // Trial progress is debug output: recorded as an event, printed
@@ -168,7 +188,9 @@ fn write_csv(out: &Option<PathBuf>, name: &str, csv: &str) {
 fn base_config(args: &Args, prof: LatencyProfile) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper_default(prof)
         .with_threads(args.threads)
-        .with_observer(obs().clone());
+        .with_observer(obs().clone())
+        .with_backend(args.backend);
+    cfg.cache_bytes = args.cache_mb.map(|mb| mb * 1024 * 1024);
     cfg.n_cycles = args.cycles;
     if let Some(n) = args.models {
         cfg.n_models = n;
@@ -380,12 +402,13 @@ fn compress(args: &Args) {
     println!("compression ratio:    {:>12.3}", encoded as f64 / raw.max(1) as f64);
 
     // End-to-end: the integrated saver with and without compression.
-    use mmm_core::approach::{ModelSetSaver, UpdateSaver};
+    use mmm_core::approach::ApproachSpec;
     use mmm_core::env::ManagementEnv;
-    for (label, mut saver) in [
-        ("UpdateSaver (plain)", UpdateSaver::new()),
-        ("UpdateSaver (delta)", UpdateSaver::new().with_delta_compression()),
+    for (label, spec) in [
+        ("update (plain)", "update"),
+        ("update:delta", "update:delta"),
     ] {
+        let mut saver = ApproachSpec::parse(spec).expect("approach spec").build();
         let d = TempDir::new("mmm-compress-env").expect("temp dir");
         let env = ManagementEnv::open(d.path(), mmm_store::LatencyProfile::zero()).expect("env");
         let id0 = saver.save_initial(&env, &before).expect("save U1");
@@ -408,7 +431,7 @@ fn snapshots(args: &Args) {
     println!("paper: recursively increasing recovery times \"can be prevented by saving");
     println!("intermediate model snapshots using the baseline approach\"\n");
 
-    use mmm_core::approach::{ModelSetSaver, UpdateSaver};
+    use mmm_core::approach::ApproachSpec;
     use mmm_core::env::ManagementEnv;
     use mmm_core::model_set::Derivation;
     use mmm_dnn::TrainConfig;
@@ -431,11 +454,12 @@ fn snapshots(args: &Args) {
             arch: Architectures::ffnn48(),
         });
         let policy = UpdatePolicy::paper_default(DataSource::battery_small());
-        let mut saver = if interval == 0 {
-            UpdateSaver::new()
+        let spec = if interval == 0 {
+            "update".to_string()
         } else {
-            UpdateSaver::with_full_snapshot_every(interval)
+            format!("update:snapshot-every={interval}")
         };
+        let mut saver = ApproachSpec::parse(&spec).expect("approach spec").build();
         let before = env.stats();
         let mut last = saver
             .save_initial(&env, &fleet.to_model_set())
@@ -493,9 +517,7 @@ fn selective(args: &Args) {
     println!("=== extension: selective recovery (the paper's accident scenario) ===");
     println!("recover k of n models at U3-2; full-set TTR shown for contrast (m1 profile)\n");
 
-    use mmm_core::approach::{
-        BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver,
-    };
+    use mmm_core::approach::{ApproachKind, ApproachSpec, ModelSetSaver};
     use mmm_core::env::ManagementEnv;
     use mmm_core::model_set::ModelSetId;
     use mmm_workload::{Fleet, FleetConfig, UpdatePolicy};
@@ -507,12 +529,10 @@ fn selective(args: &Args) {
     let mut fleet = Fleet::initial(FleetConfig { n_models: n, seed: 7, arch: Architectures::ffnn48() });
     let policy = UpdatePolicy::paper_default(DataSource::battery_small());
 
-    let mut savers: Vec<Box<dyn ModelSetSaver>> = vec![
-        Box::new(MmlibBaseSaver::new()),
-        Box::new(BaselineSaver::new()),
-        Box::new(UpdateSaver::new()),
-        Box::new(ProvenanceSaver::new()),
-    ];
+    let mut savers: Vec<Box<dyn ModelSetSaver>> = ApproachKind::ALL
+        .iter()
+        .map(|&kind| ApproachSpec::new(kind).build())
+        .collect();
     let mut ids: Vec<Vec<ModelSetId>> = vec![Vec::new(); savers.len()];
     let initial = fleet.to_model_set();
     for (s, saver) in savers.iter_mut().enumerate() {
@@ -601,6 +621,99 @@ fn threads(args: &Args) {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
 }
 
+fn dedup(args: &Args) {
+    println!("=== extension: content-addressed dedup + recovery cache ===");
+    println!("the cas backend chunks parameter blobs on layer edges and stores each");
+    println!("distinct chunk once; repeat recoveries are served from an LRU cache\n");
+
+    use mmm_core::approach::ApproachSpec;
+
+    // Full scenario under both backends: per-approach charged bytes.
+    let mut results = Vec::new();
+    for backend in [StorageBackend::Plain, StorageBackend::Cas] {
+        let mut cfg = base_config(args, LatencyProfile::zero());
+        cfg.n_models = args.models.unwrap_or(500);
+        cfg.backend = backend;
+        let dir = TempDir::new("mmm-dedup").expect("temp dir");
+        let mut builder = ManagementEnv::builder(dir.path(), cfg.profile)
+            .threads(cfg.threads)
+            .observer(cfg.observer.clone())
+            .backend(backend);
+        if let Some(bytes) = cfg.cache_bytes {
+            builder = builder.cache_bytes(bytes);
+        }
+        let env = builder.open().expect("env");
+        let r = run_scenario_in_env(&cfg, &env).expect("scenario");
+        if backend == StorageBackend::Cas {
+            let c = env.cas().expect("cas store").counters();
+            println!(
+                "cas: {} chunk puts ({:.2} MB written), {} dedup hits ({:.2} MB avoided)",
+                c.chunk_puts,
+                c.chunk_put_bytes as f64 / 1e6,
+                c.dedup_hits,
+                c.dedup_bytes as f64 / 1e6
+            );
+            let total = c.chunk_put_bytes + c.dedup_bytes;
+            println!(
+                "dedup ratio: {:.3} (stored / logical chunk bytes)\n",
+                c.chunk_put_bytes as f64 / total.max(1) as f64
+            );
+        }
+        results.push(r);
+    }
+    println!(
+        "{:<12}{:>16}{:>16}{:>10}",
+        "approach", "plain (MB)", "cas (MB)", "saved %"
+    );
+    for a in mmm_bench::experiment::APPROACHES {
+        let total = |r: &ScenarioResult| {
+            r.row(a).iter().map(|c| c.storage_bytes).sum::<u64>() as f64 / 1e6
+        };
+        let (plain, cas) = (total(&results[0]), total(&results[1]));
+        println!(
+            "{a:<12}{plain:>16.3}{cas:>16.3}{:>10.1}",
+            100.0 * (1.0 - cas / plain.max(f64::MIN_POSITIVE))
+        );
+    }
+
+    // Warm-cache demonstration: the same selective recovery twice; the
+    // repeat run is served from the cache and charges no simulated time.
+    let n = args.models.unwrap_or(500);
+    let dir = TempDir::new("mmm-dedup-cache").expect("temp dir");
+    let cache_bytes = args.cache_mb.map(|mb| mb * 1024 * 1024).unwrap_or(64 * 1024 * 1024);
+    let env = ManagementEnv::builder(dir.path(), profile("m1"))
+        .backend(StorageBackend::Cas)
+        .cache_bytes(cache_bytes)
+        .open()
+        .expect("env");
+    let fleet = mmm_workload::Fleet::initial(mmm_workload::FleetConfig {
+        n_models: n,
+        seed: 7,
+        arch: Architectures::ffnn48(),
+    });
+    let mut saver = ApproachSpec::parse("baseline").expect("spec").build();
+    let id = saver.save_initial(&env, &fleet.to_model_set()).expect("save");
+    let picked: Vec<usize> = (0..10).map(|i| i * (n / 10).max(1)).filter(|&i| i < n).collect();
+    let c0 = env.cas().expect("cas").counters();
+    let (_, cold) = env.measure(|| saver.recover_models(&env, &id, &picked).expect("cold"));
+    let c1 = env.cas().expect("cas").counters();
+    let (_, warm) = env.measure(|| saver.recover_models(&env, &id, &picked).expect("warm"));
+    let c2 = env.cas().expect("cas").counters();
+    println!(
+        "\ncold recover of {} models: {:.3} s simulated, {} cache-hit bytes",
+        picked.len(),
+        cold.sim.as_secs_f64(),
+        c1.cache_hit_bytes - c0.cache_hit_bytes
+    );
+    println!(
+        "warm recover of {} models: {:.3} s simulated, {} cache-hit bytes",
+        picked.len(),
+        warm.sim.as_secs_f64(),
+        c2.cache_hit_bytes - c1.cache_hit_bytes
+    );
+    println!("(cache hits charge no simulated store latency, so warm TTR < cold TTR)");
+}
+
 fn main() {
     let args = parse_args();
     if args.trace_out.is_some() || args.metrics_out.is_some() || args.verbose {
@@ -622,6 +735,7 @@ fn main() {
         "scaling" => scaling(&args),
         "selective" => selective(&args),
         "threads" => threads(&args),
+        "dedup" => dedup(&args),
         "all" => {
             fig3(&args);
             println!();
@@ -646,6 +760,8 @@ fn main() {
             selective(&args);
             println!();
             threads(&args);
+            println!();
+            dedup(&args);
         }
         other => usage(&format!("unknown experiment {other:?}")),
     }

@@ -20,14 +20,12 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Duration;
 
-use mmm_core::approach::{
-    BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver,
-};
+use mmm_core::approach::{ApproachKind, ApproachSpec, ModelSetSaver};
 use mmm_core::env::ManagementEnv;
 use mmm_core::model_set::{Derivation, ModelSet, ModelSetId, ModelUpdate};
 use mmm_dnn::ArchitectureSpec;
 use mmm_obs::Observer;
-use mmm_store::LatencyProfile;
+use mmm_store::{LatencyProfile, StorageBackend};
 use mmm_util::{Error, Result};
 use mmm_workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
 
@@ -65,6 +63,11 @@ pub struct ExperimentConfig {
     /// `save`/`recover` span, so the per-phase breakdown groups per
     /// scenario cell. Disabled by default (zero overhead).
     pub observer: Observer,
+    /// Blob storage backend (plain files or content-addressed chunks).
+    pub backend: StorageBackend,
+    /// CAS recovery-cache budget in bytes (`None` = backend default;
+    /// ignored on the plain backend).
+    pub cache_bytes: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -82,6 +85,8 @@ impl ExperimentConfig {
             verify_roundtrip: false,
             threads: 1,
             observer: Observer::disabled(),
+            backend: StorageBackend::Plain,
+            cache_bytes: None,
         }
     }
 
@@ -104,6 +109,8 @@ impl ExperimentConfig {
             verify_roundtrip: false,
             threads: 1,
             observer: Observer::disabled(),
+            backend: StorageBackend::Plain,
+            cache_bytes: None,
         }
     }
 
@@ -117,6 +124,18 @@ impl ExperimentConfig {
     /// environment and annotates every save/recover with context + spans.
     pub fn with_observer(mut self, observer: Observer) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Select the blob storage backend.
+    pub fn with_backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the CAS recovery-cache budget in bytes.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = Some(bytes);
         self
     }
 }
@@ -203,9 +222,14 @@ fn reduce_derivation(env: &ManagementEnv, deriv: &Derivation) -> Result<Derivati
 
 /// Run one full scenario in `dir`. Returns per-cell measurements.
 pub fn run_scenario(cfg: &ExperimentConfig, dir: &Path) -> Result<ScenarioResult> {
-    let env = ManagementEnv::open(dir, cfg.profile)?
-        .with_threads(cfg.threads)
-        .with_observer(cfg.observer.clone());
+    let mut builder = ManagementEnv::builder(dir, cfg.profile)
+        .threads(cfg.threads)
+        .observer(cfg.observer.clone())
+        .backend(cfg.backend);
+    if let Some(bytes) = cfg.cache_bytes {
+        builder = builder.cache_bytes(bytes);
+    }
+    let env = builder.open()?;
     run_scenario_in_env(cfg, &env)
 }
 
@@ -228,12 +252,10 @@ pub fn run_scenario_in_env(cfg: &ExperimentConfig, env: &ManagementEnv) -> Resul
         policy.partial_layers = vec![1];
     }
 
-    let mut savers: Vec<Box<dyn ModelSetSaver>> = vec![
-        Box::new(MmlibBaseSaver::new()),
-        Box::new(BaselineSaver::new()),
-        Box::new(UpdateSaver::new()),
-        Box::new(ProvenanceSaver::new()),
-    ];
+    let mut savers: Vec<Box<dyn ModelSetSaver>> = ApproachKind::ALL
+        .iter()
+        .map(|&kind| ApproachSpec::new(kind).build())
+        .collect();
 
     let mut use_cases = vec!["U1".to_string()];
     let mut cells: BTreeMap<String, Vec<UseCaseCell>> = APPROACHES

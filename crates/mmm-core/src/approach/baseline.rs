@@ -56,7 +56,10 @@ impl ModelSetSaver for BaselineSaver {
         };
         {
             let _span = env.obs().span("blob_put");
-            env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &blob))?;
+            let sizes = set.arch.parametric_layer_sizes();
+            env.with_retry(|| {
+                common::put_params_blob(env, &common::params_key(self.name(), doc_id), &blob, &sizes)
+            })?;
         }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;

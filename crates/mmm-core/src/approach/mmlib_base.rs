@@ -112,11 +112,14 @@ impl ModelSetSaver for MmlibBaseSaver {
             let models = set.models();
             let _span = env.obs().span("encode_put");
             env.run_parallel(models.len(), |i| {
+                // Per-item spans need the item index: siblings without
+                // one tie-break on open order, which races across lanes
+                // and would make the trace nondeterministic.
                 let params = {
-                    let _s = env.obs().span("encode");
+                    let _s = env.obs().span_idx("encode", i as u64);
                     encode_verbose_dict(&models[i])
                 };
-                let _s = env.obs().span("blob_put");
+                let _s = env.obs().span_idx("blob_put", i as u64);
                 put_blobs(doc_ids[i], &params)
             })?;
         }

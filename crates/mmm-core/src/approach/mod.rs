@@ -72,23 +72,178 @@ pub trait ModelSetSaver {
     }
 }
 
+/// Which management approach an [`ApproachSpec`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApproachKind {
+    /// Per-model artifacts, MMlib-style (the paper's baseline library).
+    MmlibBase,
+    /// One concatenated blob per set.
+    Baseline,
+    /// Diff chains against the base set.
+    Update,
+    /// Re-derivation from recorded provenance.
+    Provenance,
+}
+
+impl ApproachKind {
+    /// Every approach, in the paper's presentation order.
+    pub const ALL: [ApproachKind; 4] =
+        [ApproachKind::MmlibBase, ApproachKind::Baseline, ApproachKind::Update, ApproachKind::Provenance];
+
+    /// The stable name used in ids, CLIs, and spec strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApproachKind::MmlibBase => "mmlib-base",
+            ApproachKind::Baseline => "baseline",
+            ApproachKind::Update => "update",
+            ApproachKind::Provenance => "provenance",
+        }
+    }
+
+    /// Inverse of [`ApproachKind::name`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Tuning options carried by an [`ApproachSpec`]. Currently all options
+/// belong to the Update approach; [`ApproachSpec::parse`] rejects them
+/// on any other kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApproachOptions {
+    /// Bound diff-chain length by saving a full snapshot every `k`
+    /// derived saves ([`UpdateSaver::with_full_snapshot_every`]).
+    pub snapshot_every: Option<usize>,
+    /// Store changed layers as XOR deltas against the base
+    /// ([`UpdateSaver::with_delta_compression`]).
+    pub delta: bool,
+}
+
+impl ApproachOptions {
+    fn is_default(&self) -> bool {
+        *self == ApproachOptions::default()
+    }
+}
+
+/// A fully-specified approach configuration, parseable from one string
+/// form shared by the CLI, benches, and tests:
+/// `kind[:option[,option]...]` — e.g. `baseline`, `update:delta`, or
+/// `update:snapshot-every=4,delta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproachSpec {
+    /// Which approach to build.
+    pub kind: ApproachKind,
+    /// Approach-specific tuning.
+    pub options: ApproachOptions,
+}
+
+impl ApproachSpec {
+    /// A spec for `kind` with default options.
+    pub fn new(kind: ApproachKind) -> Self {
+        ApproachSpec { kind, options: ApproachOptions::default() }
+    }
+
+    /// Parse the canonical string form. Unknown kinds, unknown options,
+    /// malformed values, and options applied to approaches that don't
+    /// take them are all [`Error::Invalid`].
+    pub fn parse(s: &str) -> Result<Self> {
+        let (kind_name, opts) = match s.split_once(':') {
+            Some((k, o)) => (k, Some(o)),
+            None => (s, None),
+        };
+        let kind = ApproachKind::by_name(kind_name.trim()).ok_or_else(|| {
+            Error::invalid(format!(
+                "unknown approach {kind_name:?} (expected one of: mmlib-base, baseline, update, provenance)"
+            ))
+        })?;
+        let mut options = ApproachOptions::default();
+        for raw in opts.into_iter().flat_map(|o| o.split(',')) {
+            let opt = raw.trim();
+            if opt.is_empty() {
+                continue;
+            }
+            if kind != ApproachKind::Update {
+                return Err(Error::invalid(format!(
+                    "option {opt:?} is not valid for approach {:?} (options exist only for 'update')",
+                    kind.name()
+                )));
+            }
+            match opt.split_once('=') {
+                None if opt == "delta" => options.delta = true,
+                Some(("snapshot-every", v)) => {
+                    let k: usize = v.trim().parse().map_err(|_| {
+                        Error::invalid(format!("snapshot-every expects a positive integer, got {v:?}"))
+                    })?;
+                    if k == 0 {
+                        return Err(Error::invalid("snapshot-every must be at least 1"));
+                    }
+                    options.snapshot_every = Some(k);
+                }
+                _ => {
+                    return Err(Error::invalid(format!(
+                        "unknown approach option {opt:?} (expected 'delta' or 'snapshot-every=K')"
+                    )));
+                }
+            }
+        }
+        Ok(ApproachSpec { kind, options })
+    }
+
+    /// Construct the saver this spec describes.
+    pub fn build(&self) -> Box<dyn ModelSetSaver> {
+        match self.kind {
+            ApproachKind::MmlibBase => Box::new(MmlibBaseSaver::new()),
+            ApproachKind::Baseline => Box::new(BaselineSaver::new()),
+            ApproachKind::Provenance => Box::new(ProvenanceSaver::new()),
+            ApproachKind::Update => {
+                let mut saver = match self.options.snapshot_every {
+                    Some(k) => UpdateSaver::with_full_snapshot_every(k),
+                    None => UpdateSaver::new(),
+                };
+                if self.options.delta {
+                    saver = saver.with_delta_compression();
+                }
+                Box::new(saver)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for ApproachSpec {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        ApproachSpec::parse(s)
+    }
+}
+
+impl std::fmt::Display for ApproachSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind.name())?;
+        if self.options.is_default() {
+            return Ok(());
+        }
+        let mut sep = ':';
+        if let Some(k) = self.options.snapshot_every {
+            write!(f, "{sep}snapshot-every={k}")?;
+            sep = ',';
+        }
+        if self.options.delta {
+            write!(f, "{sep}delta")?;
+        }
+        Ok(())
+    }
+}
+
 /// Construct a saver by its stable name (`"mmlib-base"`, `"baseline"`,
 /// `"update"`, `"provenance"`).
+#[deprecated(note = "use `ApproachSpec::parse(name)?.build()`, which also accepts options")]
 pub fn by_name(name: &str) -> Option<Box<dyn ModelSetSaver>> {
-    match name {
-        "mmlib-base" => Some(Box::new(MmlibBaseSaver::new())),
-        "baseline" => Some(Box::new(BaselineSaver::new())),
-        "update" => Some(Box::new(UpdateSaver::new())),
-        "provenance" => Some(Box::new(ProvenanceSaver::new())),
-        _ => None,
-    }
+    ApproachSpec::parse(name).ok().map(|spec| spec.build())
 }
 
 /// Recover a set with whatever approach its id names.
 pub fn recover_any(env: &ManagementEnv, id: &ModelSetId) -> Result<ModelSet> {
-    by_name(&id.approach)
-        .ok_or_else(|| mmm_util::Error::invalid(format!("unknown approach {:?}", id.approach)))?
-        .recover_set(env, id)
+    ApproachSpec::parse(&id.approach)?.build().recover_set(env, id)
 }
 
 /// Shared helpers for the set-oriented approaches (Baseline, Update,
@@ -205,5 +360,42 @@ pub(crate) mod common {
         id.key
             .parse::<u64>()
             .map_err(|_| Error::invalid(format!("malformed set key {:?}", id.key)))
+    }
+
+    /// Byte offsets of (model, layer) record edges in an
+    /// [`crate::param_codec::encode_concat`] blob: the format is `n`
+    /// fixed-size model records back to back, each a concatenation of
+    /// 4-byte-per-element layer slices.
+    pub fn concat_boundaries(total_len: usize, layer_sizes: &[usize]) -> Vec<usize> {
+        let per_model: usize = layer_sizes.iter().map(|&s| 4 * s).sum();
+        if per_model == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < total_len {
+            for &s in layer_sizes {
+                off += 4 * s;
+                if off >= total_len {
+                    break;
+                }
+                out.push(off);
+            }
+        }
+        out
+    }
+
+    /// Put a concatenated-parameters blob, cutting CAS chunks on layer
+    /// edges so unchanged layers dedup across sets and versions. Stored
+    /// bytes are identical on the plain backend (boundaries only
+    /// influence content-addressed chunking).
+    pub fn put_params_blob(
+        env: &ManagementEnv,
+        key: &str,
+        blob: &[u8],
+        layer_sizes: &[usize],
+    ) -> Result<()> {
+        let boundaries = concat_boundaries(blob.len(), layer_sizes);
+        env.blobs().put_with_boundaries(key, blob, &boundaries)
     }
 }

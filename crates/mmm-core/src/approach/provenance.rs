@@ -124,8 +124,14 @@ impl ModelSetSaver for ProvenanceSaver {
             };
             {
                 let _span = env.obs().span("blob_put");
+                let sizes = set.arch.parametric_layer_sizes();
                 env.with_retry(|| {
-                    env.blobs().put(&common::params_key(self.name(), doc_id), &params)
+                    common::put_params_blob(
+                        env,
+                        &common::params_key(self.name(), doc_id),
+                        &params,
+                        &sizes,
+                    )
                 })?;
             }
             let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };

@@ -72,6 +72,24 @@ impl UpdateSaver {
         format!("update/{doc_id}/diff.bin")
     }
 
+    /// Chunk-boundary hints for a hash table blob: one cut after the
+    /// 16-byte header, then one per model row, so an unchanged model's
+    /// row dedups against the predecessor's hash blob under CAS.
+    fn hashes_boundaries(hashes: &[Vec<u64>], blob_len: usize) -> Vec<usize> {
+        let n_layers = hashes.first().map(Vec::len).unwrap_or(0);
+        if n_layers == 0 {
+            return Vec::new();
+        }
+        let row = 8 * n_layers;
+        let mut out = Vec::new();
+        let mut off = 16usize;
+        while off < blob_len {
+            out.push(off);
+            off += row;
+        }
+        out
+    }
+
     fn save_full(&self, env: &ManagementEnv, set: &ModelSet, depth: u64) -> Result<ModelSetId> {
         let mut doc = common::full_set_doc(self.name(), &set.arch, set.len())?;
         doc.as_object_mut()
@@ -87,7 +105,10 @@ impl UpdateSaver {
         };
         {
             let _span = env.obs().span("blob_put");
-            env.with_retry(|| env.blobs().put(&common::params_key(self.name(), doc_id), &params))?;
+            let sizes = set.arch.parametric_layer_sizes();
+            env.with_retry(|| {
+                common::put_params_blob(env, &common::params_key(self.name(), doc_id), &params, &sizes)
+            })?;
         }
         let hashes = {
             let _span = env.obs().span("hash");
@@ -96,7 +117,10 @@ impl UpdateSaver {
         let hash_blob = encode_hashes(&hashes);
         {
             let _span = env.obs().span("blob_put");
-            env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+            let bounds = Self::hashes_boundaries(&hashes, hash_blob.len());
+            env.with_retry(|| {
+                env.blobs().put_with_boundaries(&Self::hashes_key(doc_id), &hash_blob, &bounds)
+            })?;
         }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;
@@ -248,7 +272,10 @@ impl ModelSetSaver for UpdateSaver {
             let _span = env.obs().span("blob_put");
             env.with_retry(|| env.blobs().put(&Self::diff_key(doc_id), &diff_blob))?;
             let hash_blob = encode_hashes(&hashes);
-            env.with_retry(|| env.blobs().put(&Self::hashes_key(doc_id), &hash_blob))?;
+            let bounds = Self::hashes_boundaries(&hashes, hash_blob.len());
+            env.with_retry(|| {
+                env.blobs().put_with_boundaries(&Self::hashes_key(doc_id), &hash_blob, &bounds)
+            })?;
         }
         let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
         commit::commit_save(env, &id)?;

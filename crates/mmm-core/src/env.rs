@@ -1,12 +1,15 @@
 //! The shared management environment: stores, registry, clock, stats.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use mmm_data::DatasetRegistry;
 use mmm_obs::{EventLevel, LaneHook, Observer};
-use mmm_store::{DocumentStore, FaultInjector, FileStore, LatencyProfile, StatsSnapshot, StoreStats};
-use mmm_util::{Result, VirtualClock};
+use mmm_store::{
+    BlobStore, CasConfig, CasStore, DocumentStore, FaultInjector, LatencyProfile, StatsSnapshot,
+    StorageBackend, StoreStats,
+};
+use mmm_util::{Error, Result, VirtualClock};
 
 /// Bounded-backoff retry policy for [`mmm_util::Error::Transient`]
 /// store faults. Backoff delays are *charged to the virtual clock*, so
@@ -54,13 +57,154 @@ pub struct ManagementEnv {
     clock: VirtualClock,
     stats: StoreStats,
     docs: DocumentStore,
-    blobs: FileStore,
+    blobs: BlobStore,
     registry: DatasetRegistry,
     faults: FaultInjector,
     retry: RetryPolicy,
     threads: usize,
     profile: LatencyProfile,
     obs: Observer,
+}
+
+/// Staged configuration for [`ManagementEnv::builder`] — the one place
+/// every environment knob lives. `open`, `open_with_faults`, and the
+/// `with_*` builder methods on [`ManagementEnv`] are all thin wrappers
+/// over this.
+#[must_use = "EnvBuilder does nothing until .open() is called"]
+pub struct EnvBuilder {
+    dir: PathBuf,
+    profile: LatencyProfile,
+    faults: Option<FaultInjector>,
+    observer: Option<Observer>,
+    retry: Option<RetryPolicy>,
+    threads: usize,
+    backend: Option<StorageBackend>,
+    cas_config: CasConfig,
+}
+
+impl EnvBuilder {
+    /// Share a fault-injection handle with both stores (crash-recovery
+    /// tests; a disarmed injector is free).
+    pub fn faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Install an observer at open time (see
+    /// [`ManagementEnv::with_observer`]).
+    pub fn observer(mut self, obs: Observer) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Replace the transient-fault retry policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Set the worker-thread budget for parallel save/recover sections.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Choose the blob storage backend explicitly. Reopening an
+    /// environment with a different backend than it was created with is
+    /// an error; leave this unset to adopt whatever the directory
+    /// already uses.
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Byte budget for the CAS recovery cache (ignored by the plain
+    /// backend; `0` disables caching).
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cas_config.cache_bytes = bytes;
+        self
+    }
+
+    /// Chunk size for content-addressed storage (ignored by the plain
+    /// backend).
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.cas_config.chunk_size = bytes.max(1);
+        self
+    }
+
+    /// Open the environment. Layout under the root: `docs` (document
+    /// store), `blobs` (blob store, plain or CAS), `datasets` (dataset
+    /// registry — *outside* storage accounting), and a `backend` marker
+    /// recording which blob backend the directory was created with.
+    pub fn open(self) -> Result<ManagementEnv> {
+        let dir = &self.dir;
+        std::fs::create_dir_all(dir)?;
+        let backend = resolve_backend(dir, self.backend)?;
+        let clock = VirtualClock::new();
+        let stats = StoreStats::new();
+        let faults = self.faults.unwrap_or_default();
+        let docs = DocumentStore::open_with_faults(
+            dir.join("docs"),
+            self.profile,
+            clock.clone(),
+            stats.clone(),
+            faults.clone(),
+        )?;
+        let blobs = BlobStore::open(
+            backend,
+            dir.join("blobs"),
+            self.profile,
+            clock.clone(),
+            stats.clone(),
+            faults.clone(),
+            self.cas_config,
+        )?;
+        // The registry deliberately bypasses clock/stats: the paper's
+        // storage metric "does not include the storage consumption of
+        // referenced models" or data saved outside model management.
+        let registry = DatasetRegistry::open(dir.join("datasets"))?;
+        let env = ManagementEnv {
+            clock,
+            stats,
+            docs,
+            blobs,
+            registry,
+            faults,
+            retry: self.retry.unwrap_or_default(),
+            threads: self.threads,
+            profile: self.profile,
+            obs: Observer::disabled(),
+        };
+        Ok(match self.observer {
+            Some(obs) => env.with_observer(obs),
+            None => env,
+        })
+    }
+}
+
+/// Reconcile the requested backend with the `backend` marker file:
+/// adopt the stored choice when the caller didn't pick one, reject an
+/// explicit mismatch, and persist the decision for future opens.
+fn resolve_backend(dir: &Path, requested: Option<StorageBackend>) -> Result<StorageBackend> {
+    let marker = dir.join("backend");
+    let stored = std::fs::read_to_string(&marker)
+        .ok()
+        .and_then(|s| StorageBackend::by_name(s.trim()));
+    let backend = match (requested, stored) {
+        (Some(req), Some(found)) if req != found => {
+            return Err(Error::invalid(format!(
+                "environment at {} uses the '{found}' backend; cannot reopen as '{req}'",
+                dir.display()
+            )));
+        }
+        (Some(req), _) => req,
+        (None, Some(found)) => found,
+        (None, None) => StorageBackend::default(),
+    };
+    if stored.is_none() {
+        std::fs::write(&marker, backend.name())?;
+    }
+    Ok(backend)
 }
 
 /// What one measured operation cost.
@@ -84,12 +228,26 @@ impl Measurement {
 }
 
 impl ManagementEnv {
+    /// Start configuring an environment rooted at `dir` (see
+    /// [`EnvBuilder`] for the available knobs).
+    pub fn builder(dir: impl AsRef<Path>, profile: LatencyProfile) -> EnvBuilder {
+        EnvBuilder {
+            dir: dir.as_ref().to_path_buf(),
+            profile,
+            faults: None,
+            observer: None,
+            retry: None,
+            threads: 1,
+            backend: None,
+            cas_config: CasConfig::default(),
+        }
+    }
+
     /// Open (creating if needed) an environment rooted at `dir`, with the
-    /// given store latency profile. Layout:
-    /// `dir/docs` (document store), `dir/blobs` (file store),
-    /// `dir/datasets` (dataset registry — *outside* storage accounting).
+    /// given store latency profile and every other knob at its default
+    /// (equivalent to `Self::builder(dir, profile).open()`).
     pub fn open(dir: impl AsRef<Path>, profile: LatencyProfile) -> Result<Self> {
-        Self::open_with_faults(dir, profile, FaultInjector::new())
+        Self::builder(dir, profile).open()
     }
 
     /// Open an environment whose stores share the given fault-injection
@@ -99,39 +257,7 @@ impl ManagementEnv {
         profile: LatencyProfile,
         faults: FaultInjector,
     ) -> Result<Self> {
-        let dir = dir.as_ref();
-        let clock = VirtualClock::new();
-        let stats = StoreStats::new();
-        let docs = DocumentStore::open_with_faults(
-            dir.join("docs"),
-            profile,
-            clock.clone(),
-            stats.clone(),
-            faults.clone(),
-        )?;
-        let blobs = FileStore::open_with_faults(
-            dir.join("blobs"),
-            profile,
-            clock.clone(),
-            stats.clone(),
-            faults.clone(),
-        )?;
-        // The registry deliberately bypasses clock/stats: the paper's
-        // storage metric "does not include the storage consumption of
-        // referenced models" or data saved outside model management.
-        let registry = DatasetRegistry::open(dir.join("datasets"))?;
-        Ok(ManagementEnv {
-            clock,
-            stats,
-            docs,
-            blobs,
-            registry,
-            faults,
-            retry: RetryPolicy::default(),
-            threads: 1,
-            profile,
-            obs: Observer::disabled(),
-        })
+        Self::builder(dir, profile).faults(faults).open()
     }
 
     /// Install an observer (builder style): spans/metrics flow from the
@@ -249,9 +375,21 @@ impl ManagementEnv {
         &self.docs
     }
 
-    /// The file store (binary artifacts).
-    pub fn blobs(&self) -> &FileStore {
+    /// The blob store (binary artifacts; plain or content-addressed
+    /// depending on [`ManagementEnv::backend`]).
+    pub fn blobs(&self) -> &BlobStore {
         &self.blobs
+    }
+
+    /// Which blob storage backend this environment runs on.
+    pub fn backend(&self) -> StorageBackend {
+        self.blobs.backend()
+    }
+
+    /// The content-addressed store, when the `cas` backend is active
+    /// (for dedup counters, cache accounting, audits).
+    pub fn cas(&self) -> Option<&CasStore> {
+        self.blobs.cas()
     }
 
     /// The dataset registry (externally persisted training data).
@@ -402,5 +540,92 @@ mod tests {
         }
         let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
         assert_eq!(env.docs().count("sets"), 1);
+    }
+
+    #[test]
+    fn builder_defaults_match_open() {
+        let dir = TempDir::new("mmm-env").unwrap();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero()).open().unwrap();
+        assert_eq!(env.backend(), StorageBackend::Plain);
+        assert_eq!(env.threads(), 1);
+        assert!(env.cas().is_none());
+        env.blobs().put("x", b"abc").unwrap();
+        assert_eq!(env.blobs().get("x").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn builder_opens_cas_backend_with_knobs() {
+        let dir = TempDir::new("mmm-env").unwrap();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .backend(StorageBackend::Cas)
+            .cache_bytes(1024 * 1024)
+            .chunk_size(512)
+            .threads(4)
+            .open()
+            .unwrap();
+        assert_eq!(env.backend(), StorageBackend::Cas);
+        assert_eq!(env.threads(), 4);
+        let cas = env.cas().expect("cas store");
+        assert_eq!(cas.config().cache_bytes, 1024 * 1024);
+        assert_eq!(cas.config().chunk_size, 512);
+        env.blobs().put("x", &[7u8; 2048]).unwrap();
+        assert_eq!(env.blobs().get("x").unwrap(), vec![7u8; 2048]);
+    }
+
+    #[test]
+    fn backend_marker_is_adopted_on_reopen() {
+        let dir = TempDir::new("mmm-env").unwrap();
+        {
+            let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+                .backend(StorageBackend::Cas)
+                .open()
+                .unwrap();
+            env.blobs().put("k", b"payload").unwrap();
+        }
+        // No explicit backend: the stored marker wins.
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        assert_eq!(env.backend(), StorageBackend::Cas);
+        assert_eq!(env.blobs().get("k").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn backend_mismatch_on_reopen_is_invalid() {
+        use mmm_util::Error;
+        let dir = TempDir::new("mmm-env").unwrap();
+        drop(
+            ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+                .backend(StorageBackend::Cas)
+                .open()
+                .unwrap(),
+        );
+        let result = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .backend(StorageBackend::Plain)
+            .open();
+        match result {
+            Err(Error::Invalid(msg)) => assert!(msg.contains("backend"), "{msg}"),
+            Err(e) => panic!("expected Invalid, got {e}"),
+            Ok(_) => panic!("expected backend mismatch to fail"),
+        }
+    }
+
+    #[test]
+    fn builder_faults_and_retry_policy_are_wired() {
+        use mmm_store::{FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-env").unwrap();
+        let faults = mmm_store::FaultInjector::new();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .faults(faults.clone())
+            .retry_policy(policy)
+            .open()
+            .unwrap();
+        assert_eq!(env.retry_policy().max_attempts, 2);
+        faults.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 1));
+        env.with_retry(|| env.blobs().put("k", b"v")).unwrap();
+        assert_eq!(env.blobs().get("k").unwrap(), b"v");
     }
 }

@@ -95,6 +95,12 @@ pub enum Damage {
         /// The unowned blob's key.
         key: String,
     },
+    /// A content-addressed chunk payload no manifest references —
+    /// crash-leaked or left behind by an interrupted GC. Safe to reclaim.
+    OrphanChunk {
+        /// The unreferenced chunk's key (under `cas/chunks/`).
+        key: String,
+    },
 }
 
 impl Damage {
@@ -113,6 +119,7 @@ impl Damage {
                 format!("dangling commit for {id} ({detail})")
             }
             Damage::OrphanBlob { key } => format!("orphan blob {key}"),
+            Damage::OrphanChunk { key } => format!("orphan chunk {key}"),
         }
     }
 
@@ -124,7 +131,7 @@ impl Damage {
             | Damage::HashMismatch { id, .. }
             | Damage::DanglingChain { id, .. }
             | Damage::DanglingCommit { id, .. } => Some(id),
-            Damage::OrphanBlob { .. } => None,
+            Damage::OrphanBlob { .. } | Damage::OrphanChunk { .. } => None,
         }
     }
 }
@@ -158,6 +165,8 @@ pub struct RepairReport {
     pub orphan_blobs_deleted: usize,
     /// Commit records without documents removed.
     pub dangling_commits_removed: usize,
+    /// Unreferenced content-addressed chunk payloads deleted.
+    pub orphan_chunks_deleted: usize,
     /// Corrupt sets moved to quarantine.
     pub sets_quarantined: usize,
 }
@@ -190,6 +199,23 @@ fn mmlib_batches(rows: &[(u64, Value)]) -> Vec<(String, Vec<u64>)> {
     out
 }
 
+/// The committed set a logical blob key belongs to. Per-model `mmlib/m*`
+/// keys resolve through the reconstructed batch map; everything else is
+/// `approach/doc_id/...`.
+fn set_of_blob_key(key: &str, mmlib_batch_of: &HashMap<u64, String>) -> Option<ModelSetId> {
+    let mut parts = key.splitn(3, '/');
+    let first = parts.next()?;
+    let second = parts.next()?;
+    if first == "mmlib" {
+        let rid: u64 = second.strip_prefix('m')?.parse().ok()?;
+        let batch = mmlib_batch_of.get(&rid)?;
+        Some(ModelSetId { approach: "mmlib-base".into(), key: batch.clone() })
+    } else {
+        second.parse::<u64>().ok()?;
+        Some(ModelSetId { approach: first.into(), key: second.into() })
+    }
+}
+
 /// Scan the whole environment and classify every inconsistency.
 /// Read-only — repair decisions are a separate, explicit step.
 pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
@@ -218,7 +244,7 @@ pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
         let kind = doc.get("kind").and_then(Value::as_str).unwrap_or("?");
         for key in node_blob_keys(&approach, kind, *doc_id) {
             report.blobs_checked += 1;
-            if env.blobs().size(&key).is_err() {
+            if env.blobs().verify_blob(&key).is_err() {
                 report.damage.push(Damage::MissingBlob { id: id.clone(), key });
             }
         }
@@ -251,7 +277,12 @@ pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
     for (doc_id, _) in &model_rows {
         owners.insert(format!("mmlib/m{doc_id}"));
     }
-    for (key, row_ids) in mmlib_batches(&model_rows) {
+    let batches = mmlib_batches(&model_rows);
+    let mmlib_batch_of: HashMap<u64, String> = batches
+        .iter()
+        .flat_map(|(key, ids)| ids.iter().map(|rid| (*rid, key.clone())))
+        .collect();
+    for (key, row_ids) in batches {
         let id = ModelSetId { approach: "mmlib-base".into(), key: key.clone() };
         if !committed.contains(&("mmlib-base".to_string(), key)) {
             let mut blobs = Vec::new();
@@ -266,7 +297,7 @@ pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
             for artifact in ["params.pt", "code.py", "environment.yaml"] {
                 report.blobs_checked += 1;
                 let key = format!("mmlib/m{rid}/{artifact}");
-                if env.blobs().size(&key).is_err() {
+                if env.blobs().verify_blob(&key).is_err() {
                     report.damage.push(Damage::MissingBlob { id: id.clone(), key });
                 }
             }
@@ -320,6 +351,35 @@ pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
         }
         if !owners.contains(&owner_of(&key)) {
             report.damage.push(Damage::OrphanBlob { key });
+        }
+    }
+
+    // ---- content-addressed chunk audit (CAS backend only) ----
+    if let Some(cas) = env.blobs().cas() {
+        let audit = cas.audit()?;
+        for key in audit.orphan_chunks {
+            report.damage.push(Damage::OrphanChunk { key });
+        }
+        // A corrupt chunk damages every committed set whose manifests
+        // reference it; verify_blob above only checks presence/length,
+        // so the digest cross-check surfaces here.
+        let mut flagged: HashSet<(String, String)> = HashSet::new();
+        for (chunk, owner_keys) in audit.corrupt_chunks {
+            for owner in owner_keys {
+                if RESERVED_PREFIXES.iter().any(|p| owner.starts_with(p)) {
+                    continue;
+                }
+                let Some(id) = set_of_blob_key(&owner, &mmlib_batch_of) else { continue };
+                if !committed.contains(&(id.approach.clone(), id.key.clone())) {
+                    continue; // uncommitted debris is already classified
+                }
+                if flagged.insert((id.approach.clone(), id.key.clone())) {
+                    report.damage.push(Damage::HashMismatch {
+                        id,
+                        detail: format!("blob {owner}: corrupt chunk {chunk}"),
+                    });
+                }
+            }
         }
     }
 
@@ -417,9 +477,18 @@ fn quarantine_set(env: &ManagementEnv, id: &ModelSetId, reason: &str) -> Result<
         };
     for prefix in &blob_prefixes {
         for key in env.blobs().list_keys(prefix)? {
-            let bytes = env.blobs().get(&key)?;
-            env.blobs().put(&format!("{QUARANTINE_PREFIX}{key}"), &bytes)?;
-            env.blobs().delete(&key)?;
+            match env.blobs().get(&key) {
+                Ok(bytes) => {
+                    env.blobs().put(&format!("{QUARANTINE_PREFIX}{key}"), &bytes)?;
+                    env.blobs().delete(&key)?;
+                }
+                // Unreadable (e.g. a corrupt content-addressed chunk):
+                // nothing worth parking — drop the blob so it cannot
+                // masquerade as recoverable data.
+                Err(_) => {
+                    let _ = env.blobs().delete(&key);
+                }
+            }
         }
     }
     for doc_id in doc_ids {
@@ -460,6 +529,11 @@ pub fn repair(env: &ManagementEnv, report: &FsckReport) -> Result<RepairReport> 
             Damage::OrphanBlob { key } => {
                 if delete_blob_quietly(env, key)? {
                     out.orphan_blobs_deleted += 1;
+                }
+            }
+            Damage::OrphanChunk { key } => {
+                if delete_blob_quietly(env, key)? {
+                    out.orphan_chunks_deleted += 1;
                 }
             }
             Damage::DanglingCommit { id, .. } => {

@@ -118,6 +118,17 @@ pub fn apply_retention(
     Ok(deleted)
 }
 
+/// Garbage-collect the content-addressed chunk store: delete every chunk
+/// payload no manifest references (crash-leaked puts, interrupted GCs).
+/// Returns `(chunks deleted, bytes reclaimed)` — `(0, 0)` on the plain
+/// backend, which has no chunk population to sweep.
+pub fn reclaim_orphan_chunks(env: &ManagementEnv) -> Result<(usize, u64)> {
+    match env.blobs().cas() {
+        Some(cas) => cas.reclaim_orphans(),
+        None => Ok((0, 0)),
+    }
+}
+
 /// Garbage-collect the dataset registry: delete every registered dataset
 /// that no surviving provenance record references. Returns
 /// `(datasets deleted, bytes reclaimed)`.

@@ -287,6 +287,18 @@ impl Observer {
         }
     }
 
+    /// Record one recovery-cache hit: `bytes` served from memory and the
+    /// simulated store latency `saved` by not re-reading the blob store.
+    /// Counter names mirror the `mmm_store_op_*` family so dashboards can
+    /// put hit traffic next to real store traffic (no-op when disabled).
+    pub fn cache_hit(&self, bytes: u64, saved: Duration) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.inc("mmm_cache_hits_total", 1);
+            inner.metrics.inc("mmm_cache_hit_bytes_total", bytes);
+            inner.metrics.observe("mmm_cache_saved_sim_ns", saved.as_nanos() as u64);
+        }
+    }
+
     /// The metrics registry, if enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.inner.as_deref().map(|i| &i.metrics)

@@ -1,0 +1,259 @@
+//! Storage-backend selection: plain file store vs. content-addressed.
+//!
+//! The management env owns a [`BlobStore`], which dispatches every blob
+//! operation to either a [`FileStore`] (the paper's layout: one file per
+//! blob) or a [`CasStore`] (chunk-deduplicated, cached). Both backends
+//! are bit-identical at the logical key→blob level, so savers and
+//! recovery code are backend-agnostic; only accounting (bytes billed,
+//! simulated latency) differs.
+
+use std::path::Path;
+
+use mmm_obs::Observer;
+use mmm_util::{Result, VirtualClock};
+
+use crate::cas::{CasConfig, CasStore};
+use crate::fault::FaultInjector;
+use crate::file_store::FileStore;
+use crate::profile::LatencyProfile;
+use crate::stats::StoreStats;
+
+/// Which blob-store implementation an environment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// One file per blob, exactly the bytes the saver produced (the
+    /// paper's storage layout).
+    #[default]
+    Plain,
+    /// Content-addressed: blobs become chunk manifests, identical chunks
+    /// are stored once, repeat reads hit an in-memory recovery cache.
+    Cas,
+}
+
+impl StorageBackend {
+    /// Canonical lowercase name (CLI flag value, on-disk marker).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageBackend::Plain => "plain",
+            StorageBackend::Cas => "cas",
+        }
+    }
+
+    /// Inverse of [`StorageBackend::name`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "plain" => Some(StorageBackend::Plain),
+            "cas" => Some(StorageBackend::Cas),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A blob store that is either plain or content-addressed. Mirrors the
+/// [`FileStore`] API; see [`StorageBackend`] for the semantics of each
+/// variant.
+// One store per environment: the size gap between the variants is
+// irrelevant, and boxing would cost a pointer hop on every blob op.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum BlobStore {
+    /// Plain one-file-per-blob backend.
+    Plain(FileStore),
+    /// Content-addressed deduplicating backend.
+    Cas(CasStore),
+}
+
+impl BlobStore {
+    /// Open a blob store of the chosen backend rooted at `dir`.
+    pub fn open(
+        backend: StorageBackend,
+        dir: impl AsRef<Path>,
+        profile: LatencyProfile,
+        clock: VirtualClock,
+        stats: StoreStats,
+        faults: FaultInjector,
+        cas_config: CasConfig,
+    ) -> Result<Self> {
+        Ok(match backend {
+            StorageBackend::Plain => BlobStore::Plain(FileStore::open_with_faults(
+                dir, profile, clock, stats, faults,
+            )?),
+            StorageBackend::Cas => BlobStore::Cas(CasStore::open(
+                dir, profile, clock, stats, faults, cas_config,
+            )?),
+        })
+    }
+
+    /// Which backend this store uses.
+    pub fn backend(&self) -> StorageBackend {
+        match self {
+            BlobStore::Plain(_) => StorageBackend::Plain,
+            BlobStore::Cas(_) => StorageBackend::Cas,
+        }
+    }
+
+    /// The content-addressed layer, when active (dedup/cache counters,
+    /// audits, orphan reclamation).
+    pub fn cas(&self) -> Option<&CasStore> {
+        match self {
+            BlobStore::Plain(_) => None,
+            BlobStore::Cas(c) => Some(c),
+        }
+    }
+
+    /// Install an observer on the underlying store.
+    pub fn set_observer(&mut self, obs: Observer) {
+        match self {
+            BlobStore::Plain(s) => s.set_observer(obs),
+            BlobStore::Cas(s) => s.set_observer(obs),
+        }
+    }
+
+    /// Write a blob (see [`FileStore::put`]).
+    pub fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        match self {
+            BlobStore::Plain(s) => s.put(key, bytes),
+            BlobStore::Cas(s) => s.put(key, bytes),
+        }
+    }
+
+    /// Write a blob, hinting semantic chunk boundaries (layer spans). The
+    /// plain backend stores the bytes as-is; the content-addressed
+    /// backend cuts chunks at the boundaries so identical layers dedup.
+    pub fn put_with_boundaries(&self, key: &str, bytes: &[u8], boundaries: &[usize]) -> Result<()> {
+        match self {
+            BlobStore::Plain(s) => s.put(key, bytes),
+            BlobStore::Cas(s) => s.put_with_boundaries(key, bytes, boundaries),
+        }
+    }
+
+    /// Read a whole blob (see [`FileStore::get`]).
+    pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        match self {
+            BlobStore::Plain(s) => s.get(key),
+            BlobStore::Cas(s) => s.get(key),
+        }
+    }
+
+    /// Ranged read (see [`FileStore::get_range`]).
+    pub fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        match self {
+            BlobStore::Plain(s) => s.get_range(key, offset, len),
+            BlobStore::Cas(s) => s.get_range(key, offset, len),
+        }
+    }
+
+    /// Whether a blob exists (not charged).
+    pub fn exists(&self, key: &str) -> bool {
+        match self {
+            BlobStore::Plain(s) => s.exists(key),
+            BlobStore::Cas(s) => s.exists(key),
+        }
+    }
+
+    /// Logical size of a stored blob in bytes (not charged).
+    pub fn size(&self, key: &str) -> Result<u64> {
+        match self {
+            BlobStore::Plain(s) => s.size(key),
+            BlobStore::Cas(s) => s.size(key),
+        }
+    }
+
+    /// Delete a blob; the content-addressed backend also releases and
+    /// reclaims its chunks.
+    pub fn delete(&self, key: &str) -> Result<()> {
+        match self {
+            BlobStore::Plain(s) => s.delete(key),
+            BlobStore::Cas(s) => s.delete(key),
+        }
+    }
+
+    /// All logical keys under a prefix (sorted, not charged). The
+    /// content-addressed backend hides its chunk namespace.
+    pub fn list_keys(&self, prefix: &str) -> Result<Vec<String>> {
+        match self {
+            BlobStore::Plain(s) => s.list_keys(prefix),
+            BlobStore::Cas(s) => s.list_keys(prefix),
+        }
+    }
+
+    /// Ground-truth disk usage of the store.
+    pub fn disk_bytes(&self) -> u64 {
+        match self {
+            BlobStore::Plain(s) => s.disk_bytes(),
+            BlobStore::Cas(s) => s.disk_bytes(),
+        }
+    }
+
+    /// Check that a blob is structurally recoverable without reading it
+    /// through the charged path: plain blobs only need to exist; a
+    /// content-addressed blob additionally needs every chunk its manifest
+    /// references to be present with the advertised length.
+    pub fn verify_blob(&self, key: &str) -> Result<()> {
+        match self {
+            BlobStore::Plain(s) => s.size(key).map(|_| ()),
+            BlobStore::Cas(s) => s.verify(key),
+        }
+    }
+
+    /// The store's fault-injection handle.
+    pub fn faults(&self) -> &FaultInjector {
+        match self {
+            BlobStore::Plain(s) => s.faults(),
+            BlobStore::Cas(s) => s.faults(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::{Error, TempDir};
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [StorageBackend::Plain, StorageBackend::Cas] {
+            assert_eq!(StorageBackend::by_name(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(StorageBackend::by_name("mongo"), None);
+        assert_eq!(StorageBackend::default(), StorageBackend::Plain);
+    }
+
+    #[test]
+    fn both_backends_agree_on_logical_contents() {
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 13) as u8).collect();
+        let mut logical = Vec::new();
+        for backend in [StorageBackend::Plain, StorageBackend::Cas] {
+            let dir = TempDir::new("mmm-backend").unwrap();
+            let store = BlobStore::open(
+                backend,
+                dir.path(),
+                LatencyProfile::zero(),
+                VirtualClock::new(),
+                StoreStats::new(),
+                FaultInjector::new(),
+                CasConfig::default(),
+            )
+            .unwrap();
+            store.put_with_boundaries("m/params.bin", &data, &[10_000, 20_000]).unwrap();
+            store.put("m/meta.bin", b"meta").unwrap();
+            assert_eq!(store.backend(), backend);
+            assert_eq!(store.get("m/params.bin").unwrap(), data);
+            assert_eq!(store.get_range("m/params.bin", 9_990, 20).unwrap(), &data[9_990..10_010]);
+            assert_eq!(store.size("m/params.bin").unwrap(), data.len() as u64);
+            store.verify_blob("m/params.bin").unwrap();
+            assert!(matches!(store.verify_blob("nope"), Err(Error::NotFound(_))));
+            logical.push(store.list_keys("").unwrap());
+            store.delete("m/meta.bin").unwrap();
+            assert!(!store.exists("m/meta.bin"));
+        }
+        assert_eq!(logical[0], logical[1], "backends expose identical key spaces");
+    }
+}

@@ -195,6 +195,22 @@ impl FileStore {
         Ok(buf)
     }
 
+    /// Read a blob without charging latency, recording stats, or running
+    /// the fault gate. Maintenance-path primitive used by the
+    /// content-addressed layer for index rebuilds and audits, where the
+    /// bytes read model local bookkeeping rather than simulated store
+    /// round-trips.
+    pub(crate) fn read_local(&self, key: &str) -> Result<Vec<u8>> {
+        let path = self.path_for(key)?;
+        fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::not_found(format!("blob {key:?}"))
+            } else {
+                Error::Io(e)
+            }
+        })
+    }
+
     /// Whether a blob exists (not charged — local metadata check).
     pub fn exists(&self, key: &str) -> bool {
         self.path_for(key).map(|p| p.exists()).unwrap_or(false)

@@ -10,6 +10,9 @@
 //!
 //! * [`file_store::FileStore`] — a key→blob store (real files, atomic
 //!   write-then-rename).
+//! * [`cas::CasStore`] — a content-addressed layer over the file store:
+//!   chunk-level deduplication with refcount GC plus an LRU recovery
+//!   cache, selected per environment through [`backend::BlobStore`].
 //! * [`doc_store::DocumentStore`] — JSON documents in named collections,
 //!   persisted to an append-only log per collection and replayed on open.
 //! * [`profile::LatencyProfile`] — per-operation latency models. The two
@@ -28,12 +31,16 @@
 //! document-store writes (the paper's optimization O3), while the
 //! set-oriented savers issue a constant number of operations.
 
+pub mod backend;
+pub mod cas;
 pub mod doc_store;
 pub mod fault;
 pub mod file_store;
 pub mod profile;
 pub mod stats;
 
+pub use backend::{BlobStore, StorageBackend};
+pub use cas::{CasAudit, CasConfig, CasCounters, CasStore};
 pub use doc_store::DocumentStore;
 pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultTarget, OpClass};
 pub use file_store::FileStore;

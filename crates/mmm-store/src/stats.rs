@@ -207,8 +207,8 @@ impl StoreStats {
     }
 
     /// Snapshots of lanes that have finished (guard dropped), oldest
-    /// first. Bounded: only the most recent [`LANE_LOG_CAPACITY`] lanes
-    /// are retained.
+    /// first. Bounded: only the most recent `LANE_LOG_CAPACITY` (4096)
+    /// lanes are retained.
     pub fn lane_history(&self) -> Vec<StatsSnapshot> {
         self.lane_log.lock().clone()
     }

@@ -10,7 +10,30 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors surfaced by the `mmm` workspace.
+///
+/// # Taxonomy
+///
+/// The variants partition failures along two axes that callers care
+/// about — *who is at fault* and *whether retrying can help*:
+///
+/// | Variant     | Fault          | Retryable | Typical reaction |
+/// |-------------|----------------|-----------|------------------|
+/// | `Io`        | environment    | no        | propagate; run `fsck` if persistent |
+/// | `NotFound`  | caller / state | no        | treat as absence, or repair dangling refs |
+/// | `Corrupt`   | stored data    | no        | quarantine + recover from a base version |
+/// | `Invalid`   | caller         | no        | fix the call site |
+/// | `Transient` | environment    | **yes**   | re-issue after backoff ([`Error::is_transient`]) |
+///
+/// Only [`Error::Transient`] is retryable: `mmm_util::parallel::with_retry`
+/// (re-exported through the core env) consults [`Error::is_transient`] and
+/// re-issues the operation with bounded exponential backoff; every other
+/// variant fails fast.
+///
+/// The enum is `#[non_exhaustive]`: downstream crates must keep a
+/// wildcard arm so future failure classes (e.g. quota, auth) can be
+/// added without a breaking release.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// An underlying I/O failure (file store, document store persistence).
     Io(std::io::Error),

@@ -6,7 +6,7 @@
 //! and garbage-collect.
 //!
 //! ```text
-//! mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach update|baseline|provenance|mmlib-base]
+//! mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--backend plain|cas] [--cache-mb N]
 //! mmm update  --dir D [--rate 0.10] [--divergence]
 //! mmm list    --dir D
 //! mmm lineage --dir D <set-id>
@@ -26,6 +26,13 @@
 //! Set ids are printed by `init`/`update`/`list` in the form
 //! `approach:key` (e.g. `update:3`).
 //!
+//! `--approach` takes an approach spec: a kind name optionally followed
+//! by `:options` (e.g. `update:snapshot-every=4,delta`). `--backend cas`
+//! stores parameter blobs content-addressed — identical layers across
+//! sets and versions are stored once — with an LRU recovery cache sized
+//! by `--cache-mb`. The backend choice is persisted in the environment
+//! and re-adopted on later invocations.
+//!
 //! Every command accepts `--threads N` to fan the save/recover hot
 //! paths (hashing, chunk encoding, delta compression, blob transfers)
 //! out over N worker threads. Stored bytes and reported simulated
@@ -43,13 +50,13 @@ use std::sync::OnceLock;
 use mmm::bench::experiment::{run_scenario_in_env, ExperimentConfig};
 use mmm::bench::report;
 use mmm::core::advisor::{recommend, Priorities, Scenario};
-use mmm::core::approach::ModelSetSaver;
+use mmm::core::approach::{ApproachSpec, ModelSetSaver};
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{ModelSet, ModelSetId};
 use mmm::core::{bundle, catalog, fsck, gc, lineage, tags, verify};
 use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
 use mmm::obs::Observer;
-use mmm::store::LatencyProfile;
+use mmm::store::{LatencyProfile, StorageBackend};
 use mmm::util::codec::{put_f32_slice, put_str, put_u32, put_u64, Reader};
 use mmm::util::{Error, Result, TempDir};
 use mmm::workload::{DataSource, Fleet, FleetConfig, UpdatePolicy};
@@ -62,7 +69,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach A] [--seed S]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n\nall commands accept --threads N (parallel save/recover; default 1)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1) and\n--backend/--cache-mb (an environment keeps the backend it was created with)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -83,6 +90,8 @@ struct Args {
     keep_last: usize,
     priority: String,
     threads: usize,
+    backend: Option<StorageBackend>,
+    cache_mb: Option<u64>,
     cycles: usize,
     setup: String,
     trace_out: Option<PathBuf>,
@@ -122,6 +131,14 @@ fn parse_args() -> Args {
             "--keep-last" => a.keep_last = num(&mut it, "--keep-last"),
             "--priority" => a.priority = next(&mut it, "--priority"),
             "--threads" => a.threads = num(&mut it, "--threads").max(1),
+            "--backend" => {
+                let name = next(&mut it, "--backend");
+                a.backend = Some(
+                    StorageBackend::by_name(&name)
+                        .unwrap_or_else(|| usage(&format!("unknown backend {name:?} (plain|cas)"))),
+                );
+            }
+            "--cache-mb" => a.cache_mb = Some(num(&mut it, "--cache-mb") as u64),
             "--cycles" => a.cycles = num(&mut it, "--cycles"),
             "--setup" => a.setup = next(&mut it, "--setup"),
             "--trace-out" => a.trace_out = Some(PathBuf::from(next(&mut it, "--trace-out"))),
@@ -162,9 +179,18 @@ fn obs() -> &'static Observer {
 }
 
 fn open_env(a: &Args) -> Result<ManagementEnv> {
-    Ok(ManagementEnv::open(require_dir(a), LatencyProfile::zero())?
-        .with_threads(a.threads)
-        .with_observer(obs().clone()))
+    let mut builder = ManagementEnv::builder(require_dir(a), LatencyProfile::zero())
+        .threads(a.threads)
+        .observer(obs().clone());
+    // Without --backend the environment re-adopts whatever backend it
+    // was created with (persisted marker file).
+    if let Some(backend) = a.backend {
+        builder = builder.backend(backend);
+    }
+    if let Some(mb) = a.cache_mb {
+        builder = builder.cache_bytes(mb * 1024 * 1024);
+    }
+    builder.open()
 }
 
 fn parse_set_id(s: &str) -> ModelSetId {
@@ -174,8 +200,10 @@ fn parse_set_id(s: &str) -> ModelSetId {
     ModelSetId { approach: approach.into(), key: key.into() }
 }
 
-fn make_saver(name: &str) -> Box<dyn ModelSetSaver> {
-    mmm::core::approach::by_name(name).unwrap_or_else(|| usage(&format!("unknown approach {name:?}")))
+fn make_saver(spec: &str) -> Box<dyn ModelSetSaver> {
+    ApproachSpec::parse(spec)
+        .unwrap_or_else(|e| usage(&e.to_string()))
+        .build()
 }
 
 // ---------------------------------------------------------------------
@@ -438,10 +466,12 @@ fn cmd_fsck(a: &Args) -> Result<()> {
     let fixed = fsck::repair(&env, &report)?;
     println!(
         "repair: {} uncommitted doc(s) and {} uncommitted blob(s) collected, \
-         {} orphan blob(s) deleted, {} dangling commit(s) removed, {} set(s) quarantined",
+         {} orphan blob(s) and {} orphan chunk(s) deleted, \
+         {} dangling commit(s) removed, {} set(s) quarantined",
         fixed.uncommitted_docs_deleted,
         fixed.uncommitted_blobs_deleted,
         fixed.orphan_blobs_deleted,
+        fixed.orphan_chunks_deleted,
         fixed.dangling_commits_removed,
         fixed.sets_quarantined
     );
@@ -487,6 +517,14 @@ fn cmd_gc(a: &Args) -> Result<()> {
     let (n, bytes) = gc::collect_unreferenced_datasets(&env)?;
     if n > 0 {
         println!("reclaimed {n} unreferenced dataset(s), {:.2} MB", bytes as f64 / 1e6);
+    }
+    // On the cas backend, sweep chunk payloads no manifest references.
+    let (chunks, chunk_bytes) = gc::reclaim_orphan_chunks(&env)?;
+    if chunks > 0 {
+        println!(
+            "reclaimed {chunks} unreferenced chunk(s), {:.2} MB",
+            chunk_bytes as f64 / 1e6
+        );
     }
     Ok(())
 }

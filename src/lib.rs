@@ -27,7 +27,7 @@
 //! * [`workload`] — the paper's U1/U3 evaluation scenario driver.
 //! * [`obs`] — structured tracing, metrics and the per-phase TTS/TTR
 //!   breakdown (spans measure both wall-clock and simulated store time).
-//! * [`bench`] — the scenario harness and report tables behind the
+//! * [`mod@bench`] — the scenario harness and report tables behind the
 //!   `repro` binary and `mmm stats`.
 //!
 //! ## Quickstart

@@ -11,7 +11,7 @@
 //! repair leaves a clean store. All fault positions and bit flips are
 //! seeded, so any failure replays exactly.
 
-use mmm::core::approach::{by_name, ModelSetSaver};
+use mmm::core::approach::{ApproachSpec, ModelSetSaver};
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{Derivation, ModelSet, ModelSetId};
 use mmm::core::{catalog, fsck};
@@ -55,7 +55,7 @@ fn scenario(approach: &str) -> Scenario {
         seed: SEED,
         arch: Architectures::ffnn(6),
     });
-    let mut saver = by_name(approach).unwrap();
+    let mut saver = ApproachSpec::parse(approach).unwrap().build();
     let set_a = fleet.to_model_set();
     let id_a = saver.save_initial(&env, &set_a).unwrap();
     let record = fleet.run_update_cycle(env.registry(), &policy()).unwrap();
@@ -105,7 +105,7 @@ fn every_write_op_is_survivable(approach: &str, plan: impl Fn(u64) -> FaultPlan)
         }
 
         // 2. The last committed set is untouched, bit for bit.
-        let saver = by_name(approach).unwrap();
+        let saver = ApproachSpec::parse(approach).unwrap().build();
         assert_eq!(saver.recover_set(&env, &id_a).unwrap(), set_a, "{ctx}: committed set");
 
         // 3. The unfinished save is invisible to the catalog.
@@ -165,7 +165,7 @@ fn silent_blob_corruption_is_caught_by_fsck_and_quarantined() {
         .unwrap();
     let fleet = Fleet::initial(FleetConfig { n_models: N, seed: SEED, arch: Architectures::ffnn(6) });
     let set = fleet.to_model_set();
-    let mut saver = by_name("update").unwrap();
+    let mut saver = ApproachSpec::parse("update").unwrap().build();
 
     // Rot the first blob (the parameter payload) as it is written; the
     // save itself reports success — only the hash audit can notice.
@@ -207,7 +207,7 @@ fn a_flipped_document_record_fails_loudly_on_reopen() {
                 .unwrap();
         let fleet =
             Fleet::initial(FleetConfig { n_models: N, seed: SEED, arch: Architectures::ffnn(6) });
-        let mut saver = by_name("update").unwrap();
+        let mut saver = ApproachSpec::parse("update").unwrap().build();
         faults.arm(FaultPlan::bit_flip_at(FaultTarget::Class(OpClass::DocInsert), 0, 9, 99));
         saver.save_initial(&env, &fleet.to_model_set()).unwrap();
     }
@@ -229,7 +229,7 @@ fn injected_damage_replays_bit_identically_from_the_seed() {
                 .unwrap();
         let fleet =
             Fleet::initial(FleetConfig { n_models: N, seed: SEED, arch: Architectures::ffnn(6) });
-        let mut saver = by_name("update").unwrap();
+        let mut saver = ApproachSpec::parse("update").unwrap().build();
         faults.arm(FaultPlan::bit_flip_at(FaultTarget::Class(OpClass::BlobPut), 0, 9, 0xC0FFEE));
         saver.save_initial(&env, &fleet.to_model_set()).unwrap();
         faults.disarm_all();

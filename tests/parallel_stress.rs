@@ -24,7 +24,7 @@
 
 use std::time::Duration;
 
-use mmm::core::approach::by_name;
+use mmm::core::approach::ApproachSpec;
 use mmm::core::env::ManagementEnv;
 use mmm::core::fsck;
 use mmm::core::model_set::{ModelSet, ModelSetId};
@@ -65,7 +65,7 @@ fn four_approaches_save_and_recover_concurrently_against_one_env() {
             .map(|(t, approach)| {
                 let env = &env;
                 s.spawn(move || {
-                    let mut saver = by_name(approach).unwrap();
+                    let mut saver = ApproachSpec::parse(approach).unwrap().build();
                     let mut fleet = Fleet::initial(FleetConfig {
                         n_models: 6,
                         seed: 100 + t as u64,
@@ -93,7 +93,7 @@ fn four_approaches_save_and_recover_concurrently_against_one_env() {
     // After the dust settles every archived version of every approach
     // still recovers bit-identically.
     for (t, versions) in saved.iter().enumerate() {
-        let saver = by_name(APPROACHES[t]).unwrap();
+        let saver = ApproachSpec::parse(APPROACHES[t]).unwrap().build();
         for (id, snapshot) in versions {
             assert_eq!(&saver.recover_set(&env, id).unwrap(), snapshot, "{id}");
         }
@@ -120,7 +120,7 @@ fn storage_and_op_accounting_is_thread_count_invariant() {
             .with_threads(threads);
         let mut per_approach = Vec::new();
         for approach in APPROACHES {
-            let mut saver = by_name(approach).unwrap();
+            let mut saver = ApproachSpec::parse(approach).unwrap().build();
             let mut fleet = Fleet::initial(FleetConfig {
                 n_models: 8,
                 seed: 7,
@@ -162,7 +162,7 @@ fn parallel_sections_charge_the_critical_path_not_the_lane_sum() {
             .with_threads(threads);
         // mmlib-base is the op-heaviest approach (3n blob puts on save,
         // 2n round-trips on recover), so its parallel sections dominate.
-        let mut saver = by_name("mmlib-base").unwrap();
+        let mut saver = ApproachSpec::parse("mmlib-base").unwrap().build();
         let fleet = Fleet::initial(FleetConfig {
             n_models,
             seed: 7,

@@ -1,0 +1,256 @@
+//! Hermetic stand-in for the `criterion` crate (see
+//! `vendor/README.md`).
+//!
+//! Implements the subset this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! sample sizes, and throughput annotation — with plain wall-clock
+//! timing and a one-line report per benchmark. No statistics, plots,
+//! or baselines: the point is that `cargo bench` (and `cargo clippy
+//! --all-targets`) build and run, and produce indicative numbers.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: DEFAULT_SAMPLES }
+    }
+}
+
+impl Criterion {
+    /// No-op hook kept for API compatibility with `criterion_group!`
+    /// expansions that call it.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup { _parent: self, name: name.into(), samples, throughput: None }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let samples = self.samples;
+        run_one("", &id.to_string(), samples, None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in this group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotate benchmarks with work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.samples, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.samples, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (report output is per-benchmark; nothing to
+    /// flush).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    // One untimed warm-up pass, then the timed samples.
+    f(&mut b);
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let label =
+        if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if b.iters == 0 {
+        println!("bench {label}: no iterations recorded");
+        return;
+    }
+    let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) => {
+                format!(" ({:.1} MiB/s)", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / mean),
+        })
+        .unwrap_or_default();
+    println!(
+        "bench {label}: mean {:.3} ms over {} iters{rate}",
+        mean * 1e3,
+        b.iters
+    );
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Time `routine` on a fresh `setup()` value per sample; setup time
+    /// is excluded.
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Hint for how much memory batched inputs consume (ignored; each
+/// sample sets up exactly one input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Each input used exactly once.
+    PerIteration,
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (for groups whose name carries the context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Bundle benchmark functions into a runner callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |a, x| a ^ x.wrapping_mul(0x9e37_79b9))
+    }
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_function("iter", |b| b.iter(|| work(100)));
+        group.bench_with_input(BenchmarkId::new("batched", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n * 10, work, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("depth", 3).to_string(), "depth/3");
+        assert_eq!(BenchmarkId::from_parameter("delta").to_string(), "delta");
+    }
+}

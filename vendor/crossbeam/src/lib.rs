@@ -1,0 +1,93 @@
+//! Hermetic stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: `thread::scope` with
+//! crossbeam's API shape — spawn closures receive the scope (enabling
+//! nested spawns) and `scope` returns a `Result`. Backed by
+//! `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope, so workers can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned via [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// caller's stack; all threads are joined before `scope` returns.
+    /// `Err` carries the panic payload if `f` itself panics after its
+    /// spawned threads were joined cleanly (crossbeam reports unjoined
+    /// worker panics the same way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_on_join() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let v = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u8).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Hermetic stand-in for the `parking_lot` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: a non-poisoning [`Mutex`]
+//! with `parking_lot`'s API shape (`lock()` returns the guard directly).
+//! Backed by `std::sync::Mutex`; a poisoned lock is recovered rather
+//! than propagated, matching `parking_lot` semantics.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive; `lock()` never returns a poison error.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Poison from a
+    /// panicked holder is ignored (the data is returned as-is).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: e.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn survives_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn try_lock_contends() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+}

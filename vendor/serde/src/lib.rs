@@ -1,0 +1,263 @@
+//! Hermetic stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Real serde abstracts over data formats; this workspace serializes to
+//! exactly one format (JSON, via the sibling `serde_json` stand-in), so
+//! the traits here are JSON-direct: [`Serialize`] produces a
+//! [`Value`], [`Deserialize`] consumes one. The derive macros are
+//! re-exported from `serde_derive`, mirroring real serde's `derive`
+//! feature, and generate externally-tagged enum representations and
+//! field-name object maps exactly like real serde's defaults.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization failure (also re-exported as
+/// `serde_json::Error`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error { msg: m.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be represented as a JSON [`Value`].
+pub trait Serialize {
+    /// Convert `self` into its JSON representation.
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a JSON value.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- Serialize impls for primitives and std containers ----
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::from_u64(v as u64))
+                } else {
+                    Value::Number(Number::from_i64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls ----
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg(format!("expected bool, got {v}")))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg(format!("expected number, got {v}")))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, got {v}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::msg(format!("expected array, got {v}")))?;
+        arr.iter().map(T::from_json).collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json(&7u64.to_json()).unwrap(), 7);
+        assert_eq!(i64::from_json(&(-7i64).to_json()).unwrap(), -7);
+        assert_eq!(bool::from_json(&true.to_json()).unwrap(), true);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_json(&Value::Null).unwrap(), None);
+        assert_eq!(Vec::<u8>::from_json(&vec![1u8, 2].to_json()).unwrap(), vec![1, 2]);
+        let f = 0.001f32;
+        assert_eq!(f32::from_json(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_json(&300u64.to_json()).is_err());
+        assert!(u64::from_json(&(-1i64).to_json()).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Hermetic stand-in for the `serde_derive` crate (see
+//! `vendor/README.md`).
+//!
+//! Derives the vendored serde's JSON-direct `Serialize`/`Deserialize`
+//! traits with the same wire shape as real serde's defaults: structs
+//! become objects keyed by field name, enums are externally tagged
+//! (unit variant → `"Name"`, struct variant → `{"Name": {fields}}`).
+//! Supported attributes: `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`; `Option<T>` fields are
+//! implicitly optional on deserialize, like real serde. Generics,
+//! tuple/newtype variants, and other serde attributes are rejected at
+//! compile time — the workspace does not use them.
+//!
+//! Implemented directly over `proc_macro::TokenTree` (no `syn`/`quote`)
+//! so the stand-in has zero dependencies.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl should parse")
+}
+
+/// Derive the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl should parse")
+}
+
+struct Field {
+    name: String,
+    /// Type's leading token is `Option` — treated as implicitly
+    /// optional, like real serde.
+    is_option: bool,
+    /// `#[serde(default)]`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]` — the path.
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+// ---- token-level parsing ----
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume `#[...]` attribute groups; returns the normalized
+/// (whitespace-free) text of each attribute's inner stream.
+fn take_attrs(iter: &mut Iter) -> Vec<String> {
+    let mut attrs = Vec::new();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        attrs.push(
+                            g.stream()
+                                .to_string()
+                                .chars()
+                                .filter(|c| !c.is_whitespace())
+                                .collect(),
+                        );
+                    }
+                    t => panic!("expected attribute brackets after '#', got {t:?}"),
+                }
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Consume `pub` / `pub(crate)`-style visibility if present.
+fn skip_visibility(iter: &mut Iter) {
+    let is_pub = matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+    if is_pub {
+        iter.next();
+        let restricted = matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if restricted {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    take_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("expected type name, got {t:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving {name})");
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        t => panic!("expected braced body for {name} (tuple structs unsupported), got {t:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct { name, fields: parse_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut default = false;
+        let mut skip_if = None;
+        for attr in take_attrs(&mut iter) {
+            if attr == "serde(default)" {
+                default = true;
+            } else if let Some(rest) = attr.strip_prefix("serde(skip_serializing_if=\"") {
+                skip_if = Some(
+                    rest.strip_suffix("\")")
+                        .unwrap_or_else(|| panic!("malformed skip_serializing_if: {attr}"))
+                        .to_string(),
+                );
+            } else if attr.starts_with("serde(") {
+                panic!("unsupported serde attribute in vendored serde_derive: #[{attr}]");
+            }
+            // Non-serde attributes (e.g. doc comments, #[default]) are
+            // ignored, matching real serde.
+        }
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => panic!("expected field name, got {t:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("expected ':' after field `{name}`, got {t:?}"),
+        }
+        // Collect the type's tokens up to a comma at angle-bracket
+        // depth 0, so commas inside e.g. `HashMap<K, V>` don't split
+        // the field list.
+        let mut depth = 0i32;
+        let mut ty = Vec::new();
+        loop {
+            let done = match iter.peek() {
+                None => true,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    true
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    false
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    false
+                }
+                Some(_) => false,
+            };
+            if done {
+                break;
+            }
+            ty.push(iter.next().expect("peeked"));
+        }
+        let is_option =
+            matches!(ty.first(), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
+        fields.push(Field { name, is_option, default, skip_if });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        take_attrs(&mut iter); // e.g. #[default]
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => panic!("expected variant name, got {t:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                iter.next();
+                Some(parse_fields(stream))
+            }
+            Some(TokenTree::Group(_)) => {
+                panic!("vendored serde_derive supports only unit and struct variants ({name})")
+            }
+            _ => None,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation (built as source text, then re-parsed) ----
+
+/// `m.insert("f", to_json(<expr>))`, honoring skip_serializing_if.
+fn ser_field_stmt(f: &Field, expr: &str) -> String {
+    let insert = format!(
+        "m.insert({n:?}.to_string(), serde::Serialize::to_json({expr}));",
+        n = f.name
+    );
+    match &f.skip_if {
+        Some(path) => format!("if !{path}({expr}) {{ {insert} }}\n"),
+        None => format!("{insert}\n"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = item_name(item);
+    let body = match item {
+        Item::Struct { fields, .. } => {
+            let mut b = String::from("let mut m = serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&ser_field_stmt(f, &format!("&self.{}", f.name)));
+            }
+            b.push_str("serde::Value::Object(m)");
+            b
+        }
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::String({v:?}.to_string()),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut m = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&ser_field_stmt(f, &f.name));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut outer = serde::Map::new();\n\
+                             outer.insert({v:?}.to_string(), serde::Value::Object(m));\n\
+                             serde::Value::Object(outer)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// The `None =>` arm for a missing field during deserialization.
+fn de_missing_arm(f: &Field, owner: &str) -> String {
+    if f.default {
+        "std::default::Default::default()".to_string()
+    } else if f.is_option {
+        "None".to_string()
+    } else {
+        format!(
+            "return Err(serde::Error::msg(\"missing field `{}` in {owner}\"))",
+            f.name
+        )
+    }
+}
+
+/// `field: match <src>.get("field") {{ ... }},`
+fn de_field_init(f: &Field, src: &str, owner: &str) -> String {
+    format!(
+        "{n}: match {src}.get({n:?}) {{\n\
+         Some(x) => serde::Deserialize::from_json(x)?,\n\
+         None => {missing},\n}},\n",
+        n = f.name,
+        missing = de_missing_arm(f, owner),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = item_name(item);
+    let body = match item {
+        Item::Struct { fields, .. } => {
+            let mut b = format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 serde::Error::msg(format!(\"expected object for {name}, got {{v}}\")))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&de_field_init(f, "obj", name));
+            }
+            b.push_str("})");
+            b
+        }
+        Item::Enum { variants, .. } => {
+            let units: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let structs: Vec<&Variant> =
+                variants.iter().filter(|v| v.fields.is_some()).collect();
+            let mut b = String::new();
+            if !units.is_empty() {
+                let mut arms = String::new();
+                for v in &units {
+                    arms.push_str(&format!("{v:?} => return Ok({name}::{v}),\n", v = v.name));
+                }
+                b.push_str(&format!(
+                    "if let Some(s) = v.as_str() {{\nmatch s {{\n{arms}\
+                     other => return Err(serde::Error::msg(format!(\
+                     \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n"
+                ));
+            }
+            if !structs.is_empty() {
+                let mut arms = String::new();
+                for v in &structs {
+                    let vname = &v.name;
+                    let mut inits = String::new();
+                    for f in v.fields.as_ref().expect("struct variant") {
+                        inits.push_str(&de_field_init(f, "fields", &format!("{name}::{vname}")));
+                    }
+                    arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                         let fields = inner.as_object().ok_or_else(|| \
+                         serde::Error::msg(\"expected object for variant {vname}\"))?;\n\
+                         return Ok({name}::{vname} {{\n{inits}}});\n}}\n"
+                    ));
+                }
+                b.push_str(&format!(
+                    "if let Some(obj) = v.as_object() {{\nif obj.len() == 1 {{\n\
+                     let (k, inner) = obj.iter().next().expect(\"len checked\");\n\
+                     match k.as_str() {{\n{arms}\
+                     other => return Err(serde::Error::msg(format!(\
+                     \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n}}\n"
+                ));
+            }
+            b.push_str(&format!(
+                "Err(serde::Error::msg(format!(\"invalid value for enum {name}: {{v}}\")))"
+            ));
+            b
+        }
+    };
+    // `Result` is fully qualified: many workspace files have a local
+    // `Result<T>` alias in scope that takes one type parameter.
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_json(v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,131 @@
+//! Hermetic stand-in for the `serde_json` crate (see
+//! `vendor/README.md`).
+//!
+//! Thin facade over the vendored `serde`, which is JSON-direct: this
+//! crate adds the text entry points (`to_string`, `from_str`), the
+//! `Value` conversions (`to_value`, `from_value`), and the [`json!`]
+//! macro. Output is compact JSON with object keys in sorted order
+//! (objects are `BTreeMap`s), which keeps golden files deterministic.
+
+pub use serde::{value::parse_str, Error, Map, Number, Value};
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Parse a JSON document and deserialize it into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_str(s)?;
+    T::from_json(&v)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Deserialize `T` out of a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_json(&v)
+}
+
+/// Implementation detail of [`json!`].
+#[doc(hidden)]
+pub fn value_of<T: ?Sized + serde::Serialize>(v: &T) -> Value {
+    v.to_json()
+}
+
+/// Build a [`Value`] from JSON-like syntax: `json!(null)`,
+/// `json!([1, 2])`, `json!({"k": expr, ...})`, or any serializable
+/// expression.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => {
+        $crate::value_of(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: u32,
+        y: u32,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        label: Option<String>,
+        #[serde(default)]
+        weight: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shade {
+        Light,
+        Dark,
+        Custom { level: u8 },
+    }
+
+    #[test]
+    fn struct_round_trip_with_optional_and_default_fields() {
+        let p = Point { x: 1, y: 2, label: None, weight: 0.0 };
+        let s = crate::to_string(&p).unwrap();
+        assert_eq!(s, r#"{"weight":0.0,"x":1,"y":2}"#);
+        assert_eq!(crate::from_str::<Point>(&s).unwrap(), p);
+        // `weight` is #[serde(default)], `label` is Option: both may be
+        // absent from the document.
+        assert_eq!(
+            crate::from_str::<Point>(r#"{"x":3,"y":4}"#).unwrap(),
+            Point { x: 3, y: 4, label: None, weight: 0.0 }
+        );
+        assert!(crate::from_str::<Point>(r#"{"x":3}"#).is_err());
+    }
+
+    #[test]
+    fn enums_are_externally_tagged() {
+        assert_eq!(crate::to_string(&Shade::Light).unwrap(), r#""Light""#);
+        assert_eq!(
+            crate::to_string(&Shade::Custom { level: 7 }).unwrap(),
+            r#"{"Custom":{"level":7}}"#
+        );
+        assert_eq!(crate::from_str::<Shade>(r#""Dark""#).unwrap(), Shade::Dark);
+        assert_eq!(
+            crate::from_str::<Shade>(r#"{"Custom":{"level":9}}"#).unwrap(),
+            Shade::Custom { level: 9 }
+        );
+        assert!(crate::from_str::<Shade>(r#""Neon""#).is_err());
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        assert!(json!(null).is_null());
+        assert_eq!(json!(42), 42);
+        assert_eq!(json!("baseline"), "baseline");
+        assert_eq!(crate::to_string(&json!([1, 2])).unwrap(), "[1,2]");
+        let cond = true;
+        let v = json!({"a": 1, "b": if cond { 2 } else { 3 }, "s": "x"});
+        assert_eq!(crate::to_string(&v).unwrap(), r#"{"a":1,"b":2,"s":"x"}"#);
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let inner = json!({"k": "v", "n": 2.5});
+        let v = json!({"nested": inner, "list": [1, 2]});
+        let text = crate::to_string(&v).unwrap();
+        assert_eq!(text, r#"{"list":[1,2],"nested":{"k":"v","n":2.5}}"#);
+        assert_eq!(crate::from_str::<crate::Value>(&text).unwrap(), v);
+    }
+}
