@@ -12,6 +12,21 @@
 //! a commit record as absent. A crash anywhere in phase one therefore
 //! never corrupts the store — it only strands orphaned artifacts that
 //! [`crate::fsck`] can garbage-collect.
+//!
+//! # Record formats
+//!
+//! Two record shapes live in the commits collection:
+//!
+//! * `{"approach": a, "set": k}` — one save (the original format,
+//!   still written for uncontended commits);
+//! * `{"batch": [{"approach": a, "set": k}, ...]}` — a **group
+//!   commit** written by [`crate::fleet::GroupCommitter`] on behalf of
+//!   several concurrent saves. The batch is still one append, so its
+//!   members commit all-or-nothing: a torn batch append is discarded
+//!   whole on replay and none of its members become visible.
+//!
+//! Every reader here ([`is_committed`], [`committed_ids`],
+//! [`decommit`]) understands both shapes.
 
 use std::collections::HashSet;
 
@@ -24,24 +39,52 @@ use mmm_util::{Error, Result};
 /// Collection holding one record per committed model-set save.
 pub const COMMITS_COLLECTION: &str = "commits";
 
-/// Phase two of a save: append the commit record, making the save
-/// visible. Retries transient faults. Returns the record's doc id.
-pub fn commit_save(env: &ManagementEnv, id: &ModelSetId) -> Result<u64> {
-    let _span = env.obs().span("commit");
-    env.with_retry(|| {
-        env.docs()
-            .insert(COMMITS_COLLECTION, json!({"approach": id.approach, "set": id.key}))
-    })
+/// The `(approach, set)` pairs one commit record covers: one for the
+/// single-record format, several for a batched group commit. Malformed
+/// members are skipped (they can never have been readable).
+pub fn record_pairs(doc: &Value) -> Vec<(String, String)> {
+    if let Some(batch) = doc.get("batch").and_then(Value::as_array) {
+        return batch
+            .iter()
+            .filter_map(|m| {
+                Some((
+                    m.get("approach")?.as_str()?.to_string(),
+                    m.get("set")?.as_str()?.to_string(),
+                ))
+            })
+            .collect();
+    }
+    match (
+        doc.get("approach").and_then(Value::as_str),
+        doc.get("set").and_then(Value::as_str),
+    ) {
+        (Some(a), Some(s)) => vec![(a.to_string(), s.to_string())],
+        _ => Vec::new(),
+    }
 }
 
-/// Whether `id`'s save was committed. Charged as one `doc_query`.
+/// Phase two of a save: append the commit record, making the save
+/// visible. Every commit flows through the environment's
+/// [`crate::fleet::GroupCommitter`], which coalesces concurrent
+/// commits into batched records (a solo commit writes immediately).
+/// Retries transient faults. Returns the record's doc id (shared by
+/// all members of a batch).
+pub fn commit_save(env: &ManagementEnv, id: &ModelSetId) -> Result<u64> {
+    env.commit_gate().commit(env, id)
+}
+
+/// Whether `id`'s save was committed (in a single or batched record).
+/// Charged as one `doc_query`.
 pub fn is_committed(env: &ManagementEnv, id: &ModelSetId) -> Result<bool> {
-    let hits = env
-        .docs()
-        .find_eq(COMMITS_COLLECTION, "set", &json!(id.key))?;
-    Ok(hits
-        .iter()
-        .any(|(_, v)| v.get("approach").and_then(Value::as_str) == Some(id.approach.as_str())))
+    for (_, doc) in env.docs().all(COMMITS_COLLECTION)? {
+        if record_pairs(&doc)
+            .iter()
+            .any(|(a, s)| a == &id.approach && s == &id.key)
+        {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// The readers' gate: error with `NotFound` unless `id` was committed.
@@ -63,30 +106,52 @@ pub fn require_committed(env: &ManagementEnv, id: &ModelSetId) -> Result<()> {
 pub fn committed_ids(env: &ManagementEnv) -> Result<HashSet<(String, String)>> {
     let mut out = HashSet::new();
     for (_, doc) in env.docs().all(COMMITS_COLLECTION)? {
-        if let (Some(approach), Some(set)) = (
-            doc.get("approach").and_then(Value::as_str),
-            doc.get("set").and_then(Value::as_str),
-        ) {
-            out.insert((approach.to_string(), set.to_string()));
-        }
+        out.extend(record_pairs(&doc));
     }
     Ok(out)
 }
 
 /// Remove the commit record(s) of `id` (set deletion, fsck repair).
-/// Missing records are not an error; returns how many were removed.
+/// Missing records are not an error; returns how many entries were
+/// removed.
+///
+/// A batched record containing `id` alongside other saves is rewritten
+/// without `id`: the trimmed replacement is inserted **before** the old
+/// record is deleted, so a crash between the two steps leaves duplicate
+/// commit entries for the surviving members (harmless — commit lookup
+/// is set-semantics) but can never lose a commit.
 pub fn decommit(env: &ManagementEnv, id: &ModelSetId) -> Result<usize> {
-    let hits = env
-        .docs()
-        .find_eq(COMMITS_COLLECTION, "set", &json!(id.key))?;
     let mut removed = 0;
-    for (doc_id, doc) in hits {
-        if doc.get("approach").and_then(Value::as_str) == Some(id.approach.as_str()) {
-            env.docs().delete(COMMITS_COLLECTION, doc_id)?;
-            removed += 1;
+    for (doc_id, doc) in env.docs().all(COMMITS_COLLECTION)? {
+        let pairs = record_pairs(&doc);
+        let keep: Vec<_> = pairs
+            .iter()
+            .filter(|(a, s)| !(a == &id.approach && s == &id.key))
+            .cloned()
+            .collect();
+        let matching = pairs.len() - keep.len();
+        if matching == 0 {
+            continue;
         }
+        removed += matching;
+        if !keep.is_empty() {
+            env.docs().insert(COMMITS_COLLECTION, record_for(&keep))?;
+        }
+        env.docs().delete(COMMITS_COLLECTION, doc_id)?;
     }
     Ok(removed)
+}
+
+/// Build a commit record covering `pairs` (single format for one pair,
+/// batch format otherwise).
+fn record_for(pairs: &[(String, String)]) -> Value {
+    if let [(approach, set)] = pairs {
+        json!({"approach": approach, "set": set})
+    } else {
+        let members: Vec<_> =
+            pairs.iter().map(|(a, s)| json!({"approach": a, "set": s})).collect();
+        json!({ "batch": members })
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +209,62 @@ mod tests {
         assert!(!is_committed(&env, &id("baseline", "7")).unwrap());
         assert!(is_committed(&env, &id("update", "7")).unwrap());
         assert_eq!(decommit(&env, &id("baseline", "7")).unwrap(), 0, "idempotent");
+    }
+
+    #[test]
+    fn batched_records_read_like_singles() {
+        let (_d, env) = env();
+        env.docs()
+            .insert(
+                COMMITS_COLLECTION,
+                json!({"batch": [
+                    json!({"approach": "baseline", "set": "0"}),
+                    json!({"approach": "update", "set": "1"}),
+                    json!({"approach": "provenance", "set": "2"}),
+                ]}),
+            )
+            .unwrap();
+        assert!(is_committed(&env, &id("update", "1")).unwrap());
+        assert!(!is_committed(&env, &id("update", "0")).unwrap(), "approach-scoped");
+        assert_eq!(committed_ids(&env).unwrap().len(), 3);
+        require_committed(&env, &id("baseline", "0")).unwrap();
+    }
+
+    #[test]
+    fn decommit_trims_batches_without_losing_other_members() {
+        let (_d, env) = env();
+        env.docs()
+            .insert(
+                COMMITS_COLLECTION,
+                json!({"batch": [
+                    json!({"approach": "baseline", "set": "0"}),
+                    json!({"approach": "update", "set": "1"}),
+                    json!({"approach": "provenance", "set": "2"}),
+                ]}),
+            )
+            .unwrap();
+        assert_eq!(decommit(&env, &id("update", "1")).unwrap(), 1);
+        assert!(!is_committed(&env, &id("update", "1")).unwrap());
+        assert!(is_committed(&env, &id("baseline", "0")).unwrap(), "sibling survives");
+        assert!(is_committed(&env, &id("provenance", "2")).unwrap(), "sibling survives");
+        assert_eq!(committed_ids(&env).unwrap().len(), 2);
+        assert_eq!(decommit(&env, &id("update", "1")).unwrap(), 0, "idempotent");
+        // Trimming down to one member leaves a valid single record.
+        assert_eq!(decommit(&env, &id("provenance", "2")).unwrap(), 1);
+        let remaining = env.docs().all(COMMITS_COLLECTION).unwrap();
+        assert_eq!(remaining.len(), 1);
+        assert!(is_committed(&env, &id("baseline", "0")).unwrap());
+    }
+
+    #[test]
+    fn malformed_record_members_are_invisible_not_fatal() {
+        let (_d, env) = env();
+        env.docs()
+            .insert(COMMITS_COLLECTION, json!({"batch": [json!({"approach": "baseline"}), json!(42)]}))
+            .unwrap();
+        env.docs().insert(COMMITS_COLLECTION, json!({"unrelated": true})).unwrap();
+        assert_eq!(committed_ids(&env).unwrap().len(), 0);
+        assert!(!is_committed(&env, &id("baseline", "0")).unwrap());
     }
 
     #[test]

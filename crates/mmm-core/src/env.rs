@@ -6,10 +6,12 @@ use std::time::Duration;
 use mmm_data::DatasetRegistry;
 use mmm_obs::{EventLevel, LaneHook, Observer};
 use mmm_store::{
-    BlobStore, CasConfig, CasStore, DocumentStore, FaultInjector, LatencyProfile, StatsSnapshot,
-    StorageBackend, StoreStats,
+    BlobStore, BreakerConfig, CasConfig, CasStore, DocumentStore, FaultInjector, LatencyProfile,
+    ServiceGate, StatsSnapshot, StorageBackend, StoreStats,
 };
 use mmm_util::{Error, Result, VirtualClock};
+
+use crate::fleet::GroupCommitter;
 
 /// Bounded-backoff retry policy for [`mmm_util::Error::Transient`]
 /// store faults. Backoff delays are *charged to the virtual clock*, so
@@ -64,6 +66,8 @@ pub struct ManagementEnv {
     threads: usize,
     profile: LatencyProfile,
     obs: Observer,
+    gate: ServiceGate,
+    commit_gate: GroupCommitter,
 }
 
 /// Staged configuration for [`ManagementEnv::builder`] — the one place
@@ -80,6 +84,8 @@ pub struct EnvBuilder {
     threads: usize,
     backend: Option<StorageBackend>,
     cas_config: CasConfig,
+    breaker: BreakerConfig,
+    commit_window: Duration,
 }
 
 impl EnvBuilder {
@@ -132,6 +138,22 @@ impl EnvBuilder {
         self
     }
 
+    /// Tune the per-backend circuit breakers (defaults are production
+    /// defaults; tests tighten the threshold/cooldown).
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = config;
+        self
+    }
+
+    /// Group-commit collection window: how long a commit leader waits
+    /// (real time) for concurrent commits to pile into its batch before
+    /// writing the single batched record. Zero (the default) batches
+    /// only what naturally queues while a previous batch is writing.
+    pub fn commit_window(mut self, window: Duration) -> Self {
+        self.commit_window = window;
+        self
+    }
+
     /// Open the environment. Layout under the root: `docs` (document
     /// store), `blobs` (blob store, plain or CAS), `datasets` (dataset
     /// registry — *outside* storage accounting), and a `backend` marker
@@ -143,6 +165,11 @@ impl EnvBuilder {
         let clock = VirtualClock::new();
         let stats = StoreStats::new();
         let faults = self.faults.unwrap_or_default();
+        // The service gate rides the injector's per-op hook: every
+        // store operation is deadline- and breaker-checked before it
+        // counts, touches disk, or charges latency.
+        let gate = ServiceGate::new(clock.clone(), self.breaker);
+        faults.install_gate(gate.clone());
         let docs = DocumentStore::open_with_faults(
             dir.join("docs"),
             self.profile,
@@ -174,6 +201,8 @@ impl EnvBuilder {
             threads: self.threads,
             profile: self.profile,
             obs: Observer::disabled(),
+            gate,
+            commit_gate: GroupCommitter::with_window(self.commit_window),
         };
         Ok(match self.observer {
             Some(obs) => env.with_observer(obs),
@@ -240,6 +269,8 @@ impl ManagementEnv {
             threads: 1,
             backend: None,
             cas_config: CasConfig::default(),
+            breaker: BreakerConfig::default(),
+            commit_window: Duration::ZERO,
         }
     }
 
@@ -339,6 +370,19 @@ impl ManagementEnv {
         &self.faults
     }
 
+    /// The service gate (per-request deadlines, per-backend circuit
+    /// breakers) every store operation of this environment passes
+    /// through.
+    pub fn service_gate(&self) -> ServiceGate {
+        self.gate.clone()
+    }
+
+    /// The group-commit coordinator every [`crate::commit::commit_save`]
+    /// on this environment flows through.
+    pub fn commit_gate(&self) -> &GroupCommitter {
+        &self.commit_gate
+    }
+
     /// The active transient-fault retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
@@ -353,6 +397,10 @@ impl ManagementEnv {
         loop {
             match op() {
                 Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
+                    // A request whose deadline has already expired must
+                    // not burn backoff budget: surface the deadline
+                    // verdict instead of sleeping toward it.
+                    self.gate.check_deadline()?;
                     let backoff = self.retry.backoff_for(attempt);
                     self.clock.charge(backoff);
                     self.obs.inc("mmm_retries_total", 1);

@@ -1,0 +1,236 @@
+//! Bounded per-tenant admission: quotas, queueing, load shedding.
+//!
+//! Each tenant gets a small in-flight quota plus a bounded wait queue.
+//! A request that finds the quota exhausted *and* the queue full is
+//! rejected immediately with [`Error::Unavailable`] — shedding load at
+//! the door instead of buffering it without bound is what keeps an
+//! overloaded frontend's latency flat (the queue would otherwise grow
+//! until every deadline in it is dead on arrival). Queued requests wait
+//! at most their remaining deadline budget.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use mmm_util::{Error, Result};
+
+/// Admission knobs (part of [`super::FrontendConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Requests of one tenant allowed to run concurrently.
+    pub per_tenant_inflight: usize,
+    /// Requests of one tenant allowed to *wait* for a slot; arrivals
+    /// beyond quota + queue are shed. `0` makes rejection immediate.
+    pub per_tenant_queue: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { per_tenant_inflight: 2, per_tenant_queue: 2 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    active: usize,
+    waiting: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    tenants: HashMap<String, TenantState>,
+    admitted: u64,
+    shed: u64,
+    timed_out: u64,
+}
+
+/// The admission controller of one [`super::FleetFrontend`].
+#[derive(Debug)]
+pub struct AdmissionControl {
+    config: AdmissionConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl AdmissionControl {
+    /// A controller enforcing `config`.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionControl { config, inner: Mutex::new(Inner::default()), cv: Condvar::new() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Admit one request for `tenant`, waiting up to `wait_budget` for
+    /// an in-flight slot. Sheds with [`Error::Unavailable`] when the
+    /// wait queue is full, and with [`Error::DeadlineExceeded`] when
+    /// the slot does not free up within the budget. The returned permit
+    /// releases the slot on drop.
+    pub fn admit(&self, tenant: &str, wait_budget: Duration) -> Result<AdmissionPermit<'_>> {
+        enum Door {
+            In,
+            Shed { active: usize, waiting: usize },
+            Queued,
+        }
+        let mut inner = self.lock();
+        let door = {
+            let st = inner.tenants.entry(tenant.to_string()).or_default();
+            if st.active < self.config.per_tenant_inflight {
+                st.active += 1;
+                Door::In
+            } else if st.waiting >= self.config.per_tenant_queue {
+                Door::Shed { active: st.active, waiting: st.waiting }
+            } else {
+                st.waiting += 1;
+                Door::Queued
+            }
+        };
+        match door {
+            Door::In => {
+                inner.admitted += 1;
+                return Ok(AdmissionPermit { control: self, tenant: tenant.to_string() });
+            }
+            Door::Shed { active, waiting } => {
+                inner.shed += 1;
+                return Err(Error::unavailable(format!(
+                    "tenant '{tenant}' admission queue full \
+                     ({active} in flight, {waiting} waiting)"
+                )));
+            }
+            Door::Queued => {}
+        }
+
+        let deadline = Instant::now() + wait_budget;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let verdict = {
+                let st = inner.tenants.entry(tenant.to_string()).or_default();
+                if st.active < self.config.per_tenant_inflight {
+                    st.active += 1;
+                    st.waiting -= 1;
+                    Some(true)
+                } else if remaining.is_zero() {
+                    st.waiting -= 1;
+                    Some(false)
+                } else {
+                    None
+                }
+            };
+            match verdict {
+                Some(true) => {
+                    inner.admitted += 1;
+                    return Ok(AdmissionPermit { control: self, tenant: tenant.to_string() });
+                }
+                Some(false) => {
+                    inner.timed_out += 1;
+                    return Err(Error::deadline_exceeded(format!(
+                        "tenant '{tenant}' waited {wait_budget:?} for an admission slot"
+                    )));
+                }
+                None => {
+                    inner = match self.cv.wait_timeout(inner, remaining) {
+                        Ok((g, _)) => g,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                }
+            }
+        }
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut inner = self.lock();
+        if let Some(st) = inner.tenants.get_mut(tenant) {
+            st.active = st.active.saturating_sub(1);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.lock().admitted
+    }
+
+    /// Requests shed at the door (queue full).
+    pub fn shed(&self) -> u64 {
+        self.lock().shed
+    }
+
+    /// Requests that waited their whole budget without getting a slot.
+    pub fn timed_out(&self) -> u64 {
+        self.lock().timed_out
+    }
+}
+
+/// One admitted request's slot; dropping it frees the slot and wakes a
+/// waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    control: &'a AdmissionControl,
+    tenant: String,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.control.release(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_admits_up_to_inflight_then_queues_then_sheds() {
+        let ctl = AdmissionControl::new(AdmissionConfig {
+            per_tenant_inflight: 1,
+            per_tenant_queue: 0,
+        });
+        let permit = ctl.admit("a", Duration::ZERO).unwrap();
+        // Queue depth 0: the second request is shed instantly.
+        let err = ctl.admit("a", Duration::from_secs(5)).unwrap_err();
+        assert!(err.is_unavailable(), "shed, not queued: {err}");
+        // Another tenant is unaffected.
+        let other = ctl.admit("b", Duration::ZERO).unwrap();
+        drop(other);
+        drop(permit);
+        ctl.admit("a", Duration::ZERO).unwrap();
+        assert_eq!(ctl.shed(), 1);
+        assert_eq!(ctl.admitted(), 3);
+    }
+
+    #[test]
+    fn queued_request_times_out_on_its_budget() {
+        let ctl = AdmissionControl::new(AdmissionConfig {
+            per_tenant_inflight: 1,
+            per_tenant_queue: 1,
+        });
+        let _permit = ctl.admit("a", Duration::ZERO).unwrap();
+        let start = Instant::now();
+        let err = ctl.admit("a", Duration::from_millis(30)).unwrap_err();
+        assert!(err.is_deadline_exceeded(), "queued then expired: {err}");
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(ctl.timed_out(), 1);
+    }
+
+    #[test]
+    fn released_slot_wakes_a_queued_request() {
+        let ctl = AdmissionControl::new(AdmissionConfig {
+            per_tenant_inflight: 1,
+            per_tenant_queue: 1,
+        });
+        let permit = ctl.admit("a", Duration::ZERO).unwrap();
+        std::thread::scope(|s| {
+            let ctl = &ctl;
+            let h = s.spawn(move || ctl.admit("a", Duration::from_secs(10)).map(|p| drop(p)));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(permit);
+            h.join().unwrap().unwrap();
+        });
+        assert_eq!(ctl.admitted(), 2);
+        assert_eq!(ctl.shed(), 0);
+    }
+}

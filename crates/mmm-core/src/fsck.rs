@@ -216,6 +216,15 @@ fn set_of_blob_key(key: &str, mmlib_batch_of: &HashMap<u64, String>) -> Option<M
     }
 }
 
+/// Salvage the document logs of an environment directory whose strict
+/// open fails with [`Error::Corrupt`] (a flipped or garbled record in a
+/// collection log). Quarantines the bad records into sidecar files so
+/// the environment opens again; run [`fsck`] + [`repair`] afterwards to
+/// classify and clear whatever the dropped records orphaned.
+pub fn salvage_docs(dir: impl AsRef<std::path::Path>) -> Result<mmm_store::SalvageReport> {
+    mmm_store::salvage(dir.as_ref().join("docs"))
+}
+
 /// Scan the whole environment and classify every inconsistency.
 /// Read-only — repair decisions are a separate, explicit step.
 pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {

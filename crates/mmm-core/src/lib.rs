@@ -34,6 +34,7 @@ pub mod catalog;
 pub mod commit;
 pub mod delta;
 pub mod env;
+pub mod fleet;
 pub mod fsck;
 pub mod gc;
 pub mod lineage;
@@ -44,4 +45,5 @@ pub mod verify;
 
 pub use approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver};
 pub use env::{ManagementEnv, Measurement};
+pub use fleet::{FleetFrontend, FrontendConfig};
 pub use model_set::{Derivation, ModelSet, ModelSetId, ModelUpdate, UpdateKind};

@@ -276,6 +276,15 @@ impl Observer {
         }
     }
 
+    /// Set gauge `key` to `v` (no-op when disabled). Gauges report
+    /// point-in-time service state — breaker positions, queue depths,
+    /// shed rates — where the last write wins.
+    pub fn gauge(&self, key: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.set_gauge(key, v);
+        }
+    }
+
     /// Record one store operation: simulated latency histogram plus a
     /// byte counter, labelled by op kind (`doc_insert`, `blob_put`, …).
     pub fn store_op(&self, op: &'static str, bytes: u64, sim: Duration) {

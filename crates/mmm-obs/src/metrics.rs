@@ -163,6 +163,7 @@ fn split_key(key: &str) -> (&str, &str) {
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
 }
 
 impl MetricsRegistry {
@@ -186,6 +187,23 @@ impl MetricsRegistry {
     pub fn observe(&self, key: &str, v: u64) {
         let mut h = self.histograms.lock();
         h.entry(key.to_owned()).or_default().record(v);
+    }
+
+    /// Set the gauge `key` to `v` (last write wins — gauges report
+    /// point-in-time state such as a circuit-breaker position or a
+    /// queue depth, unlike monotone counters).
+    pub fn set_gauge(&self, key: &str, v: u64) {
+        self.gauges.lock().insert(key.to_owned(), v);
+    }
+
+    /// Current value of gauge `key` (0 if never set).
+    pub fn gauge(&self, key: &str) -> u64 {
+        self.gauges.lock().get(key).copied().unwrap_or(0)
+    }
+
+    /// Names (with labels) of all registered gauges.
+    pub fn gauge_keys(&self) -> Vec<String> {
+        self.gauges.lock().keys().cloned().collect()
     }
 
     /// Current value of counter `key` (0 if never incremented).
@@ -225,6 +243,18 @@ impl MetricsRegistry {
         }
         for (name, samples) in &families {
             out.push_str(&format!("# TYPE {name} counter\n"));
+            for (key, value) in samples {
+                out.push_str(&format!("{key} {value}\n"));
+            }
+        }
+        let gauges = self.gauges.lock().clone();
+        let mut families: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        for (key, value) in &gauges {
+            let (name, _) = split_key(key);
+            families.entry(name.to_owned()).or_default().push((key.clone(), *value));
+        }
+        for (name, samples) in &families {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
             for (key, value) in samples {
                 out.push_str(&format!("{key} {value}\n"));
             }

@@ -269,15 +269,20 @@ impl DocumentStore {
 
     fn with_collection<T>(&self, name: &str, f: impl FnOnce(&mut Collection) -> Result<T>) -> Result<T> {
         let mut colls = self.shards[shard_of(name)].lock();
-        if !colls.contains_key(name) {
-            let path = self.root.join(format!("{name}.jsonl"));
-            let log = OpenOptions::new().create(true).append(true).open(&path)?;
-            colls.insert(
-                name.to_string(),
-                Collection { log, docs: BTreeMap::new(), next_id: 0, indexes: HashMap::new() },
-            );
-        }
-        f(colls.get_mut(name).expect("collection just ensured"))
+        let coll = match colls.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let path = self.root.join(format!("{name}.jsonl"));
+                let log = OpenOptions::new().create(true).append(true).open(&path)?;
+                v.insert(Collection {
+                    log,
+                    docs: BTreeMap::new(),
+                    next_id: 0,
+                    indexes: HashMap::new(),
+                })
+            }
+        };
+        f(coll)
     }
 
     /// Insert a document (must be a JSON object). Returns its id.
@@ -293,10 +298,10 @@ impl DocumentStore {
         self.with_collection(collection, |coll| {
             let id = coll.next_id;
             let mut on_disk = doc.clone();
-            on_disk
-                .as_object_mut()
-                .expect("checked above")
-                .insert("_id".into(), json!(id));
+            match on_disk.as_object_mut() {
+                Some(obj) => obj.insert("_id".into(), json!(id)),
+                None => return Err(Error::invalid("documents must be JSON objects")),
+            };
             let line = serde_json::to_string(&on_disk)
                 .map_err(|e| Error::invalid(format!("unserializable document: {e}")))?;
             let mut record = format_record(&line);
@@ -515,6 +520,98 @@ impl DocumentStore {
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
     }
+}
+
+/// Outcome of one [`salvage`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Collection logs scanned.
+    pub collections: usize,
+    /// Valid records kept across all logs.
+    pub records_kept: u64,
+    /// Complete-but-invalid records moved to quarantine sidecars.
+    pub records_dropped: u64,
+    /// Torn trailing records truncated (and quarantined).
+    pub torn_tails: u64,
+}
+
+impl SalvageReport {
+    /// True when the pass changed nothing (the logs were already clean).
+    pub fn is_noop(&self) -> bool {
+        self.records_dropped == 0 && self.torn_tails == 0
+    }
+}
+
+/// Last-resort recovery for a document directory whose strict open fails
+/// with [`Error::Corrupt`]: scan every collection log, keep the records
+/// that verify, and move everything else (flipped records, garbled
+/// spans, torn tails) into a `<collection>.jsonl.quarantine` sidecar,
+/// rewriting the log atomically (tmp + rename).
+///
+/// The normal open stays fail-stop — a complete record that fails its
+/// checksum is evidence of real corruption and refusing to serve is the
+/// safe default. Salvage is the explicit operator action for when
+/// refusing is no longer useful: it is to the log layer what
+/// fsck/repair is to the object graph. After a salvage the store opens,
+/// and the regular fsck pass classifies whatever the dropped records
+/// orphaned (dangling commits, uncommitted debris, ...). Nothing is
+/// destroyed: every dropped byte is preserved in the sidecar.
+pub fn salvage(dir: impl AsRef<Path>) -> Result<SalvageReport> {
+    let dir = dir.as_ref();
+    let mut report = SalvageReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !path.extension().is_some_and(|e| e == "jsonl") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| Error::corrupt("non-utf8 collection name"))?
+            .to_string();
+        report.collections += 1;
+        let data = std::fs::read(&path)?;
+        let mut kept: Vec<u8> = Vec::with_capacity(data.len());
+        let mut quarantined: Vec<u8> = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let Some(rel) = data[pos..].iter().position(|&b| b == b'\n') else {
+                report.torn_tails += 1;
+                quarantined.extend_from_slice(&data[pos..]);
+                quarantined.push(b'\n');
+                break;
+            };
+            let line = &data[pos..pos + rel];
+            if !line.is_empty() {
+                let valid = parse_record(line, &name, pos)
+                    .ok()
+                    .and_then(|v| v.get("_id").and_then(Value::as_u64))
+                    .is_some();
+                if valid {
+                    report.records_kept += 1;
+                    kept.extend_from_slice(&data[pos..pos + rel + 1]);
+                } else {
+                    report.records_dropped += 1;
+                    quarantined.extend_from_slice(&data[pos..pos + rel + 1]);
+                }
+            }
+            pos += rel + 1;
+        }
+        if !quarantined.is_empty() {
+            let mut sidecar = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path.with_extension("jsonl.quarantine"))?;
+            sidecar.write_all(&quarantined)?;
+            let tmp = path.with_extension("jsonl.tmp");
+            std::fs::write(&tmp, &kept)?;
+            std::fs::rename(&tmp, &path)?;
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -966,5 +1063,57 @@ mod tests {
         let err = open_err(dir.path());
         assert!(matches!(err, Error::Corrupt(_)), "got {err}");
         assert!(err.to_string().contains("\"c\""), "collection named: {err}");
+    }
+
+    #[test]
+    fn salvage_quarantines_bad_records_and_makes_the_store_openable() {
+        use crate::fault::{FaultInjector, FaultPlan, FaultTarget, OpClass};
+        let dir = TempDir::new("mmm-doc").unwrap();
+        let faults = FaultInjector::new();
+        {
+            let db = DocumentStore::open_with_faults(
+                dir.path(),
+                LatencyProfile::zero(),
+                VirtualClock::new(),
+                StoreStats::new(),
+                faults.clone(),
+            )
+            .unwrap();
+            db.insert("c", json!({"v": 0})).unwrap();
+            faults.arm(FaultPlan::bit_flip_at(FaultTarget::Class(OpClass::DocInsert), 0, 3, 7));
+            db.insert("c", json!({"v": 1, "payload": "x".repeat(50)})).unwrap();
+            db.insert("c", json!({"v": 2})).unwrap();
+        }
+        // Strict open refuses the flipped mid-log record...
+        assert!(matches!(open_err(dir.path()), Error::Corrupt(_)));
+        // ...salvage drops exactly that record into the sidecar...
+        let report = salvage(dir.path()).unwrap();
+        assert_eq!(report.records_dropped, 1);
+        assert_eq!(report.records_kept, 2);
+        assert!(!report.is_noop());
+        let sidecar = std::fs::read(dir.path().join("c.jsonl.quarantine")).unwrap();
+        assert!(!sidecar.is_empty(), "dropped bytes preserved");
+        // ...and the store opens with the surviving documents.
+        let db = open(dir.path(), LatencyProfile::zero());
+        assert_eq!(db.count("c"), 2);
+        assert_eq!(db.get("c", 0).unwrap()["v"], 0);
+        assert_eq!(db.get("c", 2).unwrap()["v"], 2);
+        assert!(db.get("c", 1).is_err(), "the flipped record is gone");
+        // A second pass over the now-clean log is a no-op.
+        assert!(salvage(dir.path()).unwrap().is_noop());
+    }
+
+    #[test]
+    fn salvage_truncates_and_preserves_a_torn_tail() {
+        let dir = TempDir::new("mmm-doc").unwrap();
+        let good = format_record("{\"_id\":0,\"v\":7}");
+        let mut data = good.clone();
+        data.extend_from_slice(&good[..good.len() / 2]); // torn re-append
+        std::fs::write(dir.path().join("t.jsonl"), &data).unwrap();
+        let report = salvage(dir.path()).unwrap();
+        assert_eq!(report.torn_tails, 1);
+        assert_eq!(report.records_kept, 1);
+        let db = open(dir.path(), LatencyProfile::zero());
+        assert_eq!(db.count("t"), 1);
     }
 }

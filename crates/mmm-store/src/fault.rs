@@ -173,6 +173,12 @@ struct State {
     armed: Vec<Armed>,
     ops: u64,
     write_ops: u64,
+    /// Optional service gate (deadlines + breakers): every operation is
+    /// submitted to it before fault evaluation, and its breakers are fed
+    /// the operation's verdict. The injector is the one chokepoint both
+    /// stores already pass every operation through, which makes it the
+    /// natural mount point for mid-operation request gating.
+    gate: Option<crate::gate::ServiceGate>,
 }
 
 /// Cheap-clone fault-injection handle shared by the stores of one
@@ -230,11 +236,35 @@ impl FaultInjector {
         self.inner.lock().write_ops
     }
 
+    /// Install a [`crate::gate::ServiceGate`]: from now on every
+    /// operation is gated (deadline + breaker) before fault evaluation,
+    /// and gated-out operations do not count toward plan indices.
+    pub fn install_gate(&self, gate: crate::gate::ServiceGate) {
+        self.inner.lock().gate = Some(gate);
+    }
+
+    /// The installed service gate, if any.
+    pub fn gate(&self) -> Option<crate::gate::ServiceGate> {
+        self.inner.lock().gate.clone()
+    }
+
     /// Register one operation of `class` with payload size `len` and
     /// decide its fate. Crash and transient faults return `Err`; torn
     /// writes and bit flips return an effect the store must apply.
+    ///
+    /// When a service gate is installed, the gate rules first: an
+    /// expired deadline or an open breaker rejects the operation before
+    /// it counts toward any fault plan (the store never attempted it),
+    /// and admitted operations report their verdict to the backend's
+    /// breaker (injected crash/transient faults and torn writes count
+    /// as environment failures).
     pub fn on_op(&self, class: OpClass, _len: usize) -> Result<FaultEffect> {
         let mut state = self.inner.lock();
+        // The gate takes its own (leaf) locks; it never calls back into
+        // the injector, so holding our lock across it cannot deadlock.
+        if let Some(gate) = &state.gate {
+            gate.pre_op(class)?;
+        }
         state.ops += 1;
         if class.is_write() {
             state.write_ops += 1;
@@ -295,6 +325,13 @@ impl FaultInjector {
                     }
                 }
             }
+        }
+        if let Some(gate) = &state.gate {
+            // Torn writes persist partial bytes and then fail in the
+            // store; for the breaker they are failures like any other
+            // environment fault.
+            let failed = error.is_some() || matches!(effect, FaultEffect::Torn { .. });
+            gate.record_op(class, !failed);
         }
         match error {
             Some(e) => Err(e),
@@ -405,5 +442,41 @@ mod tests {
         inj.arm(FaultPlan::crash_at(FaultTarget::Any, 0));
         inj.disarm_all();
         assert!(inj.on_op(OpClass::BlobPut, 1).is_ok());
+    }
+
+    #[test]
+    fn installed_gate_rejects_before_plans_count_and_feeds_breakers() {
+        use crate::gate::{Backend, BreakerConfig, BreakerState, ServiceGate};
+        use mmm_util::VirtualClock;
+        use std::time::Duration;
+
+        let inj = FaultInjector::new();
+        let gate = ServiceGate::new(
+            VirtualClock::new(),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(3600),
+                half_open_probes: 1,
+            },
+        );
+        inj.install_gate(gate.clone());
+
+        // Two injected transient faults trip the blobs breaker...
+        inj.arm(FaultPlan::transient_at(FaultTarget::Class(OpClass::BlobPut), 0, 2));
+        assert!(inj.on_op(OpClass::BlobPut, 1).is_err());
+        assert!(inj.on_op(OpClass::BlobPut, 1).is_err());
+        assert_eq!(gate.breaker(Backend::Blobs).state(), BreakerState::Open);
+
+        // ...after which ops are rejected *before* the op counter moves
+        // or any armed plan sees them.
+        let ops_before = inj.ops_observed();
+        inj.arm(FaultPlan::crash_at(FaultTarget::Class(OpClass::BlobPut), 0));
+        let err = inj.on_op(OpClass::BlobPut, 1).unwrap_err();
+        assert!(err.is_unavailable(), "breaker verdict, not the armed crash: {err}");
+        assert_eq!(inj.ops_observed(), ops_before, "gated-out ops are never counted");
+
+        // The docs backend is unaffected; its clean ops feed its breaker.
+        assert!(inj.on_op(OpClass::DocInsert, 1).is_ok());
+        assert_eq!(gate.breaker(Backend::Docs).state(), BreakerState::Closed);
     }
 }

@@ -26,6 +26,10 @@
 //! * [`fault::FaultInjector`] — deterministic fault injection (crashes,
 //!   torn writes, bit flips, transient errors) threaded through both
 //!   stores so the crash-recovery protocol is testable.
+//! * [`gate::ServiceGate`] — per-request deadlines and per-backend
+//!   circuit breakers, consulted on every store operation through the
+//!   injector's per-op hook so a multi-tenant frontend can shed load
+//!   and fail fast mid-operation.
 //!
 //! Every round-trip counts: saving `n` models individually costs `Θ(n)`
 //! document-store writes (the paper's optimization O3), while the
@@ -36,13 +40,15 @@ pub mod cas;
 pub mod doc_store;
 pub mod fault;
 pub mod file_store;
+pub mod gate;
 pub mod profile;
 pub mod stats;
 
 pub use backend::{BlobStore, StorageBackend};
 pub use cas::{CasAudit, CasConfig, CasCounters, CasStore};
-pub use doc_store::DocumentStore;
+pub use doc_store::{salvage, DocumentStore, SalvageReport};
 pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultTarget, OpClass};
 pub use file_store::FileStore;
+pub use gate::{Backend, BreakerConfig, BreakerState, CircuitBreaker, DeadlineGuard, ServiceGate};
 pub use profile::LatencyProfile;
 pub use stats::{StatsLaneGuard, StatsSnapshot, StoreStats};

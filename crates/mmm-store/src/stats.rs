@@ -195,10 +195,14 @@ impl StoreStats {
     pub fn enter_lane(&self) -> StatsLaneGuard {
         let counters = Arc::new(Counters::default());
         let tid = std::thread::current().id();
+        // Nesting-tolerant: an inner lane shadows the outer one and the
+        // guard restores it on drop, so composed instrumentation (a
+        // frontend lane around a worker lane) never panics.
         let prev = self.lanes.lock().insert(tid, counters.clone());
-        assert!(prev.is_none(), "thread registered as a stats lane twice");
-        self.lane_count.fetch_add(1, Ordering::Relaxed);
-        StatsLaneGuard { stats: self.clone(), tid, counters }
+        if prev.is_none() {
+            self.lane_count.fetch_add(1, Ordering::Relaxed);
+        }
+        StatsLaneGuard { stats: self.clone(), tid, counters, prev }
     }
 
     /// Copy the current counter values.
@@ -232,6 +236,8 @@ pub struct StatsLaneGuard {
     stats: StoreStats,
     tid: ThreadId,
     counters: Arc<Counters>,
+    /// The lane this one shadowed (nested registration), restored on drop.
+    prev: Option<Arc<Counters>>,
 }
 
 impl StatsLaneGuard {
@@ -243,8 +249,15 @@ impl StatsLaneGuard {
 
 impl Drop for StatsLaneGuard {
     fn drop(&mut self) {
-        self.stats.lanes.lock().remove(&self.tid);
-        self.stats.lane_count.fetch_sub(1, Ordering::Relaxed);
+        match self.prev.take() {
+            Some(outer) => {
+                self.stats.lanes.lock().insert(self.tid, outer);
+            }
+            None => {
+                self.stats.lanes.lock().remove(&self.tid);
+                self.stats.lane_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
         let snap = self.counters.snapshot();
         let mut log = self.stats.lane_log.lock();
         if log.len() == LANE_LOG_CAPACITY {
@@ -348,5 +361,25 @@ mod tests {
             done_tx.send(()).unwrap();
         });
         assert_eq!(s.snapshot().doc_inserts, 1);
+    }
+
+    #[test]
+    fn nested_lanes_shadow_and_restore() {
+        let s = StoreStats::new();
+        let outer = s.enter_lane();
+        s.record_doc_insert(10);
+        {
+            let inner = s.enter_lane();
+            s.record_doc_insert(20);
+            assert_eq!(inner.snapshot().doc_inserts, 1);
+            assert_eq!(inner.snapshot().bytes_written, 20);
+        }
+        // The outer lane is active again and missed the inner op.
+        s.record_doc_insert(30);
+        assert_eq!(outer.snapshot().doc_inserts, 2);
+        assert_eq!(outer.snapshot().bytes_written, 40);
+        drop(outer);
+        assert_eq!(s.snapshot().doc_inserts, 3, "global totals are exact");
+        assert_eq!(s.lane_history().len(), 2);
     }
 }

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
@@ -88,14 +88,20 @@ impl VirtualClock {
         }
     }
 
+    /// The lane map, recovering from poisoning: the map holds plain
+    /// `Arc<AtomicU64>` accumulators, so a panic while holding the lock
+    /// cannot leave it in an inconsistent state worth propagating.
+    fn lanes(&self) -> MutexGuard<'_, HashMap<ThreadId, Arc<AtomicU64>>> {
+        self.lanes.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Charge simulated latency to the clock (e.g. one store round-trip).
     /// From a thread registered as a lane the charge lands on that lane's
     /// accumulator; otherwise it lands on the shared clock directly.
     pub fn charge(&self, d: Duration) {
         let ns = d.as_nanos() as u64;
         if self.lane_count.load(Ordering::Relaxed) != 0 {
-            let lanes = self.lanes.lock().expect("clock lane map poisoned");
-            if let Some(acc) = lanes.get(&std::thread::current().id()) {
+            if let Some(acc) = self.lanes().get(&std::thread::current().id()) {
                 acc.fetch_add(ns, Ordering::Relaxed);
                 return;
             }
@@ -108,17 +114,19 @@ impl VirtualClock {
     /// accumulates on the lane instead of the shared clock. The executor
     /// that spawned the lanes is responsible for charging the maximum
     /// lane total (the critical path) back to the clock after the join.
+    ///
+    /// Nesting is allowed: re-entering from an already-registered thread
+    /// shadows the outer lane, and dropping the inner guard restores it
+    /// (the service frontend opens a lane per request around savers that
+    /// may open their own parallel sections).
     pub fn enter_lane(&self) -> LaneGuard {
         let acc = Arc::new(AtomicU64::new(0));
         let tid = std::thread::current().id();
-        let prev = self
-            .lanes
-            .lock()
-            .expect("clock lane map poisoned")
-            .insert(tid, acc.clone());
-        assert!(prev.is_none(), "thread registered as a clock lane twice");
-        self.lane_count.fetch_add(1, Ordering::Relaxed);
-        LaneGuard { clock: self.clone(), tid, acc, done: false }
+        let prev = self.lanes().insert(tid, acc.clone());
+        if prev.is_none() {
+            self.lane_count.fetch_add(1, Ordering::Relaxed);
+        }
+        LaneGuard { clock: self.clone(), tid, acc, prev, done: false }
     }
 
     /// Simulated time accumulated so far.
@@ -134,8 +142,7 @@ impl VirtualClock {
     /// calling thread), which is what span measurement needs.
     pub fn thread_simulated(&self) -> Duration {
         if self.lane_count.load(Ordering::Relaxed) != 0 {
-            let lanes = self.lanes.lock().expect("clock lane map poisoned");
-            if let Some(acc) = lanes.get(&std::thread::current().id()) {
+            if let Some(acc) = self.lanes().get(&std::thread::current().id()) {
                 return Duration::from_nanos(acc.load(Ordering::Relaxed));
             }
         }
@@ -171,6 +178,8 @@ pub struct LaneGuard {
     clock: VirtualClock,
     tid: ThreadId,
     acc: Arc<AtomicU64>,
+    /// Outer lane shadowed by this guard, restored on unregister.
+    prev: Option<Arc<AtomicU64>>,
     done: bool,
 }
 
@@ -191,12 +200,17 @@ impl LaneGuard {
     fn unregister(&mut self) {
         if !self.done {
             self.done = true;
-            self.clock
-                .lanes
-                .lock()
-                .expect("clock lane map poisoned")
-                .remove(&self.tid);
-            self.clock.lane_count.fetch_sub(1, Ordering::Relaxed);
+            match self.prev.take() {
+                Some(outer) => {
+                    // Restore the shadowed outer lane; the lane count is
+                    // unchanged (this thread stays registered).
+                    self.clock.lanes().insert(self.tid, outer);
+                }
+                None => {
+                    self.clock.lanes().remove(&self.tid);
+                    self.clock.lane_count.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -337,6 +351,25 @@ mod tests {
         }
         c.charge(Duration::from_millis(3)); // lane gone → shared
         assert_eq!(c.simulated(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn nested_lanes_shadow_and_restore() {
+        let c = VirtualClock::new();
+        let outer = c.enter_lane();
+        c.charge(Duration::from_millis(1)); // outer lane
+        {
+            let inner = c.enter_lane();
+            c.charge(Duration::from_millis(10)); // inner lane
+            assert_eq!(inner.finish(), Duration::from_millis(10));
+        }
+        c.charge(Duration::from_millis(2)); // outer lane restored
+        assert_eq!(outer.finish(), Duration::from_millis(3));
+        // Nothing leaked to the shared clock, and the thread is fully
+        // unregistered again.
+        assert_eq!(c.simulated(), Duration::ZERO);
+        c.charge(Duration::from_millis(4));
+        assert_eq!(c.simulated(), Duration::from_millis(4));
     }
 
     #[test]

@@ -23,11 +23,22 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// | `Corrupt`   | stored data    | no        | quarantine + recover from a base version |
 /// | `Invalid`   | caller         | no        | fix the call site |
 /// | `Transient` | environment    | **yes**   | re-issue after backoff ([`Error::is_transient`]) |
+/// | `DeadlineExceeded` | caller's budget | **no** | shed the request; retrying cannot create time |
+/// | `Unavailable` | admission / breaker | **no** (now) | back off at the *request* level, not the op level |
 ///
 /// Only [`Error::Transient`] is retryable: `mmm_util::parallel::with_retry`
 /// (re-exported through the core env) consults [`Error::is_transient`] and
 /// re-issues the operation with bounded exponential backoff; every other
 /// variant fails fast.
+///
+/// [`Error::DeadlineExceeded`] and [`Error::Unavailable`] are the
+/// service-layer verdicts: a request ran out of its time budget, or an
+/// admission queue / circuit breaker refused it outright. Both are
+/// deliberately **non-retriable** — retrying inside the same request
+/// would burn backoff budget on an outcome that cannot change until
+/// the deadline is renewed or the breaker half-opens. Callers that want
+/// to distinguish "the store is shedding load" from a hard failure can
+/// use [`Error::is_unavailable`].
 ///
 /// The enum is `#[non_exhaustive]`: downstream crates must keep a
 /// wildcard arm so future failure classes (e.g. quota, auth) can be
@@ -49,6 +60,18 @@ pub enum Error {
     /// operation after a bounded backoff; every other variant is
     /// permanent for the purposes of the retry path.
     Transient(String),
+    /// The request's time budget ran out (per-request deadline measured
+    /// against the virtual clock). Never retried: the budget is a
+    /// property of the request, and re-issuing the operation cannot
+    /// refill it — the service layer sheds the request instead.
+    DeadlineExceeded(String),
+    /// The service refused the operation before attempting it: an
+    /// admission queue was full or a circuit breaker was open. Never
+    /// retried at the operation level — fast rejection is the point of
+    /// load shedding, and hammering an open breaker with backoff only
+    /// delays the verdict. Callers re-submit at the request level once
+    /// the breaker half-opens.
+    Unavailable(String),
 }
 
 impl Error {
@@ -72,9 +95,31 @@ impl Error {
         Error::Transient(what.into())
     }
 
+    /// Construct a [`Error::DeadlineExceeded`] with a formatted description.
+    pub fn deadline_exceeded(what: impl Into<String>) -> Self {
+        Error::DeadlineExceeded(what.into())
+    }
+
+    /// Construct a [`Error::Unavailable`] with a formatted description.
+    pub fn unavailable(what: impl Into<String>) -> Self {
+        Error::Unavailable(what.into())
+    }
+
     /// Whether retrying the failed operation may succeed.
     pub fn is_transient(&self) -> bool {
         matches!(self, Error::Transient(_))
+    }
+
+    /// Whether the service refused the operation (shed or breaker-open)
+    /// rather than attempting and failing it. Such requests may be
+    /// re-submitted later; the operation itself was never tried.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, Error::Unavailable(_))
+    }
+
+    /// Whether the request's deadline expired.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, Error::DeadlineExceeded(_))
     }
 }
 
@@ -86,6 +131,8 @@ impl fmt::Display for Error {
             Error::Corrupt(s) => write!(f, "corrupt data: {s}"),
             Error::Invalid(s) => write!(f, "invalid argument: {s}"),
             Error::Transient(s) => write!(f, "transient fault: {s}"),
+            Error::DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
+            Error::Unavailable(s) => write!(f, "unavailable: {s}"),
         }
     }
 }
@@ -124,6 +171,19 @@ mod tests {
         assert!(Error::transient("blip").is_transient());
         assert!(!Error::corrupt("bad").is_transient());
         assert!(!Error::not_found("x").is_transient());
+    }
+
+    #[test]
+    fn service_verdicts_are_never_retriable() {
+        // The whole point of first-class deadline/unavailable variants:
+        // the retry loop must fail fast instead of burning backoff.
+        assert!(!Error::deadline_exceeded("budget spent").is_transient());
+        assert!(!Error::unavailable("breaker open").is_transient());
+        assert!(Error::unavailable("queue full").is_unavailable());
+        assert!(!Error::transient("blip").is_unavailable());
+        assert!(Error::deadline_exceeded("late").is_deadline_exceeded());
+        assert!(Error::deadline_exceeded("late").to_string().contains("deadline"));
+        assert!(Error::unavailable("shed").to_string().contains("unavailable"));
     }
 
     #[test]

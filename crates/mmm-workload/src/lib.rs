@@ -19,10 +19,12 @@
 //! references, kinds, and seeds) that the savers turn into their
 //! [`mmm_core::Derivation`]s.
 
+pub mod chaos;
 pub mod fleet;
 pub mod history;
 pub mod source;
 
+pub use chaos::{run_chaos, service_bench, ChaosConfig, ChaosReport, ServiceBenchReport};
 pub use fleet::{Fleet, FleetConfig, SelectionStrategy, UpdatePolicy, UpdateRecord};
 pub use history::{archive_history, archive_history_with_snapshots};
 pub use source::DataSource;

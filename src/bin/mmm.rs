@@ -11,7 +11,7 @@
 //! mmm list    --dir D
 //! mmm lineage --dir D <set-id>
 //! mmm verify  --dir D <set-id>
-//! mmm fsck    --dir D [--repair]
+//! mmm fsck    --dir D [--repair] [--salvage]
 //! mmm recover --dir D <set-id>
 //! mmm gc      --dir D --keep-last K
 //! mmm info    --dir D <set-id>
@@ -21,6 +21,9 @@
 //! mmm find-tag --dir D <tag>
 //! mmm advise  [--priority storage|recovery|balanced]
 //! mmm stats   [--models N] [--cycles K] [--setup zero|m1|server]
+//! mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K]
+//!             [--models N] [--deadline-ms MS] [--commit-window-ms MS]
+//!             [--report-out F] [--bench-out F]
 //! ```
 //!
 //! Set ids are printed by `init`/`update`/`list` in the form
@@ -69,7 +72,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1) and\n--backend/--cache-mb (an environment keeps the backend it was created with)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1) and\n--backend/--cache-mb (an environment keeps the backend it was created with)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -96,6 +99,15 @@ struct Args {
     setup: String,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    models_explicit: bool,
+    rounds: usize,
+    iters: usize,
+    tenants: usize,
+    deadline_ms: u64,
+    commit_window_ms: u64,
+    salvage: bool,
+    report_out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -110,13 +122,20 @@ fn parse_args() -> Args {
         threads: 1,
         cycles: 2,
         setup: "zero".into(),
+        rounds: 13,
+        iters: 2,
+        tenants: 4,
+        deadline_ms: 30_000,
         ..Args::default()
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--dir" => a.dir = Some(PathBuf::from(next(&mut it, "--dir"))),
-            "--models" => a.models = num(&mut it, "--models"),
+            "--models" => {
+                a.models = num(&mut it, "--models");
+                a.models_explicit = true;
+            }
             "--arch" => a.arch = next(&mut it, "--arch"),
             "--approach" => a.approach = next(&mut it, "--approach"),
             "--seed" => a.seed = num(&mut it, "--seed") as u64,
@@ -143,6 +162,14 @@ fn parse_args() -> Args {
             "--setup" => a.setup = next(&mut it, "--setup"),
             "--trace-out" => a.trace_out = Some(PathBuf::from(next(&mut it, "--trace-out"))),
             "--metrics-out" => a.metrics_out = Some(PathBuf::from(next(&mut it, "--metrics-out"))),
+            "--rounds" => a.rounds = num(&mut it, "--rounds"),
+            "--iters" => a.iters = num(&mut it, "--iters"),
+            "--tenants" => a.tenants = num(&mut it, "--tenants").max(1),
+            "--deadline-ms" => a.deadline_ms = num(&mut it, "--deadline-ms") as u64,
+            "--commit-window-ms" => a.commit_window_ms = num(&mut it, "--commit-window-ms") as u64,
+            "--salvage" => a.salvage = true,
+            "--report-out" => a.report_out = Some(PathBuf::from(next(&mut it, "--report-out"))),
+            "--bench-out" => a.bench_out = Some(PathBuf::from(next(&mut it, "--bench-out"))),
             "--help" | "-h" => usage(""),
             other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
             other if !other.starts_with('-') => a.positional.push(other.into()),
@@ -447,6 +474,20 @@ fn cmd_verify(a: &Args) -> Result<()> {
 }
 
 fn cmd_fsck(a: &Args) -> Result<()> {
+    // --salvage: quarantine unreadable document-log records first, so a
+    // store whose strict open fails with Corrupt can be audited at all.
+    if a.salvage {
+        let dir = a.dir.as_deref().ok_or_else(|| Error::invalid("--salvage needs --dir"))?;
+        let s = fsck::salvage_docs(dir)?;
+        if s.is_noop() {
+            println!("salvage: document logs already clean ({} collection(s))", s.collections);
+        } else {
+            println!(
+                "salvage: kept {} record(s), quarantined {} bad record(s) and {} torn tail(s)",
+                s.records_kept, s.records_dropped, s.torn_tails
+            );
+        }
+    }
     let env = open_env(a)?;
     let report = fsck::fsck(&env)?;
     println!("checked {} set(s), {} blob(s)", report.sets_checked, report.blobs_checked);
@@ -644,6 +685,105 @@ fn cmd_stats(a: &Args) -> Result<()> {
     Ok(())
 }
 
+fn cmd_chaos(a: &Args) -> Result<()> {
+    use mmm::workload::chaos::{self, ChaosConfig};
+    use std::time::Duration;
+
+    let config = ChaosConfig {
+        seed: a.seed,
+        threads: a.threads.max(1),
+        tenants: a.tenants,
+        rounds: a.rounds,
+        iters: a.iters,
+        // Chaos exercises the control plane; tiny sets keep the storm
+        // schedule dense. An explicit --models overrides.
+        n_models: if a.models_explicit { a.models.max(1) } else { 2 },
+        deadline: Duration::from_millis(a.deadline_ms),
+        commit_window: Duration::from_millis(a.commit_window_ms),
+        ..ChaosConfig::default()
+    };
+    // --dir reuses (and further batters) an existing store; default is a
+    // throwaway directory.
+    let tmp;
+    let dir: &Path = match &a.dir {
+        Some(d) => d,
+        None => {
+            tmp = TempDir::new("mmm-chaos")?;
+            tmp.path()
+        }
+    };
+
+    println!(
+        "chaos: seed {} · {} round(s) × {} thread(s) × {} iter(s) = {} tenant-iterations",
+        config.seed,
+        config.rounds,
+        config.threads,
+        config.iters,
+        config.tenant_iterations()
+    );
+    let report = chaos::run_chaos(dir, &config)?;
+    println!(
+        "requests {} · saves ok {} · errors {} · recovers fresh {} / stale {}",
+        report.requests,
+        report.saves_ok,
+        report.request_errors,
+        report.recovers_fresh,
+        report.recovers_stale
+    );
+    println!(
+        "commit batches {} covering {} save(s) · crash debris {} · flip-lost saves {}",
+        report.commit_batches, report.commit_members, report.debris_entries, report.saves_lost_to_flips
+    );
+
+    if let Some(path) = &a.bench_out {
+        let bench = chaos::service_bench(dir, &[1, 4], 25, &config)?;
+        let rows: Vec<serde_json::Value> = bench
+            .rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "threads": r.threads,
+                    "saves": r.saves,
+                    "shed": r.shed,
+                    "saves_per_sec": r.saves_per_sec,
+                    "shed_rate": r.shed_rate,
+                    "p99_deadline_overrun_ns": r.p99_overrun.as_nanos() as u64,
+                    "commit_records_per_save": r.commit_records_per_save,
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "bench": "service",
+            "seed": config.seed,
+            "saves_per_thread": 25,
+            "commit_window_ms": a.commit_window_ms,
+            "rows": rows,
+        });
+        let text = serde_json::to_string(&doc)
+            .map_err(|e| Error::invalid(format!("unserializable bench report: {e}")))?;
+        std::fs::write(path, text)?;
+        println!("wrote service bench to {}", path.display());
+    }
+
+    if let Some(path) = &a.report_out {
+        let doc = chaos::report_json(&config, &report);
+        let text = serde_json::to_string(&doc)
+            .map_err(|e| Error::invalid(format!("unserializable chaos report: {e}")))?;
+        std::fs::write(path, text)?;
+        println!("wrote chaos report to {}", path.display());
+    }
+
+    if report.passed() {
+        println!("OK: every invariant held across {} round(s)", report.rounds);
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        Err(Error::corrupt(format!("{} invariant violation(s)", report.violations.len())))
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.command == "stats" || args.trace_out.is_some() || args.metrics_out.is_some() {
@@ -665,6 +805,7 @@ fn main() {
         "find-tag" => cmd_find_tag(&args),
         "advise" => cmd_advise(&args),
         "stats" => cmd_stats(&args),
+        "chaos" => cmd_chaos(&args),
         other => usage(&format!("unknown command {other:?}")),
     };
     // Dump observability artifacts even when the command failed — the

@@ -234,6 +234,83 @@ fn a_crash_at_every_write_op_under_cas_is_repairable_for_every_approach() {
     }
 }
 
+/// Crash at every write op inside a CAS deletion (`delete_set` →
+/// manifest delete → `release_chunks`): the surviving sets must stay
+/// bit-identical, shared chunks must never be reclaimed out from under
+/// them, and the worst a crash may cause is a *leak* (orphan chunks or
+/// blobs, invisible debris) that `fsck --repair` reclaims — never
+/// corruption.
+#[test]
+fn a_crash_at_every_write_op_during_cas_gc_leaks_but_never_corrupts() {
+    let mut survived = false;
+    for k in 0..MAX_FAULT_POINTS {
+        let dir = TempDir::new("it-cas-gc-fault").unwrap();
+        let faults = FaultInjector::new();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .backend(StorageBackend::Cas)
+            .faults(faults.clone())
+            .open()
+            .unwrap();
+        // An update chain shares chunks between versions, so the
+        // deletion below releases a mix of shared and unique chunks.
+        let (ids, sets) = run_history(&env, "update");
+        let victim = ids.last().unwrap();
+
+        faults.arm(FaultPlan::crash_at(FaultTarget::Writes, k));
+        let result = gc::delete_set(&env, victim, false);
+        faults.disarm_all();
+
+        if result.is_ok() {
+            assert!(k >= 2, "deletion with only {k} write op(s)");
+            assert!(fsck::fsck(&env).unwrap().is_clean(), "clean deletion leaves no debris");
+            survived = true;
+            break;
+        }
+
+        // The process "died" mid-deletion: reopen fresh and audit.
+        drop(env);
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let ctx = format!("gc write op #{k}");
+
+        // Leak, never corrupt: the only acceptable damage classes are
+        // invisible debris and unreferenced leftovers.
+        let report = fsck::fsck(&env).unwrap();
+        for d in &report.damage {
+            assert!(
+                matches!(
+                    d,
+                    fsck::Damage::UncommittedSave { .. }
+                        | fsck::Damage::OrphanBlob { .. }
+                        | fsck::Damage::OrphanChunk { .. }
+                ),
+                "{ctx}: unexpected damage class: {}",
+                d.describe()
+            );
+        }
+
+        // Every set the deletion did not get to decommit — in
+        // particular every *other* version sharing chunks with the
+        // victim — still recovers bit-identically.
+        let saver = ApproachSpec::parse("update").unwrap().build();
+        for (id, set) in ids.iter().zip(&sets) {
+            if mmm::core::commit::is_committed(&env, id).unwrap() {
+                assert_eq!(&saver.recover_set(&env, id).unwrap(), set, "{ctx}: set {id}");
+            } else {
+                assert!(id == victim, "{ctx}: only the victim may be decommitted");
+            }
+        }
+
+        // Repair reclaims the leak and the survivors are untouched.
+        let fixed = fsck::repair(&env, &report).unwrap();
+        assert_eq!(fixed.sets_quarantined, 0, "{ctx}: a gc crash never quarantines");
+        assert!(fsck::fsck(&env).unwrap().is_clean(), "{ctx}: repair converges");
+        for (id, set) in ids.iter().zip(&sets).take(ids.len() - 1) {
+            assert_eq!(&saver.recover_set(&env, id).unwrap(), set, "{ctx}: after repair {id}");
+        }
+    }
+    assert!(survived, "deletion never completed within {MAX_FAULT_POINTS} write ops");
+}
+
 #[test]
 fn fsck_flags_and_gc_reclaims_orphan_chunks() {
     let dir = TempDir::new("it-cas-orphan").unwrap();
