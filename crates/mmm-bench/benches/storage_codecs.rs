@@ -19,14 +19,14 @@ fn models(n: usize) -> Vec<ParamDict> {
 
 fn bench_concat(c: &mut Criterion) {
     let set = models(100);
-    let bytes = encode_concat(&set);
+    let bytes = encode_concat(&set).unwrap();
     let arch = Architectures::ffnn48();
     let names = arch.parametric_layer_names();
     let sizes = arch.parametric_layer_sizes();
 
     let mut group = c.benchmark_group("codec_concat");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("encode_100_models", |b| b.iter(|| encode_concat(&set)));
+    group.bench_function("encode_100_models", |b| b.iter(|| encode_concat(&set).unwrap()));
     group.bench_function("decode_100_models", |b| {
         b.iter(|| decode_concat(&bytes, 100, &names, &sizes).unwrap())
     });
@@ -36,7 +36,7 @@ fn bench_concat(c: &mut Criterion) {
 fn bench_verbose(c: &mut Criterion) {
     let set = models(1);
     c.bench_function("codec_verbose_dict_encode", |b| {
-        b.iter(|| encode_verbose_dict(&set[0]))
+        b.iter(|| encode_verbose_dict(&set[0]).unwrap())
     });
 }
 
@@ -52,14 +52,14 @@ fn bench_hashes_and_diff(c: &mut Criterion) {
             data: m.layers[1].data.clone(),
         })
         .collect();
-    let diff_bytes = encode_diff(&entries);
+    let diff_bytes = encode_diff(&entries).unwrap();
 
     let mut group = c.benchmark_group("codec_update");
     group.bench_function("layer_hashes_100_models", |b| {
         b.iter(|| set.iter().map(|m| m.layer_hashes()).collect::<Vec<_>>())
     });
     group.bench_function("encode_hashes", |b| b.iter(|| encode_hashes(&hashes)));
-    group.bench_function("encode_diff_10_layers", |b| b.iter(|| encode_diff(&entries)));
+    group.bench_function("encode_diff_10_layers", |b| b.iter(|| encode_diff(&entries).unwrap()));
     group.bench_function("decode_diff_10_layers", |b| {
         b.iter(|| decode_diff(&diff_bytes).unwrap())
     });

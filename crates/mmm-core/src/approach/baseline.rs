@@ -16,7 +16,8 @@ use crate::approach::ModelSetSaver;
 use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::{Derivation, ModelSet, ModelSetId};
-use crate::param_codec::encode_concat_threaded;
+use crate::param_codec::{self, encode_concat_threaded};
+use mmm_dnn::{ArchitectureSpec, ParamDict};
 use mmm_util::{Error, Result};
 
 /// Saver implementing the Baseline approach. Stateless.
@@ -27,6 +28,79 @@ impl BaselineSaver {
     /// Create a Baseline saver.
     pub fn new() -> Self {
         BaselineSaver
+    }
+
+    /// Save a set whose models are *produced on demand* instead of held
+    /// in memory: `model_fn(i, buf)` appends model `i`'s concat record
+    /// (see [`param_codec::append_model_record`]) and the blob streams
+    /// to the store in [`ManagementEnv::stream_chunk_bytes`] chunks —
+    /// peak staging memory is one chunk regardless of `n_models`. The
+    /// stored artifacts are identical to [`ModelSetSaver::save_set`] of
+    /// the materialized set, so any recovery path can read them back.
+    pub fn save_streamed(
+        &mut self,
+        env: &ManagementEnv,
+        arch: &ArchitectureSpec,
+        n_models: usize,
+        mut model_fn: impl FnMut(usize, &mut Vec<u8>) -> Result<()>,
+    ) -> Result<ModelSetId> {
+        let doc = common::full_set_doc(self.name(), arch, n_models)?;
+        let doc_id = {
+            let _span = env.obs().span("doc_insert");
+            env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
+        };
+        let per_model = param_codec::per_model_params(&arch.parametric_layer_sizes())?;
+        let model_bytes = param_codec::concat_blob_len(per_model, 1)?;
+        let key = common::params_key(self.name(), doc_id);
+        {
+            let _span = env.obs().span("stream_put");
+            let mf = &mut model_fn;
+            env.with_retry(|| {
+                common::put_params_streamed(env, &key, n_models, model_bytes, |i, buf| mf(i, buf))
+            })?;
+        }
+        let id = ModelSetId { approach: self.name().into(), key: doc_id.to_string() };
+        commit::commit_save(env, &id)?;
+        Ok(id)
+    }
+
+    /// Visit every model of a saved set one at a time (in index order)
+    /// without materializing the whole `Vec<ParamDict>`: the blob is
+    /// read as a zero-copy mapping and decoded model by model, so peak
+    /// memory during recovery is one model. Each visited dict is
+    /// identical to the corresponding element of
+    /// [`ModelSetSaver::recover_set`]'s result.
+    pub fn recover_visit(
+        &self,
+        env: &ManagementEnv,
+        id: &ModelSetId,
+        visit: impl FnMut(usize, ParamDict) -> Result<()>,
+    ) -> Result<()> {
+        if id.approach != self.name() {
+            return Err(Error::invalid(format!(
+                "baseline cannot recover a {:?} set",
+                id.approach
+            )));
+        }
+        commit::require_committed(env, id)?;
+        let doc_id = common::doc_id_of(id)?;
+        let doc = {
+            let _span = env.obs().span("doc_get");
+            env.docs().get(common::SETS_COLLECTION, doc_id)?
+        };
+        let (arch, n_models) = common::parse_full_doc(&doc)?;
+        let blob = {
+            let _span = env.obs().span("blob_get");
+            env.blobs().get_mapped(&common::params_key(self.name(), doc_id))?
+        };
+        let _span = env.obs().span("decode");
+        param_codec::decode_concat_visit(
+            &blob,
+            n_models,
+            &arch.parametric_layer_names(),
+            &arch.parametric_layer_sizes(),
+            visit,
+        )
     }
 }
 
@@ -50,13 +124,29 @@ impl ModelSetSaver for BaselineSaver {
             let _span = env.obs().span("doc_insert");
             env.with_retry(|| env.docs().insert(common::SETS_COLLECTION, doc.clone()))?
         };
-        let blob = {
-            let _span = env.obs().span("encode");
-            encode_concat_threaded(set.models(), env.threads())
-        };
-        {
+        let sizes = set.arch.parametric_layer_sizes();
+        let per_model = param_codec::per_model_params(&sizes)?;
+        let total = param_codec::concat_blob_len(per_model, set.len())?;
+        let uniform = set.models().iter().all(|m| m.param_count() == per_model);
+        if uniform && total > env.stream_chunk_bytes() {
+            // Large set: encode and write in chunks so peak staging
+            // memory is one chunk, not the whole blob. Byte-identical
+            // on disk to the block path below.
+            let model_bytes = param_codec::concat_blob_len(per_model, 1)?;
+            let key = common::params_key(self.name(), doc_id);
+            let _span = env.obs().span("stream_put");
+            env.with_retry(|| {
+                common::put_params_streamed(env, &key, set.len(), model_bytes, |i, buf| {
+                    param_codec::append_model_record(&set.models()[i], buf);
+                    Ok(())
+                })
+            })?;
+        } else {
+            let blob = {
+                let _span = env.obs().span("encode");
+                encode_concat_threaded(set.models(), env.threads())?
+            };
             let _span = env.obs().span("blob_put");
-            let sizes = set.arch.parametric_layer_sizes();
             env.with_retry(|| {
                 common::put_params_blob(env, &common::params_key(self.name(), doc_id), &blob, &sizes)
             })?;
@@ -158,7 +248,7 @@ mod tests {
         // crash between the blob put and the commit leaves behind.
         let doc = common::full_set_doc("baseline", &s.arch, s.len()).unwrap();
         let doc_id = env.docs().insert(common::SETS_COLLECTION, doc).unwrap();
-        let blob = crate::param_codec::encode_concat(s.models());
+        let blob = crate::param_codec::encode_concat(s.models()).unwrap();
         env.blobs().put(&common::params_key("baseline", doc_id), &blob).unwrap();
         let id = ModelSetId { approach: "baseline".into(), key: doc_id.to_string() };
         assert!(matches!(saver.recover_set(&env, &id), Err(Error::NotFound(_))));
@@ -207,6 +297,64 @@ mod tests {
         let saver = BaselineSaver::new();
         let id = ModelSetId { approach: "baseline".into(), key: "42".into() };
         assert!(matches!(saver.recover_set(&env, &id), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn streamed_save_lands_bit_identical_blobs() {
+        let s = set(12, 7);
+        // Block path on a default env, streaming path on an env whose
+        // threshold forces chunked writes even for this small set.
+        let (_d1, block_env) = env();
+        let dir2 = TempDir::new("mmm-baseline").unwrap();
+        let stream_env = ManagementEnv::builder(dir2.path(), LatencyProfile::zero())
+            .stream_chunk_bytes(64)
+            .open()
+            .unwrap();
+        let block_id = BaselineSaver::new().save_initial(&block_env, &s).unwrap();
+        let (stream_id, m) =
+            stream_env.measure(|| BaselineSaver::new().save_initial(&stream_env, &s).unwrap());
+        assert_eq!(m.stats.blob_puts, 1, "streaming still charges one put");
+        let block_blob =
+            block_env.blobs().get(&common::params_key("baseline", common::doc_id_of(&block_id).unwrap())).unwrap();
+        let stream_blob = stream_env
+            .blobs()
+            .get(&common::params_key("baseline", common::doc_id_of(&stream_id).unwrap()))
+            .unwrap();
+        assert_eq!(block_blob, stream_blob, "chunked writes must land identical bytes");
+        assert_eq!(BaselineSaver::new().recover_set(&stream_env, &stream_id).unwrap(), s);
+    }
+
+    #[test]
+    fn generator_save_and_visit_recovery_roundtrip() {
+        let dir = TempDir::new("mmm-baseline").unwrap();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .stream_chunk_bytes(256)
+            .open()
+            .unwrap();
+        let arch = Architectures::ffnn(6);
+        let n = 9;
+        // Save from a generator: models are built one at a time and never
+        // held together in memory.
+        let id = BaselineSaver::new()
+            .save_streamed(&env, &arch, n, |i, buf| {
+                let m = arch.build(100 + i as u64).export_param_dict();
+                crate::param_codec::append_model_record(&m, buf);
+                Ok(())
+            })
+            .unwrap();
+        // The streamed artifacts recover through the ordinary block path…
+        let expected = set(n, 100);
+        assert_eq!(BaselineSaver::new().recover_set(&env, &id).unwrap(), expected);
+        // …and through the one-model-at-a-time visitor.
+        let mut seen = 0usize;
+        BaselineSaver::new()
+            .recover_visit(&env, &id, |i, dict| {
+                assert_eq!(dict, expected.models()[i]);
+                seen += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, n);
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl ModelSetSaver for MmlibBaseSaver {
                 let _span = env.obs().span("encode_put");
                 let params = {
                     let _s = env.obs().span("encode");
-                    encode_verbose_dict(dict)
+                    encode_verbose_dict(dict)?
                 };
                 let _s = env.obs().span("blob_put");
                 put_blobs(doc_id, &params)?;
@@ -117,7 +117,7 @@ impl ModelSetSaver for MmlibBaseSaver {
                 // and would make the trace nondeterministic.
                 let params = {
                     let _s = env.obs().span_idx("encode", i as u64);
-                    encode_verbose_dict(&models[i])
+                    encode_verbose_dict(&models[i])?
                 };
                 let _s = env.obs().span_idx("blob_put", i as u64);
                 put_blobs(doc_ids[i], &params)

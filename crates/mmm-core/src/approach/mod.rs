@@ -307,9 +307,13 @@ pub(crate) mod common {
         doc: &Value,
     ) -> Result<ModelSet> {
         let (arch, n_models) = parse_full_doc(doc)?;
+        // Zero-copy read: the blob arrives as a page-cache mapping where
+        // the backend supports it, and the decoder slices it in place —
+        // recovery never stages the parameter bytes in an intermediate
+        // heap buffer. Accounting is identical to a copying `get`.
         let blob = {
             let _span = env.obs().span("blob_get");
-            env.blobs().get(&params_key(approach, doc_id))?
+            env.blobs().get_mapped(&params_key(approach, doc_id))?
         };
         let _span = env.obs().span("decode");
         let models: Vec<ParamDict> = crate::param_codec::decode_concat_threaded(
@@ -397,5 +401,32 @@ pub(crate) mod common {
     ) -> Result<()> {
         let boundaries = concat_boundaries(blob.len(), layer_sizes);
         env.blobs().put_with_boundaries(key, blob, &boundaries)
+    }
+
+    /// Stream a concatenated-parameters blob: models are produced one at
+    /// a time by `append_model` (index, staging buffer), encoded into a
+    /// chunk of [`ManagementEnv::stream_chunk_bytes`], and flushed to the
+    /// store's streaming sink — peak staging memory is one chunk, not
+    /// the whole set. The landed blob is byte-identical to
+    /// [`put_params_blob`] of `encode_concat` output. On the
+    /// content-addressed backend the sink buffers (chunk dedup needs the
+    /// whole payload) and cuts fixed-size chunks rather than layer-edge
+    /// chunks.
+    pub fn put_params_streamed(
+        env: &ManagementEnv,
+        key: &str,
+        n_models: usize,
+        model_bytes: usize,
+        append_model: impl FnMut(usize, &mut Vec<u8>) -> Result<()>,
+    ) -> Result<()> {
+        let mut sink = env.blobs().put_writer(key)?;
+        crate::param_codec::encode_concat_stream(
+            n_models,
+            model_bytes,
+            env.stream_chunk_bytes(),
+            append_model,
+            |chunk| sink.write(chunk),
+        )?;
+        sink.finish()
     }
 }

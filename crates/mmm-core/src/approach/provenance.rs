@@ -120,7 +120,7 @@ impl ModelSetSaver for ProvenanceSaver {
             };
             let params = {
                 let _span = env.obs().span("encode");
-                crate::param_codec::encode_concat_threaded(set.models(), env.threads())
+                crate::param_codec::encode_concat_threaded(set.models(), env.threads())?
             };
             {
                 let _span = env.obs().span("blob_put");

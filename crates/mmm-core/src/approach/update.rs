@@ -101,7 +101,7 @@ impl UpdateSaver {
         };
         let params = {
             let _span = env.obs().span("encode");
-            encode_concat_threaded(set.models(), env.threads())
+            encode_concat_threaded(set.models(), env.threads())?
         };
         {
             let _span = env.obs().span("blob_put");
@@ -240,7 +240,7 @@ impl ModelSetSaver for UpdateSaver {
                 for e in &entries {
                     env.obs().observe("mmm_update_changed_layer_bytes", e.blob.len() as u64);
                 }
-                ("diffz", encode_diff_compressed(&entries))
+                ("diffz", encode_diff_compressed(&entries)?)
             } else {
                 let entries: Vec<DiffEntry> = parallel::map(env.threads(), changed.len(), |c| {
                     let (mi, li) = changed[c];
@@ -253,7 +253,7 @@ impl ModelSetSaver for UpdateSaver {
                 for e in &entries {
                     env.obs().observe("mmm_update_changed_layer_bytes", 4 * e.data.len() as u64);
                 }
-                ("diff", encode_diff(&entries))
+                ("diff", encode_diff(&entries)?)
             }
         };
         let doc = json!({
@@ -860,7 +860,7 @@ mod tests {
             blob: compress_delta(&[1.0, 2.0, 3.0], &[1.5, 2.0, 3.0]),
         };
         env.blobs()
-            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[wrong]))
+            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[wrong]).unwrap())
             .unwrap();
         let err = saver.recover_models(&env, &id1, &[0]).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)), "got: {err}");
@@ -872,7 +872,7 @@ mod tests {
             blob: compress_delta(&[1.0], &[2.0]),
         };
         env.blobs()
-            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[oob]))
+            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[oob]).unwrap())
             .unwrap();
         let err = saver.recover_models(&env, &id1, &[0]).unwrap_err();
         assert!(
@@ -887,7 +887,7 @@ mod tests {
             blob: vec![0xFF],
         };
         env.blobs()
-            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[foreign]))
+            .put(&UpdateSaver::diff_key(doc_id), &encode_diff_compressed(&[foreign]).unwrap())
             .unwrap();
         assert!(saver.recover_models(&env, &id1, &[0]).is_ok());
     }

@@ -7,11 +7,18 @@ use mmm_data::DatasetRegistry;
 use mmm_obs::{EventLevel, LaneHook, Observer};
 use mmm_store::{
     BlobStore, BreakerConfig, CasConfig, CasStore, DocumentStore, FaultInjector, LatencyProfile,
-    ServiceGate, StatsSnapshot, StorageBackend, StoreStats,
+    ServiceGate, StatsSnapshot, StorageBackend, StoreStats, TieredStore,
 };
 use mmm_util::{Error, Result, VirtualClock};
 
 use crate::fleet::GroupCommitter;
+
+/// Default save-path streaming threshold/chunk: parameter sets whose
+/// concatenated blob stays under this are encoded in one block (small
+/// sets keep the exact code path every existing test pins); larger sets
+/// are encoded and written in chunks of this size so peak staging memory
+/// is O(chunk), not O(set).
+pub const DEFAULT_STREAM_CHUNK_BYTES: usize = 16 << 20;
 
 /// Bounded-backoff retry policy for [`mmm_util::Error::Transient`]
 /// store faults. Backoff delays are *charged to the virtual clock*, so
@@ -68,6 +75,7 @@ pub struct ManagementEnv {
     obs: Observer,
     gate: ServiceGate,
     commit_gate: GroupCommitter,
+    stream_chunk_bytes: usize,
 }
 
 /// Staged configuration for [`ManagementEnv::builder`] — the one place
@@ -86,6 +94,8 @@ pub struct EnvBuilder {
     cas_config: CasConfig,
     breaker: BreakerConfig,
     commit_window: Duration,
+    cold_profile: Option<LatencyProfile>,
+    stream_chunk_bytes: usize,
 }
 
 impl EnvBuilder {
@@ -145,6 +155,22 @@ impl EnvBuilder {
         self
     }
 
+    /// Latency profile of the cold tier (only meaningful with the
+    /// `tiered` backend; defaults to [`LatencyProfile::object_store`]).
+    pub fn cold_profile(mut self, profile: LatencyProfile) -> Self {
+        self.cold_profile = Some(profile);
+        self
+    }
+
+    /// Streaming threshold and chunk size for the save path (see
+    /// [`DEFAULT_STREAM_CHUNK_BYTES`]). Lowering it forces the streaming
+    /// encoder on small sets — scale tests use this to exercise the
+    /// chunked path without gigabytes of models.
+    pub fn stream_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.stream_chunk_bytes = bytes.max(1);
+        self
+    }
+
     /// Group-commit collection window: how long a commit leader waits
     /// (real time) for concurrent commits to pile into its batch before
     /// writing the single batched record. Zero (the default) batches
@@ -181,6 +207,7 @@ impl EnvBuilder {
             backend,
             dir.join("blobs"),
             self.profile,
+            self.cold_profile,
             clock.clone(),
             stats.clone(),
             faults.clone(),
@@ -203,6 +230,7 @@ impl EnvBuilder {
             obs: Observer::disabled(),
             gate,
             commit_gate: GroupCommitter::with_window(self.commit_window),
+            stream_chunk_bytes: self.stream_chunk_bytes,
         };
         Ok(match self.observer {
             Some(obs) => env.with_observer(obs),
@@ -271,6 +299,8 @@ impl ManagementEnv {
             cas_config: CasConfig::default(),
             breaker: BreakerConfig::default(),
             commit_window: Duration::ZERO,
+            cold_profile: None,
+            stream_chunk_bytes: DEFAULT_STREAM_CHUNK_BYTES,
         }
     }
 
@@ -438,6 +468,17 @@ impl ManagementEnv {
     /// (for dedup counters, cache accounting, audits).
     pub fn cas(&self) -> Option<&CasStore> {
         self.blobs.cas()
+    }
+
+    /// The tiered store, when the `tiered` backend is active (demotion
+    /// and promotion of chain links, per-tier traffic counters).
+    pub fn tiered(&self) -> Option<&TieredStore> {
+        self.blobs.tiered()
+    }
+
+    /// The save path's streaming threshold/chunk size in bytes.
+    pub fn stream_chunk_bytes(&self) -> usize {
+        self.stream_chunk_bytes
     }
 
     /// The dataset registry (externally persisted training data).
@@ -618,6 +659,40 @@ mod tests {
         assert_eq!(cas.config().chunk_size, 512);
         env.blobs().put("x", &[7u8; 2048]).unwrap();
         assert_eq!(env.blobs().get("x").unwrap(), vec![7u8; 2048]);
+    }
+
+    #[test]
+    fn builder_opens_tiered_backend_with_knobs() {
+        use mmm_store::StorageTier;
+        let dir = TempDir::new("mmm-env").unwrap();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .backend(StorageBackend::Tiered)
+            .cold_profile(LatencyProfile::object_store())
+            .stream_chunk_bytes(4096)
+            .open()
+            .unwrap();
+        assert_eq!(env.backend(), StorageBackend::Tiered);
+        assert_eq!(env.stream_chunk_bytes(), 4096);
+        env.blobs().put("chain/v1.bin", &[9u8; 1000]).unwrap();
+        let tiered = env.tiered().expect("tiered store");
+        assert_eq!(tiered.tier_of("chain/v1.bin"), Some(StorageTier::Hot));
+        let before = env.clock().simulated();
+        tiered.demote("chain/v1.bin").unwrap();
+        assert_eq!(tiered.tier_of("chain/v1.bin"), Some(StorageTier::Cold));
+        assert!(
+            env.clock().simulated() - before
+                >= LatencyProfile::object_store().blob_put.cost(1000),
+            "demotion pays the cold tier's put"
+        );
+        assert_eq!(env.blobs().get("chain/v1.bin").unwrap(), vec![9u8; 1000]);
+    }
+
+    #[test]
+    fn stream_chunk_default_is_sane() {
+        let dir = TempDir::new("mmm-env").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        assert_eq!(env.stream_chunk_bytes(), DEFAULT_STREAM_CHUNK_BYTES);
+        assert!(DEFAULT_STREAM_CHUNK_BYTES >= 1 << 20);
     }
 
     #[test]

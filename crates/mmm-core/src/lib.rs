@@ -41,6 +41,7 @@ pub mod lineage;
 pub mod model_set;
 pub mod param_codec;
 pub mod tags;
+pub mod tiering;
 pub mod verify;
 
 pub use approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver, UpdateSaver};

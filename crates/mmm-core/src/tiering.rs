@@ -1,0 +1,179 @@
+//! Hot/cold tiering policy over archived sets.
+//!
+//! [`mmm_store::TieredStore`] provides the *mechanism* — per-key
+//! demotion and promotion between a fast hot tier and a slow
+//! "object store" cold tier. This module provides the *policy*: which
+//! sets' blobs belong on which tier. The rule mirrors how chains are
+//! actually recovered — the newest versions are touched constantly
+//! (fleet tips, rollback candidates), while links deep in a version
+//! chain matter only when a rare deep re-derivation walks through them.
+//!
+//! [`demote_old_sets`] therefore keeps the most recent `keep_hot`
+//! history entries hot and moves every older set's blobs cold;
+//! [`promote_set`] pulls one set's blobs back ahead of a planned deep
+//! recovery. Both are cheap no-ops for blobs already on the right tier,
+//! so the sweep is safe to re-run after every save (like a retention
+//! sweep).
+
+use crate::env::ManagementEnv;
+use crate::model_set::ModelSetId;
+use mmm_util::{Error, Result};
+
+/// What one tiering sweep did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierReport {
+    /// Sets whose blobs were moved to the cold tier this sweep.
+    pub demoted: Vec<ModelSetId>,
+    /// Blob bytes moved hot → cold this sweep.
+    pub bytes_demoted: u64,
+    /// Individual blobs moved hot → cold this sweep.
+    pub blobs_demoted: usize,
+}
+
+/// The blob-key prefix holding every artifact of one set.
+fn set_prefix(id: &ModelSetId) -> String {
+    format!("{}/{}", id.approach, id.key)
+}
+
+/// Demote every set older than the most recent `keep_hot` history
+/// entries: all their blobs move to the cold tier (a charged cold-tier
+/// put per blob — the cross-tier transfer). Blobs already cold are
+/// skipped, so re-running after each save only pays for newly aged-out
+/// sets. `history` is ordered oldest-first, as kept by the CLI and the
+/// fleet frontend.
+///
+/// Requires the `tiered` backend ([`Error::Invalid`] otherwise — on
+/// plain or CAS there is no cold tier to demote to).
+pub fn demote_old_sets(
+    env: &ManagementEnv,
+    history: &[ModelSetId],
+    keep_hot: usize,
+) -> Result<TierReport> {
+    let tiered = env
+        .tiered()
+        .ok_or_else(|| Error::invalid("tiering requires the 'tiered' storage backend"))?;
+    let mut report = TierReport::default();
+    if history.len() <= keep_hot {
+        return Ok(report);
+    }
+    for id in &history[..history.len() - keep_hot] {
+        let mut moved_any = false;
+        for key in env.blobs().list_keys(&set_prefix(id))? {
+            if tiered.tier_of(&key) != Some(mmm_store::StorageTier::Hot) {
+                continue;
+            }
+            let bytes = env.blobs().size(&key)?;
+            env.with_retry(|| tiered.demote(&key))?;
+            report.bytes_demoted += bytes;
+            report.blobs_demoted += 1;
+            moved_any = true;
+        }
+        if moved_any {
+            report.demoted.push(id.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Promote every blob of one set back to the hot tier (a charged
+/// cold-tier get per blob), e.g. ahead of a planned deep recovery or a
+/// rollback to an old version. Blobs already hot are skipped. Returns
+/// `(blobs promoted, bytes promoted)`.
+pub fn promote_set(env: &ManagementEnv, id: &ModelSetId) -> Result<(usize, u64)> {
+    let tiered = env
+        .tiered()
+        .ok_or_else(|| Error::invalid("tiering requires the 'tiered' storage backend"))?;
+    let mut blobs = 0usize;
+    let mut bytes = 0u64;
+    for key in env.blobs().list_keys(&set_prefix(id))? {
+        if tiered.tier_of(&key) != Some(mmm_store::StorageTier::Cold) {
+            continue;
+        }
+        bytes += env.blobs().size(&key)?;
+        env.with_retry(|| tiered.promote(&key))?;
+        blobs += 1;
+    }
+    Ok((blobs, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approach::{BaselineSaver, ModelSetSaver};
+    use crate::model_set::ModelSet;
+    use mmm_dnn::Architectures;
+    use mmm_store::{LatencyProfile, StorageBackend, StorageTier};
+    use mmm_util::TempDir;
+
+    fn set(n: usize, seed: u64) -> ModelSet {
+        let arch = Architectures::ffnn(4);
+        let models = (0..n).map(|i| arch.build(seed + i as u64).export_param_dict()).collect();
+        ModelSet::new(arch, models)
+    }
+
+    fn tiered_env(dir: &TempDir) -> ManagementEnv {
+        ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .backend(StorageBackend::Tiered)
+            .open()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_demotes_only_aged_out_sets_and_recovery_still_works() {
+        let dir = TempDir::new("mmm-tiering").unwrap();
+        let env = tiered_env(&dir);
+        let mut saver = BaselineSaver::new();
+        let sets: Vec<ModelSet> = (0..4).map(|i| set(3, 10 * i as u64)).collect();
+        let history: Vec<ModelSetId> =
+            sets.iter().map(|s| saver.save_initial(&env, s).unwrap()).collect();
+
+        let report = demote_old_sets(&env, &history, 2).unwrap();
+        assert_eq!(report.demoted, history[..2].to_vec());
+        assert!(report.blobs_demoted >= 2, "params blob per demoted set");
+        assert!(report.bytes_demoted > 0);
+
+        let tiered = env.tiered().unwrap();
+        let old_key = format!("baseline/{}/params.bin", history[0].key);
+        let new_key = format!("baseline/{}/params.bin", history[3].key);
+        assert_eq!(tiered.tier_of(&old_key), Some(StorageTier::Cold));
+        assert_eq!(tiered.tier_of(&new_key), Some(StorageTier::Hot));
+
+        // Demoted sets recover bit-identically (just slower in sim time).
+        assert_eq!(saver.recover_set(&env, &history[0]).unwrap(), sets[0]);
+
+        // Re-running the sweep is a no-op.
+        let again = demote_old_sets(&env, &history, 2).unwrap();
+        assert_eq!(again, TierReport::default());
+    }
+
+    #[test]
+    fn promote_restores_the_hot_tier() {
+        let dir = TempDir::new("mmm-tiering").unwrap();
+        let env = tiered_env(&dir);
+        let mut saver = BaselineSaver::new();
+        let s = set(2, 99);
+        let id = saver.save_initial(&env, &s).unwrap();
+        demote_old_sets(&env, std::slice::from_ref(&id), 0).unwrap();
+        let key = format!("baseline/{}/params.bin", id.key);
+        assert_eq!(env.tiered().unwrap().tier_of(&key), Some(StorageTier::Cold));
+        let (blobs, bytes) = promote_set(&env, &id).unwrap();
+        assert!(blobs >= 1);
+        assert!(bytes > 0);
+        assert_eq!(env.tiered().unwrap().tier_of(&key), Some(StorageTier::Hot));
+        assert_eq!(saver.recover_set(&env, &id).unwrap(), s);
+        // Promoting a hot set is a no-op.
+        assert_eq!(promote_set(&env, &id).unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn tiering_on_a_plain_backend_is_invalid() {
+        let dir = TempDir::new("mmm-tiering").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let id = ModelSetId { approach: "baseline".into(), key: "0".into() };
+        assert!(matches!(
+            demote_old_sets(&env, std::slice::from_ref(&id), 0),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(promote_set(&env, &id), Err(Error::Invalid(_))));
+    }
+}

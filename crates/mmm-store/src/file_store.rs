@@ -152,9 +152,102 @@ impl FileStore {
         }
         let cost = self.profile.blob_get.cost(bytes.len() as u64);
         self.stats.record_blob_get(bytes.len() as u64);
+        self.stats.record_bytes_copied(bytes.len() as u64);
         self.clock.charge(cost);
         self.obs.store_op("blob_get", bytes.len() as u64, cost);
         Ok(bytes)
+    }
+
+    /// Read a blob as a zero-copy view: the returned [`BlobBytes`] is a
+    /// read-only memory mapping of the stored file where the platform
+    /// allows it, so decoders consume parameter bytes straight from the
+    /// page cache with no intermediate heap copy.
+    ///
+    /// Charging is identical to [`FileStore::get`] — one `blob_get`
+    /// round-trip plus per-byte transfer cost for the full blob — so the
+    /// mapped and copying recovery paths report the same simulated
+    /// timings and op counts. Only `bytes_copied` differs: a mapped read
+    /// adds nothing, an owned fallback adds the blob's length.
+    ///
+    /// Falls back to an owned read (still one charge) when mapping is
+    /// impossible (non-unix, empty blob, kernel refusal) or when the
+    /// fault gate demands read-side damage, which must materialize the
+    /// bytes to apply a truncation or bit flip.
+    pub fn get_mapped(&self, key: &str) -> Result<crate::mmap::BlobBytes> {
+        let effect = self.fault_gate(OpClass::BlobGet, "blob_get", 0)?;
+        let path = self.path_for(key)?;
+        let not_found = |e: std::io::Error| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::not_found(format!("blob {key:?}"))
+            } else {
+                Error::Io(e)
+            }
+        };
+        let view = if effect == FaultEffect::Clean {
+            let file = fs::File::open(&path).map_err(not_found)?;
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| Error::invalid(format!("blob {key:?} exceeds address space")))?;
+            match crate::mmap::BlobBytes::map_file(&file, len) {
+                Some(view) => view,
+                None => {
+                    let bytes = fs::read(&path).map_err(not_found)?;
+                    self.stats.record_bytes_copied(bytes.len() as u64);
+                    crate::mmap::BlobBytes::from_vec(bytes)
+                }
+            }
+        } else {
+            // Fault effects rewrite the payload; that requires an owned
+            // buffer (and fault runs are test scenarios, where the copy
+            // is irrelevant).
+            let mut bytes = fs::read(&path).map_err(not_found)?;
+            match effect {
+                FaultEffect::Clean => unreachable!("clean handled above"),
+                FaultEffect::Torn { keep } => bytes.truncate(keep),
+                FaultEffect::Flip { seed, flips } => flip_bits(&mut bytes, seed, flips),
+            }
+            self.stats.record_bytes_copied(bytes.len() as u64);
+            crate::mmap::BlobBytes::from_vec(bytes)
+        };
+        let cost = self.profile.blob_get.cost(view.len() as u64);
+        self.stats.record_blob_get(view.len() as u64);
+        self.clock.charge(cost);
+        self.obs.store_op("blob_get", view.len() as u64, cost);
+        Ok(view)
+    }
+
+    /// Open a streaming writer for a blob: chunks are appended with
+    /// [`BlobWriter::write`] and the blob becomes visible atomically at
+    /// [`BlobWriter::finish`] (same write-then-rename protocol as
+    /// [`FileStore::put`], same single `blob_put` charge for the total
+    /// bytes — a streamed put is accounting-identical to a buffered put
+    /// of the concatenated chunks). Dropping the writer without
+    /// finishing aborts the write and removes the temp file.
+    pub fn put_writer(&self, key: &str) -> Result<BlobWriter<'_>> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // The fault verdict is drawn up front (op order must match a
+        // buffered put for deterministic fault plans); damage effects
+        // buffer the payload because torn/flip rewrites depend on the
+        // total length.
+        let effect = self.fault_gate(OpClass::BlobPut, "blob_put", 0)?;
+        let tmp = tmp_path(&path)?;
+        let sink = if effect == FaultEffect::Clean {
+            WriterSink::File(fs::File::create(&tmp)?)
+        } else {
+            WriterSink::Buffer(Vec::new())
+        };
+        Ok(BlobWriter {
+            store: self,
+            key: key.to_string(),
+            path,
+            tmp,
+            sink: Some(sink),
+            effect,
+            written: 0,
+        })
     }
 
     /// Read `len` bytes of a blob starting at `offset` (a ranged read —
@@ -190,6 +283,7 @@ impl FileStore {
         }
         let cost = self.profile.blob_get.cost(buf.len() as u64);
         self.stats.record_blob_get(buf.len() as u64);
+        self.stats.record_bytes_copied(buf.len() as u64);
         self.clock.charge(cost);
         self.obs.store_op("blob_get_range", buf.len() as u64, cost);
         Ok(buf)
@@ -203,6 +297,34 @@ impl FileStore {
     pub(crate) fn read_local(&self, key: &str) -> Result<Vec<u8>> {
         let path = self.path_for(key)?;
         fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::not_found(format!("blob {key:?}"))
+            } else {
+                Error::Io(e)
+            }
+        })
+    }
+
+    /// Write a blob without charging latency, recording stats, or
+    /// running the fault gate — the landing half of a tier migration,
+    /// whose round-trip cost is charged once on the paying side. Still
+    /// atomic (write-then-rename).
+    pub(crate) fn put_local(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = tmp_path(&path)?;
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Remove a blob without charging latency, recording stats, or
+    /// running the fault gate — the cleanup half of a tier migration.
+    pub(crate) fn remove_local(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        fs::remove_file(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 Error::not_found(format!("blob {key:?}"))
             } else {
@@ -301,6 +423,99 @@ impl FileStore {
     /// The store's fault-injection handle.
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
+    }
+}
+
+/// Where a [`BlobWriter`]'s chunks go before the finishing rename.
+#[derive(Debug)]
+enum WriterSink {
+    /// Clean write: chunks stream straight to the temp file, so peak
+    /// memory is one chunk regardless of blob size.
+    File(fs::File),
+    /// A fault effect is armed: the payload is buffered because torn
+    /// truncation and bit-flip positions are functions of the *total*
+    /// length. Fault runs are test scenarios; the buffering is confined
+    /// to them.
+    Buffer(Vec<u8>),
+}
+
+/// Streaming handle from [`FileStore::put_writer`]. Write chunks, then
+/// [`BlobWriter::finish`]; the blob appears atomically with the same
+/// durability, fault, and accounting semantics as a buffered
+/// [`FileStore::put`] of the concatenated payload.
+#[derive(Debug)]
+pub struct BlobWriter<'a> {
+    store: &'a FileStore,
+    key: String,
+    path: PathBuf,
+    tmp: PathBuf,
+    /// `None` only after finish (disarms the Drop cleanup).
+    sink: Option<WriterSink>,
+    effect: FaultEffect,
+    written: u64,
+}
+
+impl BlobWriter<'_> {
+    /// Append one chunk of the payload.
+    pub fn write(&mut self, chunk: &[u8]) -> Result<()> {
+        use std::io::Write;
+        match self.sink.as_mut().expect("write after finish") {
+            WriterSink::File(f) => f.write_all(chunk)?,
+            WriterSink::Buffer(buf) => buf.extend_from_slice(chunk),
+        }
+        self.written += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Complete the write: flush, rename into place, and charge one
+    /// `blob_put` for the total payload. On a torn-write fault the temp
+    /// keeps only the torn prefix and the rename never happens, exactly
+    /// like the buffered path.
+    pub fn finish(mut self) -> Result<()> {
+        let sink = self.sink.take().expect("finish called once");
+        match (self.effect, sink) {
+            (FaultEffect::Clean, WriterSink::File(f)) => {
+                drop(f); // flush + close before the rename
+                fs::rename(&self.tmp, &self.path)?;
+            }
+            (FaultEffect::Torn { keep }, WriterSink::Buffer(bytes)) => {
+                fs::write(&self.tmp, &bytes[..keep.min(bytes.len())])?;
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected torn write to blob {:?}",
+                    self.key
+                ))));
+            }
+            (FaultEffect::Flip { seed, flips }, WriterSink::Buffer(mut bytes)) => {
+                flip_bits(&mut bytes, seed, flips);
+                fs::write(&self.tmp, &bytes)?;
+                fs::rename(&self.tmp, &self.path)?;
+            }
+            // put_writer pairs Clean with File and damage with Buffer.
+            (effect, _) => {
+                return Err(Error::invalid(format!(
+                    "blob writer in impossible state for effect {effect:?}"
+                )))
+            }
+        }
+        let cost = self.store.profile.blob_put.cost(self.written);
+        self.store.stats.record_blob_put(self.written);
+        self.store.clock.charge(cost);
+        self.store.obs.store_op("blob_put", self.written, cost);
+        Ok(())
+    }
+}
+
+impl Drop for BlobWriter<'_> {
+    fn drop(&mut self) {
+        if self.sink.take().is_some() {
+            // Aborted mid-stream: the unacknowledged temp is garbage.
+            let _ = fs::remove_file(&self.tmp);
+        }
     }
 }
 

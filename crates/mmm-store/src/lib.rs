@@ -41,14 +41,18 @@ pub mod doc_store;
 pub mod fault;
 pub mod file_store;
 pub mod gate;
+pub mod mmap;
 pub mod profile;
 pub mod stats;
+pub mod tier;
 
 pub use backend::{BlobStore, StorageBackend};
 pub use cas::{CasAudit, CasConfig, CasCounters, CasStore};
 pub use doc_store::{salvage, DocumentStore, SalvageReport};
 pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultTarget, OpClass};
-pub use file_store::FileStore;
+pub use file_store::{BlobWriter, FileStore};
 pub use gate::{Backend, BreakerConfig, BreakerState, CircuitBreaker, DeadlineGuard, ServiceGate};
+pub use mmap::BlobBytes;
 pub use profile::LatencyProfile;
 pub use stats::{StatsLaneGuard, StatsSnapshot, StoreStats};
+pub use tier::{StorageTier, TieredStore};

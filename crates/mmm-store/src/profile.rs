@@ -63,12 +63,30 @@ impl LatencyProfile {
         }
     }
 
+    /// A remote **object store** (S3-class): very high per-request
+    /// latency, modest per-byte cost once a transfer is flowing, and
+    /// document operations priced like cross-region API calls. This is
+    /// the *cold* half of the tiered backend — old chain links that are
+    /// rarely recovered can live here at a fraction of the hot tier's
+    /// cost-per-byte, and the recovery-time penalty of walking a demoted
+    /// chain is what the tier split makes measurable.
+    pub const fn object_store() -> Self {
+        LatencyProfile {
+            doc_insert: LatencyModel { fixed: Duration::from_micros(25_000), per_byte_ns: 4.0 },
+            doc_query: LatencyModel { fixed: Duration::from_micros(45_000), per_byte_ns: 4.0 },
+            blob_put: LatencyModel { fixed: Duration::from_micros(30_000), per_byte_ns: 10.0 },
+            blob_get: LatencyModel { fixed: Duration::from_micros(40_000), per_byte_ns: 12.0 },
+            name: "object-store",
+        }
+    }
+
     /// Look a profile up by name (harness CLI).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "zero" => Some(Self::zero()),
             "m1" => Some(Self::m1()),
             "server" => Some(Self::server()),
+            "object-store" => Some(Self::object_store()),
             _ => None,
         }
     }

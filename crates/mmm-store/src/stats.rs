@@ -46,6 +46,7 @@ struct Counters {
     blob_deletes: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+    bytes_copied: AtomicU64,
 }
 
 impl Counters {
@@ -59,6 +60,7 @@ impl Counters {
             blob_deletes: self.blob_deletes.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +84,13 @@ pub struct StatsSnapshot {
     pub bytes_written: u64,
     /// Total payload bytes read.
     pub bytes_read: u64,
+    /// Payload bytes that were *materialized* into heap buffers on the
+    /// read path (`get`/`get_range`, CAS chunk assembly, and the owned
+    /// fallback of `get_mapped`). Memory-mapped reads serve decoders
+    /// straight from the page cache and add nothing here, so
+    /// `bytes_copied / bytes_read` over a recovery is the
+    /// copies-per-recovered-byte ratio reported by the scale bench.
+    pub bytes_copied: u64,
 }
 
 impl std::ops::Sub for StatsSnapshot {
@@ -97,6 +106,7 @@ impl std::ops::Sub for StatsSnapshot {
             blob_deletes: self.blob_deletes - rhs.blob_deletes,
             bytes_written: self.bytes_written - rhs.bytes_written,
             bytes_read: self.bytes_read - rhs.bytes_read,
+            bytes_copied: self.bytes_copied - rhs.bytes_copied,
         }
     }
 }
@@ -114,6 +124,7 @@ impl std::ops::Add for StatsSnapshot {
             blob_deletes: self.blob_deletes + rhs.blob_deletes,
             bytes_written: self.bytes_written + rhs.bytes_written,
             bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_copied: self.bytes_copied + rhs.bytes_copied,
         }
     }
 }
@@ -179,6 +190,12 @@ impl StoreStats {
         self.record(|c| {
             c.doc_deletes.fetch_add(1, Ordering::Relaxed);
             c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        });
+    }
+
+    pub(crate) fn record_bytes_copied(&self, bytes: u64) {
+        self.record(|c| {
+            c.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
         });
     }
 

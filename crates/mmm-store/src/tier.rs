@@ -1,0 +1,384 @@
+//! Hot/cold storage tiering.
+//!
+//! At million-model scale the version *chain* dominates storage: the tip
+//! is recovered constantly, but old chain links are touched only when a
+//! deep re-derivation walks through them. [`TieredStore`] models that
+//! split with two [`FileStore`]s under one namespace — a **hot** tier on
+//! a fast profile holding recent versions, and a **cold** tier on a slow
+//! "object store" profile (see [`LatencyProfile::object_store`]) holding
+//! demoted chain links.
+//!
+//! Reads route transparently: a key is served from whichever tier holds
+//! it, with the tier's own latency profile charged, so recovering a
+//! demoted version *feels* the cold tier's round-trips in TTR without
+//! any caller changes. Writes always land hot; [`TieredStore::demote`]
+//! and [`TieredStore::promote`] migrate blobs between tiers explicitly
+//! (policy lives in the management layer, mechanism here).
+//!
+//! Accounting: both tiers share the environment's global [`StoreStats`]
+//! (measurements stay exact sums), and each tier additionally mirrors
+//! its own operations into a private per-tier [`StoreStats`] exposed via
+//! [`TieredStore::tier_stats`] — the per-tier read/write traffic split
+//! is a first-class output of the scale bench.
+
+use std::path::Path;
+
+use mmm_obs::Observer;
+use mmm_util::{Error, Result, VirtualClock};
+
+use crate::fault::FaultInjector;
+use crate::file_store::{BlobWriter, FileStore};
+use crate::mmap::BlobBytes;
+use crate::profile::LatencyProfile;
+use crate::stats::{StatsSnapshot, StoreStats};
+
+/// Which tier a blob currently lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageTier {
+    /// Fast profile; all writes land here.
+    Hot,
+    /// Slow "object store" profile; reached only by demotion.
+    Cold,
+}
+
+impl StorageTier {
+    /// Stable lowercase name ("hot" / "cold").
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageTier::Hot => "hot",
+            StorageTier::Cold => "cold",
+        }
+    }
+}
+
+/// A two-tier blob store; see the module docs.
+#[derive(Debug, Clone)]
+pub struct TieredStore {
+    hot: FileStore,
+    cold: FileStore,
+    hot_stats: StoreStats,
+    cold_stats: StoreStats,
+}
+
+impl TieredStore {
+    /// Open a tiered store under `dir` (subdirectories `hot/` and
+    /// `cold/`). Both tiers share `clock`, `stats`, and `faults`, so
+    /// global accounting and fault plans behave as one store.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        hot_profile: LatencyProfile,
+        cold_profile: LatencyProfile,
+        clock: VirtualClock,
+        stats: StoreStats,
+        faults: FaultInjector,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        let hot = FileStore::open_with_faults(
+            dir.join("hot"),
+            hot_profile,
+            clock.clone(),
+            stats.clone(),
+            faults.clone(),
+        )?;
+        let cold = FileStore::open_with_faults(
+            dir.join("cold"),
+            cold_profile,
+            clock,
+            stats,
+            faults,
+        )?;
+        Ok(TieredStore { hot, cold, hot_stats: StoreStats::new(), cold_stats: StoreStats::new() })
+    }
+
+    /// Install an observer on both tiers.
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.hot.set_observer(obs.clone());
+        self.cold.set_observer(obs);
+    }
+
+    /// Which tier currently holds `key`, if any. Hot shadows cold (a
+    /// blob mid-promotion may transiently exist on both).
+    pub fn tier_of(&self, key: &str) -> Option<StorageTier> {
+        if self.hot.exists(key) {
+            Some(StorageTier::Hot)
+        } else if self.cold.exists(key) {
+            Some(StorageTier::Cold)
+        } else {
+            None
+        }
+    }
+
+    fn route(&self, key: &str) -> (&FileStore, &StoreStats) {
+        match self.tier_of(key) {
+            Some(StorageTier::Cold) => (&self.cold, &self.cold_stats),
+            // Missing keys route hot so the NotFound carries hot-tier
+            // charging, like a plain store.
+            _ => (&self.hot, &self.hot_stats),
+        }
+    }
+
+    /// Write a blob (always to the hot tier).
+    pub fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        self.hot.put(key, bytes)?;
+        self.hot_stats.record_blob_put(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Open a streaming writer (always to the hot tier). Per-tier stats
+    /// record at finish time via [`TieredStore::note_streamed_put`] —
+    /// the writer itself only touches the global counters.
+    pub fn put_writer(&self, key: &str) -> Result<BlobWriter<'_>> {
+        self.hot.put_writer(key)
+    }
+
+    /// Mirror a finished streamed put of `bytes` bytes into the hot
+    /// tier's private stats (the global stats were already recorded by
+    /// the writer).
+    pub fn note_streamed_put(&self, bytes: u64) {
+        self.hot_stats.record_blob_put(bytes);
+    }
+
+    /// Read a blob from whichever tier holds it.
+    pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let (store, tier_stats) = self.route(key);
+        let bytes = store.get(key)?;
+        tier_stats.record_blob_get(bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    /// Zero-copy read from whichever tier holds the blob.
+    pub fn get_mapped(&self, key: &str) -> Result<BlobBytes> {
+        let (store, tier_stats) = self.route(key);
+        let view = store.get_mapped(key)?;
+        tier_stats.record_blob_get(view.len() as u64);
+        Ok(view)
+    }
+
+    /// Ranged read from whichever tier holds the blob.
+    pub fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let (store, tier_stats) = self.route(key);
+        let bytes = store.get_range(key, offset, len)?;
+        tier_stats.record_blob_get(bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    /// Whether either tier holds the blob.
+    pub fn exists(&self, key: &str) -> bool {
+        self.hot.exists(key) || self.cold.exists(key)
+    }
+
+    /// Size of the blob on whichever tier holds it.
+    pub fn size(&self, key: &str) -> Result<u64> {
+        let (store, _) = self.route(key);
+        store.size(key)
+    }
+
+    /// Delete the blob from whichever tier holds it.
+    pub fn delete(&self, key: &str) -> Result<()> {
+        let (store, tier_stats) = self.route(key);
+        store.delete(key)?;
+        tier_stats.record_blob_delete();
+        Ok(())
+    }
+
+    /// Union of both tiers' keys under a prefix (sorted, deduplicated).
+    pub fn list_keys(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut keys = self.hot.list_keys(prefix)?;
+        keys.extend(self.cold.list_keys(prefix)?);
+        keys.sort();
+        keys.dedup();
+        Ok(keys)
+    }
+
+    /// Ground-truth disk usage across both tiers.
+    pub fn disk_bytes(&self) -> u64 {
+        self.hot.disk_bytes() + self.cold.disk_bytes()
+    }
+
+    /// Disk usage of one tier.
+    pub fn tier_disk_bytes(&self, tier: StorageTier) -> u64 {
+        match tier {
+            StorageTier::Hot => self.hot.disk_bytes(),
+            StorageTier::Cold => self.cold.disk_bytes(),
+        }
+    }
+
+    /// Move a blob hot → cold. Charged as one cold-tier put of the
+    /// blob's bytes (the cross-tier transfer the migration actually
+    /// pays); the hot copy is then dropped as a local file operation,
+    /// not a store round-trip. A no-op `Ok` if the key is already cold.
+    pub fn demote(&self, key: &str) -> Result<()> {
+        match self.tier_of(key) {
+            Some(StorageTier::Cold) => Ok(()),
+            None => Err(Error::not_found(format!("blob {key:?}"))),
+            Some(StorageTier::Hot) => {
+                let bytes = self.hot.read_local(key)?;
+                self.cold.put(key, &bytes)?;
+                self.cold_stats.record_blob_put(bytes.len() as u64);
+                self.hot.remove_local(key)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Move a blob cold → hot (e.g. ahead of a planned deep recovery).
+    /// Charged as one cold-tier get — the transfer out of the slow tier
+    /// is the dominant cost the migration pays.
+    pub fn promote(&self, key: &str) -> Result<()> {
+        match self.tier_of(key) {
+            Some(StorageTier::Hot) => Ok(()),
+            None => Err(Error::not_found(format!("blob {key:?}"))),
+            Some(StorageTier::Cold) => {
+                let bytes = self.cold.get(key)?;
+                self.cold_stats.record_blob_get(bytes.len() as u64);
+                self.hot.put_local(key, &bytes)?;
+                self.cold.remove_local(key)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Point-in-time per-tier counters (ops routed to that tier since
+    /// open). Global totals live in the shared environment stats.
+    pub fn tier_stats(&self, tier: StorageTier) -> StatsSnapshot {
+        match tier {
+            StorageTier::Hot => self.hot_stats.snapshot(),
+            StorageTier::Cold => self.cold_stats.snapshot(),
+        }
+    }
+
+    /// The shared fault-injection handle.
+    pub fn faults(&self) -> &FaultInjector {
+        self.hot.faults()
+    }
+
+    /// The hot tier's underlying store (maintenance tooling).
+    pub fn hot(&self) -> &FileStore {
+        &self.hot
+    }
+
+    /// The cold tier's underlying store (maintenance tooling).
+    pub fn cold(&self) -> &FileStore {
+        &self.cold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_util::TempDir;
+
+    fn tiered() -> (TempDir, TieredStore, StoreStats, VirtualClock) {
+        let dir = TempDir::new("mmm-tier").unwrap();
+        let stats = StoreStats::new();
+        let clock = VirtualClock::new();
+        let ts = TieredStore::open(
+            dir.path(),
+            LatencyProfile::zero(),
+            LatencyProfile::object_store(),
+            clock.clone(),
+            stats.clone(),
+            FaultInjector::new(),
+        )
+        .unwrap();
+        (dir, ts, stats, clock)
+    }
+
+    #[test]
+    fn writes_land_hot_and_reads_route() {
+        let (_d, ts, stats, _clock) = tiered();
+        ts.put("a/params.bin", b"hot bytes").unwrap();
+        assert_eq!(ts.tier_of("a/params.bin"), Some(StorageTier::Hot));
+        assert_eq!(ts.get("a/params.bin").unwrap(), b"hot bytes");
+        assert_eq!(ts.tier_stats(StorageTier::Hot).blob_gets, 1);
+        assert_eq!(ts.tier_stats(StorageTier::Cold).blob_gets, 0);
+        // Global stats see the same ops exactly once.
+        assert_eq!(stats.snapshot().blob_puts, 1);
+        assert_eq!(stats.snapshot().blob_gets, 1);
+    }
+
+    #[test]
+    fn demotion_moves_bytes_and_charges_the_cold_profile() {
+        let (_d, ts, _stats, clock) = tiered();
+        ts.put("old/params.bin", &[7u8; 10_000]).unwrap();
+        let before = clock.simulated();
+        ts.demote("old/params.bin").unwrap();
+        assert_eq!(ts.tier_of("old/params.bin"), Some(StorageTier::Cold));
+        assert!(!ts.hot().exists("old/params.bin"));
+        // The migration paid the cold tier's put cost.
+        let migration = clock.simulated() - before;
+        assert!(migration >= LatencyProfile::object_store().blob_put.cost(10_000));
+        // Reads now come back cold — identical bytes, slower charge.
+        let before = clock.simulated();
+        assert_eq!(ts.get("old/params.bin").unwrap(), vec![7u8; 10_000]);
+        assert!(clock.simulated() - before >= LatencyProfile::object_store().blob_get.cost(10_000));
+        assert_eq!(ts.tier_stats(StorageTier::Cold).blob_gets, 1);
+        // Demoting again is a no-op.
+        ts.demote("old/params.bin").unwrap();
+        assert_eq!(ts.tier_stats(StorageTier::Cold).blob_puts, 1);
+    }
+
+    #[test]
+    fn promotion_restores_hot_latency() {
+        let (_d, ts, _stats, clock) = tiered();
+        ts.put("k", &[1u8; 5000]).unwrap();
+        ts.demote("k").unwrap();
+        ts.promote("k").unwrap();
+        assert_eq!(ts.tier_of("k"), Some(StorageTier::Hot));
+        let before = clock.simulated();
+        assert_eq!(ts.get("k").unwrap(), vec![1u8; 5000]);
+        assert_eq!(clock.simulated(), before, "hot tier is the zero profile here");
+        // Promoting a hot key and moving a missing key behave sanely.
+        ts.promote("k").unwrap();
+        assert!(ts.demote("missing").is_err());
+        assert!(ts.promote("missing").is_err());
+    }
+
+    #[test]
+    fn mapped_reads_route_and_count_no_copies() {
+        let (_d, ts, stats, _clock) = tiered();
+        ts.put("m", &[3u8; 4096]).unwrap();
+        let before = stats.snapshot();
+        let view = ts.get_mapped("m").unwrap();
+        assert_eq!(&*view, &[3u8; 4096][..]);
+        let delta = stats.snapshot() - before;
+        assert_eq!(delta.blob_gets, 1);
+        assert_eq!(delta.bytes_read, 4096);
+        if view.is_mapped() {
+            assert_eq!(delta.bytes_copied, 0, "mapped read copies nothing");
+        }
+        ts.demote("m").unwrap();
+        let cold_view = ts.get_mapped("m").unwrap();
+        assert_eq!(&*cold_view, &[3u8; 4096][..]);
+        assert_eq!(ts.tier_stats(StorageTier::Cold).blob_gets, 1);
+    }
+
+    #[test]
+    fn list_and_disk_span_both_tiers() {
+        let (_d, ts, _stats, _clock) = tiered();
+        ts.put("x/a.bin", &[0u8; 10]).unwrap();
+        ts.put("x/b.bin", &[0u8; 20]).unwrap();
+        ts.demote("x/a.bin").unwrap();
+        assert_eq!(ts.list_keys("x").unwrap(), vec!["x/a.bin".to_string(), "x/b.bin".to_string()]);
+        assert_eq!(ts.disk_bytes(), 30);
+        assert_eq!(ts.tier_disk_bytes(StorageTier::Cold), 10);
+        assert_eq!(ts.tier_disk_bytes(StorageTier::Hot), 20);
+        ts.delete("x/a.bin").unwrap();
+        assert!(!ts.exists("x/a.bin"));
+        assert_eq!(ts.tier_stats(StorageTier::Cold).blob_deletes, 1);
+    }
+
+    #[test]
+    fn streamed_puts_land_hot() {
+        let (_d, ts, stats, _clock) = tiered();
+        let mut w = ts.put_writer("s/stream.bin").unwrap();
+        w.write(&[1u8; 100]).unwrap();
+        w.write(&[2u8; 50]).unwrap();
+        w.finish().unwrap();
+        ts.note_streamed_put(150);
+        assert_eq!(ts.tier_of("s/stream.bin"), Some(StorageTier::Hot));
+        assert_eq!(ts.get("s/stream.bin").unwrap().len(), 150);
+        assert_eq!(stats.snapshot().bytes_written, 150);
+        assert_eq!(ts.tier_stats(StorageTier::Hot).blob_puts, 1);
+    }
+}

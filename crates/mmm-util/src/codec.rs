@@ -103,14 +103,58 @@ impl<'a> Reader<'a> {
             .map_err(|_| Error::corrupt("invalid UTF-8 in string field"))
     }
 
-    /// Read `n` raw little-endian `f32`s.
+    /// Read `n` raw little-endian `f32`s. The byte count is computed with
+    /// checked arithmetic so a hostile `n` near `usize::MAX` reports
+    /// `Corrupt` instead of wrapping around and reading the wrong span.
     pub fn f32_slice(&mut self, n: usize) -> Result<Vec<f32>> {
-        let bytes = self.take(4 * n)?;
+        let nbytes = n
+            .checked_mul(4)
+            .ok_or_else(|| Error::corrupt(format!("f32 slice length {n} overflows byte count")))?;
+        let bytes = self.take(nbytes)?;
         let mut out = Vec::with_capacity(n);
         for c in bytes.chunks_exact(4) {
             out.push(f32::from_le_bytes(c.try_into().unwrap()));
         }
         Ok(out)
+    }
+
+    /// Read a `u32` record-count prefix, validating the claimed count
+    /// against the bytes actually remaining: `count` records of at least
+    /// `min_record_bytes` bytes each must fit in the rest of the buffer.
+    /// This is the safe replacement for `r.u32()? as usize` on untrusted
+    /// input — an inflated or max-value prefix returns [`Error::Corrupt`]
+    /// *before* any allocation is sized from it, so corrupt blobs can
+    /// never trigger an over-allocation or an overflow panic.
+    pub fn u32_count(&mut self, min_record_bytes: usize) -> Result<usize> {
+        let raw = u64::from(self.u32()?);
+        self.validated_count(raw, min_record_bytes)
+    }
+
+    /// [`Reader::u32_count`] for `u64` length prefixes.
+    pub fn u64_count(&mut self, min_record_bytes: usize) -> Result<usize> {
+        let raw = self.u64()?;
+        self.validated_count(raw, min_record_bytes)
+    }
+
+    fn validated_count(&self, raw: u64, min_record_bytes: usize) -> Result<usize> {
+        // Zero-size records still cost one byte for validation purposes:
+        // a count no tail of the buffer could justify is rejected even
+        // when each record's minimum size is degenerate.
+        let floor = min_record_bytes.max(1);
+        let count = usize::try_from(raw)
+            .map_err(|_| Error::corrupt(format!("length prefix {raw} exceeds address space")))?;
+        let need = count.checked_mul(floor).ok_or_else(|| {
+            Error::corrupt(format!("length prefix {raw} overflows size arithmetic"))
+        })?;
+        if need > self.remaining() {
+            return Err(Error::corrupt(format!(
+                "length prefix claims {count} records of >= {floor} byte(s) at offset {}, \
+                 but only {} bytes remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        Ok(count)
     }
 
     /// Read a LEB128 varint.
@@ -218,6 +262,49 @@ mod tests {
     fn overlong_varint_is_rejected() {
         let buf = [0x80u8; 11]; // never terminates within 64 bits
         assert!(Reader::new(&buf).varint().is_err());
+    }
+
+    #[test]
+    fn count_prefix_validates_against_remaining() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 3);
+        buf.extend_from_slice(&[0u8; 24]); // 3 records of 8 bytes
+        assert_eq!(Reader::new(&buf).u32_count(8).unwrap(), 3);
+        // Claiming 4 records over the same 24 bytes is corrupt.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 4);
+        bad.extend_from_slice(&[0u8; 24]);
+        assert!(Reader::new(&bad).u32_count(8).is_err());
+    }
+
+    #[test]
+    fn max_value_count_prefixes_are_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Reader::new(&buf).u32_count(8).is_err());
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        assert!(Reader::new(&buf).u64_count(1).is_err());
+        // Overflowing count × record-size products are caught too.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX / 2);
+        assert!(Reader::new(&buf).u64_count(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn zero_size_records_still_bound_the_count() {
+        // min_record_bytes == 0 must not let an arbitrary count through.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1_000_000);
+        assert!(Reader::new(&buf).u32_count(0).is_err());
+    }
+
+    #[test]
+    fn f32_slice_overflow_count_is_corrupt() {
+        let buf = [0u8; 16];
+        assert!(Reader::new(&buf).f32_slice(usize::MAX / 2).is_err());
+        assert!(Reader::new(&buf).f32_slice(5).is_err()); // plain truncation
+        assert_eq!(Reader::new(&buf).f32_slice(4).unwrap(), vec![0.0; 4]);
     }
 
     #[test]

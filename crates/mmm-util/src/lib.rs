@@ -19,6 +19,9 @@
 //!   parameter-file formats.
 //! * [`parallel`] — deterministic scoped-thread fan-out with
 //!   critical-path clock accounting for the parallel save/recover paths.
+//! * [`mem`] — a process-wide gauge of transient staging-buffer bytes, so
+//!   the streaming save/recover paths can *assert* their O(chunk) peak
+//!   instead of eyeballing RSS.
 //! * [`tempdir`] — a minimal RAII temporary directory for tests and
 //!   examples (avoids an external dependency).
 
@@ -26,6 +29,7 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod hash;
+pub mod mem;
 pub mod parallel;
 pub mod rng;
 pub mod tempdir;

@@ -1,0 +1,119 @@
+//! Process-wide accounting of transient staging buffers.
+//!
+//! The streaming save/recover paths promise peak memory proportional to
+//! one *chunk*, not one *set*. The operating system's high-water mark
+//! (`VmHWM`) cannot verify that promise deterministically — it is
+//! cumulative across the whole process, never decreases, and counts every
+//! allocation ever made. Instead, the codec and store hot paths register
+//! the staging buffers they allocate with this gauge via RAII
+//! [`BufLease`]s, and tests assert on [`peak_bytes`] over a measured
+//! region after [`reset_peak`].
+//!
+//! The gauge only counts buffers that are explicitly leased: the large,
+//! short-lived `Vec<u8>`s that encode/decode/copy parameter bytes. It is
+//! not a malloc profiler — model structs, documents, and metadata are
+//! deliberately outside its scope, which is what makes the streaming
+//! bound (`peak ≤ chunk + slack`) a crisp, testable statement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// RAII lease of `bytes` staging bytes; released on drop.
+#[derive(Debug)]
+pub struct BufLease {
+    bytes: u64,
+}
+
+/// Register a staging buffer of `bytes` bytes with the gauge. The bytes
+/// stay counted until the returned lease is dropped; the process-wide
+/// peak is updated atomically.
+pub fn lease(bytes: usize) -> BufLease {
+    let b = bytes as u64;
+    let now = CURRENT.fetch_add(b, Ordering::Relaxed) + b;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+    BufLease { bytes: b }
+}
+
+impl Drop for BufLease {
+    fn drop(&mut self) {
+        CURRENT.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Staging bytes currently leased across all threads.
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of leased staging bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the currently-leased level, starting a new measured
+/// region. Concurrent leases from other threads may race the reset; the
+/// gauge is meant for single-measurement test/bench regions, not for
+/// always-on production accounting.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// The operating system's peak resident set size for this process, in
+/// bytes (`VmHWM` from `/proc/self/status`), or `None` where the proc
+/// filesystem is unavailable. Reported alongside the gauge in
+/// `BENCH_scale.json` as the honest end-to-end number; never asserted on,
+/// because it is cumulative and platform-dependent.
+pub fn os_peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The gauge is process-wide; serialize the tests that assert on it.
+    static GAUGE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn lease_counts_and_releases() {
+        let _g = GAUGE_LOCK.lock().unwrap();
+        let before = current_bytes();
+        reset_peak();
+        {
+            let _a = lease(1000);
+            let _b = lease(24);
+            assert_eq!(current_bytes(), before + 1024);
+            assert!(peak_bytes() >= before + 1024);
+        }
+        assert_eq!(current_bytes(), before, "leases must release on drop");
+    }
+
+    #[test]
+    fn peak_survives_release_until_reset() {
+        let _g = GAUGE_LOCK.lock().unwrap();
+        reset_peak();
+        let base = current_bytes();
+        drop(lease(4096));
+        assert!(peak_bytes() >= base + 4096);
+        reset_peak();
+        assert_eq!(peak_bytes(), current_bytes());
+    }
+
+    #[test]
+    fn os_rss_is_plausible_when_available() {
+        if let Some(rss) = os_peak_rss_bytes() {
+            // A running Rust test process surely uses > 64 KiB.
+            assert!(rss > 64 * 1024);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! and garbage-collect.
 //!
 //! ```text
-//! mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--backend plain|cas] [--cache-mb N]
+//! mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--backend plain|cas|tiered] [--cache-mb N]
 //! mmm update  --dir D [--rate 0.10] [--divergence]
 //! mmm list    --dir D
 //! mmm lineage --dir D <set-id>
@@ -24,6 +24,8 @@
 //! mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K]
 //!             [--models N] [--deadline-ms MS] [--commit-window-ms MS]
 //!             [--report-out F] [--bench-out F]
+//! mmm tier    --dir D [--keep-hot K]         # demote all but the K newest sets
+//! mmm tier    --dir D --promote <set-id>     # pull one set back to the hot tier
 //! ```
 //!
 //! Set ids are printed by `init`/`update`/`list` in the form
@@ -56,7 +58,7 @@ use mmm::core::advisor::{recommend, Priorities, Scenario};
 use mmm::core::approach::{ApproachSpec, ModelSetSaver};
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{ModelSet, ModelSetId};
-use mmm::core::{bundle, catalog, fsck, gc, lineage, tags, verify};
+use mmm::core::{bundle, catalog, fsck, gc, lineage, tags, tiering, verify};
 use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
 use mmm::obs::Observer;
 use mmm::store::{LatencyProfile, StorageBackend};
@@ -72,7 +74,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1) and\n--backend/--cache-mb (an environment keeps the backend it was created with)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1) and\n--backend/--cache-mb (an environment keeps the backend it was created with)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -108,6 +110,8 @@ struct Args {
     salvage: bool,
     report_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
+    keep_hot: usize,
+    promote: bool,
 }
 
 fn parse_args() -> Args {
@@ -126,6 +130,7 @@ fn parse_args() -> Args {
         iters: 2,
         tenants: 4,
         deadline_ms: 30_000,
+        keep_hot: 2,
         ..Args::default()
     };
     let mut it = std::env::args().skip(1);
@@ -168,6 +173,8 @@ fn parse_args() -> Args {
             "--deadline-ms" => a.deadline_ms = num(&mut it, "--deadline-ms") as u64,
             "--commit-window-ms" => a.commit_window_ms = num(&mut it, "--commit-window-ms") as u64,
             "--salvage" => a.salvage = true,
+            "--keep-hot" => a.keep_hot = num(&mut it, "--keep-hot"),
+            "--promote" => a.promote = true,
             "--report-out" => a.report_out = Some(PathBuf::from(next(&mut it, "--report-out"))),
             "--bench-out" => a.bench_out = Some(PathBuf::from(next(&mut it, "--bench-out"))),
             "--help" | "-h" => usage(""),
@@ -570,6 +577,43 @@ fn cmd_gc(a: &Args) -> Result<()> {
     Ok(())
 }
 
+fn cmd_tier(a: &Args) -> Result<()> {
+    use mmm::store::StorageTier;
+    let env = open_env(a)?;
+    if a.promote {
+        let id = parse_set_id(
+            a.positional.first().unwrap_or_else(|| usage("tier --promote needs a set id")),
+        );
+        let (blobs, bytes) = tiering::promote_set(&env, &id)?;
+        println!("promoted {id}: {blobs} blob(s), {:.3} MB back on the hot tier", bytes as f64 / 1e6);
+    } else {
+        let state = CliState::load(&env)?;
+        let report = tiering::demote_old_sets(&env, &state.history, a.keep_hot)?;
+        for id in &report.demoted {
+            println!("demoted {id}");
+        }
+        println!(
+            "{} set(s) demoted ({} blob(s), {:.3} MB); {} kept hot",
+            report.demoted.len(),
+            report.blobs_demoted,
+            report.bytes_demoted as f64 / 1e6,
+            state.history.len().min(a.keep_hot)
+        );
+    }
+    let tiered = env.tiered().expect("tier commands require the tiered backend");
+    for tier in [StorageTier::Hot, StorageTier::Cold] {
+        let snap = tiered.tier_stats(tier);
+        println!(
+            "{:<4} tier: {:.3} MB on disk | session traffic: {} get(s), {} put(s)",
+            tier.name(),
+            tiered.tier_disk_bytes(tier) as f64 / 1e6,
+            snap.blob_gets,
+            snap.blob_puts,
+        );
+    }
+    Ok(())
+}
+
 fn cmd_info(a: &Args) -> Result<()> {
     let env = open_env(a)?;
     let id = parse_set_id(a.positional.first().unwrap_or_else(|| usage("info needs a set id")));
@@ -806,6 +850,7 @@ fn main() {
         "advise" => cmd_advise(&args),
         "stats" => cmd_stats(&args),
         "chaos" => cmd_chaos(&args),
+        "tier" => cmd_tier(&args),
         other => usage(&format!("unknown command {other:?}")),
     };
     // Dump observability artifacts even when the command failed — the
