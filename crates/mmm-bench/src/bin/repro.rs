@@ -24,12 +24,19 @@
 //!              dedup ratio + recovery-cache hit rate
 //!   scale      streaming save + zero-copy mmap recovery (extension)
 //!              swept to n = 10^6 models; emits BENCH_scale.json
+//!   gate       CI perf-regression gate: rerun the service/
+//!              scale/breakdown benches and diff against the
+//!              committed BENCH_*.json baselines with tolerances;
+//!              exits 1 on regression
 //!   all        everything above with default settings
 //!
 //! `--backend plain|cas|tiered` selects the blob storage backend for the
 //! scenario experiments; `--cache-mb N` sizes the CAS recovery cache.
 //! `scale` sweeps n up to `--models` (default 100000; pass 1000000 for
 //! the full million) and writes `BENCH_scale.json` into `--out`/CWD.
+//! `gate` reads baselines from `--baseline-dir` (default CWD) and
+//! `--update-baselines` rewrites them from fresh runs instead of
+//! comparing.
 //! ```
 
 use std::path::PathBuf;
@@ -59,6 +66,8 @@ struct Args {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     verbose: bool,
+    baseline_dir: Option<PathBuf>,
+    update_baselines: bool,
 }
 
 /// The process-wide observer. Disabled (a no-op) unless `--trace-out`,
@@ -83,6 +92,8 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         verbose: false,
+        baseline_dir: None,
+        update_baselines: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -107,6 +118,12 @@ fn parse_args() -> Args {
                 args.metrics_out =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --metrics-out"))));
             }
+            "--baseline-dir" => {
+                args.baseline_dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("missing value for --baseline-dir")),
+                ));
+            }
+            "--update-baselines" => args.update_baselines = true,
             "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => usage(""),
             other if args.experiment.is_empty() && !other.starts_with('-') => {
@@ -132,10 +149,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|dedup|scale|all> \
+        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|dedup|scale|gate|all> \
          [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] \
          [--backend plain|cas|tiered] [--cache-mb N] [--out DIR] \
-         [--trace-out FILE] [--metrics-out FILE] [--verbose]"
+         [--trace-out FILE] [--metrics-out FILE] [--verbose] \
+         [--baseline-dir DIR] [--update-baselines]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -927,6 +945,223 @@ fn scale(args: &Args) {
     println!(" copied/byte is 0 on the mapped path vs 1 on the copying path)");
 }
 
+/// Breakdown-baseline scenario shape: small enough for CI, non-zero
+/// latency profile so the simulated phase times actually gate.
+const GATE_BREAKDOWN_MODELS: usize = 8;
+const GATE_BREAKDOWN_CYCLES: usize = 2;
+const GATE_BREAKDOWN_THREADS: usize = 2;
+
+fn read_json_doc(path: &std::path::Path) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: parse {}: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+/// Rerun the service bench with the baseline's parameters (seed,
+/// saves/thread, commit window, thread counts) so the comparison is
+/// like-for-like.
+fn gate_service_candidate(baseline: Option<&serde_json::Value>) -> serde_json::Value {
+    use serde_json::Value;
+    let mut config = mmm_workload::chaos::ChaosConfig {
+        commit_window: std::time::Duration::from_millis(2),
+        ..mmm_workload::chaos::ChaosConfig::default()
+    };
+    let mut saves_per_thread = 25usize;
+    let mut thread_counts: Vec<usize> = vec![1, 4];
+    if let Some(b) = baseline {
+        if let Some(s) = b.get("seed").and_then(Value::as_u64) {
+            config.seed = s;
+        }
+        if let Some(w) = b.get("commit_window_ms").and_then(Value::as_u64) {
+            config.commit_window = std::time::Duration::from_millis(w);
+        }
+        if let Some(s) = b.get("saves_per_thread").and_then(Value::as_u64) {
+            saves_per_thread = s as usize;
+        }
+        let from_rows: Vec<usize> = b
+            .get("rows")
+            .and_then(Value::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| r.get("threads").and_then(Value::as_u64))
+                    .map(|t| t as usize)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !from_rows.is_empty() {
+            thread_counts = from_rows;
+        }
+    }
+    let tmp = TempDir::new("mmm-gate-svc").expect("temp dir");
+    let bench =
+        mmm_workload::chaos::service_bench(tmp.path(), &thread_counts, saves_per_thread, &config)
+            .expect("service bench");
+    mmm_workload::chaos::service_bench_json(&config, saves_per_thread, &bench)
+}
+
+/// Run the fixed small scenario under a private observer and emit the
+/// per-(ctx, op) phase breakdown document.
+fn gate_breakdown_candidate() -> serde_json::Value {
+    let o = Observer::new();
+    let mut cfg = ExperimentConfig::small(GATE_BREAKDOWN_MODELS, GATE_BREAKDOWN_CYCLES)
+        .with_threads(GATE_BREAKDOWN_THREADS)
+        .with_observer(o.clone());
+    cfg.profile = LatencyProfile::m1();
+    let tmp = TempDir::new("mmm-gate-brk").expect("temp dir");
+    run_scenario(&cfg, tmp.path()).expect("breakdown scenario");
+    mmm_bench::gate::breakdown_json(
+        &o.breakdown(),
+        GATE_BREAKDOWN_MODELS,
+        GATE_BREAKDOWN_CYCLES,
+        cfg.profile.name,
+        GATE_BREAKDOWN_THREADS,
+    )
+}
+
+/// Rerun the scale sweep with the baseline's parameters into `out` and
+/// return the freshly written document.
+fn gate_scale_candidate(baseline: &serde_json::Value, out: &std::path::Path) -> serde_json::Value {
+    use serde_json::Value;
+    let max_n = baseline
+        .get("rows")
+        .and_then(Value::as_array)
+        .and_then(|rows| rows.iter().filter_map(|r| r.get("n").and_then(Value::as_u64)).max())
+        .unwrap_or(10_000) as usize;
+    let sub = Args {
+        experiment: "scale".to_string(),
+        models: Some(max_n),
+        cycles: 3,
+        trials: 1,
+        setup: Some(baseline.get("setup").and_then(Value::as_str).unwrap_or("m1").to_string()),
+        threads: baseline.get("threads").and_then(Value::as_u64).unwrap_or(1) as usize,
+        backend: baseline
+            .get("backend")
+            .and_then(Value::as_str)
+            .and_then(StorageBackend::by_name)
+            .unwrap_or(StorageBackend::Plain),
+        cache_mb: None,
+        out: Some(out.to_path_buf()),
+        trace_out: None,
+        metrics_out: None,
+        verbose: false,
+        baseline_dir: None,
+        update_baselines: false,
+    };
+    scale(&sub);
+    read_json_doc(&out.join("BENCH_scale.json"))
+}
+
+/// CI perf-regression gate: regenerate each bench whose baseline is
+/// committed, diff against it with tolerances, exit 1 on regression.
+fn gate(args: &Args) {
+    use mmm_bench::gate::{GateReport, Tolerances};
+
+    let dir = args.baseline_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    let tol = Tolerances::default();
+    let mut combined = GateReport::default();
+    let mut gated = 0usize;
+    let write_doc = |path: &std::path::Path, doc: &serde_json::Value| {
+        std::fs::write(path, serde_json::to_string(doc).expect("serialize baseline"))
+            .unwrap_or_else(|e| {
+                eprintln!("error: write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        eprintln!("  wrote {}", path.display());
+    };
+
+    println!("=== perf-regression gate: fresh candidates vs committed baselines ===");
+    println!(
+        "tolerances: throughput >= baseline/{:.0}, shed +{:.2}, p99 overrun +{}ms,",
+        tol.throughput_factor,
+        tol.shed_abs,
+        tol.overrun_slack_ns / 1_000_000
+    );
+    println!(
+        "sim times ±{:.0}%, staging <= x{}; structural invariants exact\n",
+        tol.sim_rel * 100.0,
+        tol.staging_factor
+    );
+
+    let svc_path = dir.join("BENCH_service.json");
+    if args.update_baselines || svc_path.exists() {
+        let baseline = svc_path.exists().then(|| read_json_doc(&svc_path));
+        let candidate = gate_service_candidate(baseline.as_ref());
+        if args.update_baselines {
+            write_doc(&svc_path, &candidate);
+        } else {
+            println!("-- service vs {}", svc_path.display());
+            let r = mmm_bench::gate::gate_service(&baseline.expect("baseline"), &candidate, &tol);
+            print!("{}", r.render());
+            combined.merge(r);
+            gated += 1;
+        }
+    } else {
+        println!("(skip service: {} not found)", svc_path.display());
+    }
+
+    let brk_path = dir.join("BENCH_breakdown.json");
+    if args.update_baselines || brk_path.exists() {
+        let candidate = gate_breakdown_candidate();
+        if args.update_baselines {
+            write_doc(&brk_path, &candidate);
+        } else {
+            println!("\n-- breakdown vs {}", brk_path.display());
+            let r = mmm_bench::gate::gate_breakdown(&read_json_doc(&brk_path), &candidate, &tol);
+            print!("{}", r.render());
+            combined.merge(r);
+            gated += 1;
+        }
+    } else {
+        println!("(skip breakdown: {} not found)", brk_path.display());
+    }
+
+    let scale_path = dir.join("BENCH_scale.json");
+    if args.update_baselines && !scale_path.exists() {
+        // Seed a CI-sized scale baseline (n <= 10k runs in seconds);
+        // gate_scale_candidate writes BENCH_scale.json into `dir`.
+        gate_scale_candidate(&serde_json::Value::Null, &dir);
+    } else if scale_path.exists() {
+        let baseline = read_json_doc(&scale_path);
+        let tmp = TempDir::new("mmm-gate-scale").expect("temp dir");
+        let candidate = gate_scale_candidate(&baseline, tmp.path());
+        if args.update_baselines {
+            write_doc(&scale_path, &candidate);
+        } else {
+            println!("\n-- scale vs {}", scale_path.display());
+            let r = mmm_bench::gate::gate_scale(&baseline, &candidate, &tol);
+            print!("{}", r.render());
+            combined.merge(r);
+            gated += 1;
+        }
+    } else {
+        println!("(skip scale: {} not found)", scale_path.display());
+    }
+
+    if args.update_baselines {
+        println!("\nbaselines updated in {}", dir.display());
+        return;
+    }
+    if gated == 0 {
+        eprintln!("error: no BENCH_*.json baselines found in {}", dir.display());
+        std::process::exit(2);
+    }
+    println!(
+        "\n=== gate verdict: {} over {} bench(es), {} check(s), {} failure(s) ===",
+        if combined.passed() { "PASS" } else { "FAIL" },
+        gated,
+        combined.checks.len(),
+        combined.failures().len()
+    );
+    if !combined.passed() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.trace_out.is_some() || args.metrics_out.is_some() || args.verbose {
@@ -950,6 +1185,7 @@ fn main() {
         "threads" => threads(&args),
         "dedup" => dedup(&args),
         "scale" => scale(&args),
+        "gate" => gate(&args),
         "all" => {
             fig3(&args);
             println!();

@@ -12,6 +12,7 @@
 //! smaller scale.
 
 pub mod experiment;
+pub mod gate;
 pub mod report;
 
 pub use experiment::{run_scenario, ExperimentConfig, ScenarioResult, UseCaseCell};

@@ -63,6 +63,41 @@ pub fn record_pairs(doc: &Value) -> Vec<(String, String)> {
     }
 }
 
+/// Causal attribution of one commit-record member: who asked for the
+/// save that this entry made visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitAttribution {
+    /// Approach that wrote the save.
+    pub approach: String,
+    /// Set key the record committed.
+    pub set: String,
+    /// Tenant whose request rode in this record, when the save ran
+    /// under a fleet request (absent for direct library use and for
+    /// records written before attribution existed).
+    pub tenant: Option<String>,
+    /// Request id minted at admission (`rq-<tenant>-<n>`), same caveat.
+    pub request_id: Option<String>,
+}
+
+/// The attribution rows of one commit record — one per member, in
+/// batch order. Answers "which tenants' saves rode in this record":
+/// the `tenant`/`rq` rider keys are read when present and `None`
+/// otherwise, so records from older stores parse unchanged.
+pub fn record_attribution(doc: &Value) -> Vec<CommitAttribution> {
+    let member = |m: &Value| -> Option<CommitAttribution> {
+        Some(CommitAttribution {
+            approach: m.get("approach")?.as_str()?.to_string(),
+            set: m.get("set")?.as_str()?.to_string(),
+            tenant: m.get("tenant").and_then(Value::as_str).map(str::to_string),
+            request_id: m.get("rq").and_then(Value::as_str).map(str::to_string),
+        })
+    };
+    if let Some(batch) = doc.get("batch").and_then(Value::as_array) {
+        return batch.iter().filter_map(member).collect();
+    }
+    member(doc).into_iter().collect()
+}
+
 /// Phase two of a save: append the commit record, making the save
 /// visible. Every commit flows through the environment's
 /// [`crate::fleet::GroupCommitter`], which coalesces concurrent
@@ -254,6 +289,28 @@ mod tests {
         let remaining = env.docs().all(COMMITS_COLLECTION).unwrap();
         assert_eq!(remaining.len(), 1);
         assert!(is_committed(&env, &id("baseline", "0")).unwrap());
+    }
+
+    #[test]
+    fn record_attribution_reads_riders_and_tolerates_their_absence() {
+        let solo = json!({"approach": "baseline", "set": "0",
+                          "tenant": "acme", "rq": "rq-acme-1"});
+        let rows = record_attribution(&solo);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tenant.as_deref(), Some("acme"));
+        assert_eq!(rows[0].request_id.as_deref(), Some("rq-acme-1"));
+
+        let batch = json!({"batch": [
+            json!({"approach": "baseline", "set": "1",
+                   "tenant": "a", "rq": "rq-a-3"}),
+            json!({"approach": "update", "set": "2"}),
+        ]});
+        let rows = record_attribution(&batch);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].request_id.as_deref(), Some("rq-a-3"));
+        assert_eq!(rows[1].tenant, None, "pre-attribution record parses");
+        // Rider keys never change what the visibility readers see.
+        assert_eq!(record_pairs(&solo), vec![("baseline".into(), "0".into())]);
     }
 
     #[test]

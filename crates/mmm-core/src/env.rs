@@ -435,6 +435,17 @@ impl ManagementEnv {
                     self.clock.charge(backoff);
                     self.obs.inc("mmm_retries_total", 1);
                     self.obs.observe("mmm_retry_backoff_ns", backoff.as_nanos() as u64);
+                    if self.obs.enabled() {
+                        if let Some(req) = mmm_obs::current_request() {
+                            self.obs.inc(
+                                &format!(
+                                    "mmm_tenant_retries_total{{tenant=\"{}\"}}",
+                                    req.tenant
+                                ),
+                                1,
+                            );
+                        }
+                    }
                     self.obs.event(EventLevel::Warn, || {
                         format!(
                             "transient fault (attempt {}): {e}; backing off {backoff:?}",

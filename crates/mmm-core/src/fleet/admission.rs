@@ -34,6 +34,10 @@ impl Default for AdmissionConfig {
 struct TenantState {
     active: usize,
     waiting: usize,
+    /// Requests ever admitted for this tenant; the per-tenant sequence
+    /// behind minted request ids. Counted at admission (not arrival) so
+    /// a single-client workload mints the same ids at any thread count.
+    minted: u64,
 }
 
 #[derive(Debug, Default)]
@@ -72,7 +76,7 @@ impl AdmissionControl {
     /// releases the slot on drop.
     pub fn admit(&self, tenant: &str, wait_budget: Duration) -> Result<AdmissionPermit<'_>> {
         enum Door {
-            In,
+            In(u64),
             Shed { active: usize, waiting: usize },
             Queued,
         }
@@ -81,7 +85,8 @@ impl AdmissionControl {
             let st = inner.tenants.entry(tenant.to_string()).or_default();
             if st.active < self.config.per_tenant_inflight {
                 st.active += 1;
-                Door::In
+                st.minted += 1;
+                Door::In(st.minted)
             } else if st.waiting >= self.config.per_tenant_queue {
                 Door::Shed { active: st.active, waiting: st.waiting }
             } else {
@@ -90,9 +95,13 @@ impl AdmissionControl {
             }
         };
         match door {
-            Door::In => {
+            Door::In(seq) => {
                 inner.admitted += 1;
-                return Ok(AdmissionPermit { control: self, tenant: tenant.to_string() });
+                return Ok(AdmissionPermit {
+                    control: self,
+                    tenant: tenant.to_string(),
+                    request_id: format!("rq-{tenant}-{seq}"),
+                });
             }
             Door::Shed { active, waiting } => {
                 inner.shed += 1;
@@ -112,20 +121,25 @@ impl AdmissionControl {
                 if st.active < self.config.per_tenant_inflight {
                     st.active += 1;
                     st.waiting -= 1;
-                    Some(true)
+                    st.minted += 1;
+                    Some(Some(st.minted))
                 } else if remaining.is_zero() {
                     st.waiting -= 1;
-                    Some(false)
+                    Some(None)
                 } else {
                     None
                 }
             };
             match verdict {
-                Some(true) => {
+                Some(Some(seq)) => {
                     inner.admitted += 1;
-                    return Ok(AdmissionPermit { control: self, tenant: tenant.to_string() });
+                    return Ok(AdmissionPermit {
+                        control: self,
+                        tenant: tenant.to_string(),
+                        request_id: format!("rq-{tenant}-{seq}"),
+                    });
                 }
-                Some(false) => {
+                Some(None) => {
                     inner.timed_out += 1;
                     return Err(Error::deadline_exceeded(format!(
                         "tenant '{tenant}' waited {wait_budget:?} for an admission slot"
@@ -166,11 +180,21 @@ impl AdmissionControl {
 }
 
 /// One admitted request's slot; dropping it frees the slot and wakes a
-/// waiter.
+/// waiter. Carries the request id minted at admission (`rq-<tenant>-<n>`
+/// with `n` the tenant's admission sequence number — deterministic for a
+/// deterministic admission order).
 #[derive(Debug)]
 pub struct AdmissionPermit<'a> {
     control: &'a AdmissionControl,
     tenant: String,
+    request_id: String,
+}
+
+impl AdmissionPermit<'_> {
+    /// The request id minted when this permit was granted.
+    pub fn request_id(&self) -> &str {
+        &self.request_id
+    }
 }
 
 impl Drop for AdmissionPermit<'_> {
@@ -200,6 +224,19 @@ mod tests {
         ctl.admit("a", Duration::ZERO).unwrap();
         assert_eq!(ctl.shed(), 1);
         assert_eq!(ctl.admitted(), 3);
+    }
+
+    #[test]
+    fn request_ids_are_per_tenant_sequences() {
+        let ctl = AdmissionControl::new(AdmissionConfig::default());
+        let a1 = ctl.admit("a", Duration::ZERO).unwrap();
+        assert_eq!(a1.request_id(), "rq-a-1");
+        let b1 = ctl.admit("b", Duration::ZERO).unwrap();
+        assert_eq!(b1.request_id(), "rq-b-1");
+        drop(a1);
+        // Sheds and timeouts never mint: the next admit continues the
+        // sequence.
+        assert_eq!(ctl.admit("a", Duration::ZERO).unwrap().request_id(), "rq-a-2");
     }
 
     #[test]

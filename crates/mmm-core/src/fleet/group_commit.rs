@@ -39,6 +39,11 @@ struct Pending {
     ticket: u64,
     approach: String,
     key: String,
+    /// Tenant/request identity captured from the enqueuing thread's
+    /// request context (None outside the fleet frontend): the rider
+    /// that lets a commit record answer "whose saves rode in here".
+    tenant: Option<String>,
+    request: Option<String>,
 }
 
 #[derive(Default)]
@@ -120,6 +125,10 @@ impl GroupCommitter {
         // Fail fast *before* enqueuing: after this point the save rides
         // the batch and the outcome is owed to the caller.
         env.service_gate().check_deadline()?;
+        // Capture the caller's request identity here, on its own
+        // thread: the leader that eventually writes the batch may be a
+        // different tenant's thread entirely.
+        let req = mmm_obs::current_request();
         let ticket = {
             let mut st = self.lock_state();
             let t = st.next_ticket;
@@ -128,6 +137,8 @@ impl GroupCommitter {
                 ticket: t,
                 approach: id.approach.clone(),
                 key: id.key.clone(),
+                tenant: req.as_ref().map(|r| r.tenant.clone()),
+                request: req.map(|r| r.request_id),
             });
             t
         };
@@ -188,17 +199,39 @@ impl GroupCommitter {
     }
 }
 
+/// One batch member as a commit-record entry. Tenant/request riders are
+/// extra keys old readers ignore (`record_pairs` reads only
+/// `approach`/`set`), so the on-disk format stays backward-compatible.
+fn member_json(p: &Pending) -> serde_json::Value {
+    let mut v = json!({"approach": p.approach, "set": p.key});
+    if let Some(obj) = v.as_object_mut() {
+        if let Some(t) = &p.tenant {
+            obj.insert("tenant".into(), json!(t));
+        }
+        if let Some(r) = &p.request {
+            obj.insert("rq".into(), json!(r));
+        }
+    }
+    v
+}
+
 /// Write one commit record covering `batch` (single-record format for a
 /// batch of one, the `{"batch": [...]}` format otherwise) and report
-/// the batching to the observer.
+/// the batching to the observer. The commit span is tagged with the
+/// comma-joined request ids the batch coalesced, so per-batch spans
+/// attribute back to per-request spans.
 fn write_batch(env: &ManagementEnv, batch: &[Pending]) -> Result<u64> {
-    let _span = env.obs().span("commit");
+    let rids: Vec<&str> = batch.iter().filter_map(|p| p.request.as_deref()).collect();
+    let _span = if rids.is_empty() {
+        env.obs().span("commit")
+    } else {
+        env.obs().span_tagged("commit", rids.join(","))
+    };
     let _shield = env.service_gate().arm_deadline(GROUP_WRITE_SHIELD);
     let doc = if batch.len() == 1 {
-        json!({"approach": batch[0].approach, "set": batch[0].key})
+        member_json(&batch[0])
     } else {
-        let members: Vec<_> =
-            batch.iter().map(|p| json!({"approach": p.approach, "set": p.key})).collect();
+        let members: Vec<_> = batch.iter().map(member_json).collect();
         json!({ "batch": members })
     };
     let res = env.with_retry(|| env.docs().insert(COMMITS_COLLECTION, doc.clone()));
@@ -255,6 +288,30 @@ mod tests {
         assert_eq!(docs.len(), 1);
         assert!(docs[0].1.get("batch").is_none());
         assert_eq!(docs[0].1.get("set").unwrap(), "0");
+    }
+
+    #[test]
+    fn commit_records_carry_tenant_and_request_riders() {
+        let dir = TempDir::new("mmm-gc").unwrap();
+        let obs = mmm_obs::Observer::new();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+            .observer(obs.clone())
+            .open()
+            .unwrap();
+        {
+            let _req = mmm_obs::enter_request("t-0", "rq-t-0-1");
+            commit::commit_save(&env, &id("baseline", "0")).unwrap();
+        }
+        let docs = env.docs().all(COMMITS_COLLECTION).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].1.get("tenant").and_then(|v| v.as_str()), Some("t-0"));
+        assert_eq!(docs[0].1.get("rq").and_then(|v| v.as_str()), Some("rq-t-0-1"));
+        // Old readers still see the commit.
+        assert!(commit::is_committed(&env, &id("baseline", "0")).unwrap());
+        // The commit span carries the coalesced request ids as its tag.
+        let spans = obs.finished_spans();
+        let commit_span = spans.iter().find(|s| s.name == "commit").unwrap();
+        assert_eq!(commit_span.tag.as_deref(), Some("rq-t-0-1"));
     }
 
     #[test]

@@ -252,7 +252,16 @@ impl<'e> FleetFrontend<'e> {
                     Some(set) => {
                         self.stale_serves.fetch_add(1, Ordering::Relaxed);
                         self.ok.fetch_add(1, Ordering::Relaxed);
-                        self.env.obs().inc("mmm_fleet_stale_serves_total", 1);
+                        let obs = self.env.obs();
+                        obs.inc("mmm_fleet_stale_serves_total", 1);
+                        if obs.enabled() {
+                            // The rescue answers the tenant: the failure
+                            // already classified above stays visible in
+                            // its column, but the SLO budget nets it out
+                            // against this stale serve.
+                            obs.inc(&tenant_key("mmm_tenant_stale_serves_total", tenant), 1);
+                            obs.inc(&tenant_key("mmm_tenant_ok_total", tenant), 1);
+                        }
                         Ok(Recovered { set, served: Served::Stale })
                     }
                     None => Err(e),
@@ -273,12 +282,18 @@ impl<'e> FleetFrontend<'e> {
         let budget = deadline.unwrap_or(self.config.default_deadline);
         let obs = self.env.obs();
         obs.inc("mmm_fleet_requests_total", 1);
+        if obs.enabled() {
+            obs.inc(&tenant_key("mmm_tenant_requests_total", tenant), 1);
+        }
 
         let enqueued = Instant::now();
         let permit = match self.admission.admit(tenant, budget) {
             Ok(p) => p,
             Err(e) => {
                 obs.inc("mmm_fleet_shed_total", 1);
+                if obs.enabled() {
+                    obs.inc(&tenant_key("mmm_tenant_shed_total", tenant), 1);
+                }
                 obs.event(mmm_obs::EventLevel::Warn, || {
                     format!("{kind} for tenant '{tenant}' shed: {e}")
                 });
@@ -297,7 +312,15 @@ impl<'e> FleetFrontend<'e> {
         let guard = gate.arm_deadline(remaining);
         let real_start = Instant::now();
 
+        // Everything the operation does — store ops, worker lanes, the
+        // group-commit record it rides in — is attributed to this
+        // request id, and the root span carries it as its causal tag.
+        let rid = permit.request_id().to_string();
+        let req_ctx = mmm_obs::enter_request(tenant, rid.clone());
+        let span = obs.span_tagged(kind, rid);
         let result = op(self.env);
+        drop(span);
+        drop(req_ctx);
 
         drop(guard);
         drop(permit);
@@ -311,12 +334,25 @@ impl<'e> FleetFrontend<'e> {
         obs.observe("mmm_fleet_request_ns", spent.as_nanos() as u64);
         let overrun = spent.saturating_sub(budget);
         obs.observe("mmm_fleet_deadline_overrun_ns", overrun.as_nanos() as u64);
+        if obs.enabled() {
+            obs.observe(&tenant_key("mmm_tenant_request_sim_ns", tenant), sim.as_nanos() as u64);
+            obs.observe(
+                &tenant_key("mmm_tenant_deadline_overrun_ns", tenant),
+                overrun.as_nanos() as u64,
+            );
+        }
 
         match &result {
             Ok(_) => {
                 self.ok.fetch_add(1, Ordering::Relaxed);
+                if obs.enabled() {
+                    obs.inc(&tenant_key("mmm_tenant_ok_total", tenant), 1);
+                }
             }
-            Err(e) => self.classify(e),
+            Err(e) => {
+                self.classify(e);
+                self.classify_tenant(tenant, e);
+            }
         }
         result
     }
@@ -333,6 +369,24 @@ impl<'e> FleetFrontend<'e> {
             self.failed.fetch_add(1, Ordering::Relaxed);
             obs.inc("mmm_fleet_failed_total", 1);
         }
+    }
+
+    /// Per-tenant failure attribution; every request ends in exactly one
+    /// of `{ok, shed, deadline_exceeded, unavailable, failed}` for its
+    /// tenant (a later stale rescue adds `ok` + `stale_serves` on top).
+    fn classify_tenant(&self, tenant: &str, e: &Error) {
+        let obs = self.env.obs();
+        if !obs.enabled() {
+            return;
+        }
+        let family = if e.is_deadline_exceeded() {
+            "mmm_tenant_deadline_exceeded_total"
+        } else if e.is_unavailable() {
+            "mmm_tenant_unavailable_total"
+        } else {
+            "mmm_tenant_failed_total"
+        };
+        obs.inc(&tenant_key(family, tenant), 1);
     }
 
     fn remember(&self, id: &ModelSetId, set: &ModelSet) {
@@ -384,6 +438,12 @@ impl<'e> FleetFrontend<'e> {
         obs.gauge("mmm_fleet_queue_timeouts", self.admission.timed_out());
         obs.gauge("mmm_gate_deadline_rejections", gate.deadline_rejections());
     }
+}
+
+/// Metric key for a tenant-labelled family (the registry's label cap
+/// bounds the cardinality these can create).
+fn tenant_key(family: &str, tenant: &str) -> String {
+    format!("{family}{{tenant=\"{tenant}\"}}")
 }
 
 /// Failures the stale cache may paper over: environmental trouble, not
@@ -556,6 +616,51 @@ mod tests {
         frontend.publish_health();
         let metrics = env.obs().metrics().expect("observer enabled");
         assert_eq!(metrics.gauge("mmm_breaker_state{backend=\"docs\"}"), 2);
+    }
+
+    #[test]
+    fn tenant_metrics_and_tagged_request_spans_are_attributed() {
+        let dir = TempDir::new("mmm-fleet").unwrap();
+        let obs = mmm_obs::Observer::new();
+        let env = ManagementEnv::builder(dir.path(), LatencyProfile::m1())
+            .observer(obs.clone())
+            .open()
+            .unwrap();
+        let frontend = FleetFrontend::new(&env);
+        let mut saver = BaselineSaver::new();
+        let s = set(2, 9);
+        let id = frontend.save_initial("acme", &mut saver, &s, None).unwrap();
+        frontend.recover("acme", &saver, &id, None).unwrap();
+
+        let m = env.obs().metrics().unwrap();
+        assert_eq!(m.counter("mmm_tenant_requests_total{tenant=\"acme\"}"), 2);
+        assert_eq!(m.counter("mmm_tenant_ok_total{tenant=\"acme\"}"), 2);
+        assert!(m.counter("mmm_tenant_store_ops_total{tenant=\"acme\"}") > 0, "store attribution");
+        assert!(m.counter("mmm_tenant_store_bytes_total{tenant=\"acme\"}") > 0);
+
+        let spans = obs.finished_spans();
+        let save = spans.iter().find(|sp| sp.name == "save").expect("root save span");
+        assert_eq!(save.tag.as_deref(), Some("rq-acme-1"));
+        let rec = spans.iter().find(|sp| sp.name == "recover").expect("root recover span");
+        assert_eq!(rec.tag.as_deref(), Some("rq-acme-2"));
+        // The phase spans under each request root tile its simulated
+        // time exactly: zero residual.
+        for root in [save, rec] {
+            assert!(root.sim_ns > 0, "m1 profile charges sim time");
+            let children: u64 = spans
+                .iter()
+                .filter(|sp| sp.parent == Some(root.id))
+                .map(|sp| sp.sim_ns)
+                .sum();
+            assert_eq!(children, root.sim_ns, "residual in {}", root.name);
+        }
+
+        let slos = mmm_obs::tenant_slos(m, 0.999);
+        assert_eq!(slos.len(), 1);
+        assert_eq!(slos[0].tenant, "acme");
+        assert_eq!(slos[0].ok, 2);
+        assert!(slos[0].p50_sim_ns > 0);
+        assert_eq!(slos[0].error_budget_used, 0.0);
     }
 
     #[test]

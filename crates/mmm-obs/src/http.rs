@@ -1,0 +1,196 @@
+//! Dependency-free live introspection endpoint.
+//!
+//! [`ObsServer`] serves an [`Observer`]'s state over plain
+//! `std::net::TcpListener` — no async runtime, no HTTP crate. Three
+//! routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the registry
+//! * `GET /healthz` — liveness probe (`ok`)
+//! * `GET /tenants` — JSON per-tenant SLO snapshots ([`crate::slo`])
+//!
+//! The accept loop runs on one spawned thread and handles one
+//! connection at a time: introspection traffic is a human or a scraper,
+//! not the data path, and serialized handling keeps the server trivially
+//! race-free. Requests are parsed only as far as the request line;
+//! anything but a known `GET` target gets a 404.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::slo::tenant_slos_json;
+use crate::Observer;
+
+/// Per-connection I/O timeout: a stalled scraper cannot wedge the loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running introspection server; shuts down when dropped or via
+/// [`ObsServer::shutdown`].
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `obs` until shutdown. `objective` parameterizes the `/tenants`
+    /// error-budget math.
+    pub fn start(addr: impl ToSocketAddrs, obs: Observer, objective: f64) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("mmm-obs-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // Best effort: a broken scraper connection is its
+                        // problem, not the server's.
+                        let _ = serve_one(stream, &obs, objective);
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(stream: TcpStream, obs: &Observer, objective: f64) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 2 {
+        line.clear();
+    }
+    let target = request_line
+        .strip_prefix("GET ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or("");
+    let (status, content_type, body) = match target {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", obs.prometheus_text()),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_owned()),
+        "/tenants" => {
+            let v = match obs.metrics() {
+                Some(m) => tenant_slos_json(m, objective),
+                None => serde_json::json!({
+                    "objective": objective,
+                    "tenants": serde_json::Value::Array(Vec::new()),
+                }),
+            };
+            ("200 OK", "application/json", format!("{v}\n"))
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 2 {
+            line.clear();
+        }
+        let mut body = String::new();
+        use std::io::Read as _;
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim().to_owned(), body)
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_tenants() {
+        let obs = Observer::new();
+        obs.inc("mmm_tenant_requests_total{tenant=\"t-0\"}", 3);
+        obs.inc("mmm_tenant_ok_total{tenant=\"t-0\"}", 3);
+        let server = ObsServer::start("127.0.0.1:0", obs, 0.999).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"));
+        assert!(
+            body.contains("# TYPE mmm_tenant_requests_total counter"),
+            "{body}"
+        );
+        assert!(
+            body.contains("mmm_tenant_requests_total{tenant=\"t-0\"} 3"),
+            "{body}"
+        );
+
+        let (status, body) = get(addr, "/tenants");
+        assert!(status.contains("200"));
+        let v: serde_json::Value = serde_json::from_str(body.trim()).unwrap();
+        assert_eq!(v["tenants"][0]["tenant"], "t-0");
+        assert_eq!(v["tenants"][0]["requests"], 3);
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn disabled_observer_still_answers() {
+        let server = ObsServer::start("127.0.0.1:0", Observer::disabled(), 0.999).unwrap();
+        let (status, body) = get(server.local_addr(), "/tenants");
+        assert!(status.contains("200"));
+        let v: serde_json::Value = serde_json::from_str(body.trim()).unwrap();
+        assert_eq!(v["tenants"].as_array().unwrap().len(), 0);
+    }
+}

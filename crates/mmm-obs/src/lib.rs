@@ -50,11 +50,18 @@ use mmm_util::VirtualClock;
 use parking_lot::Mutex;
 use serde::Serialize;
 
+pub mod http;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 
-pub use metrics::{Histogram, MetricsRegistry};
-pub use span::{breakdown, render_breakdown, trace_jsonl, BreakdownRow, PhaseCell, SpanRecord};
+pub use http::ObsServer;
+pub use metrics::{label_value, Histogram, MetricsRegistry};
+pub use slo::{render_tenants, tenant_slos, tenant_slos_json, TenantSlo};
+pub use span::{
+    breakdown, parse_trace_jsonl, render_breakdown, trace_jsonl, BreakdownRow, PhaseCell,
+    SpanRecord,
+};
 
 /// Default capacity of the finished-span ring buffer.
 const DEFAULT_SPAN_CAPACITY: usize = 1 << 18;
@@ -68,6 +75,53 @@ thread_local! {
     /// Guards push/pop in LIFO order, so frames from interleaved
     /// observers stay consistent; parent lookup filters by observer id.
     static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+
+    /// Stack of active request contexts on this thread. The top entry
+    /// attributes store ops and retries to a tenant/request; `LaneHook`
+    /// carries it onto parallel worker threads.
+    static REQUESTS: RefCell<Vec<RequestContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Identity of the fleet request the current thread is working for:
+/// minted at admission, threaded through queues, worker lanes, and the
+/// group committer so traces and metrics can answer "who spent this".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestContext {
+    /// Tenant that issued the request.
+    pub tenant: String,
+    /// Request id minted at admission (`rq-<tenant>-<n>`).
+    pub request_id: String,
+}
+
+/// Push a request context onto the current thread; popped when the
+/// returned guard drops. Nested requests stack (innermost wins).
+pub fn enter_request(tenant: impl Into<String>, request_id: impl Into<String>) -> RequestGuard {
+    REQUESTS.with(|r| {
+        r.borrow_mut().push(RequestContext {
+            tenant: tenant.into(),
+            request_id: request_id.into(),
+        })
+    });
+    RequestGuard { _priv: () }
+}
+
+/// The request context the current thread is attributed to, if any.
+pub fn current_request() -> Option<RequestContext> {
+    REQUESTS.with(|r| r.borrow().last().cloned())
+}
+
+/// RAII guard returned by [`enter_request`]; pops the context on drop.
+#[derive(Debug)]
+pub struct RequestGuard {
+    _priv: (),
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        REQUESTS.with(|r| {
+            r.borrow_mut().pop();
+        });
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -193,17 +247,27 @@ impl Observer {
 
     /// Open a span; it closes (and is recorded) when the guard drops.
     pub fn span(&self, name: &'static str) -> SpanGuard {
-        self.span_open(name, None)
+        self.span_open(name, None, None)
     }
 
     /// Open a span annotated with a deterministic item index (used for
     /// per-item spans inside parallel sections, where the round-robin
     /// partition makes the index — not the lane — the stable identity).
     pub fn span_idx(&self, name: &'static str, op_index: u64) -> SpanGuard {
-        self.span_open(name, Some(op_index))
+        self.span_open(name, Some(op_index), None)
     }
 
-    fn span_open(&self, name: &'static str, op_index: Option<u64>) -> SpanGuard {
+    /// Open a span carrying a causal tag — a request id, or the
+    /// comma-joined request ids a commit batch coalesced. The tag is
+    /// recorded verbatim on the finished span.
+    pub fn span_tagged(&self, name: &'static str, tag: impl Into<String>) -> SpanGuard {
+        if self.inner.is_none() {
+            return SpanGuard { inner: None, open: None };
+        }
+        self.span_open(name, None, Some(tag.into()))
+    }
+
+    fn span_open(&self, name: &'static str, op_index: Option<u64>, tag: Option<String>) -> SpanGuard {
         let Some(inner) = &self.inner else {
             return SpanGuard { inner: None, open: None };
         };
@@ -229,6 +293,7 @@ impl Observer {
                 ctx: inner.ctx.lock().clone(),
                 lane,
                 op_index,
+                tag,
                 real_start: Instant::now(),
                 sim_start,
             }),
@@ -287,12 +352,25 @@ impl Observer {
 
     /// Record one store operation: simulated latency histogram plus a
     /// byte counter, labelled by op kind (`doc_insert`, `blob_put`, …).
+    /// When a [`RequestContext`] is active on the calling thread the op
+    /// is additionally attributed to that tenant.
     pub fn store_op(&self, op: &'static str, bytes: u64, sim: Duration) {
         if let Some(inner) = &self.inner {
             inner
                 .metrics
                 .observe(&format!("mmm_store_op_sim_ns{{op=\"{op}\"}}"), sim.as_nanos() as u64);
             inner.metrics.inc(&format!("mmm_store_op_bytes_total{{op=\"{op}\"}}"), bytes);
+            if let Some(req) = current_request() {
+                let t = &req.tenant;
+                inner.metrics.inc(&format!("mmm_tenant_store_ops_total{{tenant=\"{t}\"}}"), 1);
+                inner
+                    .metrics
+                    .inc(&format!("mmm_tenant_store_bytes_total{{tenant=\"{t}\"}}"), bytes);
+                inner.metrics.inc(
+                    &format!("mmm_tenant_store_sim_ns_total{{tenant=\"{t}\"}}"),
+                    sim.as_nanos() as u64,
+                );
+            }
         }
     }
 
@@ -379,6 +457,7 @@ struct OpenSpan {
     ctx: String,
     lane: Option<u32>,
     op_index: Option<u64>,
+    tag: Option<String>,
     real_start: Instant,
     sim_start: Option<Duration>,
 }
@@ -425,6 +504,7 @@ impl Drop for SpanGuard {
             ctx: open.ctx,
             lane: open.lane,
             op_index: open.op_index,
+            tag: open.tag,
             real_ns,
             sim_ns,
         };
@@ -448,12 +528,14 @@ impl Drop for SpanGuard {
 pub struct LaneHook {
     inner: Option<Arc<Inner>>,
     parent: Option<u64>,
+    request: Option<RequestContext>,
     lane_seq: AtomicU32,
 }
 
 impl LaneHook {
     /// Capture the calling thread's current span (if any) as the parent
-    /// for all spans the workers will open.
+    /// for all spans the workers will open, plus the active request
+    /// context so per-tenant attribution crosses the parallel section.
     pub fn current(obs: &Observer) -> LaneHook {
         let inner = obs.inner.clone();
         let parent = inner.as_ref().and_then(|i| {
@@ -465,7 +547,7 @@ impl LaneHook {
                     .and_then(|fr| fr.span.or(fr.parent))
             })
         });
-        LaneHook { inner, parent, lane_seq: AtomicU32::new(0) }
+        LaneHook { inner, parent, request: current_request(), lane_seq: AtomicU32::new(0) }
     }
 }
 
@@ -495,8 +577,12 @@ impl Drop for LaneFrameGuard {
 
 impl WorkerHook for LaneHook {
     fn enter(&self) -> Box<dyn std::any::Any + Send> {
+        let req_guard = self
+            .request
+            .as_ref()
+            .map(|r| enter_request(r.tenant.clone(), r.request_id.clone()));
         match &self.inner {
-            None => Box::new(()),
+            None => Box::new(req_guard),
             Some(inner) => {
                 let lane = self.lane_seq.fetch_add(1, Ordering::Relaxed);
                 FRAMES.with(|f| {
@@ -507,7 +593,7 @@ impl WorkerHook for LaneHook {
                         lane: Some(lane),
                     })
                 });
-                Box::new(LaneFrameGuard { obs: inner.id, parent: self.parent, lane })
+                Box::new((LaneFrameGuard { obs: inner.id, parent: self.parent, lane }, req_guard))
             }
         }
     }

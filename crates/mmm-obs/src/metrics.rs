@@ -155,45 +155,168 @@ fn split_key(key: &str) -> (&str, &str) {
     }
 }
 
+/// Value of label `label` in a full metric key `name{a="b",...}`, if
+/// present. Quote-aware, so values may contain `,` or `=`.
+pub fn label_value(key: &str, label: &str) -> Option<String> {
+    let (_, labels) = split_key(key);
+    for (name, value) in iter_labels(labels) {
+        if name == label {
+            return Some(value.to_owned());
+        }
+    }
+    None
+}
+
+/// Iterate `(name, value)` pairs of a label string `a="b",c="d"`.
+fn iter_labels(labels: &str) -> impl Iterator<Item = (&str, &str)> {
+    let mut rest = labels;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let eq = rest.find('=')?;
+        let name = &rest[..eq];
+        let after = rest[eq + 1..].strip_prefix('"')?;
+        let close = after.find('"')?;
+        let value = &after[..close];
+        rest = after[close + 1..].strip_prefix(',').unwrap_or(&after[close + 1..]);
+        Some((name, value))
+    })
+}
+
+/// Rewrite every label value in `key` to `other`, preserving label
+/// names and order: the overflow bucket a capped family collapses into.
+fn collapse_key(key: &str) -> String {
+    let (name, labels) = split_key(key);
+    let mut out = String::with_capacity(key.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (lname, _)) in iter_labels(labels).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(lname);
+        out.push_str("=\"other\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Counter bumped whenever a labelled sample is collapsed into the
+/// `other` bucket because its family hit the cardinality cap.
+pub const LABELS_DROPPED_TOTAL: &str = "mmm_metric_labels_dropped_total";
+
+/// Default per-family cap on distinct labelled keys (see
+/// [`MetricsRegistry::with_label_cap`]).
+pub const DEFAULT_LABEL_CAP: usize = 64;
+
 /// Thread-safe registry of named counters and histograms.
 ///
 /// Keys are full Prometheus sample names (`name{label="v"}`); the label
 /// part is parsed only at export time. Deterministic iteration order.
-#[derive(Debug, Default)]
+///
+/// Labelled cardinality is bounded: each family admits at most
+/// `label_cap` distinct labelled keys per kind (counter / histogram /
+/// gauge); overflow collapses every label value to `other` and bumps
+/// [`LABELS_DROPPED_TOTAL`], so a tenant flood cannot grow the
+/// exporter without bound.
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     gauges: Mutex<BTreeMap<String, u64>>,
+    label_cap: usize,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::with_label_cap(DEFAULT_LABEL_CAP)
+    }
+}
+
+/// Resolve `key` against the cardinality cap: an unlabelled or
+/// already-present key passes through; a new labelled key in a family
+/// that already holds `cap` labelled keys collapses to the `other`
+/// bucket. Returns the admitted key and whether a collapse happened.
+fn admit<V>(map: &BTreeMap<String, V>, key: &str, cap: usize) -> (String, bool) {
+    let (name, labels) = split_key(key);
+    if labels.is_empty() || map.contains_key(key) {
+        return (key.to_owned(), false);
+    }
+    let prefix = format!("{name}{{");
+    let labelled =
+        map.range(prefix.clone()..).take_while(|(k, _)| k.starts_with(&prefix)).take(cap).count();
+    if labelled < cap {
+        (key.to_owned(), false)
+    } else {
+        (collapse_key(key), true)
+    }
 }
 
 impl MetricsRegistry {
-    /// A fresh, empty registry.
+    /// A fresh, empty registry with the default label-cardinality cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh registry admitting at most `cap` distinct labelled keys
+    /// per family (minimum 1; the `other` overflow bucket rides on top).
+    pub fn with_label_cap(cap: usize) -> Self {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            label_cap: cap.max(1),
+        }
+    }
+
+    /// The per-family labelled-key cap.
+    pub fn label_cap(&self) -> usize {
+        self.label_cap
     }
 
     /// Add `v` to the counter `key`.
     pub fn inc(&self, key: &str, v: u64) {
         let mut c = self.counters.lock();
-        match c.get_mut(key) {
+        let (key, dropped) = admit(&c, key, self.label_cap);
+        let bump = |c: &mut BTreeMap<String, u64>, key: String, v: u64| match c.get_mut(&key) {
             Some(slot) => *slot = slot.saturating_add(v),
             None => {
-                c.insert(key.to_owned(), v);
+                c.insert(key, v);
             }
+        };
+        bump(&mut c, key, v);
+        if dropped {
+            bump(&mut c, LABELS_DROPPED_TOTAL.to_owned(), 1);
         }
     }
 
     /// Record `v` into the histogram `key`.
     pub fn observe(&self, key: &str, v: u64) {
-        let mut h = self.histograms.lock();
-        h.entry(key.to_owned()).or_default().record(v);
+        let dropped = {
+            let mut h = self.histograms.lock();
+            let (key, dropped) = admit(&h, key, self.label_cap);
+            h.entry(key).or_default().record(v);
+            dropped
+        };
+        if dropped {
+            self.inc(LABELS_DROPPED_TOTAL, 1);
+        }
     }
 
     /// Set the gauge `key` to `v` (last write wins — gauges report
     /// point-in-time state such as a circuit-breaker position or a
     /// queue depth, unlike monotone counters).
     pub fn set_gauge(&self, key: &str, v: u64) {
-        self.gauges.lock().insert(key.to_owned(), v);
+        let dropped = {
+            let mut g = self.gauges.lock();
+            let (key, dropped) = admit(&g, key, self.label_cap);
+            g.insert(key, v);
+            dropped
+        };
+        if dropped {
+            self.inc(LABELS_DROPPED_TOTAL, 1);
+        }
     }
 
     /// Current value of gauge `key` (0 if never set).
@@ -410,5 +533,59 @@ mod tests {
             assert!(v >= prev, "{line}");
             prev = v;
         }
+    }
+
+    #[test]
+    fn label_value_parses_quoted_labels() {
+        let key = "mmm_x_total{tenant=\"t-1\",op=\"a,b=c\"}";
+        assert_eq!(label_value(key, "tenant").as_deref(), Some("t-1"));
+        assert_eq!(label_value(key, "op").as_deref(), Some("a,b=c"));
+        assert_eq!(label_value(key, "missing"), None);
+        assert_eq!(label_value("mmm_x_total", "tenant"), None);
+    }
+
+    #[test]
+    fn counter_flood_collapses_to_other_at_the_cap() {
+        let r = MetricsRegistry::with_label_cap(4);
+        for i in 0..100 {
+            r.inc(&format!("mmm_t_total{{tenant=\"t-{i}\"}}"), 1);
+        }
+        // 4 distinct tenants admitted, 96 collapsed into `other`.
+        let keys = r.counter_keys();
+        let family: Vec<_> = keys.iter().filter(|k| k.starts_with("mmm_t_total{")).collect();
+        assert_eq!(family.len(), 5, "{family:?}");
+        assert_eq!(r.counter("mmm_t_total{tenant=\"other\"}"), 96);
+        assert_eq!(r.counter(LABELS_DROPPED_TOTAL), 96);
+        // Admitted keys keep counting without further drops.
+        r.inc("mmm_t_total{tenant=\"t-0\"}", 1);
+        assert_eq!(r.counter("mmm_t_total{tenant=\"t-0\"}"), 2);
+        assert_eq!(r.counter(LABELS_DROPPED_TOTAL), 96);
+    }
+
+    #[test]
+    fn histogram_and_gauge_floods_are_capped_too() {
+        let r = MetricsRegistry::with_label_cap(2);
+        for i in 0..10 {
+            r.observe(&format!("mmm_lat_ns{{tenant=\"t-{i}\"}}"), i);
+            r.set_gauge(&format!("mmm_depth{{tenant=\"t-{i}\"}}"), i);
+        }
+        let other = r.histogram("mmm_lat_ns{tenant=\"other\"}").expect("overflow histogram");
+        assert_eq!(other.count(), 8);
+        assert_eq!(r.histogram_keys().iter().filter(|k| k.starts_with("mmm_lat_ns")).count(), 3);
+        assert_eq!(r.gauge_keys().iter().filter(|k| k.starts_with("mmm_depth")).count(), 3);
+        // Last overflow write wins on the collapsed gauge.
+        assert_eq!(r.gauge("mmm_depth{tenant=\"other\"}"), 9);
+        assert_eq!(r.counter(LABELS_DROPPED_TOTAL), 16);
+    }
+
+    #[test]
+    fn unlabelled_keys_and_multi_label_collapse_behave() {
+        let r = MetricsRegistry::with_label_cap(1);
+        for i in 0..5 {
+            r.inc("mmm_plain_total", 1); // unlabelled: never capped
+            r.inc(&format!("mmm_two_total{{a=\"x{i}\",b=\"y{i}\"}}"), 1);
+        }
+        assert_eq!(r.counter("mmm_plain_total"), 5);
+        assert_eq!(r.counter("mmm_two_total{a=\"other\",b=\"other\"}"), 4);
     }
 }

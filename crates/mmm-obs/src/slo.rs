@@ -1,0 +1,228 @@
+//! Per-tenant SLO accounting derived from the labelled metrics the
+//! fleet frontend records.
+//!
+//! Nothing here keeps its own state: a [`TenantSlo`] snapshot is a pure
+//! read of the [`MetricsRegistry`] at a point in time. Tenants are
+//! discovered from the `mmm_tenant_requests_total{tenant="..."}` family
+//! (bounded by the registry's label-cardinality cap, so a tenant flood
+//! yields at most `cap` rows plus the `other` overflow row).
+//!
+//! # Digest math
+//!
+//! Latency quantiles come from the log-linear
+//! [`Histogram`](crate::metrics::Histogram) behind
+//! `mmm_tenant_request_sim_ns{tenant=...}`: `quantile(q)` returns the
+//! lower bound of the bucket holding the `ceil(q·count)`-th observation,
+//! so p50/p99 carry the histogram's ≤ ~25% relative bucket error and are
+//! deterministic for a deterministic run. The error budget compares the
+//! failure ratio against the objective: with objective `o` (e.g. 0.999),
+//! the budget is `1 − o` and
+//! `error_budget_used = (failures / requests) / (1 − o)` —
+//! `1.0` means the budget is exactly spent, above `1.0` the tenant is
+//! out of SLO. Sheds, deadline overruns, unavailability, and plain
+//! failures all count against the budget; degraded stale serves are
+//! reported but *not* charged (the request was answered).
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{label_value, MetricsRegistry};
+
+/// Default SLO objective: 99.9% of requests succeed.
+pub const DEFAULT_OBJECTIVE: f64 = 0.999;
+
+/// Point-in-time SLO snapshot for one tenant. `Deserialize` lets
+/// offline renderers (`mmm top`) read the `/tenants` endpoint body
+/// back.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSlo {
+    /// Tenant name (label value; `other` is the overflow bucket).
+    pub tenant: String,
+    /// Requests that reached the frontend (admitted or shed).
+    pub requests: u64,
+    /// Requests acknowledged OK.
+    pub ok: u64,
+    /// Requests shed at admission (queue full / quota).
+    pub shed: u64,
+    /// Requests that ran out of deadline budget.
+    pub deadline_exceeded: u64,
+    /// Requests rejected by an open circuit breaker.
+    pub unavailable: u64,
+    /// Requests failed for any other reason.
+    pub failed: u64,
+    /// Degraded recovers served from the stale cache.
+    pub stale_serves: u64,
+    /// Store-op retries charged to this tenant.
+    pub retries: u64,
+    /// Median simulated end-to-end latency (ns), 0 if unobserved.
+    pub p50_sim_ns: u64,
+    /// 99th-percentile simulated end-to-end latency (ns).
+    pub p99_sim_ns: u64,
+    /// Fraction of the error budget spent (1.0 = exactly spent).
+    pub error_budget_used: f64,
+}
+
+impl TenantSlo {
+    /// Failures charged against the error budget. Every stale serve
+    /// rescued exactly one already-classified failure (the column keeps
+    /// the event visible; the budget nets it out — the tenant got an
+    /// answer).
+    pub fn failures(&self) -> u64 {
+        (self.shed + self.deadline_exceeded + self.unavailable + self.failed)
+            .saturating_sub(self.stale_serves)
+    }
+}
+
+/// Snapshot every tenant's SLO state from `registry` against a success
+/// `objective` in `(0, 1)`. Rows are sorted by tenant name.
+pub fn tenant_slos(registry: &MetricsRegistry, objective: f64) -> Vec<TenantSlo> {
+    let budget = (1.0 - objective.clamp(0.0, 1.0)).max(f64::MIN_POSITIVE);
+    let mut out = Vec::new();
+    for key in registry.counter_keys() {
+        if !key.starts_with("mmm_tenant_requests_total{") {
+            continue;
+        }
+        let Some(tenant) = label_value(&key, "tenant") else {
+            continue;
+        };
+        let c = |family: &str| registry.counter(&format!("{family}{{tenant=\"{tenant}\"}}"));
+        let requests = registry.counter(&key);
+        let hist = registry.histogram(&format!("mmm_tenant_request_sim_ns{{tenant=\"{tenant}\"}}"));
+        let q = |q: f64| hist.as_ref().and_then(|h| h.quantile(q)).unwrap_or(0);
+        let mut slo = TenantSlo {
+            tenant: tenant.clone(),
+            requests,
+            ok: c("mmm_tenant_ok_total"),
+            shed: c("mmm_tenant_shed_total"),
+            deadline_exceeded: c("mmm_tenant_deadline_exceeded_total"),
+            unavailable: c("mmm_tenant_unavailable_total"),
+            failed: c("mmm_tenant_failed_total"),
+            stale_serves: c("mmm_tenant_stale_serves_total"),
+            retries: c("mmm_tenant_retries_total"),
+            p50_sim_ns: q(0.5),
+            p99_sim_ns: q(0.99),
+            error_budget_used: 0.0,
+        };
+        if requests > 0 {
+            slo.error_budget_used = (slo.failures() as f64 / requests as f64) / budget;
+        }
+        out.push(slo);
+    }
+    out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    out
+}
+
+/// The SLO snapshot as a JSON value (the `/tenants` endpoint body):
+/// `{"objective": .., "tenants": [TenantSlo, ..]}`.
+pub fn tenant_slos_json(registry: &MetricsRegistry, objective: f64) -> serde_json::Value {
+    serde_json::json!({
+        "objective": objective,
+        "tenants": tenant_slos(registry, objective),
+    })
+}
+
+/// Render SLO rows as a fixed-width table (the `mmm top` view).
+pub fn render_tenants(rows: &[TenantSlo]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>9}{:>7}{:>6}{:>6}{:>7}{:>7}{:>7}{:>12}{:>12}{:>9}",
+        "tenant",
+        "requests",
+        "ok",
+        "shed",
+        "ddl",
+        "unavl",
+        "fail",
+        "stale",
+        "p50 sim",
+        "p99 sim",
+        "budget"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14}{:>9}{:>7}{:>6}{:>6}{:>7}{:>7}{:>7}{:>11.3}s{:>11.3}s{:>8.0}%",
+            r.tenant,
+            r.requests,
+            r.ok,
+            r.shed,
+            r.deadline_exceeded,
+            r.unavailable,
+            r.failed,
+            r.stale_serves,
+            r.p50_sim_ns as f64 / 1e9,
+            r.p99_sim_ns as f64 / 1e9,
+            100.0 * r.error_budget_used
+        );
+    }
+    if rows.is_empty() {
+        out.push_str("(no tenant traffic recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        for (t, n) in [("a", 10u64), ("b", 4)] {
+            r.inc(&format!("mmm_tenant_requests_total{{tenant=\"{t}\"}}"), n);
+            r.inc(&format!("mmm_tenant_ok_total{{tenant=\"{t}\"}}"), n - 1);
+        }
+        r.inc("mmm_tenant_shed_total{tenant=\"a\"}", 1);
+        r.inc("mmm_tenant_deadline_exceeded_total{tenant=\"b\"}", 1);
+        for v in [1_000u64, 2_000, 4_000, 1 << 20] {
+            r.observe("mmm_tenant_request_sim_ns{tenant=\"a\"}", v);
+        }
+        r
+    }
+
+    #[test]
+    fn snapshots_cover_every_tenant_sorted() {
+        let rows = tenant_slos(&seeded(), DEFAULT_OBJECTIVE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tenant, "a");
+        assert_eq!(rows[1].tenant, "b");
+        assert_eq!(rows[0].requests, 10);
+        assert_eq!(rows[0].ok, 9);
+        assert_eq!(rows[0].shed, 1);
+        assert_eq!(rows[1].deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn budget_math_is_failures_over_budget() {
+        let rows = tenant_slos(&seeded(), 0.9);
+        // tenant a: 1 failure / 10 requests = 10% failed; budget 10% → 1.0
+        assert!(
+            (rows[0].error_budget_used - 1.0).abs() < 1e-9,
+            "{}",
+            rows[0].error_budget_used
+        );
+        // tenant b: 1/4 = 25% over a 10% budget → 2.5
+        assert!((rows[1].error_budget_used - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_come_from_the_histogram() {
+        let rows = tenant_slos(&seeded(), DEFAULT_OBJECTIVE);
+        assert!(rows[0].p50_sim_ns > 0);
+        assert!(rows[0].p50_sim_ns <= rows[0].p99_sim_ns);
+        // Unobserved tenant reports zero latency, not a panic.
+        assert_eq!(rows[1].p50_sim_ns, 0);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let r = seeded();
+        let v = tenant_slos_json(&r, DEFAULT_OBJECTIVE);
+        assert_eq!(v["tenants"].as_array().unwrap().len(), 2);
+        assert_eq!(v["tenants"][0]["tenant"], "a");
+        let table = render_tenants(&tenant_slos(&r, DEFAULT_OBJECTIVE));
+        assert!(table.contains("tenant"), "{table}");
+        assert!(table.lines().count() >= 3);
+        assert!(render_tenants(&[]).contains("no tenant traffic"));
+    }
+}

@@ -33,6 +33,9 @@ pub struct SpanRecord {
     pub lane: Option<u32>,
     /// Deterministic item index within a parallel section, if any.
     pub op_index: Option<u64>,
+    /// Free-form causal annotation (e.g. a request id, or the
+    /// comma-joined request ids a commit batch coalesced).
+    pub tag: Option<String>,
     /// Real wall-clock duration in nanoseconds.
     pub real_ns: u64,
     /// Simulated (`VirtualClock`) duration in nanoseconds, as charged to
@@ -57,6 +60,9 @@ pub struct OrderedSpan {
     /// Item index within a parallel section, if any.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub op: Option<u64>,
+    /// Causal annotation (request id(s)), if the span carries one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tag: Option<String>,
     /// Simulated duration (ns) — deterministic.
     pub sim_ns: u64,
     /// Real duration (ns) — informational, varies run to run.
@@ -99,6 +105,7 @@ pub fn ordered(records: &[SpanRecord]) -> Vec<OrderedSpan> {
             name: r.name,
             lane: r.lane,
             op: r.op_index,
+            tag: r.tag.clone(),
             sim_ns: r.sim_ns,
             real_ns: r.real_ns,
         });
@@ -119,6 +126,71 @@ pub fn trace_jsonl(records: &[SpanRecord]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Intern a span name read back from disk. Trace names come from a
+/// small fixed vocabulary, so the leaked set stays tiny; interning keeps
+/// re-parsed records compatible with the `&'static str` span schema.
+fn intern_name(name: &str) -> &'static str {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<parking_lot::Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES.get_or_init(|| parking_lot::Mutex::new(BTreeMap::new())).lock();
+    if let Some(s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    map.insert(name.to_owned(), leaked);
+    leaked
+}
+
+/// Parse a JSONL trace written by [`trace_jsonl`] /
+/// `Observer::write_trace` back into span records (event lines are
+/// skipped). Parent links are rebuilt from the depth column, which the
+/// deterministic depth-first ordering makes unambiguous. Fails with the
+/// offending 1-based line number on malformed or truncated input, so a
+/// half-written trace is a clear error instead of a silently short
+/// report.
+pub fn parse_trace_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut out: Vec<SpanRecord> = Vec::new();
+    // Open ancestry: (depth, synthetic id) of the spans above the cursor.
+    let mut stack: Vec<(u64, u64)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {lineno}: malformed or truncated record: {e}"))?;
+        if v.get("level").is_some() && v.get("message").is_some() {
+            continue; // event line
+        }
+        let field = |k: &str| v.get(k).ok_or(format!("line {lineno}: span missing `{k}`"));
+        let name = field("name")?
+            .as_str()
+            .ok_or(format!("line {lineno}: `name` is not a string"))?;
+        let ctx = field("ctx")?
+            .as_str()
+            .ok_or(format!("line {lineno}: `ctx` is not a string"))?;
+        let depth = field("depth")?
+            .as_u64()
+            .ok_or(format!("line {lineno}: `depth` is not an integer"))?;
+        let num = |k: &str| -> Result<u64, String> {
+            field(k)?.as_u64().ok_or(format!("line {lineno}: `{k}` is not an integer"))
+        };
+        let id = out.len() as u64 + 1;
+        stack.retain(|&(d, _)| d < depth);
+        let parent = stack.last().map(|&(_, id)| id);
+        stack.push((depth, id));
+        out.push(SpanRecord {
+            id,
+            parent,
+            name: intern_name(name),
+            ctx: ctx.to_owned(),
+            lane: v.get("lane").and_then(serde_json::Value::as_u64).map(|l| l as u32),
+            op_index: v.get("op").and_then(serde_json::Value::as_u64),
+            tag: v.get("tag").and_then(serde_json::Value::as_str).map(str::to_owned),
+            real_ns: num("real_ns")?,
+            sim_ns: num("sim_ns")?,
+        });
+    }
+    Ok(out)
 }
 
 /// Aggregated time of one phase (direct child spans of an op, by name).
@@ -286,6 +358,7 @@ mod tests {
             ctx: ctx.to_owned(),
             lane: None,
             op_index,
+            tag: None,
             real_ns: 1,
             sim_ns,
         }
@@ -359,6 +432,44 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].count, 2);
         assert_eq!(rows[0].total_sim_ns, 100);
+    }
+
+    #[test]
+    fn parse_round_trips_structure_and_flags_truncation() {
+        let records = vec![
+            rec(1, None, "save", "a/U1", None, 100),
+            rec(2, Some(1), "encode", "a/U1", None, 40),
+            rec(3, Some(2), "inner", "a/U1", Some(2), 40),
+            rec(4, Some(1), "blob_put", "a/U1", None, 60),
+            rec(5, None, "recover", "a/U1", None, 9),
+        ];
+        let text = trace_jsonl(&records);
+        let back = parse_trace_jsonl(&text).unwrap();
+        assert_eq!(back.len(), records.len());
+        // Same breakdown (structure survives the id-free round trip).
+        let (a, b) = (breakdown(&records), breakdown(&back));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.ctx.as_str(), x.op, x.total_sim_ns), (y.ctx.as_str(), y.op, y.total_sim_ns));
+            assert_eq!(x.phases.len(), y.phases.len());
+        }
+        assert_eq!(back[2].op_index, Some(2));
+        assert_eq!(back[2].parent, Some(back[1].id));
+
+        // Truncation mid-record names the bad line.
+        let cut = &text[..text.len() - 10];
+        let err = parse_trace_jsonl(cut).unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        // A span line with a mangled field is rejected, not skipped.
+        let err = parse_trace_jsonl("{\"depth\":0,\"ctx\":\"x\"}\n").unwrap_err();
+        assert!(err.contains("missing `name`"), "{err}");
+    }
+
+    #[test]
+    fn parse_skips_event_lines() {
+        let mut text = trace_jsonl(&[rec(1, None, "save", "a", None, 5)]);
+        text.push_str("{\"seq\":9,\"level\":\"Warn\",\"ctx\":\"a\",\"message\":\"m\"}\n");
+        assert_eq!(parse_trace_jsonl(&text).unwrap().len(), 1);
     }
 
     #[test]

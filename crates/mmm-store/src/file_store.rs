@@ -158,7 +158,7 @@ impl FileStore {
         Ok(bytes)
     }
 
-    /// Read a blob as a zero-copy view: the returned [`BlobBytes`] is a
+    /// Read a blob as a zero-copy view: the returned [`BlobBytes`](crate::mmap::BlobBytes) is a
     /// read-only memory mapping of the stored file where the platform
     /// allows it, so decoders consume parameter bytes straight from the
     /// page cache with no intermediate heap copy.

@@ -213,6 +213,17 @@ fn arm_storm(faults: &FaultInjector, rng: &mut impl Rng) -> Storm {
 /// Run the full chaos schedule against `dir` (one store directory,
 /// reused across rounds so damage and repairs accumulate realistically).
 pub fn run_chaos(dir: &Path, config: &ChaosConfig) -> Result<ChaosReport> {
+    run_chaos_observed(dir, config, &mmm_obs::Observer::disabled())
+}
+
+/// [`run_chaos`] with an attached observer: every request gets a
+/// tenant/request-id attribution, a tagged root span, and per-tenant
+/// SLO counters — the observability plane's end-to-end exercise.
+pub fn run_chaos_observed(
+    dir: &Path,
+    config: &ChaosConfig,
+    obs: &mmm_obs::Observer,
+) -> Result<ChaosReport> {
     let mut rng = Xoshiro256pp::new(config.seed);
     let mut report = ChaosReport::default();
     // Every save the harness believes committed: id → expected bits.
@@ -222,9 +233,11 @@ pub fn run_chaos(dir: &Path, config: &ChaosConfig) -> Result<ChaosReport> {
         let faults = FaultInjector::new();
         let storm = arm_storm(&faults, &mut rng);
         let env = ManagementEnv::builder(dir, LatencyProfile::zero())
+            .observer(obs.clone())
             .faults(faults.clone())
             .commit_window(config.commit_window)
             .open()?;
+        obs.set_context(format!("chaos/round-{round}"));
         let frontend = FleetFrontend::with_config(
             &env,
             FrontendConfig {
@@ -334,6 +347,7 @@ pub fn run_chaos(dir: &Path, config: &ChaosConfig) -> Result<ChaosReport> {
         report.commit_members += gc_stats.members;
 
         // ---- crash: drop the environment, reopen cold, audit. ----
+        frontend.publish_health();
         drop(frontend);
         drop(env);
         let env = reopen_after_crash(dir, round, storm, &mut report)?;
@@ -560,6 +574,37 @@ pub fn service_bench(
         });
     }
     Ok(out)
+}
+
+/// Render a [`ServiceBenchReport`] as the canonical `BENCH_service.json`
+/// document (`mmm chaos --bench-out`, and the `repro gate` candidate).
+pub fn service_bench_json(
+    config: &ChaosConfig,
+    saves_per_thread: usize,
+    bench: &ServiceBenchReport,
+) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = bench
+        .rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "threads": r.threads,
+                "saves": r.saves,
+                "shed": r.shed,
+                "saves_per_sec": r.saves_per_sec,
+                "shed_rate": r.shed_rate,
+                "p99_deadline_overrun_ns": r.p99_overrun.as_nanos() as u64,
+                "commit_records_per_save": r.commit_records_per_save,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "bench": "service",
+        "seed": config.seed,
+        "saves_per_thread": saves_per_thread,
+        "commit_window_ms": config.commit_window.as_millis() as u64,
+        "rows": rows,
+    })
 }
 
 /// Render a [`ChaosReport`] (and optional bench rows) as a JSON value

@@ -26,6 +26,8 @@
 //!             [--report-out F] [--bench-out F]
 //! mmm tier    --dir D [--keep-hot K]         # demote all but the K newest sets
 //! mmm tier    --dir D --promote <set-id>     # pull one set back to the hot tier
+//! mmm serve-obs [--listen ADDR] [--duration-ms MS] [--seed S]
+//! mmm top     <addr>                         # one-shot /tenants SLO table
 //! ```
 //!
 //! Set ids are printed by `init`/`update`/`list` in the form
@@ -47,7 +49,19 @@
 //! approaches, U1 + `--cycles` U3 cycles in a temp directory) with full
 //! tracing enabled and pretty-prints the per-phase TTS/TTR breakdown in
 //! simulated time. `--trace-out FILE` / `--metrics-out FILE` also dump
-//! the JSONL span trace and Prometheus metrics text.
+//! the JSONL span trace and Prometheus metrics text. `mmm stats
+//! --from-trace FILE` skips the run and renders the same breakdown
+//! offline from a previously dumped trace; a missing or truncated trace
+//! is a hard error (non-zero exit), never an empty report.
+//!
+//! The live introspection plane: `mmm serve-obs` binds a
+//! dependency-free HTTP endpoint (std TcpListener) serving `/metrics`
+//! (Prometheus text), `/healthz` and `/tenants` (per-tenant SLO
+//! snapshots as JSON) while driving deterministic demo fleet traffic;
+//! `mmm top <addr>` renders a one-shot SLO table from a running
+//! endpoint. Any other command accepts `--obs-listen ADDR` to expose
+//! the same endpoints for its own run (e.g. `mmm chaos --obs-listen
+//! 127.0.0.1:9184`).
 
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
@@ -74,7 +88,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1) and\n--backend/--cache-mb (an environment keeps the backend it was created with)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F] [--from-trace F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n  mmm serve-obs [--listen ADDR] [--duration-ms MS] [--seed S]\n  mmm top     <addr>\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1),\n--backend/--cache-mb (an environment keeps the backend it was created with),\nand --obs-listen ADDR (serve /metrics /healthz /tenants for this run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -112,6 +126,10 @@ struct Args {
     bench_out: Option<PathBuf>,
     keep_hot: usize,
     promote: bool,
+    listen: Option<String>,
+    duration_ms: u64,
+    obs_listen: Option<String>,
+    from_trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -131,6 +149,7 @@ fn parse_args() -> Args {
         tenants: 4,
         deadline_ms: 30_000,
         keep_hot: 2,
+        duration_ms: 10_000,
         ..Args::default()
     };
     let mut it = std::env::args().skip(1);
@@ -177,6 +196,10 @@ fn parse_args() -> Args {
             "--promote" => a.promote = true,
             "--report-out" => a.report_out = Some(PathBuf::from(next(&mut it, "--report-out"))),
             "--bench-out" => a.bench_out = Some(PathBuf::from(next(&mut it, "--bench-out"))),
+            "--listen" => a.listen = Some(next(&mut it, "--listen")),
+            "--duration-ms" => a.duration_ms = num(&mut it, "--duration-ms") as u64,
+            "--obs-listen" => a.obs_listen = Some(next(&mut it, "--obs-listen")),
+            "--from-trace" => a.from_trace = Some(PathBuf::from(next(&mut it, "--from-trace"))),
             "--help" | "-h" => usage(""),
             other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
             other if !other.starts_with('-') => a.positional.push(other.into()),
@@ -699,7 +722,38 @@ fn cmd_advise(a: &Args) -> Result<()> {
     Ok(())
 }
 
+/// Offline `mmm stats --from-trace`: render the per-phase breakdown
+/// from a previously dumped JSONL span trace. A missing, empty, or
+/// mid-record-truncated trace is a hard error (non-zero exit), never a
+/// silently empty report.
+fn stats_from_trace(path: &Path) -> Result<()> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        Error::invalid(format!(
+            "cannot read trace file {} ({e}); expected JSONL from --trace-out",
+            path.display()
+        ))
+    })?;
+    let records = mmm::obs::parse_trace_jsonl(&text)
+        .map_err(|e| Error::corrupt(format!("trace {} is unusable: {e}", path.display())))?;
+    if records.is_empty() {
+        return Err(Error::invalid(format!(
+            "trace {} holds no spans (empty or events-only file)",
+            path.display()
+        )));
+    }
+    println!(
+        "=== per-phase TTS/TTR breakdown (simulated time) — {} span(s) from {} ===",
+        records.len(),
+        path.display()
+    );
+    print!("{}", mmm::obs::render_breakdown(&mmm::obs::breakdown(&records)));
+    Ok(())
+}
+
 fn cmd_stats(a: &Args) -> Result<()> {
+    if let Some(path) = &a.from_trace {
+        return stats_from_trace(path);
+    }
     let profile = LatencyProfile::by_name(&a.setup)
         .unwrap_or_else(|| usage(&format!("unknown setup {:?}; expected zero|m1|server", a.setup)));
     let cfg = ExperimentConfig {
@@ -765,7 +819,7 @@ fn cmd_chaos(a: &Args) -> Result<()> {
         config.iters,
         config.tenant_iterations()
     );
-    let report = chaos::run_chaos(dir, &config)?;
+    let report = chaos::run_chaos_observed(dir, &config, obs())?;
     println!(
         "requests {} · saves ok {} · errors {} · recovers fresh {} / stale {}",
         report.requests,
@@ -781,28 +835,7 @@ fn cmd_chaos(a: &Args) -> Result<()> {
 
     if let Some(path) = &a.bench_out {
         let bench = chaos::service_bench(dir, &[1, 4], 25, &config)?;
-        let rows: Vec<serde_json::Value> = bench
-            .rows
-            .iter()
-            .map(|r| {
-                serde_json::json!({
-                    "threads": r.threads,
-                    "saves": r.saves,
-                    "shed": r.shed,
-                    "saves_per_sec": r.saves_per_sec,
-                    "shed_rate": r.shed_rate,
-                    "p99_deadline_overrun_ns": r.p99_overrun.as_nanos() as u64,
-                    "commit_records_per_save": r.commit_records_per_save,
-                })
-            })
-            .collect();
-        let doc = serde_json::json!({
-            "bench": "service",
-            "seed": config.seed,
-            "saves_per_thread": 25,
-            "commit_window_ms": a.commit_window_ms,
-            "rows": rows,
-        });
+        let doc = chaos::service_bench_json(&config, 25, &bench);
         let text = serde_json::to_string(&doc)
             .map_err(|e| Error::invalid(format!("unserializable bench report: {e}")))?;
         std::fs::write(path, text)?;
@@ -828,10 +861,131 @@ fn cmd_chaos(a: &Args) -> Result<()> {
     }
 }
 
+/// `mmm serve-obs`: bind the introspection endpoint and drive
+/// deterministic demo fleet traffic (three tenants saving/recovering
+/// tiny sets through the frontend) until `--duration-ms` elapses, so
+/// `/metrics` and `/tenants` have live data to show.
+fn cmd_serve_obs(a: &Args) -> Result<()> {
+    use mmm::core::fleet::FleetFrontend;
+    use std::time::{Duration, Instant};
+
+    let addr = a.listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let server =
+        mmm::obs::ObsServer::start(addr.as_str(), obs().clone(), mmm::obs::slo::DEFAULT_OBJECTIVE)
+            .map_err(|e| Error::invalid(format!("cannot bind {addr}: {e}")))?;
+    // The bound address line is the contract scripts scrape for; flush
+    // it before the (long) serving window starts.
+    println!("obs: serving on http://{}", server.local_addr());
+    println!("obs: endpoints /metrics /healthz /tenants; serving for {} ms", a.duration_ms);
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let tmp = TempDir::new("mmm-serve-obs")?;
+    let env = ManagementEnv::builder(tmp.path(), LatencyProfile::m1())
+        .threads(a.threads)
+        .observer(obs().clone())
+        .commit_window(Duration::from_millis(2))
+        .open()?;
+    let frontend = FleetFrontend::new(&env);
+    let tenants = ["acme", "globex", "initech"];
+    let arch = Architectures::ffnn48();
+    let set =
+        Fleet::initial(FleetConfig { n_models: 2, seed: a.seed, arch: arch.clone() }).to_model_set();
+    let deadline = Some(Duration::from_secs(30));
+    let mut ids = Vec::new();
+    for tenant in tenants {
+        let mut saver = make_saver("baseline");
+        ids.push(frontend.save_initial(tenant, saver.as_mut(), &set, deadline)?);
+    }
+    frontend.publish_health();
+
+    let start = Instant::now();
+    let mut i = 0usize;
+    while start.elapsed() < Duration::from_millis(a.duration_ms) {
+        let tenant = tenants[i % tenants.len()];
+        let saver = make_saver("baseline");
+        let _ = frontend.recover(tenant, saver.as_ref(), &ids[i % ids.len()], deadline);
+        if i % 5 == 4 {
+            let mut saver = make_saver("baseline");
+            if let Ok(id) = frontend.save_set(tenant, saver.as_mut(), &set, None, deadline) {
+                let slot = i % ids.len();
+                ids[slot] = id;
+            }
+        }
+        frontend.publish_health();
+        std::thread::sleep(Duration::from_millis(10));
+        i += 1;
+    }
+    frontend.publish_health();
+    drop(frontend);
+    server.shutdown();
+    println!("obs: served {} request(s) over {:.1}s", i, start.elapsed().as_secs_f64());
+    Ok(())
+}
+
+/// Minimal HTTP/1.1 GET against the introspection endpoint; returns
+/// the response body.
+fn http_get(addr: &str, path: &str) -> Result<String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| Error::invalid(format!("cannot connect to {addr}: {e}")))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| Error::corrupt(format!("malformed HTTP response from {addr}")))
+}
+
+/// `mmm top <addr>`: one-shot render of a running endpoint's `/tenants`
+/// SLO snapshot.
+fn cmd_top(a: &Args) -> Result<()> {
+    let addr =
+        a.positional.first().unwrap_or_else(|| usage("top needs the endpoint address (host:port)"));
+    let body = http_get(addr, "/tenants")?;
+    let doc: serde_json::Value = serde_json::from_str(&body)
+        .map_err(|e| Error::corrupt(format!("bad /tenants JSON from {addr}: {e}")))?;
+    let objective = doc
+        .get("objective")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or(mmm::obs::slo::DEFAULT_OBJECTIVE);
+    let rows: Vec<mmm::obs::TenantSlo> = serde_json::from_value(
+        doc.get("tenants").cloned().unwrap_or(serde_json::Value::Array(Vec::new())),
+    )
+    .map_err(|e| Error::corrupt(format!("bad tenant rows from {addr}: {e}")))?;
+    println!("tenants @ {addr} (objective {:.2}%)", objective * 100.0);
+    print!("{}", mmm::obs::render_tenants(&rows));
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
-    if args.command == "stats" || args.trace_out.is_some() || args.metrics_out.is_some() {
+    if args.command == "stats"
+        || args.command == "serve-obs"
+        || args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.obs_listen.is_some()
+    {
         let _ = OBSERVER.set(Observer::new());
+    }
+    // --obs-listen exposes this run's observer over HTTP for its whole
+    // duration (serve-obs manages its own listener via --listen).
+    let obs_server = args.obs_listen.as_ref().map(|addr| {
+        mmm::obs::ObsServer::start(
+            addr.as_str(),
+            obs().clone(),
+            mmm::obs::slo::DEFAULT_OBJECTIVE,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        })
+    });
+    if let Some(server) = &obs_server {
+        eprintln!("obs: serving on http://{}", server.local_addr());
     }
     let result = match args.command.as_str() {
         "init" => cmd_init(&args),
@@ -851,6 +1005,8 @@ fn main() {
         "stats" => cmd_stats(&args),
         "chaos" => cmd_chaos(&args),
         "tier" => cmd_tier(&args),
+        "serve-obs" => cmd_serve_obs(&args),
+        "top" => cmd_top(&args),
         other => usage(&format!("unknown command {other:?}")),
     };
     // Dump observability artifacts even when the command failed — the
@@ -866,6 +1022,9 @@ fn main() {
             Ok(()) => eprintln!("wrote metrics to {}", path.display()),
             Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
         }
+    }
+    if let Some(server) = obs_server {
+        server.shutdown();
     }
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -204,3 +204,109 @@ fn stats_prints_phase_breakdown_and_writes_artifacts() {
         assert!(prom.contains(family), "missing {family} in:\n{prom}");
     }
 }
+
+#[test]
+fn stats_from_trace_renders_offline_and_fails_loudly_on_bad_input() {
+    let dir = TempDir::new("cli-from-trace").unwrap();
+    let trace = dir.path().join("trace.jsonl");
+
+    // Missing file: clear error, non-zero exit, not an empty report.
+    let out = mmm(None, &["stats", "--from-trace", trace.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:") && err.contains("cannot read trace file"), "{err}");
+
+    // Produce a real trace, then render it offline.
+    ok(&mmm(
+        None,
+        &["stats", "--models", "6", "--cycles", "1", "--setup", "m1", "--trace-out", trace.to_str().unwrap()],
+    ));
+    let out = ok(&mmm(None, &["stats", "--from-trace", trace.to_str().unwrap()]));
+    assert!(out.contains("per-phase TTS/TTR breakdown"), "{out}");
+    assert!(out.contains("baseline/U1/save"), "{out}");
+
+    // Truncate the file mid-record: hard error naming the bad line.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let cut = text.len() - text.len() / 3;
+    std::fs::write(&trace, &text[..cut]).unwrap();
+    let out = mmm(None, &["stats", "--from-trace", trace.to_str().unwrap()]);
+    assert!(!out.status.success(), "truncated trace must not render");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:") && err.contains("line "), "{err}");
+
+    // Empty file: also an error, never a silent empty report.
+    std::fs::write(&trace, "").unwrap();
+    let out = mmm(None, &["stats", "--from-trace", trace.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no spans"));
+}
+
+/// Raw HTTP/1.1 GET (no client library): returns (status line, body).
+fn tiny_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read response");
+    let status = resp.lines().next().unwrap_or("").to_string();
+    let body = resp.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_obs_endpoints_and_top_render_live_slos() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mmm"))
+        .args(["serve-obs", "--listen", "127.0.0.1:0", "--duration-ms", "6000", "--seed", "7"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve-obs");
+    // First stdout line announces the bound address (flushed up front).
+    let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line.trim().strip_prefix("obs: serving on http://").unwrap_or_else(|| {
+        let _ = child.kill();
+        panic!("unexpected announce line {line:?}")
+    }).to_string();
+
+    // Give the demo traffic a moment to record tenant activity.
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+
+    let (status, body) = tiny_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, prom) = tiny_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(prom.contains("# TYPE"), "{prom}");
+    assert!(prom.contains("mmm_tenant_requests_total{tenant=\"acme\"}"), "{prom}");
+
+    let (status, json) = tiny_get(&addr, "/tenants");
+    assert!(status.contains("200"), "{status}");
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("tenants JSON");
+    let tenants = doc["tenants"].as_array().expect("tenants array");
+    assert!(!tenants.is_empty(), "{json}");
+    assert!(tenants.iter().any(|t| t["tenant"] == "acme"), "{json}");
+
+    let (status, _) = tiny_get(&addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    // `mmm top` renders the SLO table from the live endpoint.
+    let out = ok(&mmm(None, &["top", &addr]));
+    assert!(out.contains("tenant") && out.contains("acme"), "{out}");
+    assert!(out.contains("budget"), "{out}");
+
+    let status = child.wait().expect("serve-obs exit");
+    assert!(status.success(), "serve-obs failed");
+}
+
+#[test]
+fn top_against_dead_endpoint_fails_cleanly() {
+    let out = mmm(None, &["top", "127.0.0.1:1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot connect"));
+}

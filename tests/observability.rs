@@ -172,3 +172,136 @@ fn span_traces_are_deterministic_across_runs_and_lanes() {
         assert_eq!(x, y, "trace diverged between identical runs");
     }
 }
+
+/// Ordered (seq, depth, ctx, span name, op index, request-id tag,
+/// sim_ns) tuples of a fixed single-client fleet workload: save and
+/// recover for two tenants through the frontend. Request ids are
+/// minted at admission, so a single-client sequence is deterministic.
+/// One span as (seq, depth, ctx, name, op-index, tag, sim_ns) — the shape pinned bit-identical.
+type SpanShape = (u64, u64, String, String, Option<u64>, String, u64);
+
+fn fleet_trace_shape(threads: usize) -> Vec<SpanShape> {
+    use mmm::core::approach::ApproachSpec;
+    use mmm::core::fleet::FleetFrontend;
+
+    let observer = Observer::new();
+    let dir = TempDir::new("it-obs-fleet").unwrap();
+    let env = ManagementEnv::builder(dir.path(), LatencyProfile::by_name("m1").unwrap())
+        .threads(threads)
+        .observer(observer.clone())
+        .open()
+        .unwrap();
+    let frontend = FleetFrontend::new(&env);
+    let set = mmm::workload::Fleet::initial(mmm::workload::FleetConfig {
+        n_models: 2,
+        seed: 7,
+        arch: Architectures::ffnn(4),
+    })
+    .to_model_set();
+    let mut ids = Vec::new();
+    for tenant in ["acme", "globex"] {
+        let mut saver = ApproachSpec::parse("baseline").unwrap().build();
+        ids.push(frontend.save_initial(tenant, saver.as_mut(), &set, None).unwrap());
+    }
+    for i in 0..4 {
+        let tenant = ["acme", "globex"][i % 2];
+        let saver = ApproachSpec::parse("baseline").unwrap().build();
+        frontend.recover(tenant, saver.as_ref(), &ids[i % 2], None).unwrap();
+    }
+    drop(frontend);
+    observer
+        .trace_jsonl()
+        .lines()
+        .filter_map(|l| serde_json::from_str::<serde_json::Value>(l).ok())
+        .filter(|v| v.get("sim_ns").is_some())
+        .map(|v| {
+            (
+                v["seq"].as_u64().unwrap(),
+                v["depth"].as_u64().unwrap(),
+                v["ctx"].as_str().unwrap().to_string(),
+                v["name"].as_str().unwrap().to_string(),
+                v.get("op").and_then(serde_json::Value::as_u64),
+                v.get("tag").and_then(serde_json::Value::as_str).unwrap_or("").to_string(),
+                v["sim_ns"].as_u64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_request_traces_are_bit_identical_across_runs_and_thread_counts() {
+    let t1 = fleet_trace_shape(1);
+    let t1_again = fleet_trace_shape(1);
+    let t4 = fleet_trace_shape(4);
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t1_again, "fixed-seed fleet trace diverged between runs");
+    assert_eq!(t1, t4, "fleet trace ordering depends on worker thread count");
+    // The workload's request ids appear as root-span tags in admission
+    // order: each tenant's sequence counts up independently.
+    let tags: Vec<&str> =
+        t1.iter().filter(|r| !r.5.is_empty() && r.5.starts_with("rq-")).map(|r| r.5.as_str()).collect();
+    assert!(tags.contains(&"rq-acme-1"), "{tags:?}");
+    assert!(tags.contains(&"rq-globex-1"), "{tags:?}");
+    assert!(tags.contains(&"rq-acme-3"), "{tags:?}");
+}
+
+#[test]
+fn chaos_observed_tiles_requests_and_attributes_commit_batches() {
+    use mmm::workload::chaos::{run_chaos_observed, ChaosConfig};
+
+    let observer = Observer::new();
+    let dir = TempDir::new("it-obs-chaos").unwrap();
+    let config = ChaosConfig {
+        threads: 2,
+        rounds: 3,
+        commit_window: std::time::Duration::from_millis(2),
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos_observed(dir.path(), &config, &observer).unwrap();
+    assert!(report.passed(), "chaos violations: {:?}", report.violations);
+
+    // Per-request phase spans tile each request's end-to-end simulated
+    // time with exactly-zero residual.
+    let rows = observer.breakdown();
+    let mut request_rows = 0;
+    for row in &rows {
+        if !row.ctx.starts_with("chaos/") || (row.op != "save" && row.op != "recover") {
+            continue;
+        }
+        request_rows += 1;
+        let phase_sum: u64 = row.phases.iter().map(|p| p.sim_ns).sum();
+        assert_eq!(phase_sum, row.total_sim_ns, "{}/{} phases must tile", row.ctx, row.op);
+        assert_eq!(row.other_sim_ns, 0, "{}/{} has unattributed sim time", row.ctx, row.op);
+    }
+    assert!(request_rows > 0, "chaos run produced no request breakdown rows");
+
+    // Every group-commit batch span lists the coalesced request ids.
+    let spans = mmm::obs::parse_trace_jsonl(&observer.trace_jsonl()).unwrap();
+    let mut tagged_commits = 0;
+    for s in spans.iter().filter(|s| s.name == "commit") {
+        if let Some(tag) = &s.tag {
+            tagged_commits += 1;
+            for rid in tag.split(',') {
+                assert!(rid.starts_with("rq-"), "commit span carries non-request tag {tag:?}");
+            }
+        }
+    }
+    assert!(tagged_commits > 0, "no commit spans carried request-id tags");
+
+    // Per-tenant SLO accounting: every request classified exactly once,
+    // with stale serves netted against their rescued failures.
+    let slos = mmm::obs::tenant_slos(observer.metrics().unwrap(), 0.999);
+    assert!(!slos.is_empty(), "chaos recorded no tenant SLO rows");
+    let mut requests = 0;
+    for s in &slos {
+        assert!(s.requests > 0, "{} has zero requests", s.tenant);
+        assert_eq!(
+            s.ok + s.shed + s.deadline_exceeded + s.unavailable + s.failed,
+            s.requests + s.stale_serves,
+            "{}: outcomes must classify each request exactly once (stale adds ok on top)",
+            s.tenant
+        );
+        requests += s.requests;
+    }
+    assert_eq!(requests, report.requests, "SLO rows must cover every frontend request");
+}
