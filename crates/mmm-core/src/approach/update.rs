@@ -64,18 +64,18 @@ impl UpdateSaver {
         self
     }
 
-    fn hashes_key(doc_id: u64) -> String {
+    pub(crate) fn hashes_key(doc_id: u64) -> String {
         format!("update/{doc_id}/hashes.bin")
     }
 
-    fn diff_key(doc_id: u64) -> String {
+    pub(crate) fn diff_key(doc_id: u64) -> String {
         format!("update/{doc_id}/diff.bin")
     }
 
     /// Chunk-boundary hints for a hash table blob: one cut after the
     /// 16-byte header, then one per model row, so an unchanged model's
     /// row dedups against the predecessor's hash blob under CAS.
-    fn hashes_boundaries(hashes: &[Vec<u64>], blob_len: usize) -> Vec<usize> {
+    pub(crate) fn hashes_boundaries(hashes: &[Vec<u64>], blob_len: usize) -> Vec<usize> {
         let n_layers = hashes.first().map(Vec::len).unwrap_or(0);
         if n_layers == 0 {
             return Vec::new();

@@ -22,6 +22,8 @@ pub struct SetSummary {
     pub n_models: usize,
     /// The base set's key, for derived sets.
     pub base: Option<String>,
+    /// The branch this set was forked onto, when it is a fork node.
+    pub branch: Option<String>,
 }
 
 /// List all archived sets: the set-oriented approaches' documents plus
@@ -51,6 +53,7 @@ pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
                     .to_string(),
                 n_models: doc.get("n_models").and_then(Value::as_u64).unwrap_or(0) as usize,
                 base: doc.get("base").and_then(Value::as_str).map(String::from),
+                branch: doc.get("branch").and_then(Value::as_str).map(String::from),
             });
         }
     }
@@ -80,6 +83,7 @@ pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
                 kind: "full".into(),
                 n_models: count,
                 base: None,
+                branch: None,
             });
         }
         i = end + 1;

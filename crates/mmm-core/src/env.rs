@@ -703,7 +703,7 @@ mod tests {
         let dir = TempDir::new("mmm-env").unwrap();
         let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
         assert_eq!(env.stream_chunk_bytes(), DEFAULT_STREAM_CHUNK_BYTES);
-        assert!(DEFAULT_STREAM_CHUNK_BYTES >= 1 << 20);
+        const { assert!(DEFAULT_STREAM_CHUNK_BYTES >= 1 << 20) };
     }
 
     #[test]

@@ -262,7 +262,7 @@ mod tests {
         let permit = ctl.admit("a", Duration::ZERO).unwrap();
         std::thread::scope(|s| {
             let ctl = &ctl;
-            let h = s.spawn(move || ctl.admit("a", Duration::from_secs(10)).map(|p| drop(p)));
+            let h = s.spawn(move || ctl.admit("a", Duration::from_secs(10)).map(drop));
             std::thread::sleep(Duration::from_millis(20));
             drop(permit);
             h.join().unwrap().unwrap();

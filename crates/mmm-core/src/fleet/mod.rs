@@ -449,12 +449,10 @@ fn tenant_key(family: &str, tenant: &str) -> String {
 /// Failures the stale cache may paper over: environmental trouble, not
 /// answers about the data itself.
 fn degradable(e: &Error) -> bool {
-    match e {
-        Error::Transient(_) | Error::DeadlineExceeded(_) | Error::Unavailable(_) | Error::Io(_) => {
-            true
-        }
-        _ => false,
-    }
+    matches!(
+        e,
+        Error::Transient(_) | Error::DeadlineExceeded(_) | Error::Unavailable(_) | Error::Io(_)
+    )
 }
 
 #[cfg(test)]

@@ -90,6 +90,18 @@ pub enum Damage {
         /// What is missing.
         detail: String,
     },
+    /// A committed branch head whose target set is gone or was never
+    /// committed (e.g. the parent commit record vanished). The branch
+    /// pointer is unusable; repair quarantines it rather than letting
+    /// resolution fail forever.
+    OrphanBranch {
+        /// The branch's name.
+        name: String,
+        /// The branch-head document id.
+        doc_id: u64,
+        /// What is missing.
+        detail: String,
+    },
     /// A blob under no live document's key space.
     OrphanBlob {
         /// The unowned blob's key.
@@ -118,6 +130,9 @@ impl Damage {
             Damage::DanglingCommit { id, detail } => {
                 format!("dangling commit for {id} ({detail})")
             }
+            Damage::OrphanBranch { name, doc_id, detail } => {
+                format!("orphan branch {name:?} (doc {doc_id}): {detail}")
+            }
             Damage::OrphanBlob { key } => format!("orphan blob {key}"),
             Damage::OrphanChunk { key } => format!("orphan chunk {key}"),
         }
@@ -131,7 +146,9 @@ impl Damage {
             | Damage::HashMismatch { id, .. }
             | Damage::DanglingChain { id, .. }
             | Damage::DanglingCommit { id, .. } => Some(id),
-            Damage::OrphanBlob { .. } | Damage::OrphanChunk { .. } => None,
+            Damage::OrphanBranch { .. } | Damage::OrphanBlob { .. } | Damage::OrphanChunk { .. } => {
+                None
+            }
         }
     }
 }
@@ -169,6 +186,8 @@ pub struct RepairReport {
     pub orphan_chunks_deleted: usize,
     /// Corrupt sets moved to quarantine.
     pub sets_quarantined: usize,
+    /// Orphaned branch heads retired to quarantine records.
+    pub branches_quarantined: usize,
 }
 
 /// The owner prefix of a blob key: its first two `/` segments
@@ -313,10 +332,64 @@ pub fn fsck(env: &ManagementEnv) -> Result<FsckReport> {
         }
     }
 
+    // ---- branch heads (version-graph pointers into the set space) ----
+    let branch_docs = env.docs().all(crate::branch::BRANCHES_COLLECTION)?;
+    let branch_ids: HashSet<u64> = branch_docs.iter().map(|(id, _)| *id).collect();
+    for (doc_id, doc) in &branch_docs {
+        let name = doc.get("branch").and_then(Value::as_str).unwrap_or("?").to_string();
+        if !committed.contains(&(crate::branch::BRANCH_APPROACH.to_string(), doc_id.to_string())) {
+            // Phase-one debris of a fork/advance that never committed,
+            // or a retired head whose cleanup crashed mid-delete.
+            report.damage.push(Damage::UncommittedSave {
+                id: ModelSetId {
+                    approach: crate::branch::BRANCH_APPROACH.into(),
+                    key: doc_id.to_string(),
+                },
+                docs: vec![*doc_id],
+                blobs: Vec::new(),
+            });
+            continue;
+        }
+        report.sets_checked += 1;
+        let head = doc.get("head").and_then(Value::as_str).unwrap_or("");
+        match head.parse::<u64>() {
+            Ok(h) if !set_ids.contains(&h) => report.damage.push(Damage::OrphanBranch {
+                name,
+                doc_id: *doc_id,
+                detail: format!("head set document {h} is missing"),
+            }),
+            Ok(h) if !committed.contains(&("update".to_string(), h.to_string())) => {
+                report.damage.push(Damage::OrphanBranch {
+                    name,
+                    doc_id: *doc_id,
+                    detail: format!("head set {h}'s commit record is missing"),
+                })
+            }
+            Ok(_) => {}
+            Err(_) => report.damage.push(Damage::OrphanBranch {
+                name,
+                doc_id: *doc_id,
+                detail: "malformed head reference".into(),
+            }),
+        }
+    }
+
     // ---- commit records whose documents are gone ----
     for (approach, key) in &committed {
         let id = ModelSetId { approach: approach.clone(), key: key.clone() };
-        if approach == "mmlib-base" {
+        if approach == crate::branch::BRANCH_APPROACH {
+            match key.parse::<u64>() {
+                Ok(doc_id) if branch_ids.contains(&doc_id) => {}
+                Ok(doc_id) => report.damage.push(Damage::DanglingCommit {
+                    id,
+                    detail: format!("branch document {doc_id} is gone"),
+                }),
+                Err(_) => report.damage.push(Damage::DanglingCommit {
+                    id,
+                    detail: "malformed branch key".into(),
+                }),
+            }
+        } else if approach == "mmlib-base" {
             let parsed = key
                 .split_once(':')
                 .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<usize>().ok()?)));
@@ -521,6 +594,8 @@ pub fn repair(env: &ManagementEnv, report: &FsckReport) -> Result<RepairReport> 
             Damage::UncommittedSave { id, docs, blobs } => {
                 let collection = if id.approach == "mmlib-base" {
                     MODELS_COLLECTION
+                } else if id.approach == crate::branch::BRANCH_APPROACH {
+                    crate::branch::BRANCHES_COLLECTION
                 } else {
                     common::SETS_COLLECTION
                 };
@@ -547,6 +622,19 @@ pub fn repair(env: &ManagementEnv, report: &FsckReport) -> Result<RepairReport> 
             }
             Damage::DanglingCommit { id, .. } => {
                 out.dangling_commits_removed += commit::decommit(env, id)?;
+            }
+            Damage::OrphanBranch { name, doc_id, detail } => {
+                // Retire the unusable pointer: decommit, drop the
+                // document, keep the reason inspectable. The head set's
+                // own damage (if its documents survive) is classified
+                // and handled separately.
+                commit::decommit(env, &crate::branch::branch_commit_id(*doc_id))?;
+                delete_doc_quietly(env, crate::branch::BRANCHES_COLLECTION, *doc_id)?;
+                env.docs().insert(
+                    QUARANTINE_COLLECTION,
+                    json!({"branch": name, "doc": doc_id, "reason": detail}),
+                )?;
+                out.branches_quarantined += 1;
             }
             Damage::MissingBlob { id, .. }
             | Damage::HashMismatch { id, .. }
@@ -752,6 +840,100 @@ mod tests {
         );
         let rep = repair(&env, &r).unwrap();
         assert_eq!(rep.sets_quarantined, 2);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+
+    #[test]
+    fn healthy_branched_environment_is_clean() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let id0 = saver.save_initial(&env, &set(3, 11)).unwrap();
+        crate::branch::fork(&env, &id0, 0, "exp").unwrap();
+        let r = fsck(&env).unwrap();
+        assert!(r.is_clean(), "{:?}", r.damage);
+        assert_eq!(r.sets_checked, 3, "base + fork node + branch head");
+    }
+
+    #[test]
+    fn branch_head_with_missing_parent_commit_is_an_orphan_branch() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let s = set(3, 12);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        let b = crate::branch::fork(&env, &id0, 0, "exp").unwrap();
+        // The head set's commit record vanishes (lost to bit rot or a
+        // flipped doc log record): the branch pointer now dangles.
+        commit::decommit(&env, &b.head).unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert!(
+            r.damage.iter().any(|d| matches!(d, Damage::OrphanBranch { name, detail, .. }
+                if name == "exp" && detail.contains("commit record is missing"))),
+            "{:?}",
+            r.damage
+        );
+        // The now-uncommitted fork node is separately classified debris.
+        assert!(r.damage.iter().any(|d| matches!(d, Damage::UncommittedSave { id, .. }
+            if id.approach == "update" && id.key == b.head.key)));
+
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.branches_quarantined, 1);
+        assert!(crate::branch::branch_by_name(&env, "exp").is_err());
+        // The reason stays inspectable and the parent set is untouched.
+        let records = env.docs().all(QUARANTINE_COLLECTION).unwrap();
+        assert!(records.iter().any(|(_, d)| d["branch"] == json!("exp")));
+        assert_eq!(saver.recover_set(&env, &id0).unwrap(), s);
+        assert!(fsck(&env).unwrap().is_clean());
+    }
+
+    #[test]
+    fn branch_head_whose_set_document_vanished_is_an_orphan_branch() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let id0 = saver.save_initial(&env, &set(2, 13)).unwrap();
+        let b = crate::branch::fork(&env, &id0, 0, "lost").unwrap();
+        let head_doc = b.head.key.parse::<u64>().unwrap();
+        env.docs().delete(common::SETS_COLLECTION, head_doc).unwrap();
+
+        let r = fsck(&env).unwrap();
+        assert!(
+            r.damage.iter().any(|d| matches!(d, Damage::OrphanBranch { detail, .. }
+                if detail.contains("is missing"))),
+            "{:?}",
+            r.damage
+        );
+        // Repairing converges (the head's own dangling commit included).
+        let mut passes = 0;
+        loop {
+            let r = fsck(&env).unwrap();
+            if r.is_clean() {
+                break;
+            }
+            passes += 1;
+            assert!(passes < 5, "repair must converge: {:?}", r.damage);
+            repair(&env, &r).unwrap();
+        }
+        assert!(crate::branch::branch_by_name(&env, "lost").is_err());
+    }
+
+    #[test]
+    fn uncommitted_branch_document_is_collected_as_debris() {
+        let (_d, env) = env();
+        let mut saver = UpdateSaver::new();
+        let id0 = saver.save_initial(&env, &set(2, 14)).unwrap();
+        // Phase one of a crashed fork: branch doc without its commit.
+        let doc_id = env
+            .docs()
+            .insert(
+                crate::branch::BRANCHES_COLLECTION,
+                json!({"branch": "half", "approach": "update", "head": id0.key, "root": id0.key, "nodes": [id0.key]}),
+            )
+            .unwrap();
+        let r = fsck(&env).unwrap();
+        assert!(matches!(&r.damage[..], [Damage::UncommittedSave { id, docs, .. }]
+            if id.approach == crate::branch::BRANCH_APPROACH && docs == &vec![doc_id]));
+        let rep = repair(&env, &r).unwrap();
+        assert_eq!(rep.uncommitted_docs_deleted, 1);
         assert!(fsck(&env).unwrap().is_clean());
     }
 

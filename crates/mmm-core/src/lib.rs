@@ -29,6 +29,7 @@ pub mod advisor;
 pub mod apply_update;
 pub mod approach;
 pub mod artifacts;
+pub mod branch;
 pub mod bundle;
 pub mod catalog;
 pub mod commit;

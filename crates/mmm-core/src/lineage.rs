@@ -125,6 +125,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_set_has_a_single_node_lineage() {
+        // A fleet can legitimately archive an empty set (all models
+        // retired); the chain walk must not choke on zero models.
+        let dir = TempDir::new("mmm-lineage").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let empty = ModelSet::new(Architectures::ffnn(6), vec![]);
+        let id = UpdateSaver::new().save_initial(&env, &empty).unwrap();
+        let chain = lineage(&env, &id).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].kind, "full");
+        assert_eq!(chain[0].n_models, 0);
+        assert_eq!(recovery_depth(&env, &id).unwrap(), 0);
+    }
+
+    #[test]
+    fn missing_set_errors_cleanly_not_panics() {
+        let dir = TempDir::new("mmm-lineage").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let ghost = ModelSetId { approach: "update".into(), key: "404".into() };
+        assert!(lineage(&env, &ghost).is_err());
+    }
+
+    #[test]
+    fn depth_zero_fork_adds_one_empty_link() {
+        // Forking at the head itself (at_version = 0) must produce a
+        // two-node chain whose new head records zero changes.
+        let dir = TempDir::new("mmm-lineage").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut saver = UpdateSaver::new();
+        let s = set(3, 20);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        let b = crate::branch::fork(&env, &id0, 0, "edge0").unwrap();
+        let chain = lineage(&env, &b.head).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].kind, "diff");
+        assert_eq!(chain[0].n_changes, 0, "a fork changes nothing");
+        assert_eq!(chain[1].id, id0);
+        assert_eq!(recovery_depth(&env, &b.head).unwrap(), 1);
+        assert_eq!(saver.recover_set(&env, &b.head).unwrap(), s);
+    }
+
+    #[test]
+    fn fork_of_fork_walks_through_both_empty_links() {
+        let dir = TempDir::new("mmm-lineage").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut saver = UpdateSaver::new();
+        let s = set(2, 21);
+        let id0 = saver.save_initial(&env, &s).unwrap();
+        let b1 = crate::branch::fork(&env, &id0, 0, "edge1").unwrap();
+        let b2 = crate::branch::fork(&env, &b1.head, 0, "edge2").unwrap();
+        let chain = lineage(&env, &b2.head).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert!(chain[..2].iter().all(|n| n.kind == "diff" && n.n_changes == 0));
+        assert_eq!(chain[2].id, id0);
+        // Recovery replays two empty diffs onto the snapshot — still
+        // bit-identical to the original.
+        assert_eq!(saver.recover_set(&env, &b2.head).unwrap(), s);
+        // And a fork *behind* a fork-of-fork resolves to the mid node.
+        let b3 = crate::branch::fork(&env, &b2.head, 1, "edge3").unwrap();
+        assert_eq!(b3.root, b1.head.key);
+    }
+
+    #[test]
     fn mmlib_lineage_is_single_node() {
         let dir = TempDir::new("mmm-lineage").unwrap();
         let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();

@@ -86,6 +86,7 @@ impl BlobStore {
     /// backend); `cold_profile` prices the tiered backend's cold tier
     /// and is ignored by the others (`None` defaults to
     /// [`LatencyProfile::object_store`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn open(
         backend: StorageBackend,
         dir: impl AsRef<Path>,

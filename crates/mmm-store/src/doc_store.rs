@@ -564,7 +564,7 @@ pub fn salvage(dir: impl AsRef<Path>) -> Result<SalvageReport> {
     }
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
-        if !path.extension().is_some_and(|e| e == "jsonl") {
+        if path.extension().is_none_or(|e| e != "jsonl") {
             continue;
         }
         let name = path

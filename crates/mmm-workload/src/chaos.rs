@@ -30,11 +30,12 @@ use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use mmm_core::approach::{BaselineSaver, ModelSetSaver};
+use mmm_core::approach::{self, BaselineSaver, UpdateSaver};
+use mmm_core::branch;
 use mmm_core::fleet::{AdmissionConfig, FleetFrontend, FrontendConfig, Served};
-use mmm_core::model_set::{ModelSet, ModelSetId};
+use mmm_core::model_set::{Derivation, ModelSet, ModelSetId};
 use mmm_core::{catalog, commit, fsck, ManagementEnv};
-use mmm_dnn::Architectures;
+use mmm_dnn::{Architectures, TrainConfig};
 use mmm_store::{FaultInjector, FaultPlan, FaultTarget, LatencyProfile, OpClass};
 use mmm_util::{Result, Rng, SplitMix64, Xoshiro256pp};
 
@@ -142,6 +143,12 @@ pub struct ChaosReport {
     /// Saves whose commit record a bit-flip round destroyed or repair
     /// removed (allowed only in doc-flip rounds).
     pub saves_lost_to_flips: u64,
+    /// Branches forked by the version-graph tenant mix.
+    pub branch_forks: u64,
+    /// Clean three-way merges performed by the tenant mix.
+    pub branch_merges: u64,
+    /// Merges that (deliberately) conflicted and wrote nothing.
+    pub branch_conflicts: u64,
     /// fsck damage entries classified as expected crash debris.
     pub debris_entries: u64,
     /// Commit records written (group-commit batches).
@@ -165,6 +172,102 @@ fn small_set(arch_layers: usize, n_models: usize, seed: u64) -> ModelSet {
         .map(|i| arch.build(seed.wrapping_add(i as u64)).export_param_dict())
         .collect();
     ModelSet::new(arch, models)
+}
+
+/// One version-graph tenant iteration: save a fresh update chain, fork
+/// two branches off it, advance each with a derived save, and three-way
+/// merge them. A quarter of these deliberately collide on the same
+/// layer, so the merge must surface a conflict and write nothing.
+///
+/// Under a storm any step may fail — partial progress is fine (whatever
+/// was acknowledged is recorded and must survive the crash); nothing
+/// unacknowledged enters the expected map.
+#[allow(clippy::too_many_arguments)]
+fn branch_iteration(
+    env: &ManagementEnv,
+    frontend: &FleetFrontend,
+    tenant: &str,
+    round: usize,
+    worker: usize,
+    config: &ChaosConfig,
+    wrng: &mut impl mmm_util::Rng,
+    outcomes: &Mutex<Vec<(ModelSetId, ModelSet)>>,
+    counters: &Mutex<[u64; 8]>,
+    violations: &Mutex<Vec<String>>,
+) {
+    let bump = |i: usize, v: u64| {
+        counters.lock().unwrap_or_else(|e| e.into_inner())[i] += v;
+    };
+    let record = |id: &ModelSetId, set: &ModelSet| {
+        bump(1, 1);
+        outcomes.lock().unwrap_or_else(|e| e.into_inner()).push((id.clone(), set.clone()));
+    };
+    let conflicting = wrng.below(4) == 0;
+    let tag = wrng.next_u64();
+    let deadline = Some(config.deadline);
+    let mut saver = UpdateSaver::new();
+    let base_set = small_set(4, config.n_models, wrng.next_u64());
+    let train = || TrainConfig::regression_default(0);
+    // Each frontend call is one tenant request in the SLO accounting,
+    // so the request counter must track calls actually issued — an
+    // early failure means the later saves never happened.
+    let res = (|| -> Result<()> {
+        bump(0, 1);
+        let base = frontend.save_initial(tenant, &mut saver, &base_set, deadline)?;
+        record(&base, &base_set);
+        let ours_name = format!("c{round}-{worker}-{tag:x}-a");
+        let theirs_name = format!("c{round}-{worker}-{tag:x}-b");
+
+        let ours_branch = branch::fork(env, &base, 0, &ours_name)?;
+        bump(5, 1);
+        record(&ours_branch.head, &base_set);
+        let mut ours_set = base_set.clone();
+        ours_set.models[0].layers[0].data[0] += 1.0;
+        let d = Derivation { base: ours_branch.head.clone(), train: train(), updates: vec![] };
+        bump(0, 1);
+        let ours = frontend.save_set(tenant, &mut saver, &ours_set, Some(&d), deadline)?;
+        record(&ours, &ours_set);
+        branch::advance(env, &ours_name, &ours)?;
+
+        let theirs_branch = branch::fork(env, &base, 0, &theirs_name)?;
+        bump(5, 1);
+        record(&theirs_branch.head, &base_set);
+        let mut theirs_set = base_set.clone();
+        let m = config.n_models - 1;
+        if conflicting {
+            theirs_set.models[0].layers[0].data[0] -= 1.0;
+        } else {
+            theirs_set.models[m].layers[2].data[0] -= 1.0;
+        }
+        let d = Derivation { base: theirs_branch.head.clone(), train: train(), updates: vec![] };
+        bump(0, 1);
+        let theirs = frontend.save_set(tenant, &mut saver, &theirs_set, Some(&d), deadline)?;
+        record(&theirs, &theirs_set);
+        branch::advance(env, &theirs_name, &theirs)?;
+
+        let out = branch::merge(env, &base, &ours, &theirs)?;
+        match (out.merged, conflicting) {
+            (Some(merged), false) => {
+                bump(6, 1);
+                let mut merged_set = ours_set.clone();
+                merged_set.models[m].layers[2].data[0] = theirs_set.models[m].layers[2].data[0];
+                record(&merged, &merged_set);
+            }
+            (None, true) => bump(7, 1),
+            (Some(_), true) => violations
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(format!("round {round}: conflicting merge of {ours} and {theirs} produced a set")),
+            (None, false) => violations
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(format!("round {round}: disjoint merge of {ours} and {theirs} reported conflicts")),
+        }
+        Ok(())
+    })();
+    if res.is_err() {
+        bump(2, 1);
+    }
 }
 
 /// Arm this round's storm on a fresh injector. Returns the storm for
@@ -251,10 +354,12 @@ pub fn run_chaos_observed(
         // (contention is negligible next to the store work).
         let outcomes: Mutex<Vec<(ModelSetId, ModelSet)>> = Mutex::new(Vec::new());
         let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
-        let counters: Mutex<[u64; 5]> = Mutex::new([0; 5]); // req, ok, err, fresh, stale
+        // req, ok, err, fresh, stale, forks, merges, conflicts
+        let counters: Mutex<[u64; 8]> = Mutex::new([0; 8]);
         std::thread::scope(|scope| {
             for worker in 0..config.threads {
                 let frontend = &frontend;
+                let env = &env;
                 let outcomes = &outcomes;
                 let violations = &violations;
                 let counters = &counters;
@@ -266,6 +371,16 @@ pub fn run_chaos_observed(
                     let tenant = format!("tenant-{}", worker % config.tenants.max(1));
                     let mut saver = BaselineSaver::new();
                     for _ in 0..config.iters {
+                        // ~10% of iterations drive the version graph
+                        // instead of the linear save path: fork, update
+                        // the branch, and three-way merge a sibling.
+                        if wrng.below(10) == 0 {
+                            branch_iteration(
+                                env, frontend, &tenant, round, worker, config, &mut wrng,
+                                outcomes, counters, violations,
+                            );
+                            continue;
+                        }
                         let set = small_set(4, config.n_models, wrng.next_u64());
                         // A slice of requests runs with a hopeless
                         // budget to exercise the deadline path.
@@ -329,13 +444,16 @@ pub fn run_chaos_observed(
             }
         });
 
-        let [req, ok, err, fresh, stale] =
+        let [req, ok, err, fresh, stale, forks, merges, conflicts] =
             counters.into_inner().unwrap_or_else(|e| e.into_inner());
         report.requests += req;
         report.saves_ok += ok;
         report.request_errors += err;
         report.recovers_fresh += fresh;
         report.recovers_stale += stale;
+        report.branch_forks += forks;
+        report.branch_merges += merges;
+        report.branch_conflicts += conflicts;
         report
             .violations
             .extend(violations.into_inner().unwrap_or_else(|e| e.into_inner()));
@@ -406,7 +524,8 @@ fn audit_round(
             fsck::Damage::DanglingCommit { .. }
             | fsck::Damage::DanglingChain { .. }
             | fsck::Damage::MissingBlob { .. }
-            | fsck::Damage::HashMismatch { .. } => storm == Storm::DocFlip,
+            | fsck::Damage::HashMismatch { .. }
+            | fsck::Damage::OrphanBranch { .. } => storm == Storm::DocFlip,
         };
         if allowed {
             report.debris_entries += 1;
@@ -419,17 +538,30 @@ fn audit_round(
         }
     }
 
-    // Repair must converge: a second scan after repair comes back clean.
-    fsck::repair(env, &scan)?;
-    let rescan = fsck::fsck(env)?;
-    if !rescan.is_clean() {
-        for d in &rescan.damage {
-            report.violations.push(format!(
-                "round {round} ({}): damage survived repair: {}",
-                storm.name(),
-                d.describe()
-            ));
+    // Repair must converge. One pass is not always enough: quarantining
+    // a chain's base exposes its descendants (and any branch pointing
+    // at them) as newly dangling, so iterate scan→repair — the cascade
+    // is bounded by chain depth. Damage still present after the pass
+    // budget is a real violation.
+    let mut scan = scan;
+    let mut passes = 0;
+    while !scan.is_clean() {
+        fsck::repair(env, &scan)?;
+        passes += 1;
+        scan = fsck::fsck(env)?;
+        if passes >= 6 {
+            for d in &scan.damage {
+                report.violations.push(format!(
+                    "round {round} ({}): damage survived {passes} repair passes: {}",
+                    storm.name(),
+                    d.describe()
+                ));
+            }
+            break;
         }
+        // Cascade damage uncovered by a repair pass is expected debris;
+        // anything unexpected in the *first* scan was already flagged.
+        report.debris_entries += scan.damage.len() as u64;
     }
 
     // No uncommitted save visible: the catalog only lists committed ids.
@@ -444,10 +576,24 @@ fn audit_round(
         }
     }
 
+    // Branch heads resolve to committed sets (fsck + repair above must
+    // have retired any orphaned pointer).
+    for b in branch::branches(env)? {
+        if !commit::is_committed(env, &b.head)? {
+            report.violations.push(format!(
+                "round {round} ({}): branch {:?} points at uncommitted set {}",
+                storm.name(),
+                b.name,
+                b.head
+            ));
+        }
+    }
+
     // Every save acknowledged Ok is durable and bit-identical. A
     // doc-flip round may have destroyed the commit (or repair removed a
-    // damaged set) — that counts as a lost save, never as wrong bits.
-    let saver = BaselineSaver::new();
+    // damaged set — for update chains, a flipped ancestor takes its
+    // descendants with it) — that counts as a lost save, never as
+    // wrong bits.
     let mut lost: Vec<ModelSetId> = Vec::new();
     for (id, set) in expected.iter() {
         if !commit::is_committed(env, id)? {
@@ -462,12 +608,17 @@ fn audit_round(
             }
             continue;
         }
-        match saver.recover_set(env, id) {
+        match approach::recover_any(env, id) {
             Ok(back) if &back == set => {}
             Ok(_) => report.violations.push(format!(
                 "round {round} ({}): committed save {id} recovered with wrong bits",
                 storm.name()
             )),
+            Err(e) if storm == Storm::DocFlip => {
+                report.saves_lost_to_flips += 1;
+                lost.push(id.clone());
+                let _ = e;
+            }
             Err(e) => report.violations.push(format!(
                 "round {round} ({}): committed save {id} unreadable: {e}",
                 storm.name()
@@ -622,6 +773,9 @@ pub fn report_json(config: &ChaosConfig, report: &ChaosReport) -> serde_json::Va
         "recovers_fresh": report.recovers_fresh,
         "recovers_stale": report.recovers_stale,
         "saves_lost_to_flips": report.saves_lost_to_flips,
+        "branch_forks": report.branch_forks,
+        "branch_merges": report.branch_merges,
+        "branch_conflicts": report.branch_conflicts,
         "debris_entries": report.debris_entries,
         "commit_batches": report.commit_batches,
         "commit_members": report.commit_members,

@@ -72,7 +72,7 @@ use mmm::core::advisor::{recommend, Priorities, Scenario};
 use mmm::core::approach::{ApproachSpec, ModelSetSaver};
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{ModelSet, ModelSetId};
-use mmm::core::{bundle, catalog, fsck, gc, lineage, tags, tiering, verify};
+use mmm::core::{branch, bundle, catalog, fsck, gc, lineage, tags, tiering, verify};
 use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
 use mmm::obs::Observer;
 use mmm::store::{LatencyProfile, StorageBackend};
@@ -88,7 +88,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F] [--from-trace F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n  mmm serve-obs [--listen ADDR] [--duration-ms MS] [--seed S]\n  mmm top     <addr>\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1),\n--backend/--cache-mb (an environment keeps the backend it was created with),\nand --obs-listen ADDR (serve /metrics /healthz /tenants for this run)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm fork    --dir D <set-id|branch> <name> [--at N]\n  mmm diff    --dir D <a> <b>          (set ids or branch names)\n  mmm merge   --dir D <base> <ours> <theirs> [--into BRANCH]\n  mmm branch  --dir D [--delete NAME]\n  mmm log     --dir D [--graph] [<set-id|branch>]\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F] [--from-trace F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n  mmm serve-obs [--listen ADDR] [--duration-ms MS] [--seed S]\n  mmm top     <addr>\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1),\n--backend/--cache-mb (an environment keeps the backend it was created with),\nand --obs-listen ADDR (serve /metrics /healthz /tenants for this run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -130,6 +130,10 @@ struct Args {
     duration_ms: u64,
     obs_listen: Option<String>,
     from_trace: Option<PathBuf>,
+    at: usize,
+    delete: Option<String>,
+    graph: bool,
+    into: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -200,6 +204,10 @@ fn parse_args() -> Args {
             "--duration-ms" => a.duration_ms = num(&mut it, "--duration-ms") as u64,
             "--obs-listen" => a.obs_listen = Some(next(&mut it, "--obs-listen")),
             "--from-trace" => a.from_trace = Some(PathBuf::from(next(&mut it, "--from-trace"))),
+            "--at" => a.at = num(&mut it, "--at"),
+            "--delete" => a.delete = Some(next(&mut it, "--delete")),
+            "--graph" => a.graph = true,
+            "--into" => a.into = Some(next(&mut it, "--into")),
             "--help" | "-h" => usage(""),
             other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
             other if !other.starts_with('-') => a.positional.push(other.into()),
@@ -478,6 +486,188 @@ fn cmd_lineage(a: &Args) -> Result<()> {
             "{} kind={} models={} changes={}",
             node.id, node.kind, node.n_models, node.n_changes
         );
+    }
+    Ok(())
+}
+
+/// A positional that names a set: either an explicit `approach:key` id
+/// or a branch name (resolved to that branch's head).
+fn resolve_set(env: &ManagementEnv, s: &str) -> Result<ModelSetId> {
+    if s.contains(':') {
+        return Ok(parse_set_id(s));
+    }
+    Ok(branch::branch_by_name(env, s)?.head)
+}
+
+fn cmd_fork(a: &Args) -> Result<()> {
+    let env = open_env(a)?;
+    let source = a.positional.first().unwrap_or_else(|| usage("fork needs a source set or branch"));
+    let name = a.positional.get(1).unwrap_or_else(|| usage("fork needs a branch name"));
+    let source = resolve_set(&env, source)?;
+    let b = branch::fork(&env, &source, a.at, name)?;
+    println!("forked branch {:?} at {} (head {})", b.name, b.root, b.head);
+    Ok(())
+}
+
+fn cmd_diff(a: &Args) -> Result<()> {
+    let env = open_env(a)?;
+    let ia = resolve_set(&env, a.positional.first().unwrap_or_else(|| usage("diff needs two sets")))?;
+    let ib = resolve_set(&env, a.positional.get(1).unwrap_or_else(|| usage("diff needs two sets")))?;
+    let d = branch::diff(&env, &ia, &ib)?;
+    if d.is_empty() {
+        println!("{} and {} are identical", d.a, d.b);
+        return Ok(());
+    }
+    for c in &d.changed {
+        println!("changed model {} layer {} ({} bytes)", c.model, c.layer, c.bytes);
+    }
+    println!(
+        "{} layer(s) changed ({} bytes), {} model(s) added ({} bytes), {} model(s) removed ({} bytes)",
+        d.changed.len(),
+        d.bytes_changed,
+        d.added_models,
+        d.bytes_added,
+        d.removed_models,
+        d.bytes_removed
+    );
+    Ok(())
+}
+
+fn cmd_merge(a: &Args) -> Result<()> {
+    let env = open_env(a)?;
+    if a.positional.len() < 3 {
+        usage("merge needs <base> <ours> <theirs>");
+    }
+    let base = resolve_set(&env, &a.positional[0])?;
+    let ours = resolve_set(&env, &a.positional[1])?;
+    let theirs = resolve_set(&env, &a.positional[2])?;
+    let outcome = branch::merge(&env, &base, &ours, &theirs)?;
+    if !outcome.is_clean() {
+        for c in &outcome.conflicts {
+            println!("CONFLICT: model {} layer {} changed on both sides", c.model, c.layer);
+        }
+        return Err(Error::invalid(format!(
+            "{} conflict(s); nothing was written",
+            outcome.conflicts.len()
+        )));
+    }
+    let merged = outcome.merged.expect("clean merge produces a set");
+    println!(
+        "merged {} (ours {} layer(s), theirs {} layer(s))",
+        merged, outcome.took_ours, outcome.took_theirs
+    );
+    if let Some(name) = &a.into {
+        let b = branch::advance(&env, name, &merged)?;
+        println!("advanced branch {:?} to {}", b.name, b.head);
+    }
+    Ok(())
+}
+
+fn cmd_branch(a: &Args) -> Result<()> {
+    let env = open_env(a)?;
+    if let Some(name) = &a.delete {
+        let r = branch::delete_branch(&env, name)?;
+        println!(
+            "deleted branch {:?}: {} set(s), {} doc(s), {} blob(s), {} commit(s)",
+            name, r.sets_deleted, r.docs_deleted, r.blobs_deleted, r.commits_deleted
+        );
+        if let Some(id) = r.stopped_on_dependent {
+            println!("kept {id}: another set still derives from it");
+        }
+        return Ok(());
+    }
+    let all = branch::branches(&env)?;
+    if all.is_empty() {
+        println!("no branches");
+    }
+    for b in all {
+        println!("{:<16} head={} root={} nodes={}", b.name, b.head, b.root, b.nodes.len());
+    }
+    Ok(())
+}
+
+fn cmd_log(a: &Args) -> Result<()> {
+    let env = open_env(a)?;
+    let branches = branch::branches(&env)?;
+    let label = |key: &str| -> String {
+        let mut tags: Vec<String> = branches
+            .iter()
+            .filter(|b| b.head.key == key)
+            .map(|b| b.name.clone())
+            .collect();
+        tags.sort();
+        if tags.is_empty() { String::new() } else { format!(" [{}]", tags.join(", ")) }
+    };
+    if let Some(start) = a.positional.first() {
+        // Linear history of one set, newest first (like `git log`).
+        let id = resolve_set(&env, start)?;
+        for node in lineage::lineage(&env, &id)? {
+            println!(
+                "{} kind={} models={} changes={}{}",
+                node.id,
+                node.kind,
+                node.n_models,
+                node.n_changes,
+                label(&node.id.key)
+            );
+        }
+        return Ok(());
+    }
+    // Whole-store view. With --graph, render the version DAG as a
+    // forest: children indent under their base, branch heads annotated.
+    let sets = catalog::list_sets(&env)?;
+    if !a.graph {
+        for s in sets.iter().filter(|s| s.id.approach != "mmlib-base") {
+            println!(
+                "{:<24} kind={:<5} models={:<6}{}",
+                s.id.to_string(),
+                s.kind,
+                s.n_models,
+                label(&s.id.key)
+            );
+        }
+        return Ok(());
+    }
+    let mut children: std::collections::BTreeMap<&str, Vec<&catalog::SetSummary>> =
+        std::collections::BTreeMap::new();
+    let mut roots: Vec<&catalog::SetSummary> = Vec::new();
+    for s in sets.iter().filter(|s| s.id.approach != "mmlib-base") {
+        match s.base.as_deref() {
+            Some(base) => children.entry(base).or_default().push(s),
+            None => roots.push(s),
+        }
+    }
+    fn render(
+        s: &catalog::SetSummary,
+        depth: usize,
+        last: bool,
+        children: &std::collections::BTreeMap<&str, Vec<&catalog::SetSummary>>,
+        label: &dyn Fn(&str) -> String,
+    ) {
+        let lead = if depth == 0 {
+            "*".to_string()
+        } else {
+            format!("{}{}", "  ".repeat(depth - 1), if last { "└─" } else { "├─" })
+        };
+        let branch_note =
+            s.branch.as_ref().map(|b| format!(" (fork -> {b})")).unwrap_or_default();
+        println!(
+            "{} {} kind={} models={}{}{}",
+            lead,
+            s.id,
+            s.kind,
+            s.n_models,
+            label(&s.id.key),
+            branch_note
+        );
+        if let Some(kids) = children.get(s.id.key.as_str()) {
+            for (i, kid) in kids.iter().enumerate() {
+                render(kid, depth + 1, i + 1 == kids.len(), children, label);
+            }
+        }
+    }
+    for root in roots {
+        render(root, 0, true, &children, &label);
     }
     Ok(())
 }
@@ -992,6 +1182,11 @@ fn main() {
         "update" => cmd_update(&args),
         "list" => cmd_list(&args),
         "lineage" => cmd_lineage(&args),
+        "fork" => cmd_fork(&args),
+        "diff" => cmd_diff(&args),
+        "merge" => cmd_merge(&args),
+        "branch" => cmd_branch(&args),
+        "log" => cmd_log(&args),
         "verify" => cmd_verify(&args),
         "fsck" => cmd_fsck(&args),
         "recover" => cmd_recover(&args),

@@ -1,0 +1,695 @@
+//! Version-graph torture suite: branching, diffing, and merging model
+//! sets, proven against an in-memory oracle under seeded randomness,
+//! property-based mutation patterns, and crash injection.
+//!
+//! Four layers of assurance:
+//!
+//! 1. A seeded graph walker drives 200+ fork/save/diff/merge/delete
+//!    operations across several independent version graphs, mirroring
+//!    every store mutation into an in-memory oracle, and requires
+//!    recover-at-any-node bit-identity plus a clean CAS audit (refcount
+//!    conservation) at the end.
+//! 2. proptest laws: disjoint mutations always merge cleanly applying
+//!    both sides; overlapping divergent mutations always conflict and
+//!    write nothing; `diff` is empty on identical sets and reports
+//!    exactly the changed layers after a merge.
+//! 3. Crash-at-every-write-op loops for `fork`, `merge`, and
+//!    `delete_branch`: wherever the process dies, the parent (and both
+//!    merge inputs) stay bit-identical, the branch is either fully
+//!    present or cleanly absent, and fsck repairs to clean.
+//! 4. Concurrent forks through a commit window coalesce into group
+//!    commits.
+//!
+//! Every seed is fixed. Each torture run also drops a JSON op-log into
+//! `target/branching-corpus/` so CI can attach the exact operation
+//! sequence to a failure.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mmm::core::branch::{self, Branch};
+use mmm::core::approach::{ModelSetSaver, UpdateSaver};
+use mmm::core::env::ManagementEnv;
+use mmm::core::model_set::{Derivation, ModelSet, ModelSetId};
+use mmm::core::{catalog, fsck, lineage};
+use mmm::dnn::{Architectures, TrainConfig};
+use mmm::store::{FaultInjector, FaultPlan, FaultTarget, LatencyProfile, StorageBackend};
+use mmm::util::rng::{Rng, Xoshiro256pp};
+use mmm::util::{Error, TempDir};
+use proptest::prelude::*;
+
+const N_LAYERS: usize = 4; // FFNN architectures carry 4 parametric layers
+
+fn threads() -> usize {
+    std::env::var("MMM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn open(dir: &std::path::Path, backend: StorageBackend) -> ManagementEnv {
+    ManagementEnv::builder(dir, LatencyProfile::zero())
+        .backend(backend)
+        .threads(threads())
+        .open()
+        .unwrap()
+}
+
+fn make_set(n: usize, seed: u64) -> ModelSet {
+    let arch = Architectures::ffnn(6);
+    let models = (0..n).map(|i| arch.build(seed + i as u64).export_param_dict()).collect();
+    ModelSet::new(arch, models)
+}
+
+fn deriv(base: &ModelSetId) -> Derivation {
+    Derivation { base: base.clone(), train: TrainConfig::regression_default(0), updates: vec![] }
+}
+
+fn update_id(key: &str) -> ModelSetId {
+    ModelSetId { approach: "update".into(), key: key.into() }
+}
+
+/// Layers on which two sets differ, as (model, layer) pairs — the
+/// oracle's answer that `branch::diff` must reproduce.
+fn changed_layers(a: &ModelSet, b: &ModelSet) -> BTreeSet<(usize, usize)> {
+    let mut out = BTreeSet::new();
+    for mi in 0..a.models.len() {
+        for li in 0..a.models[mi].layers.len() {
+            if a.models[mi].layers[li].data != b.models[mi].layers[li].data {
+                out.insert((mi, li));
+            }
+        }
+    }
+    out
+}
+
+fn write_corpus(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/branching-corpus");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(name), serde_json::to_string(value).unwrap());
+}
+
+// ---------------------------------------------------------------------
+// 1. The seeded graph walker.
+
+/// One torture graph: a root set plus a growing population of branches,
+/// every committed node mirrored into `oracle` (key → full content).
+struct Walker<'a> {
+    env: &'a ManagementEnv,
+    saver: UpdateSaver,
+    rng: Xoshiro256pp,
+    oracle: HashMap<String, ModelSet>,
+    branches: Vec<String>,
+    next_name: usize,
+    log: Vec<String>,
+    merges: usize,
+    conflicts: usize,
+}
+
+impl<'a> Walker<'a> {
+    fn new(env: &'a ManagementEnv, seed: u64) -> Self {
+        let mut saver = UpdateSaver::new();
+        let root_set = make_set(4, seed);
+        let root = saver.save_initial(env, &root_set).unwrap();
+        let b = branch::fork(env, &root, 0, "b0").unwrap();
+        let mut oracle = HashMap::new();
+        oracle.insert(root.key.clone(), root_set.clone());
+        oracle.insert(b.head.key.clone(), root_set);
+        Walker {
+            env,
+            saver,
+            rng: Xoshiro256pp::new(seed),
+            oracle,
+            branches: vec!["b0".into()],
+            next_name: 1,
+            log: vec![format!("root={} b0={}", root.key, b.head.key)],
+            merges: 0,
+            conflicts: 0,
+        }
+    }
+
+    fn pick_key(&mut self) -> String {
+        let mut keys: Vec<String> = self.oracle.keys().cloned().collect();
+        keys.sort(); // HashMap order is not deterministic; the walk must be
+        keys.swap_remove(self.rng.below(keys.len() as u64) as usize)
+    }
+
+    fn pick_branch(&mut self) -> Branch {
+        let i = self.rng.below(self.branches.len() as u64) as usize;
+        branch::branch_by_name(self.env, &self.branches[i].clone()).unwrap()
+    }
+
+    fn mutate(&mut self, set: &mut ModelSet) -> (usize, usize) {
+        let mi = self.rng.below(set.models.len() as u64) as usize;
+        let li = self.rng.below(N_LAYERS as u64) as usize;
+        let layer = &mut set.models[mi].layers[li];
+        let pos = self.rng.below(layer.data.len() as u64) as usize;
+        layer.data[pos] += 1.0 + self.rng.next_f32();
+        (mi, li)
+    }
+
+    fn step(&mut self) {
+        match self.rng.below(100) {
+            // Save a new node on a random branch and fast-forward it.
+            0..=39 => {
+                let b = self.pick_branch();
+                let mut set = self.oracle[&b.head.key].clone();
+                let (mi, li) = self.mutate(&mut set);
+                let id = self.saver.save_set(self.env, &set, Some(&deriv(&b.head))).unwrap();
+                branch::advance(self.env, &b.name, &id).unwrap();
+                self.log.push(format!("save {}:{} m{mi}l{li} -> {}", b.name, b.head.key, id.key));
+                self.oracle.insert(id.key, set);
+            }
+            // Fork a new branch a random distance behind some head.
+            40..=59 => {
+                let b = self.pick_branch();
+                let depth = lineage::lineage(self.env, &b.head).unwrap().len() - 1;
+                let back = self.rng.below(depth.min(2) as u64 + 1) as usize;
+                let name = format!("b{}", self.next_name);
+                self.next_name += 1;
+                let nb = branch::fork(self.env, &b.head, back, &name).unwrap();
+                self.log.push(format!("fork {} at {}~{back} -> {}", name, b.head.key, nb.head.key));
+                let root_content = self.oracle[&nb.root].clone();
+                self.oracle.insert(nb.head.key.clone(), root_content);
+                self.branches.push(name);
+            }
+            // Structural diff of two random nodes, checked per layer.
+            60..=74 => {
+                let (ka, kb) = (self.pick_key(), self.pick_key());
+                let d = branch::diff(self.env, &update_id(&ka), &update_id(&kb)).unwrap();
+                let got: BTreeSet<(usize, usize)> =
+                    d.changed.iter().map(|c| (c.model, c.layer)).collect();
+                let want = changed_layers(&self.oracle[&ka], &self.oracle[&kb]);
+                self.log.push(format!("diff {ka} {kb}: {} changed", got.len()));
+                assert_eq!(got, want, "diff({ka},{kb}) disagrees with the oracle");
+                assert_eq!(d.is_empty(), want.is_empty());
+            }
+            // Three-way merge of random nodes, outcome checked layerwise.
+            75..=94 => {
+                let (kb, ko, kt) = (self.pick_key(), self.pick_key(), self.pick_key());
+                let (b, o, t) =
+                    (&self.oracle[&kb], &self.oracle[&ko], &self.oracle[&kt]);
+                // The oracle's prediction of the three-way resolution.
+                let mut want_conflicts = BTreeSet::new();
+                let mut expect = o.clone();
+                for mi in 0..b.models.len() {
+                    for li in 0..N_LAYERS {
+                        let (lb, lo, lt) = (
+                            &b.models[mi].layers[li].data,
+                            &o.models[mi].layers[li].data,
+                            &t.models[mi].layers[li].data,
+                        );
+                        if lo == lt {
+                            continue;
+                        } else if lo == lb {
+                            expect.models[mi].layers[li].data = lt.clone();
+                        } else if lt != lb {
+                            want_conflicts.insert((mi, li));
+                        }
+                    }
+                }
+                let out = branch::merge(self.env, &update_id(&kb), &update_id(&ko), &update_id(&kt))
+                    .unwrap();
+                let got_conflicts: BTreeSet<(usize, usize)> =
+                    out.conflicts.iter().map(|c| (c.model, c.layer)).collect();
+                self.log.push(format!(
+                    "merge base={kb} ours={ko} theirs={kt}: {} conflicts",
+                    got_conflicts.len()
+                ));
+                assert_eq!(got_conflicts, want_conflicts, "merge({kb},{ko},{kt}) conflicts");
+                match out.merged {
+                    Some(id) => {
+                        assert!(want_conflicts.is_empty());
+                        self.merges += 1;
+                        self.oracle.insert(id.key, expect);
+                    }
+                    None => {
+                        assert!(!want_conflicts.is_empty());
+                        self.conflicts += 1;
+                    }
+                }
+            }
+            // Delete a branch (never the last), then resync the oracle
+            // with what actually survived the dependency checks.
+            _ => {
+                if self.branches.len() < 2 {
+                    return;
+                }
+                let i = self.rng.below(self.branches.len() as u64) as usize;
+                let name = self.branches.remove(i);
+                let r = branch::delete_branch(self.env, &name).unwrap();
+                self.log.push(format!("delete {name}: {} sets", r.sets_deleted));
+                let alive: BTreeSet<String> = catalog::list_sets(self.env)
+                    .unwrap()
+                    .into_iter()
+                    .filter(|s| s.id.approach == "update")
+                    .map(|s| s.id.key)
+                    .collect();
+                self.oracle.retain(|k, _| alive.contains(k));
+            }
+        }
+    }
+}
+
+#[test]
+fn two_hundred_graph_operations_recover_bit_identically_at_every_node() {
+    const GRAPHS: u64 = 8;
+    const OPS: usize = 26;
+    assert!(GRAPHS as usize * OPS >= 200, "acceptance floor: 200+ graph iterations");
+
+    let mut total_merges = 0;
+    let mut total_conflicts = 0;
+    for g in 0..GRAPHS {
+        let seed = 0xB4A9_0000 + g;
+        let corpus = format!("graph-{seed:x}.json");
+        let dir = TempDir::new("it-branch-graph").unwrap();
+        let env = open(dir.path(), StorageBackend::Cas);
+        let mut w = Walker::new(&env, seed);
+        for op in 0..OPS {
+            w.step();
+            // Persist the op-log before the next step so a panic still
+            // leaves the full replayable sequence on disk for CI.
+            write_corpus(
+                &corpus,
+                &serde_json::json!({ "seed": seed, "ops_run": op + 1, "log": w.log }),
+            );
+        }
+
+        // Recover-at-any-node: every committed node in the graph must
+        // reproduce the oracle's bytes exactly.
+        assert!(!w.oracle.is_empty());
+        let mut keys: Vec<String> = w.oracle.keys().cloned().collect();
+        keys.sort();
+        for key in &keys {
+            let got = w.saver.recover_set(&env, &update_id(key)).unwrap();
+            assert_eq!(&got, &w.oracle[key], "graph {g}: node {key} diverged from the oracle");
+        }
+        // Every surviving branch head is a committed, recoverable node.
+        for b in branch::branches(&env).unwrap() {
+            assert!(w.oracle.contains_key(&b.head.key), "head {} not in oracle", b.head.key);
+        }
+        total_merges += w.merges;
+        total_conflicts += w.conflicts;
+
+        // CAS refcount conservation: after all the deletions the chunk
+        // store must balance — no drift, no corrupt or missing chunks,
+        // and reclaiming crash-leaked orphans converges to fully clean.
+        let cas = env.blobs().cas().expect("cas backend");
+        let audit = cas.audit().unwrap();
+        assert!(audit.corrupt_chunks.is_empty(), "graph {g}: {:?}", audit.corrupt_chunks);
+        assert!(audit.missing_chunks.is_empty(), "graph {g}: {:?}", audit.missing_chunks);
+        assert_eq!(audit.refcount_drift, 0, "graph {g}: refcount drift");
+        cas.reclaim_orphans().unwrap();
+        assert!(cas.audit().unwrap().is_clean(), "graph {g}: audit after reclaim");
+
+        // And the environment itself is structurally sound.
+        assert!(fsck::fsck(&env).unwrap().is_clean(), "graph {g}: fsck");
+    }
+    // The walk must actually have exercised both merge outcomes.
+    assert!(total_merges > 0, "no clean merge in {} ops", GRAPHS as usize * OPS);
+    assert!(total_conflicts > 0, "no conflicting merge in {} ops", GRAPHS as usize * OPS);
+}
+
+// ---------------------------------------------------------------------
+// 2. Property-based diff/merge laws.
+
+/// A mutation: for each entry, add `delta` at a deterministic position
+/// of (model, layer).
+type Mutation = Vec<(usize, usize, f32)>;
+
+fn apply(set: &ModelSet, mutation: &Mutation) -> ModelSet {
+    let mut s = set.clone();
+    for &(mi, li, delta) in mutation {
+        let layer = &mut s.models[mi].layers[li];
+        let pos = (mi * 31 + li * 7) % layer.data.len();
+        layer.data[pos] += delta;
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Mutations on disjoint models always merge cleanly, and the merge
+    /// applies both sides: diff(base, merged) is exactly the union of
+    /// the two sides' changed layers (the diff∘merge round-trip law).
+    #[test]
+    fn disjoint_mutations_merge_cleanly_applying_both_sides(
+        ours_mut in proptest::collection::vec((0..3usize, 0..N_LAYERS, 0.5f32..2.0), 1..6),
+        theirs_mut in proptest::collection::vec((3..6usize, 0..N_LAYERS, 0.5f32..2.0), 1..6),
+    ) {
+        let dir = TempDir::new("prop-branch-merge").unwrap();
+        let env = open(dir.path(), StorageBackend::Cas);
+        let mut saver = UpdateSaver::new();
+        let base_set = make_set(6, 77);
+        let base = saver.save_initial(&env, &base_set).unwrap();
+
+        let ours_set = apply(&base_set, &ours_mut);
+        let ours = saver.save_set(&env, &ours_set, Some(&deriv(&base))).unwrap();
+        let theirs_set = apply(&base_set, &theirs_mut);
+        let theirs = saver.save_set(&env, &theirs_set, Some(&deriv(&base))).unwrap();
+
+        let out = branch::merge(&env, &base, &ours, &theirs).unwrap();
+        prop_assert!(out.is_clean(), "disjoint sides conflicted: {:?}", out.conflicts);
+        let merged = out.merged.expect("clean merge yields a set");
+        let got = saver.recover_set(&env, &merged).unwrap();
+
+        // Oracle: both sides applied to base.
+        let mut want = ours_set.clone();
+        for (mi, li) in changed_layers(&base_set, &theirs_set) {
+            want.models[mi].layers[li].data = theirs_set.models[mi].layers[li].data.clone();
+        }
+        prop_assert_eq!(&got, &want);
+
+        // Round-trip law: the merge's distance from base is the union
+        // of the two sides' distances.
+        let d = branch::diff(&env, &base, &merged).unwrap();
+        let got_changed: BTreeSet<(usize, usize)> =
+            d.changed.iter().map(|c| (c.model, c.layer)).collect();
+        let mut union = changed_layers(&base_set, &ours_set);
+        union.extend(changed_layers(&base_set, &theirs_set));
+        prop_assert_eq!(got_changed, union);
+    }
+
+    /// Divergent mutations of the same layer always conflict, and a
+    /// conflicting merge writes nothing at all.
+    #[test]
+    fn overlapping_divergent_mutations_always_conflict_and_write_nothing(
+        mi in 0..4usize,
+        li in 0..N_LAYERS,
+        ours_delta in 0.5f32..2.0,
+        theirs_delta in -2.0f32..-0.5,
+    ) {
+        let dir = TempDir::new("prop-branch-conflict").unwrap();
+        let env = open(dir.path(), StorageBackend::Cas);
+        let mut saver = UpdateSaver::new();
+        let base_set = make_set(4, 78);
+        let base = saver.save_initial(&env, &base_set).unwrap();
+        let ours = saver
+            .save_set(&env, &apply(&base_set, &vec![(mi, li, ours_delta)]), Some(&deriv(&base)))
+            .unwrap();
+        let theirs = saver
+            .save_set(&env, &apply(&base_set, &vec![(mi, li, theirs_delta)]), Some(&deriv(&base)))
+            .unwrap();
+
+        let docs_before = env.docs().count("model_sets");
+        let out = branch::merge(&env, &base, &ours, &theirs).unwrap();
+        prop_assert!(!out.is_clean());
+        prop_assert!(out.merged.is_none());
+        prop_assert!(out.conflicts.iter().any(|c| c.model == mi && c.layer == li));
+        prop_assert_eq!(env.docs().count("model_sets"), docs_before, "conflict must not write");
+    }
+
+    /// diff(x, x) is empty for any mutated node.
+    #[test]
+    fn diff_of_any_node_with_itself_is_empty(
+        mutation in proptest::collection::vec((0..4usize, 0..N_LAYERS, -2.0f32..2.0), 0..6),
+    ) {
+        let dir = TempDir::new("prop-branch-diff").unwrap();
+        let env = open(dir.path(), StorageBackend::Cas);
+        let mut saver = UpdateSaver::new();
+        let base_set = make_set(4, 79);
+        let base = saver.save_initial(&env, &base_set).unwrap();
+        let id = saver.save_set(&env, &apply(&base_set, &mutation), Some(&deriv(&base))).unwrap();
+        let d = branch::diff(&env, &id, &id).unwrap();
+        prop_assert!(d.is_empty(), "diff(x,x) = {:?}", d.changed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Crash injection: fork, merge, and branch deletion.
+
+/// More write ops than any branch operation issues.
+const MAX_FAULT_POINTS: u64 = 64;
+
+struct CrashRig {
+    dir: TempDir,
+    faults: FaultInjector,
+    env: ManagementEnv,
+    base: ModelSetId,
+    base_set: ModelSet,
+}
+
+fn crash_rig(seed: u64) -> CrashRig {
+    let dir = TempDir::new("it-branch-crash").unwrap();
+    let faults = FaultInjector::new();
+    let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+        .backend(StorageBackend::Cas)
+        .faults(faults.clone())
+        .open()
+        .unwrap();
+    let base_set = make_set(4, seed);
+    let base = UpdateSaver::new().save_initial(&env, &base_set).unwrap();
+    CrashRig { dir, faults, env, base, base_set }
+}
+
+/// Reopen the rig's directory as a fresh fault-free process and run the
+/// full recovery story: fsck classifies damage as branch-op debris only,
+/// the parent set is bit-identical, and repair converges to clean.
+fn verify_crash_recovery(dir: &TempDir, base: &ModelSetId, base_set: &ModelSet, ctx: &str) -> ManagementEnv {
+    let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+    let report = fsck::fsck(&env).unwrap();
+    for d in &report.damage {
+        assert!(
+            matches!(
+                d,
+                fsck::Damage::UncommittedSave { .. }
+                    | fsck::Damage::OrphanBranch { .. }
+                    | fsck::Damage::OrphanChunk { .. }
+            ),
+            "{ctx}: unexpected damage class: {}",
+            d.describe()
+        );
+    }
+    let saver = UpdateSaver::new();
+    assert_eq!(&saver.recover_set(&env, base).unwrap(), base_set, "{ctx}: parent");
+
+    // Repair converges (quarantining a node can expose a descendant).
+    let mut passes = 0;
+    let mut scan = report;
+    while !scan.is_clean() {
+        fsck::repair(&env, &scan).unwrap();
+        scan = fsck::fsck(&env).unwrap();
+        passes += 1;
+        assert!(passes < 5, "{ctx}: repair did not converge: {:?}", scan.damage);
+    }
+    assert_eq!(&saver.recover_set(&env, base).unwrap(), base_set, "{ctx}: parent after repair");
+    env
+}
+
+#[test]
+fn a_crash_at_every_write_op_during_fork_leaves_parent_and_child_sane() {
+    let mut survived = false;
+    for k in 0..MAX_FAULT_POINTS {
+        let CrashRig { dir, faults, env, base, base_set } = crash_rig(11);
+        faults.arm(FaultPlan::crash_at(FaultTarget::Writes, k));
+        let result = branch::fork(&env, &base, 0, "crashy");
+        faults.disarm_all();
+
+        if let Ok(b) = result {
+            assert!(k >= 3, "fork with only {k} write op(s)");
+            assert_eq!(UpdateSaver::new().recover_set(&env, &b.head).unwrap(), base_set);
+            assert!(fsck::fsck(&env).unwrap().is_clean());
+            survived = true;
+            break;
+        }
+
+        drop(env);
+        let ctx = format!("fork crash at write op #{k}");
+        let env = verify_crash_recovery(&dir, &base, &base_set, &ctx);
+
+        // The branch is fully usable or cleanly absent — never a head
+        // pointing into the void.
+        match branch::branch_by_name(&env, "crashy") {
+            Ok(b) => {
+                let got = UpdateSaver::new().recover_set(&env, &b.head).unwrap();
+                assert_eq!(got, base_set, "{ctx}: surviving branch head");
+            }
+            Err(Error::NotFound(_)) => {}
+            Err(e) => panic!("{ctx}: branch lookup: {e}"),
+        }
+    }
+    assert!(survived, "fork never completed within {MAX_FAULT_POINTS} write ops");
+}
+
+#[test]
+fn a_crash_at_every_write_op_during_merge_leaves_all_inputs_sane() {
+    let mut survived = false;
+    for k in 0..MAX_FAULT_POINTS {
+        let CrashRig { dir, faults, env, base, base_set } = crash_rig(12);
+        let mut saver = UpdateSaver::new();
+        let ours_set = apply(&base_set, &vec![(0, 0, 1.5)]);
+        let ours = saver.save_set(&env, &ours_set, Some(&deriv(&base))).unwrap();
+        let theirs_set = apply(&base_set, &vec![(3, 2, -1.5)]);
+        let theirs = saver.save_set(&env, &theirs_set, Some(&deriv(&base))).unwrap();
+        let mut merged_want = ours_set.clone();
+        merged_want.models[3].layers[2].data = theirs_set.models[3].layers[2].data.clone();
+
+        faults.arm(FaultPlan::crash_at(FaultTarget::Writes, k));
+        let result = branch::merge(&env, &base, &ours, &theirs);
+        faults.disarm_all();
+
+        if let Ok(out) = result {
+            let got = saver.recover_set(&env, &out.merged.unwrap()).unwrap();
+            assert_eq!(got, merged_want, "clean merge content");
+            assert!(fsck::fsck(&env).unwrap().is_clean());
+            survived = true;
+            break;
+        }
+
+        drop(env);
+        let ctx = format!("merge crash at write op #{k}");
+        let env = verify_crash_recovery(&dir, &base, &base_set, &ctx);
+        let saver = UpdateSaver::new();
+        assert_eq!(saver.recover_set(&env, &ours).unwrap(), ours_set, "{ctx}: ours");
+        assert_eq!(saver.recover_set(&env, &theirs).unwrap(), theirs_set, "{ctx}: theirs");
+    }
+    assert!(survived, "merge never completed within {MAX_FAULT_POINTS} write ops");
+}
+
+#[test]
+fn branch_deletion_crashed_at_every_write_op_replays_to_completion() {
+    // Satellite: refcount decrements stay idempotent when a deletion is
+    // cut down mid-flight and replayed — wherever the first attempt
+    // died, the replay finishes the job, the parent survives, and the
+    // CAS chunk store balances (no double decrement, no leak).
+    let mut survived_without_fault = false;
+    for k in 0..MAX_FAULT_POINTS {
+        let CrashRig { dir: _dir, faults, env, base, base_set } = crash_rig(13);
+        let mut saver = UpdateSaver::new();
+        let b = branch::fork(&env, &base, 0, "doomed").unwrap();
+        let mut node = self::apply(&base_set, &vec![(1, 1, 2.0)]);
+        let id = saver.save_set(&env, &node, Some(&deriv(&b.head))).unwrap();
+        branch::advance(&env, "doomed", &id).unwrap();
+        node.models[2].layers[3].data[0] += 1.0;
+        let id2 = saver.save_set(&env, &node, Some(&deriv(&id))).unwrap();
+        branch::advance(&env, "doomed", &id2).unwrap();
+
+        faults.arm(FaultPlan::crash_at(FaultTarget::Writes, k));
+        let first = branch::delete_branch(&env, "doomed");
+        faults.disarm_all();
+        if first.is_ok() {
+            survived_without_fault = true;
+        }
+
+        // Replay until done (idempotent: repeating completed steps is
+        // harmless, and a replay after success is a clean no-op).
+        let replay = branch::delete_branch(&env, "doomed").unwrap();
+        assert!(replay.stopped_on_dependent.is_none(), "write op #{k}: {replay:?}");
+        let third = branch::delete_branch(&env, "doomed").unwrap();
+        assert_eq!(third.sets_deleted, 0, "write op #{k}: replay after done must be a no-op");
+
+        assert!(
+            matches!(branch::branch_by_name(&env, "doomed"), Err(Error::NotFound(_))),
+            "write op #{k}: branch must be gone"
+        );
+        assert_eq!(saver.recover_set(&env, &base).unwrap(), base_set, "write op #{k}: parent");
+
+        // Refcount conservation. A double decrement would have deleted
+        // a chunk the parent's manifest still references — that is what
+        // `missing_chunks` detects, and it must never happen. Index
+        // drift from the interrupted op itself is legitimate crash
+        // debris: the audit resyncs it, reclaim sweeps leaked chunks,
+        // and the store must then be exactly balanced.
+        let cas = env.blobs().cas().unwrap();
+        let audit = cas.audit().unwrap();
+        assert!(audit.missing_chunks.is_empty(), "write op #{k}: {:?}", audit.missing_chunks);
+        assert!(audit.corrupt_chunks.is_empty(), "write op #{k}: {:?}", audit.corrupt_chunks);
+        cas.reclaim_orphans().unwrap();
+        let settled = cas.audit().unwrap();
+        assert!(settled.is_clean(), "write op #{k}: audit after resync+reclaim: drift {}, orphans {:?}",
+            settled.refcount_drift, settled.orphan_chunks);
+
+        let report = fsck::fsck(&env).unwrap();
+        if !report.is_clean() {
+            fsck::repair(&env, &report).unwrap();
+            assert!(fsck::fsck(&env).unwrap().is_clean(), "write op #{k}: fsck");
+        }
+        if survived_without_fault {
+            break;
+        }
+    }
+    assert!(survived_without_fault, "deletion never completed within {MAX_FAULT_POINTS} ops");
+}
+
+// ---------------------------------------------------------------------
+// 4. Group commit: concurrent forks coalesce.
+
+#[test]
+fn concurrent_forks_coalesce_into_group_commits() {
+    const FORKS: usize = 8;
+    let dir = TempDir::new("it-branch-gate").unwrap();
+    let env = ManagementEnv::builder(dir.path(), LatencyProfile::zero())
+        .backend(StorageBackend::Cas)
+        .commit_window(std::time::Duration::from_millis(2))
+        .open()
+        .unwrap();
+    let base_set = make_set(4, 14);
+    let base = UpdateSaver::new().save_initial(&env, &base_set).unwrap();
+
+    std::thread::scope(|s| {
+        for i in 0..FORKS {
+            let env = &env;
+            let base = &base;
+            s.spawn(move || branch::fork(env, base, 0, &format!("t{i}")).unwrap());
+        }
+    });
+
+    assert_eq!(branch::branches(&env).unwrap().len(), FORKS);
+    let saver = UpdateSaver::new();
+    for b in branch::branches(&env).unwrap() {
+        assert_eq!(saver.recover_set(&env, &b.head).unwrap(), base_set, "branch {}", b.name);
+    }
+    // Each fork commits a set and a branch head; through the window
+    // those commits must have coalesced into fewer record batches.
+    let stats = env.commit_gate().stats();
+    assert!(stats.members > 2 * FORKS as u64, "all commits gated: {stats:?}");
+    assert!(
+        stats.batches < stats.members,
+        "no coalescing under a 2ms window: {stats:?}"
+    );
+    assert!(fsck::fsck(&env).unwrap().is_clean());
+}
+
+// ---------------------------------------------------------------------
+// 5. Fork cost: O(metadata), measured.
+
+#[test]
+fn fork_writes_metadata_not_parameters() {
+    let mut rows = Vec::new();
+    for n_models in [4usize, 16] {
+        for backend in [StorageBackend::Plain, StorageBackend::Cas] {
+            let dir = TempDir::new("it-branch-cost").unwrap();
+            let env = open(dir.path(), backend);
+            // Realistic parameter volume (paper-scale FFNN), so the
+            // metadata/parameter ratio is meaningful.
+            let arch = Architectures::ffnn(48);
+            let models =
+                (0..n_models).map(|i| arch.build(15 + i as u64).export_param_dict()).collect();
+            let set = ModelSet::new(arch, models);
+            let mut saver = UpdateSaver::new();
+            let (base, full) = env.measure(|| saver.save_initial(&env, &set).unwrap());
+            let (_b, fork) = env.measure(|| branch::fork(&env, &base, 0, "cost").unwrap());
+            rows.push(serde_json::json!({
+                "n_models": n_models,
+                "backend": backend.name(),
+                "full_save_bytes": full.bytes_written(),
+                "fork_bytes": fork.bytes_written(),
+            }));
+            println!(
+                "fork-cost n_models={n_models} backend={} full_save={}B fork={}B",
+                backend.name(),
+                full.bytes_written(),
+                fork.bytes_written()
+            );
+            // The tentpole acceptance: a fork never rewrites parameters.
+            assert!(
+                fork.bytes_written() * 10 < full.bytes_written(),
+                "fork must be O(metadata): fork {}B vs full {}B on {}",
+                fork.bytes_written(),
+                full.bytes_written(),
+                backend.name()
+            );
+        }
+    }
+    write_corpus("fork-cost.json", &serde_json::json!({ "rows": rows }));
+}

@@ -39,8 +39,17 @@ fn two_hundred_tenant_iterations_of_fault_storms_hold_every_invariant() {
     assert_eq!(report.rounds, config.rounds);
     assert!(report.saves_ok > 0, "storms must not starve the workload entirely");
     assert!(report.commit_members >= report.saves_ok, "every ok save went through a batch");
+    // The branch-aware tenant mix (~10% of iterations) must actually
+    // have exercised the version graph under the storms.
+    assert!(report.branch_forks > 0, "no forks in {} iterations", config.tenant_iterations());
+    assert!(
+        report.branch_merges + report.branch_conflicts > 0,
+        "no merge ever completed: forks={}",
+        report.branch_forks
+    );
     let v = report_json(&config, &report);
     assert_eq!(*v.get("passed").unwrap(), true);
+    assert_eq!(*v.get("branch_forks").unwrap(), report.branch_forks);
 }
 
 #[test]

@@ -61,6 +61,61 @@ fn full_lifecycle_across_processes() {
 }
 
 #[test]
+fn branching_lifecycle_across_processes() {
+    let dir = TempDir::new("cli-branching").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "6", "--approach", "update", "--backend", "cas"]));
+    ok(&mmm(Some(d), &["update", "--rate", "0.5"]));
+
+    // Fork a branch one version behind the head, in a fresh process.
+    let out = ok(&mmm(Some(d), &["fork", "update:1", "trial", "--at", "1"]));
+    assert!(out.contains("forked branch \"trial\" at 0"), "{out}");
+    let out = ok(&mmm(Some(d), &["branch"]));
+    assert!(out.contains("trial") && out.contains("root=0"), "{out}");
+
+    // Branch names resolve wherever a set id is accepted.
+    let out = ok(&mmm(Some(d), &["diff", "trial", "update:0"]));
+    assert!(out.contains("identical"), "{out}");
+    let out = ok(&mmm(Some(d), &["diff", "trial", "update:1"]));
+    assert!(out.contains("layer(s) changed"), "{out}");
+
+    // log --graph renders the forest with the head annotated.
+    let out = ok(&mmm(Some(d), &["log", "--graph"]));
+    assert!(out.contains("[trial]"), "{out}");
+    assert!(out.contains("├─") || out.contains("└─"), "{out}");
+    // Linear log of a branch name walks its lineage.
+    let out = ok(&mmm(Some(d), &["log", "trial"]));
+    assert!(out.lines().count() >= 2, "{out}");
+    assert!(out.lines().last().unwrap().contains("kind=full"), "{out}");
+
+    // A trivial three-way merge (branch unchanged vs base) is clean and
+    // can fast-forward the branch in the same invocation.
+    ok(&mmm(Some(d), &["fork", "update:0", "other"]));
+    let out = ok(&mmm(Some(d), &["merge", "update:0", "trial", "other", "--into", "trial"]));
+    assert!(out.contains("merged"), "{out}");
+    assert!(out.contains("advanced branch \"trial\""), "{out}");
+
+    // Deleting a branch is safe and leaves the store clean; repeating
+    // the deletion is a no-op, not an error.
+    let out = ok(&mmm(Some(d), &["branch", "--delete", "other"]));
+    assert!(out.contains("deleted branch \"other\""), "{out}");
+    let out = ok(&mmm(Some(d), &["branch", "--delete", "other"]));
+    assert!(out.contains("0 set(s)"), "{out}");
+    let out = ok(&mmm(Some(d), &["fsck"]));
+    assert!(out.contains("clean"), "{out}");
+}
+
+#[test]
+fn fork_of_unknown_branch_fails_cleanly() {
+    let dir = TempDir::new("cli-badfork").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "3", "--approach", "update"]));
+    let out = mmm(Some(d), &["fork", "nonesuch", "child"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nonesuch"));
+}
+
+#[test]
 fn init_twice_fails() {
     let dir = TempDir::new("cli-twice").unwrap();
     ok(&mmm(Some(dir.path()), &["init", "--models", "4"]));
