@@ -24,16 +24,21 @@
 //!              dedup ratio + recovery-cache hit rate
 //!   scale      streaming save + zero-copy mmap recovery (extension)
 //!              swept to n = 10^6 models; emits BENCH_scale.json
+//!   query      query-engine latency vs fleet size over  (extension)
+//!              a seeded lake of n committed sets; emits
+//!              BENCH_query.json
 //!   gate       CI perf-regression gate: rerun the service/
-//!              scale/breakdown benches and diff against the
-//!              committed BENCH_*.json baselines with tolerances;
-//!              exits 1 on regression
+//!              scale/breakdown/query benches and diff against
+//!              the committed BENCH_*.json baselines with
+//!              tolerances; exits 1 on regression
 //!   all        everything above with default settings
 //!
 //! `--backend plain|cas|tiered` selects the blob storage backend for the
 //! scenario experiments; `--cache-mb N` sizes the CAS recovery cache.
 //! `scale` sweeps n up to `--models` (default 100000; pass 1000000 for
-//! the full million) and writes `BENCH_scale.json` into `--out`/CWD.
+//! the full million) and writes `BENCH_scale.json` into `--out`/CWD;
+//! `query` sweeps the same way (default 100000 sets) and writes
+//! `BENCH_query.json`.
 //! `gate` reads baselines from `--baseline-dir` (default CWD) and
 //! `--update-baselines` rewrites them from fresh runs instead of
 //! comparing.
@@ -149,7 +154,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|dedup|scale|gate|all> \
+        "usage: repro <fig3|fig4|fig5|rates|modelsize|cifar|provttr|compress|snapshots|scaling|selective|threads|dedup|scale|query|gate|all> \
          [--models N] [--cycles K] [--trials T] [--setup m1|server|zero] [--threads N] \
          [--backend plain|cas|tiered] [--cache-mb N] [--out DIR] \
          [--trace-out FILE] [--metrics-out FILE] [--verbose] \
@@ -945,6 +950,141 @@ fn scale(args: &Args) {
     println!(" copied/byte is 0 on the mapped path vs 1 on the copying path)");
 }
 
+fn query_bench(args: &Args) {
+    use mmm_core::approach::SETS_COLLECTION;
+    use mmm_core::model_set::ModelSetId;
+    use mmm_core::{commit, param_codec, query, tags};
+    use serde_json::json;
+
+    println!("=== extension: query latency vs fleet size — one read path over the lake ===");
+    println!("seeds n committed update-chain sets (chains of 10, every 100th tagged prod,");
+    println!("layer-hash tables arranged so similarity to set 0 is i%9/8), then times five");
+    println!("representative queries; counts and scan sizes are deterministic in n\n");
+
+    let max_n = args.models.unwrap_or(100_000);
+    let mut sweep: Vec<usize> =
+        [100usize, 1_000, 10_000, 100_000].into_iter().filter(|&n| n < max_n).collect();
+    sweep.push(max_n);
+    let trials = args.trials.max(1);
+
+    println!(
+        "{:<10}{:>9}{:>9}{:>10}{:>9}{:>10}{:>9}{:>9}{:>10}{:>9}",
+        "models", "true ms", "pred ms", "pred hit", "tag ms", "tag scan", "depth ms",
+        "sim ms", "sim hit", "seed s"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sweep {
+        let dir = TempDir::new("mmm-query").expect("temp dir");
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).expect("env");
+
+        // Seed n sets as committed update-approach catalog rows: chains
+        // of 10 linked through `base` (head kind full, rest diff),
+        // n_models cycling 4..=16, every 100th set tagged `prod`, and a
+        // per-set layer-hash blob whose overlap with set 0 is exactly
+        // (i % 9) of 8 layers — so every query below has a count that is
+        // a pure function of n.
+        let seed_t0 = Instant::now();
+        let mut first_key = String::new();
+        let mut prev_key = String::new();
+        for i in 0..n {
+            let head = i % 10 == 0;
+            let doc = if head {
+                json!({ "approach": "update", "kind": "full", "n_models": 4 + (i % 13) })
+            } else {
+                json!({
+                    "approach": "update",
+                    "kind": "diff",
+                    "n_models": 4 + (i % 13),
+                    "base": prev_key,
+                })
+            };
+            let doc_id = env
+                .docs()
+                .insert(SETS_COLLECTION, doc)
+                .expect("insert set doc");
+            let key = doc_id.to_string();
+            let shared = if i == 0 { 8 } else { i % 9 };
+            let row: Vec<u64> = (0..8u64)
+                .map(|j| if (j as usize) < shared { j } else { 0x10000 + (i as u64) * 8 + j })
+                .collect();
+            let blob = param_codec::encode_hashes(&vec![row; 4]);
+            env.blobs()
+                .put(&format!("update/{key}/hashes.bin"), &blob)
+                .expect("put hash table");
+            let id = ModelSetId { approach: "update".into(), key: key.clone() };
+            commit::commit_save(&env, &id).expect("commit");
+            if i % 100 == 0 {
+                tags::tag_set(&env, &id, "prod").expect("tag");
+            }
+            if i == 0 {
+                first_key = key.clone();
+            }
+            prev_key = key;
+        }
+        let seed_s = seed_t0.elapsed().as_secs_f64();
+
+        let time_query = |expr: &str| {
+            let mut best_ms = f64::INFINITY;
+            let (mut count, mut scanned) = (0usize, 0usize);
+            for _ in 0..trials {
+                let t0 = Instant::now();
+                let out = query::run(&env, expr).expect("query");
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                count = out.records.len();
+                scanned = out.scanned;
+            }
+            (best_ms, count, scanned)
+        };
+
+        let (ms_true, count_true, scan_true) = time_query("true");
+        assert_eq!(count_true, n, "`true` must return the whole committed lake");
+        let (ms_pred, count_pred, _) = time_query("kind = \"diff\" and n_models >= 10");
+        let (ms_tag, count_tag, scan_tag) = time_query("tag:prod");
+        assert_eq!(count_tag, n.div_ceil(100), "every 100th set is tagged");
+        assert_eq!(scan_tag, count_tag, "the tag probe must narrow the scan to the index hits");
+        let (ms_depth, count_depth, _) = time_query("depth >= 5");
+        let (ms_sim, count_sim, _) =
+            time_query(&format!("similar-to(update:{first_key}, 0.5)"));
+
+        println!(
+            "{n:<10}{ms_true:>9.2}{ms_pred:>9.2}{count_pred:>10}{ms_tag:>9.3}{scan_tag:>10}\
+             {ms_depth:>9.2}{ms_sim:>9.2}{count_sim:>10}{seed_s:>9.1}"
+        );
+
+        rows.push(json!({
+            "n": n,
+            "count_true": count_true,
+            "scan_true": scan_true,
+            "ms_true": ms_true,
+            "count_pred": count_pred,
+            "ms_pred": ms_pred,
+            "count_tag": count_tag,
+            "scan_tag": scan_tag,
+            "ms_tag": ms_tag,
+            "count_depth": count_depth,
+            "ms_depth": ms_depth,
+            "count_sim": count_sim,
+            "ms_sim": ms_sim,
+            "seed_wall_s": seed_s,
+        }));
+    }
+
+    let report = json!({
+        "experiment": "query",
+        "trials": trials,
+        "rows": rows,
+    });
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).expect("create out dir");
+    let path = dir.join("BENCH_query.json");
+    std::fs::write(&path, serde_json::to_string(&report).expect("serialize report"))
+        .expect("write BENCH_query.json");
+    eprintln!("  wrote {}", path.display());
+    println!("\n(`tag scan` stays at n/100 while models grows: the planner serves tag:");
+    println!(" queries from the tag index instead of scanning the whole catalog)");
+}
+
 /// Breakdown-baseline scenario shape: small enough for CI, non-zero
 /// latency profile so the simulated phase times actually gate.
 const GATE_BREAKDOWN_MODELS: usize = 8;
@@ -1056,6 +1196,35 @@ fn gate_scale_candidate(baseline: &serde_json::Value, out: &std::path::Path) -> 
     read_json_doc(&out.join("BENCH_scale.json"))
 }
 
+/// Rerun the query bench with the baseline's parameters into `out` and
+/// return the freshly written document.
+fn gate_query_candidate(baseline: &serde_json::Value, out: &std::path::Path) -> serde_json::Value {
+    use serde_json::Value;
+    let max_n = baseline
+        .get("rows")
+        .and_then(Value::as_array)
+        .and_then(|rows| rows.iter().filter_map(|r| r.get("n").and_then(Value::as_u64)).max())
+        .unwrap_or(10_000) as usize;
+    let sub = Args {
+        experiment: "query".to_string(),
+        models: Some(max_n),
+        cycles: 3,
+        trials: baseline.get("trials").and_then(Value::as_u64).unwrap_or(3) as usize,
+        setup: None,
+        threads: 1,
+        backend: StorageBackend::Plain,
+        cache_mb: None,
+        out: Some(out.to_path_buf()),
+        trace_out: None,
+        metrics_out: None,
+        verbose: false,
+        baseline_dir: None,
+        update_baselines: false,
+    };
+    query_bench(&sub);
+    read_json_doc(&out.join("BENCH_query.json"))
+}
+
 /// CI perf-regression gate: regenerate each bench whose baseline is
 /// committed, diff against it with tolerances, exit 1 on regression.
 fn gate(args: &Args) {
@@ -1142,6 +1311,28 @@ fn gate(args: &Args) {
         println!("(skip scale: {} not found)", scale_path.display());
     }
 
+    let query_path = dir.join("BENCH_query.json");
+    if args.update_baselines && !query_path.exists() {
+        // Seed a CI-sized query baseline (n <= 10k seeds in seconds);
+        // gate_query_candidate writes BENCH_query.json into `dir`.
+        gate_query_candidate(&serde_json::Value::Null, &dir);
+    } else if query_path.exists() {
+        let baseline = read_json_doc(&query_path);
+        let tmp = TempDir::new("mmm-gate-query").expect("temp dir");
+        let candidate = gate_query_candidate(&baseline, tmp.path());
+        if args.update_baselines {
+            write_doc(&query_path, &candidate);
+        } else {
+            println!("\n-- query vs {}", query_path.display());
+            let r = mmm_bench::gate::gate_query(&baseline, &candidate, &tol);
+            print!("{}", r.render());
+            combined.merge(r);
+            gated += 1;
+        }
+    } else {
+        println!("(skip query: {} not found)", query_path.display());
+    }
+
     if args.update_baselines {
         println!("\nbaselines updated in {}", dir.display());
         return;
@@ -1185,6 +1376,7 @@ fn main() {
         "threads" => threads(&args),
         "dedup" => dedup(&args),
         "scale" => scale(&args),
+        "query" => query_bench(&args),
         "gate" => gate(&args),
         "all" => {
             fig3(&args);
@@ -1214,6 +1406,8 @@ fn main() {
             dedup(&args);
             println!();
             scale(&args);
+            println!();
+            query_bench(&args);
         }
         other => usage(&format!("unknown experiment {other:?}")),
     }

@@ -334,6 +334,58 @@ pub fn gate_breakdown(baseline: &Value, candidate: &Value, tol: &Tolerances) -> 
     out
 }
 
+/// Compare a candidate `BENCH_query.json` against the baseline.
+///
+/// The query bench seeds its population deterministically from the
+/// row's `n`, so match counts and scan sizes compare exactly (a count
+/// drift means the engine changed semantics, not the machine); query
+/// wall-clock latencies get the same generous machine-variance factor
+/// as service throughput.
+pub fn gate_query(baseline: &Value, candidate: &Value, tol: &Tolerances) -> GateReport {
+    let mut out = GateReport::default();
+    let base_rows = rows_by(baseline, "n");
+    if base_rows.is_empty() {
+        out.push(
+            "query baseline rows",
+            false,
+            "baseline has no rows[] with an n key",
+        );
+        return out;
+    }
+    let cand_rows = rows_by(candidate, "n");
+    for (n, b) in base_rows {
+        let name = |what: &str| format!("query n={n} {what}");
+        let Some((_, c)) = cand_rows.iter().find(|(m, _)| *m == n) else {
+            out.push(name("row"), false, "candidate row missing");
+            continue;
+        };
+        for key in [
+            "count_true",
+            "scan_true",
+            "count_pred",
+            "count_tag",
+            "scan_tag",
+            "count_depth",
+            "count_sim",
+        ] {
+            out.push(
+                name(key),
+                u(b, key) == u(c, key),
+                format!("{} vs {}", u(b, key), u(c, key)),
+            );
+        }
+        for key in ["ms_true", "ms_pred", "ms_tag", "ms_depth", "ms_sim"] {
+            let (bm, cm) = (f(b, key), f(c, key));
+            out.push(
+                name(key),
+                cm.is_finite() && cm <= bm * tol.throughput_factor,
+                format!("{bm:.2}ms vs {cm:.2}ms (cap ×{:.0})", tol.throughput_factor),
+            );
+        }
+    }
+    out
+}
+
 /// Wrap breakdown rows as the `BENCH_breakdown.json` document.
 pub fn breakdown_json(
     rows: &[mmm_obs::BreakdownRow],
@@ -485,6 +537,53 @@ mod tests {
         assert!(
             !gate_breakdown(&base, &extra, &tol).passed(),
             "unexpected extra row"
+        );
+    }
+
+    fn query_doc(count_true: u64, scan_tag: u64, ms_true: f64) -> Value {
+        doc(vec![json!({
+            "n": 1000,
+            "count_true": count_true,
+            "scan_true": count_true,
+            "ms_true": ms_true,
+            "count_pred": 300,
+            "ms_pred": 1.0,
+            "count_tag": 10,
+            "scan_tag": scan_tag,
+            "ms_tag": 0.1,
+            "count_depth": 500,
+            "ms_depth": 1.2,
+            "count_sim": 120,
+            "ms_sim": 4.0,
+        })])
+    }
+
+    #[test]
+    fn query_gate_compares_counts_exactly_and_latency_with_slack() {
+        let base = query_doc(1000, 10, 2.0);
+        let tol = Tolerances::default();
+        assert!(gate_query(&base, &base, &tol).passed());
+        // Latency inside the machine-variance cap passes; counts do not drift.
+        assert!(gate_query(&base, &query_doc(1000, 10, 7.0), &tol).passed());
+        let r = gate_query(&base, &query_doc(999, 10, 2.0), &tol);
+        assert!(!r.passed(), "count drift must fail");
+        assert!(r.failures().iter().any(|c| c.name.contains("count_true")), "{}", r.render());
+        let r = gate_query(&base, &query_doc(1000, 1000, 2.0), &tol);
+        assert!(
+            r.failures().iter().any(|c| c.name.contains("scan_tag")),
+            "a tag probe that stops narrowing the scan must fail: {}",
+            r.render()
+        );
+        let r = gate_query(&base, &query_doc(1000, 10, 2.0 * tol.throughput_factor + 1.0), &tol);
+        assert!(
+            r.failures().iter().any(|c| c.name.contains("ms_true")),
+            "latency blowup past the cap must fail: {}",
+            r.render()
+        );
+        assert!(!gate_query(&base, &doc(Vec::new()), &tol).passed(), "missing candidate row");
+        assert!(
+            !gate_query(&doc(Vec::new()), &base, &tol).passed(),
+            "empty baseline is a failure, not a vacuous pass"
         );
     }
 

@@ -13,6 +13,9 @@ pub mod provenance;
 pub mod update;
 
 pub use baseline::BaselineSaver;
+/// Catalog collection name, exposed for benches and tools that seed
+/// raw set documents (schema documented in DESIGN.md §4).
+pub use common::SETS_COLLECTION;
 pub use mmlib_base::MmlibBaseSaver;
 pub use provenance::ProvenanceSaver;
 pub use update::UpdateSaver;

@@ -2,28 +2,119 @@
 //!
 //! The savers themselves never need a listing (they work by id), but
 //! operators do: "what is stored here, by whom, how big?". The catalog
-//! reads only metadata documents — it never touches parameter blobs.
+//! reads metadata documents plus blob sizes (for the per-tier storage
+//! breakdown) — it never touches parameter payload bytes.
+
+use std::fmt;
 
 use crate::approach::common;
 use crate::commit;
 use crate::env::ManagementEnv;
 use crate::model_set::ModelSetId;
+use mmm_store::StorageTier;
 use mmm_util::Result;
 use serde_json::Value;
+
+/// What shape a saved set has. Parsed from the set document's `kind`
+/// field; anything unrecognized (a future format, or a damaged
+/// document) maps to [`SetKind::Unknown`] instead of a stringly `"?"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetKind {
+    /// Self-contained save: every parameter present.
+    Full,
+    /// Derived save holding only changed layers against a base set.
+    Diff,
+    /// Derived save holding delta-compressed changed layers.
+    Diffz,
+    /// Provenance save: training recipe instead of parameters.
+    Prov,
+    /// Unrecognized or missing `kind` field.
+    Unknown,
+}
+
+impl SetKind {
+    /// Parse the document-store `kind` string; unrecognized values map
+    /// to [`SetKind::Unknown`].
+    pub fn parse(s: &str) -> SetKind {
+        match s {
+            "full" => SetKind::Full,
+            "diff" => SetKind::Diff,
+            "diffz" => SetKind::Diffz,
+            "prov" => SetKind::Prov,
+            _ => SetKind::Unknown,
+        }
+    }
+
+    /// Stable display name; `Unknown` renders as `"?"` (the historical
+    /// catalog fallback, pinned by the CLI output format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SetKind::Full => "full",
+            SetKind::Diff => "diff",
+            SetKind::Diffz => "diffz",
+            SetKind::Prov => "prov",
+            SetKind::Unknown => "?",
+        }
+    }
+}
+
+impl fmt::Display for SetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+/// Bytes a set occupies in the blob store, split by storage tier.
+/// On the plain and CAS backends everything counts as hot; only the
+/// tiered backend can report a cold share. Accounting is best-effort:
+/// blobs that vanish mid-walk count as zero rather than failing the
+/// listing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierBytes {
+    /// Total stored bytes across all tiers.
+    pub total: u64,
+    /// Bytes on the hot (fast) tier.
+    pub hot: u64,
+    /// Bytes on the cold (object-store) tier.
+    pub cold: u64,
+}
 
 /// Summary of one archived set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetSummary {
     /// The set's id (usable with any saver of that approach).
     pub id: ModelSetId,
-    /// `"full"`, `"diff"`, `"diffz"`, or `"prov"`.
-    pub kind: String,
+    /// The set's shape (full / diff / diffz / prov).
+    pub kind: SetKind,
     /// Number of models in the set.
     pub n_models: usize,
     /// The base set's key, for derived sets.
     pub base: Option<String>,
     /// The branch this set was forked onto, when it is a fork node.
     pub branch: Option<String>,
+    /// Stored bytes, split by tier — carried on the row so catalog
+    /// consumers never need a second store walk.
+    pub bytes_stored: TierBytes,
+}
+
+/// Sum blob sizes under `prefixes`, attributing each key to its tier.
+/// Best-effort: a prefix that fails to list, or a key that fails to
+/// stat (deleted mid-walk, or a fault-injection hiccup), contributes
+/// zero instead of failing the whole catalog listing.
+fn tier_bytes(env: &ManagementEnv, prefixes: &[String]) -> TierBytes {
+    let mut out = TierBytes::default();
+    for prefix in prefixes {
+        let Ok(keys) = env.blobs().list_keys(prefix) else { continue };
+        for key in keys {
+            let Ok(sz) = env.blobs().size(&key) else { continue };
+            out.total += sz;
+            match env.tiered().and_then(|t| t.tier_of(&key)) {
+                Some(StorageTier::Cold) => out.cold += sz,
+                _ => out.hot += sz,
+            }
+        }
+    }
+    out
 }
 
 /// List all archived sets: the set-oriented approaches' documents plus
@@ -49,11 +140,12 @@ pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
                 kind: doc
                     .get("kind")
                     .and_then(Value::as_str)
-                    .unwrap_or("?")
-                    .to_string(),
+                    .map(SetKind::parse)
+                    .unwrap_or(SetKind::Unknown),
                 n_models: doc.get("n_models").and_then(Value::as_u64).unwrap_or(0) as usize,
                 base: doc.get("base").and_then(Value::as_str).map(String::from),
                 branch: doc.get("branch").and_then(Value::as_str).map(String::from),
+                bytes_stored: tier_bytes(env, &[format!("{approach}/{doc_id}/")]),
             });
         }
     }
@@ -76,15 +168,32 @@ pub fn list_sets(env: &ManagementEnv) -> Result<Vec<SetSummary>> {
             end += 1;
         }
         let count = end - i + 1;
-        let key = format!("{start}:{count}");
-        if committed.contains(&("mmlib-base".to_string(), key.clone())) {
-            out.push(SetSummary {
-                id: ModelSetId { approach: "mmlib-base".into(), key },
-                kind: "full".into(),
-                n_models: count,
-                base: None,
-                branch: None,
-            });
+        // Guard against salvage damage: a run whose first row lacks the
+        // batch-head marker is debris from a decapitated batch, and a
+        // run whose head survived may have swallowed the rows of a
+        // *following* batch that lost its head. Trust the commit record
+        // over the markers — emit the longest committed prefix of the
+        // run and treat the remainder as invisible debris, so a
+        // salvaged log can never silently merge two batches.
+        if rows[i].1 {
+            let mut k = count;
+            while k > 0 {
+                let key = format!("{start}:{k}");
+                if committed.contains(&("mmlib-base".to_string(), key.clone())) {
+                    let prefixes: Vec<String> =
+                        (start..start + k as u64).map(|id| format!("mmlib/m{id}/")).collect();
+                    out.push(SetSummary {
+                        id: ModelSetId { approach: "mmlib-base".into(), key },
+                        kind: SetKind::Full,
+                        n_models: k,
+                        base: None,
+                        branch: None,
+                        bytes_stored: tier_bytes(env, &prefixes),
+                    });
+                    break;
+                }
+                k -= 1;
+            }
         }
         i = end + 1;
     }
@@ -129,9 +238,9 @@ mod tests {
         let cat = list_sets(&env).unwrap();
         assert_eq!(cat.len(), 4);
         let find = |id: &ModelSetId| cat.iter().find(|e| &e.id == id).expect("listed");
-        assert_eq!(find(&idb).kind, "full");
+        assert_eq!(find(&idb).kind, SetKind::Full);
         assert_eq!(find(&idm).n_models, 4);
-        assert_eq!(find(&idu1).kind, "diff");
+        assert_eq!(find(&idu1).kind, SetKind::Diff);
         assert_eq!(find(&idu1).base.as_deref(), Some(idu0.key.as_str()));
     }
 
@@ -168,5 +277,61 @@ mod tests {
         let dir = TempDir::new("mmm-catalog").unwrap();
         let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
         assert!(list_sets(&env).unwrap().is_empty());
+    }
+
+    #[test]
+    fn catalog_rows_carry_stored_bytes() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let idb = BaselineSaver::new().save_initial(&env, &set(2, 7)).unwrap();
+        let idm = MmlibBaseSaver::new().save_initial(&env, &set(2, 8)).unwrap();
+        let cat = list_sets(&env).unwrap();
+        let find = |id: &ModelSetId| cat.iter().find(|e| &e.id == id).expect("listed");
+        let b = find(&idb).bytes_stored;
+        assert!(b.total > 0, "baseline set stores parameter bytes");
+        assert_eq!(b.total, b.hot + b.cold);
+        assert_eq!(b.cold, 0, "plain backend has no cold tier");
+        assert!(find(&idm).bytes_stored.total > 0, "mmlib per-model blobs counted");
+    }
+
+    #[test]
+    fn headless_mmlib_rows_cannot_merge_batches() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut m = MmlibBaseSaver::new();
+        let id1 = m.save_initial(&env, &set(3, 1)).unwrap();
+        let id2 = m.save_initial(&env, &set(4, 2)).unwrap();
+
+        // Simulate a salvaged log that lost batch 2's head row: its
+        // remaining rows now follow batch 1 with no head marker between.
+        let start2: u64 = id2.key.split(':').next().unwrap().parse().unwrap();
+        env.docs().delete("models", start2).unwrap();
+
+        let cat = list_sets(&env).unwrap();
+        let mmlib: Vec<&SetSummary> = cat.iter().filter(|e| e.id.approach == "mmlib-base").collect();
+        // Batch 1 must survive with its own count — not a silently
+        // merged 3+3 group — and the decapitated batch 2 must vanish.
+        assert_eq!(mmlib.len(), 1, "{mmlib:?}");
+        assert_eq!(mmlib[0].id, id1);
+        assert_eq!(mmlib[0].n_models, 3);
+    }
+
+    #[test]
+    fn leading_headless_mmlib_rows_are_debris() {
+        let dir = TempDir::new("mmm-catalog").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let mut m = MmlibBaseSaver::new();
+        let id1 = m.save_initial(&env, &set(3, 1)).unwrap();
+        let id2 = m.save_initial(&env, &set(4, 2)).unwrap();
+        // Decapitate the FIRST batch: its surviving rows start the scan
+        // without a head marker and must not form a phantom batch.
+        let start1: u64 = id1.key.split(':').next().unwrap().parse().unwrap();
+        env.docs().delete("models", start1).unwrap();
+
+        let cat = list_sets(&env).unwrap();
+        let mmlib: Vec<&SetSummary> = cat.iter().filter(|e| e.id.approach == "mmlib-base").collect();
+        assert_eq!(mmlib.len(), 1, "{mmlib:?}");
+        assert_eq!(mmlib[0].id, id2);
+        assert_eq!(mmlib[0].n_models, 4);
     }
 }

@@ -271,6 +271,21 @@ impl<'e> FleetFrontend<'e> {
         }
     }
 
+    /// Run a model-lake query for `tenant` through the frontend
+    /// (admission, deadline, breakers): parse `expr` with the
+    /// [`crate::query`] grammar, then evaluate it against the unified
+    /// catalog/tags/branches/lineage/storage view. Parse failures are
+    /// `Invalid` and carry the byte offset of the offending token.
+    pub fn query(
+        &self,
+        tenant: &str,
+        expr: &str,
+        deadline: Option<Duration>,
+    ) -> Result<crate::query::QueryOutput> {
+        let q = crate::query::Query::parse(expr).map_err(|e| Error::invalid(e.to_string()))?;
+        self.request(tenant, deadline, "query", |env| q.run(env))
+    }
+
     /// Run one admitted, deadline-bounded request on its own clock lane.
     fn request<T>(
         &self,

@@ -41,6 +41,7 @@ pub mod gc;
 pub mod lineage;
 pub mod model_set;
 pub mod param_codec;
+pub mod query;
 pub mod tags;
 pub mod tiering;
 pub mod verify;
@@ -49,3 +50,4 @@ pub use approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, ProvenanceSaver
 pub use env::{ManagementEnv, Measurement};
 pub use fleet::{FleetFrontend, FrontendConfig};
 pub use model_set::{Derivation, ModelSet, ModelSetId, ModelUpdate, UpdateKind};
+pub use query::{Query, QueryOutput, SetRecord};

@@ -1,12 +1,15 @@
 //! Dependency-free live introspection endpoint.
 //!
 //! [`ObsServer`] serves an [`Observer`]'s state over plain
-//! `std::net::TcpListener` — no async runtime, no HTTP crate. Three
+//! `std::net::TcpListener` — no async runtime, no HTTP crate. Four
 //! routes:
 //!
 //! * `GET /metrics` — Prometheus text exposition of the registry
 //! * `GET /healthz` — liveness probe (`ok`)
 //! * `GET /tenants` — JSON per-tenant SLO snapshots ([`crate::slo`])
+//! * `GET /query?q=<expr>` — model-lake queries, when a
+//!   [`QueryHandler`] was installed (the obs crate cannot see the
+//!   management environment, so the engine is injected by the caller)
 //!
 //! The accept loop runs on one spawned thread and handles one
 //! connection at a time: introspection traffic is a human or a scraper,
@@ -26,6 +29,10 @@ use crate::Observer;
 /// Per-connection I/O timeout: a stalled scraper cannot wedge the loop.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Evaluates one query expression (already percent-decoded) to a JSON
+/// body, or a plain-text error message served as 400.
+pub type QueryHandler = Arc<dyn Fn(&str) -> Result<String, String> + Send + Sync>;
+
 /// A running introspection server; shuts down when dropped or via
 /// [`ObsServer::shutdown`].
 #[derive(Debug)]
@@ -38,8 +45,19 @@ pub struct ObsServer {
 impl ObsServer {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
     /// `obs` until shutdown. `objective` parameterizes the `/tenants`
-    /// error-budget math.
+    /// error-budget math. `/query` answers 404.
     pub fn start(addr: impl ToSocketAddrs, obs: Observer, objective: f64) -> std::io::Result<Self> {
+        Self::start_with_query(addr, obs, objective, None)
+    }
+
+    /// Like [`ObsServer::start`], additionally routing `GET /query?q=`
+    /// through `query` when one is given.
+    pub fn start_with_query(
+        addr: impl ToSocketAddrs,
+        obs: Observer,
+        objective: f64,
+        query: Option<QueryHandler>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -54,7 +72,7 @@ impl ObsServer {
                     if let Ok(stream) = conn {
                         // Best effort: a broken scraper connection is its
                         // problem, not the server's.
-                        let _ = serve_one(stream, &obs, objective);
+                        let _ = serve_one(stream, &obs, objective, query.as_ref());
                     }
                 }
             })?;
@@ -92,7 +110,58 @@ impl Drop for ObsServer {
     }
 }
 
-fn serve_one(stream: TcpStream, obs: &Observer, objective: f64) -> std::io::Result<()> {
+/// Decode the percent-encoding of one query-string value (`+` means
+/// space). Malformed escapes are passed through literally rather than
+/// rejected — the expression parser reports its own, better error.
+fn percent_decode(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < b.len() || i + 2 == b.len() => {
+                let hex = b.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(v) => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Extract and decode the `q` parameter from a target's query string.
+fn q_param(target: &str) -> Option<String> {
+    let (_, qs) = target.split_once('?')?;
+    qs.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == "q").then(|| percent_decode(v))
+    })
+}
+
+fn serve_one(
+    stream: TcpStream,
+    obs: &Observer,
+    objective: f64,
+    query: Option<&QueryHandler>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream);
@@ -120,6 +189,16 @@ fn serve_one(stream: TcpStream, obs: &Observer, objective: f64) -> std::io::Resu
             };
             ("200 OK", "application/json", format!("{v}\n"))
         }
+        t if t == "/query" || t.starts_with("/query?") => match query {
+            None => ("404 Not Found", "text/plain", "no query engine attached\n".to_owned()),
+            Some(handler) => match q_param(t) {
+                None => ("400 Bad Request", "text/plain", "missing q parameter\n".to_owned()),
+                Some(expr) => match handler(&expr) {
+                    Ok(json) => ("200 OK", "application/json", format!("{json}\n")),
+                    Err(msg) => ("400 Bad Request", "text/plain", format!("{msg}\n")),
+                },
+            },
+        },
         _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
     };
     let mut stream = reader.into_inner();
@@ -182,6 +261,10 @@ mod tests {
 
         let (status, _) = get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
+
+        // No query engine attached: /query is a 404, not a crash.
+        let (status, _) = get(addr, "/query?q=true");
+        assert!(status.contains("404"), "{status}");
         server.shutdown();
     }
 
@@ -192,5 +275,47 @@ mod tests {
         assert!(status.contains("200"));
         let v: serde_json::Value = serde_json::from_str(body.trim()).unwrap();
         assert_eq!(v["tenants"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn query_route_decodes_and_dispatches() {
+        let handler: QueryHandler = Arc::new(|expr: &str| {
+            if expr.starts_with("bad") {
+                Err(format!("parse error at byte 0: {expr}"))
+            } else {
+                Ok(serde_json::json!({ "echo": expr }).to_string())
+            }
+        });
+        let server = ObsServer::start_with_query(
+            "127.0.0.1:0",
+            Observer::disabled(),
+            0.999,
+            Some(handler),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // `+` and %XX decode before the handler sees the expression.
+        let (status, body) = get(addr, "/query?q=kind+%3D+%22diff%22");
+        assert!(status.contains("200"), "{status}");
+        let v: serde_json::Value = serde_json::from_str(body.trim()).unwrap();
+        assert_eq!(v["echo"], "kind = \"diff\"");
+
+        let (status, body) = get(addr, "/query?q=bad%20expr");
+        assert!(status.contains("400"), "{status}");
+        assert!(body.contains("parse error"), "{body}");
+
+        let (status, body) = get(addr, "/query");
+        assert!(status.contains("400"), "{status}");
+        assert!(body.contains("missing q"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%3d"), "=");
     }
 }

@@ -55,7 +55,7 @@ pub mod metrics;
 pub mod slo;
 pub mod span;
 
-pub use http::ObsServer;
+pub use http::{ObsServer, QueryHandler};
 pub use metrics::{label_value, Histogram, MetricsRegistry};
 pub use slo::{render_tenants, tenant_slos, tenant_slos_json, TenantSlo};
 pub use span::{

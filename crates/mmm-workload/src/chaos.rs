@@ -16,6 +16,10 @@
 //!    members or none; after repair no commit record dangles.
 //! 4. **fsck converges** — damage is classified, `repair` runs, and a
 //!    second scan comes back clean.
+//! 5. **Queries agree with the catalog** — a slice of tenant requests
+//!    runs query expressions through the frontend mid-storm, and after
+//!    every crash `query "true"` must return exactly the sets the
+//!    catalog lists (and therefore only committed ones, by invariant 2).
 //!
 //! Bit flips are armed against the document log only: its checksummed
 //! records guarantee detection on replay. Blob-payload flips are the
@@ -34,7 +38,7 @@ use mmm_core::approach::{self, BaselineSaver, UpdateSaver};
 use mmm_core::branch;
 use mmm_core::fleet::{AdmissionConfig, FleetFrontend, FrontendConfig, Served};
 use mmm_core::model_set::{Derivation, ModelSet, ModelSetId};
-use mmm_core::{catalog, commit, fsck, ManagementEnv};
+use mmm_core::{catalog, commit, fsck, query, ManagementEnv};
 use mmm_dnn::{Architectures, TrainConfig};
 use mmm_store::{FaultInjector, FaultPlan, FaultTarget, LatencyProfile, OpClass};
 use mmm_util::{Result, Rng, SplitMix64, Xoshiro256pp};
@@ -140,6 +144,8 @@ pub struct ChaosReport {
     pub recovers_fresh: u64,
     /// Recovers served from the stale cache.
     pub recovers_stale: u64,
+    /// Queries answered through the frontend mid-storm.
+    pub queries_ok: u64,
     /// Saves whose commit record a bit-flip round destroyed or repair
     /// removed (allowed only in doc-flip rounds).
     pub saves_lost_to_flips: u64,
@@ -192,7 +198,7 @@ fn branch_iteration(
     config: &ChaosConfig,
     wrng: &mut impl mmm_util::Rng,
     outcomes: &Mutex<Vec<(ModelSetId, ModelSet)>>,
-    counters: &Mutex<[u64; 8]>,
+    counters: &Mutex<[u64; 9]>,
     violations: &Mutex<Vec<String>>,
 ) {
     let bump = |i: usize, v: u64| {
@@ -354,8 +360,8 @@ pub fn run_chaos_observed(
         // (contention is negligible next to the store work).
         let outcomes: Mutex<Vec<(ModelSetId, ModelSet)>> = Mutex::new(Vec::new());
         let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
-        // req, ok, err, fresh, stale, forks, merges, conflicts
-        let counters: Mutex<[u64; 8]> = Mutex::new([0; 8]);
+        // req, ok, err, fresh, stale, forks, merges, conflicts, queries
+        let counters: Mutex<[u64; 9]> = Mutex::new([0; 9]);
         std::thread::scope(|scope| {
             for worker in 0..config.threads {
                 let frontend = &frontend;
@@ -379,6 +385,48 @@ pub fn run_chaos_observed(
                                 env, frontend, &tenant, round, worker, config, &mut wrng,
                                 outcomes, counters, violations,
                             );
+                            continue;
+                        }
+                        // Another slice reads the lake through the query
+                        // engine mid-storm. Errors are legal (shed,
+                        // deadline, injected fault); answers must be
+                        // predicate-consistent.
+                        if wrng.below(8) == 0 {
+                            let expr = match wrng.below(3) {
+                                0 => "true",
+                                1 => "kind = \"full\"",
+                                _ => "n_models >= 1 and not tag:no-such-tag",
+                            };
+                            {
+                                let mut c = counters.lock().unwrap_or_else(|e| e.into_inner());
+                                c[0] += 1;
+                            }
+                            match frontend.query(&tenant, expr, Some(config.deadline)) {
+                                Ok(out) => {
+                                    let mut c =
+                                        counters.lock().unwrap_or_else(|e| e.into_inner());
+                                    c[8] += 1;
+                                    drop(c);
+                                    if expr.starts_with("kind")
+                                        && out.records.iter().any(|r| {
+                                            r.kind != mmm_core::catalog::SetKind::Full
+                                        })
+                                    {
+                                        violations
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner())
+                                            .push(format!(
+                                                "round {round}: query `{expr}` returned a \
+                                                 non-matching record"
+                                            ));
+                                    }
+                                }
+                                Err(_) => {
+                                    let mut c =
+                                        counters.lock().unwrap_or_else(|e| e.into_inner());
+                                    c[2] += 1;
+                                }
+                            }
                             continue;
                         }
                         let set = small_set(4, config.n_models, wrng.next_u64());
@@ -444,7 +492,7 @@ pub fn run_chaos_observed(
             }
         });
 
-        let [req, ok, err, fresh, stale, forks, merges, conflicts] =
+        let [req, ok, err, fresh, stale, forks, merges, conflicts, queries] =
             counters.into_inner().unwrap_or_else(|e| e.into_inner());
         report.requests += req;
         report.saves_ok += ok;
@@ -454,6 +502,7 @@ pub fn run_chaos_observed(
         report.branch_forks += forks;
         report.branch_merges += merges;
         report.branch_conflicts += conflicts;
+        report.queries_ok += queries;
         report
             .violations
             .extend(violations.into_inner().unwrap_or_else(|e| e.into_inner()));
@@ -566,14 +615,45 @@ fn audit_round(
 
     // No uncommitted save visible: the catalog only lists committed ids.
     let committed = commit::committed_ids(env)?;
-    for s in catalog::list_sets(env)? {
-        if !committed.contains(&(s.id.approach.clone(), s.id.key.clone())) {
+    let listed: Vec<ModelSetId> = catalog::list_sets(env)?.into_iter().map(|s| s.id).collect();
+    for id in &listed {
+        if !committed.contains(&(id.approach.clone(), id.key.clone())) {
             report.violations.push(format!(
-                "round {round} ({}): catalog lists uncommitted set {}",
+                "round {round} ({}): catalog lists uncommitted set {id}",
                 storm.name(),
-                s.id
             ));
         }
+    }
+
+    // The query engine and the catalog agree: after repair, `true`
+    // matches exactly the catalog's sets — no phantom records, no sets
+    // the redesigned read path drops.
+    match query::run(env, "true") {
+        Ok(out) => {
+            let queried: std::collections::HashSet<&ModelSetId> =
+                out.records.iter().map(|r| &r.id).collect();
+            for id in &listed {
+                if !queried.contains(id) {
+                    report.violations.push(format!(
+                        "round {round} ({}): query `true` dropped catalog set {id}",
+                        storm.name(),
+                    ));
+                }
+            }
+            if queried.len() != listed.len() {
+                let catalog: std::collections::HashSet<&ModelSetId> = listed.iter().collect();
+                for id in queried.difference(&catalog) {
+                    report.violations.push(format!(
+                        "round {round} ({}): query `true` invented set {id}",
+                        storm.name(),
+                    ));
+                }
+            }
+        }
+        Err(e) => report.violations.push(format!(
+            "round {round} ({}): query `true` failed after repair: {e}",
+            storm.name(),
+        )),
     }
 
     // Branch heads resolve to committed sets (fsck + repair above must
@@ -772,6 +852,7 @@ pub fn report_json(config: &ChaosConfig, report: &ChaosReport) -> serde_json::Va
         "request_errors": report.request_errors,
         "recovers_fresh": report.recovers_fresh,
         "recovers_stale": report.recovers_stale,
+        "queries_ok": report.queries_ok,
         "saves_lost_to_flips": report.saves_lost_to_flips,
         "branch_forks": report.branch_forks,
         "branch_merges": report.branch_merges,

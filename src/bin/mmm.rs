@@ -19,6 +19,8 @@
 //! mmm import  --dir D <file>
 //! mmm tag     --dir D <set-id> [<tag>]      # without <tag>: list tags
 //! mmm find-tag --dir D <tag>
+//! mmm query   --dir D <expr> [--json]        # model-lake search, e.g.
+//!             'kind = "diff" and n_models >= 100 and tag:prod and bytes > 50MB'
 //! mmm advise  [--priority storage|recovery|balanced]
 //! mmm stats   [--models N] [--cycles K] [--setup zero|m1|server]
 //! mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K]
@@ -72,7 +74,7 @@ use mmm::core::advisor::{recommend, Priorities, Scenario};
 use mmm::core::approach::{ApproachSpec, ModelSetSaver};
 use mmm::core::env::ManagementEnv;
 use mmm::core::model_set::{ModelSet, ModelSetId};
-use mmm::core::{branch, bundle, catalog, fsck, gc, lineage, tags, tiering, verify};
+use mmm::core::{branch, bundle, catalog, fsck, gc, lineage, query, tags, tiering, verify};
 use mmm::dnn::{ArchitectureSpec, Architectures, ParamDict};
 use mmm::obs::Observer;
 use mmm::store::{LatencyProfile, StorageBackend};
@@ -88,7 +90,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm fork    --dir D <set-id|branch> <name> [--at N]\n  mmm diff    --dir D <a> <b>          (set ids or branch names)\n  mmm merge   --dir D <base> <ours> <theirs> [--into BRANCH]\n  mmm branch  --dir D [--delete NAME]\n  mmm log     --dir D [--graph] [<set-id|branch>]\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F] [--from-trace F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n  mmm serve-obs [--listen ADDR] [--duration-ms MS] [--seed S]\n  mmm top     <addr>\n\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1),\n--backend/--cache-mb (an environment keeps the backend it was created with),\nand --obs-listen ADDR (serve /metrics /healthz /tenants for this run)"
+        "usage:\n  mmm init    --dir D [--models N] [--arch ffnn48|ffnn69|cifar] [--approach SPEC] [--seed S] [--backend plain|cas|tiered] [--cache-mb N]\n  mmm update  --dir D [--rate R] [--divergence]\n  mmm list    --dir D\n  mmm lineage --dir D <set-id>\n  mmm verify  --dir D <set-id>\n  mmm fsck    --dir D [--repair] [--salvage]\n  mmm recover --dir D <set-id>\n  mmm gc      --dir D --keep-last K\n  mmm fork    --dir D <set-id|branch> <name> [--at N]\n  mmm diff    --dir D <a> <b>          (set ids or branch names)\n  mmm merge   --dir D <base> <ours> <theirs> [--into BRANCH]\n  mmm branch  --dir D [--delete NAME]\n  mmm log     --dir D [--graph] [<set-id|branch>]\n  mmm export  --dir D <set-id> <file>\n  mmm import  --dir D <file>\n  mmm advise  [--priority storage|recovery|balanced]\n  mmm stats   [--models N] [--cycles K] [--setup zero|m1|server] [--trace-out F] [--metrics-out F] [--from-trace F]\n  mmm chaos   [--dir D] [--seed S] [--rounds N] [--threads T] [--iters I] [--tenants K] [--deadline-ms MS] [--commit-window-ms MS] [--report-out F] [--bench-out F]\n  mmm tier    --dir D [--keep-hot K] | --promote <set-id>\n  mmm tag     --dir D <set-id> [<tag>]\n  mmm find-tag --dir D <tag>\n  mmm query   --dir D <expr> [--json]\n  mmm serve-obs [--listen ADDR] [--duration-ms MS] [--seed S]\n  mmm top     <addr>\n\nquery exprs combine and/or/not/parens over kind, approach, key, base,\nn_models, depth, bytes (50MB etc.), tag:NAME, branch:NAME,\ndescendant-of(ID), similar-to(ID, 0.9)\napproach SPEC = kind[:opts], e.g. update, update:delta, update:snapshot-every=4,delta\nall commands accept --threads N (parallel save/recover; default 1),\n--backend/--cache-mb (an environment keeps the backend it was created with),\nand --obs-listen ADDR (serve /metrics /healthz /tenants for this run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -134,6 +136,7 @@ struct Args {
     delete: Option<String>,
     graph: bool,
     into: Option<String>,
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -208,6 +211,7 @@ fn parse_args() -> Args {
             "--delete" => a.delete = Some(next(&mut it, "--delete")),
             "--graph" => a.graph = true,
             "--into" => a.into = Some(next(&mut it, "--into")),
+            "--json" => a.json = true,
             "--help" | "-h" => usage(""),
             other if a.command.is_empty() && !other.starts_with('-') => a.command = other.into(),
             other if !other.starts_with('-') => a.positional.push(other.into()),
@@ -451,14 +455,16 @@ fn cmd_list(a: &Args) -> Result<()> {
     let env = open_env(a)?;
     if a.all {
         // Catalog view: every set archived in this environment,
-        // including ones created outside this CLI fleet.
-        for s in catalog::list_sets(&env)? {
+        // including ones created outside this CLI fleet. Served by the
+        // query engine (`mmm query true` is the superset view); the
+        // line format here is a stable contract.
+        for r in query::run(&env, "true")?.records {
             println!(
                 "{:<24} kind={:<5} models={:<6} base={}",
-                s.id.to_string(),
-                s.kind,
-                s.n_models,
-                s.base.as_deref().unwrap_or("-")
+                r.id.to_string(),
+                r.kind,
+                r.n_models,
+                r.base.as_deref().unwrap_or("-")
             );
         }
         return Ok(());
@@ -871,9 +877,90 @@ fn cmd_tag(a: &Args) -> Result<()> {
 fn cmd_find_tag(a: &Args) -> Result<()> {
     let env = open_env(a)?;
     let tag = a.positional.first().unwrap_or_else(|| usage("find-tag needs a tag"));
-    for id in tags::find_by_tag(&env, tag)? {
-        println!("{id}");
+    // Thin sugar over the query engine's tag index probe. Output stays
+    // one id per line; only committed sets are listed (a tag left on a
+    // deleted set no longer prints a dangling id).
+    let q = query::Query::from_expr(query::Expr::Tag(tag.clone()));
+    for r in q.run(&env)?.records {
+        println!("{}", r.id);
     }
+    Ok(())
+}
+
+/// Render a [`query::QueryOutput`] as the stable `--json` document.
+fn query_json(expr: &str, out: &mmm::core::query::QueryOutput) -> serde_json::Value {
+    serde_json::json!({
+        "query": expr,
+        "count": out.records.len(),
+        "scanned": out.scanned,
+        "probes": out.probes,
+        "sets": out.records.iter().map(|r| serde_json::json!({
+            "id": r.id.to_string(),
+            "approach": r.id.approach,
+            "key": r.id.key,
+            "kind": r.kind.as_str(),
+            "n_models": r.n_models,
+            "base": r.base,
+            "fork_of": r.fork_of,
+            "tags": r.tags,
+            "branches": r.branches,
+            "depth": r.depth,
+            "bytes": serde_json::json!({
+                "total": r.bytes_stored.total,
+                "hot": r.bytes_stored.hot,
+                "cold": r.bytes_stored.cold,
+            }),
+            "similarity": r.similarity,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+fn cmd_query(a: &Args) -> Result<()> {
+    // Join the positionals so lightly-quoted shells still work:
+    // `mmm query tag:prod and depth >= 2`.
+    let expr_text = a.positional.join(" ");
+    if expr_text.trim().is_empty() {
+        usage("query needs an expression, e.g. 'kind = \"diff\" and tag:prod'");
+    }
+    let q = match query::Query::parse(&expr_text) {
+        Ok(q) => q,
+        Err(e) => {
+            // Point at the offending byte before the error line.
+            eprintln!("  {expr_text}");
+            eprintln!("  {}^", " ".repeat(e.offset.min(expr_text.len())));
+            return Err(Error::invalid(e.to_string()));
+        }
+    };
+    let env = open_env(a)?;
+    let out = q.run(&env)?;
+    if a.json {
+        println!("{}", query_json(&expr_text, &out));
+        return Ok(());
+    }
+    for r in &out.records {
+        let tags = if r.tags.is_empty() { "-".to_string() } else { r.tags.join(",") };
+        let branches =
+            if r.branches.is_empty() { "-".to_string() } else { r.branches.join(",") };
+        let sim = r.similarity.map(|s| format!(" sim={s:.3}")).unwrap_or_default();
+        println!(
+            "{:<24} kind={:<5} models={:<6} depth={:<3} bytes={:<10} base={:<8} tags={} branches={}{}",
+            r.id.to_string(),
+            r.kind,
+            r.n_models,
+            r.depth,
+            r.bytes_stored.total,
+            r.base.as_deref().unwrap_or("-"),
+            tags,
+            branches,
+            sim
+        );
+    }
+    let probes = if out.probes.is_empty() {
+        String::new()
+    } else {
+        format!("; probes: {}", out.probes.join(", "))
+    };
+    println!("{} set(s) matched of {} scanned{probes}", out.records.len(), out.scanned);
     Ok(())
 }
 
@@ -1060,22 +1147,40 @@ fn cmd_serve_obs(a: &Args) -> Result<()> {
     use std::time::{Duration, Instant};
 
     let addr = a.listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
-    let server =
-        mmm::obs::ObsServer::start(addr.as_str(), obs().clone(), mmm::obs::slo::DEFAULT_OBJECTIVE)
-            .map_err(|e| Error::invalid(format!("cannot bind {addr}: {e}")))?;
+    // The demo environment exists before the server so the /query
+    // route can capture a handle: the server thread runs queries
+    // against the same store the demo traffic writes to.
+    let tmp = TempDir::new("mmm-serve-obs")?;
+    let env = std::sync::Arc::new(
+        ManagementEnv::builder(tmp.path(), LatencyProfile::m1())
+            .threads(a.threads)
+            .observer(obs().clone())
+            .commit_window(Duration::from_millis(2))
+            .open()?,
+    );
+    let qenv = env.clone();
+    let handler: mmm::obs::QueryHandler = std::sync::Arc::new(move |expr: &str| {
+        query::run(&qenv, expr)
+            .map(|out| query_json(expr, &out).to_string())
+            .map_err(|e| e.to_string())
+    });
+    let server = mmm::obs::ObsServer::start_with_query(
+        addr.as_str(),
+        obs().clone(),
+        mmm::obs::slo::DEFAULT_OBJECTIVE,
+        Some(handler),
+    )
+    .map_err(|e| Error::invalid(format!("cannot bind {addr}: {e}")))?;
     // The bound address line is the contract scripts scrape for; flush
     // it before the (long) serving window starts.
     println!("obs: serving on http://{}", server.local_addr());
-    println!("obs: endpoints /metrics /healthz /tenants; serving for {} ms", a.duration_ms);
+    println!(
+        "obs: endpoints /metrics /healthz /tenants /query; serving for {} ms",
+        a.duration_ms
+    );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
 
-    let tmp = TempDir::new("mmm-serve-obs")?;
-    let env = ManagementEnv::builder(tmp.path(), LatencyProfile::m1())
-        .threads(a.threads)
-        .observer(obs().clone())
-        .commit_window(Duration::from_millis(2))
-        .open()?;
     let frontend = FleetFrontend::new(&env);
     let tenants = ["acme", "globex", "initech"];
     let arch = Architectures::ffnn48();
@@ -1196,6 +1301,7 @@ fn main() {
         "import" => cmd_import(&args),
         "tag" => cmd_tag(&args),
         "find-tag" => cmd_find_tag(&args),
+        "query" => cmd_query(&args),
         "advise" => cmd_advise(&args),
         "stats" => cmd_stats(&args),
         "chaos" => cmd_chaos(&args),

@@ -47,6 +47,9 @@ fn two_hundred_tenant_iterations_of_fault_storms_hold_every_invariant() {
         "no merge ever completed: forks={}",
         report.branch_forks
     );
+    // The query slice (~1/8 of iterations) must have read the lake
+    // through the frontend while the storms ran.
+    assert!(report.queries_ok > 0, "no query answered in {} iterations", config.tenant_iterations());
     let v = report_json(&config, &report);
     assert_eq!(*v.get("passed").unwrap(), true);
     assert_eq!(*v.get("branch_forks").unwrap(), report.branch_forks);

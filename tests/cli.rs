@@ -184,6 +184,59 @@ fn tagging_marks_and_finds_sets() {
 }
 
 #[test]
+fn query_filters_the_lake_and_agrees_with_the_legacy_views() {
+    let dir = TempDir::new("cli-query").unwrap();
+    let d = dir.path();
+    ok(&mmm(Some(d), &["init", "--models", "4", "--approach", "update"]));
+    ok(&mmm(Some(d), &["update"]));
+    ok(&mmm(Some(d), &["update"]));
+    ok(&mmm(Some(d), &["tag", "update:1", "golden"]));
+
+    // `true` is the whole catalog, one row per set plus a summary line.
+    let out = ok(&mmm(Some(d), &["query", "true"]));
+    assert_eq!(out.lines().count(), 4, "{out}");
+    assert!(out.contains("update:0") && out.contains("update:2"), "{out}");
+    assert!(out.contains("3 set(s) matched of 3 scanned"), "{out}");
+
+    // Predicates narrow by typed fields.
+    let out = ok(&mmm(Some(d), &["query", "kind = \"diff\" and n_models >= 4"]));
+    assert!(out.contains("update:1") && out.contains("update:2"), "{out}");
+    assert!(!out.contains("update:0 "), "{out}");
+
+    // A tag conjunct becomes an index probe: only the probed row scans.
+    let out = ok(&mmm(Some(d), &["query", "--json", "tag:golden"]));
+    let doc: serde_json::Value = serde_json::from_str(&out).expect("query JSON");
+    assert_eq!(doc["count"], 1, "{out}");
+    assert_eq!(doc["scanned"], 1, "{out}");
+    assert_eq!(doc["probes"][0], "tag:golden", "{out}");
+    let set = &doc["sets"][0];
+    assert_eq!(set["id"], "update:1", "{out}");
+    assert_eq!(set["kind"], "diff", "{out}");
+    assert_eq!(set["n_models"], 4, "{out}");
+    assert_eq!(set["depth"], 1, "{out}");
+    assert_eq!(set["tags"][0], "golden", "{out}");
+    assert!(set["bytes"]["total"].as_u64().unwrap() > 0, "{out}");
+
+    // The legacy views are sugar over the same engine: find-tag and a
+    // tag query list identical ids.
+    let legacy = ok(&mmm(Some(d), &["find-tag", "golden"]));
+    let ids: Vec<String> = doc["sets"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s["id"].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(legacy.trim().lines().collect::<Vec<_>>(), ids, "{out}");
+
+    // Parse errors exit non-zero and point at the offending byte.
+    let out = mmm(Some(d), &["query", "kind > 3"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error at byte 5"), "{err}");
+    assert!(err.contains('^'), "caret diagnostic missing: {err}");
+}
+
+#[test]
 fn export_import_moves_a_set_between_directories() {
     let src = TempDir::new("cli-export-src").unwrap();
     let dst = TempDir::new("cli-export-dst").unwrap();
@@ -349,6 +402,15 @@ fn serve_obs_endpoints_and_top_render_live_slos() {
 
     let (status, _) = tiny_get(&addr, "/nope");
     assert!(status.contains("404"), "{status}");
+
+    // The query engine is attached: /query answers over the live store.
+    let (status, json) = tiny_get(&addr, "/query?q=true");
+    assert!(status.contains("200"), "{status}");
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("query JSON");
+    assert!(doc["sets"].is_array(), "{json}");
+    let (status, body) = tiny_get(&addr, "/query?q=kind+%3E");
+    assert!(status.contains("400"), "{status}");
+    assert!(body.contains("parse error"), "{body}");
 
     // `mmm top` renders the SLO table from the live endpoint.
     let out = ok(&mmm(None, &["top", &addr]));

@@ -1,0 +1,160 @@
+//! Property tests of the model-lake query engine.
+//!
+//! Two laws pin the API redesign:
+//!
+//! 1. `query "true"` is the catalog: for arbitrary environment
+//!    populations (baseline saves, update chains, mmlib batches) the
+//!    trivial query returns exactly the sets `catalog::list_sets`
+//!    reports, with agreeing metadata.
+//! 2. Printing round-trips: every expression the parser can represent
+//!    prints (`Display`) to a string that parses back to an equal AST.
+
+use mmm::core::approach::{BaselineSaver, MmlibBaseSaver, ModelSetSaver, UpdateSaver};
+use mmm::core::env::ManagementEnv;
+use mmm::core::model_set::{Derivation, ModelSet, ModelSetId};
+use mmm::core::query::{CmpOp, Expr, NumField, Query, StrField};
+use mmm::core::{catalog, query, tags};
+use mmm::dnn::{ArchitectureSpec, Architectures, TrainConfig};
+use mmm::store::LatencyProfile;
+use mmm::util::{Rng, SplitMix64, TempDir};
+use proptest::prelude::*;
+
+fn small_set(arch: &ArchitectureSpec, seed: u64, n_models: usize) -> ModelSet {
+    let models =
+        (0..n_models).map(|i| arch.build(seed ^ i as u64).export_param_dict()).collect();
+    ModelSet::new(arch.clone(), models)
+}
+
+/// Build a random expression from a seeded generator. Pools cover the
+/// printing edge cases: values needing quoting (spaces, empty, unicode),
+/// numeric names with and without leading zeros, and keyword-shaped
+/// names (`true`).
+fn arb_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    const STRS: &[&str] = &["full", "diff", "a b", "x-1", "", "Ünïcode"];
+    const NAMES: &[&str] = &["prod", "a b", "123", "0123", "v1.2-rc", "true", ""];
+    const IDS: &[(&str, &str)] =
+        &[("update", "1"), ("baseline", "42"), ("mmlib-base", "0:3"), ("provenance", "head")];
+    let pick = |rng: &mut SplitMix64, n: usize| rng.below(n as u64) as usize;
+    let set_id = |rng: &mut SplitMix64| {
+        let (a, k) = IDS[pick(rng, IDS.len())];
+        ModelSetId { approach: a.into(), key: k.into() }
+    };
+    let arms = if depth == 0 { 8 } else { 11 };
+    match rng.below(arms) {
+        0 => Expr::True,
+        1 => Expr::False,
+        2 => Expr::StrCmp {
+            field: [StrField::Kind, StrField::Approach, StrField::Key, StrField::Base]
+                [pick(rng, 4)],
+            negated: rng.below(2) == 0,
+            value: STRS[pick(rng, STRS.len())].to_string(),
+        },
+        3 => Expr::NumCmp {
+            field: [NumField::NModels, NumField::Depth, NumField::Bytes][pick(rng, 3)],
+            op: [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+                [pick(rng, 6)],
+            value: rng.below(1_000_000),
+        },
+        4 => Expr::Tag(NAMES[pick(rng, NAMES.len())].to_string()),
+        5 => Expr::Branch(NAMES[pick(rng, NAMES.len())].to_string()),
+        6 => Expr::DescendantOf(set_id(rng)),
+        7 => Expr::SimilarTo(set_id(rng), rng.below(1001) as f64 / 1000.0),
+        8 => Expr::Not(Box::new(arb_expr(rng, depth - 1))),
+        9 => Expr::And(
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Or(
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Law 1: `query "true"` returns exactly the catalog — baseline
+    /// saves, update chains, and grouped mmlib batches alike — with
+    /// kind and model counts agreeing row for row.
+    #[test]
+    fn query_true_is_the_catalog(
+        n_baseline in 0usize..3,
+        chain in 0usize..3,
+        batches in proptest::collection::vec(1usize..4, 0..3),
+        seed in any::<u64>(),
+    ) {
+        let dir = TempDir::new("prop-query").unwrap();
+        let env = ManagementEnv::open(dir.path(), LatencyProfile::zero()).unwrap();
+        let arch = Architectures::ffnn(4);
+
+        for i in 0..n_baseline {
+            BaselineSaver::new()
+                .save_initial(&env, &small_set(&arch, seed ^ i as u64, 2))
+                .unwrap();
+        }
+        if chain > 0 {
+            let mut saver = UpdateSaver::new();
+            let mut set = small_set(&arch, seed ^ 0x77, 2);
+            let mut id = saver.save_initial(&env, &set).unwrap();
+            tags::tag_set(&env, &id, "chain-root").unwrap();
+            for _ in 1..chain {
+                set.models[0].layers[0].data[0] += 1.0;
+                let d = Derivation {
+                    base: id.clone(),
+                    train: TrainConfig::regression_default(0),
+                    updates: vec![],
+                };
+                id = saver.save_set(&env, &set, Some(&d)).unwrap();
+            }
+        }
+        for (bi, n) in batches.iter().enumerate() {
+            MmlibBaseSaver::new()
+                .save_initial(&env, &small_set(&arch, seed ^ (0x1000 + bi as u64), *n))
+                .unwrap();
+        }
+
+        let summaries = catalog::list_sets(&env).unwrap();
+        let out = query::run(&env, "true").unwrap();
+        let mut listed: Vec<String> = summaries.iter().map(|s| s.id.to_string()).collect();
+        let mut queried: Vec<String> = out.records.iter().map(|r| r.id.to_string()).collect();
+        listed.sort();
+        queried.sort();
+        prop_assert_eq!(&queried, &listed);
+        prop_assert_eq!(out.scanned, summaries.len());
+        for s in &summaries {
+            let r = out.records.iter().find(|r| r.id == s.id).unwrap();
+            prop_assert_eq!(r.kind, s.kind);
+            prop_assert_eq!(r.n_models, s.n_models);
+            prop_assert_eq!(r.bytes_stored, s.bytes_stored);
+        }
+        // The tag probe narrows the scan and agrees with the tag index.
+        if chain > 0 {
+            let probed = query::run(&env, "tag:chain-root").unwrap();
+            prop_assert_eq!(probed.records.len(), 1);
+            prop_assert_eq!(probed.scanned, 1, "tag probe must narrow the scan");
+        }
+    }
+
+    /// Law 2: whatever the AST, `Display` prints a string the parser
+    /// maps back to an equal AST — parenthesization, quoting, and
+    /// numeric names included.
+    #[test]
+    fn every_expression_round_trips_display_then_parse(
+        seed in any::<u64>(),
+        depth in 0usize..4,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let expr = arb_expr(&mut rng, depth);
+        let printed = format!("{expr}");
+        let back = Query::parse(&printed);
+        prop_assert!(back.is_ok(), "`{}` failed to re-parse: {:?}", printed, back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(
+            back.expr(),
+            &expr,
+            "`{}` re-parsed to a different AST",
+            printed
+        );
+    }
+}
